@@ -1,0 +1,78 @@
+// Command she runs one sliding-window structure as a line-protocol
+// stream processor: keys go in on stdin, answers come out on stdout.
+// Useful for piping real key streams through a SHE structure without
+// writing Go, and as a demonstration of snapshots (save/load keep the
+// mid-window state).
+//
+// Examples:
+//
+//	echo '+ alice
+//	+ bob
+//	? alice
+//	? carol' | she bloom -bits 65536 -window 1000
+//
+//	cut -d' ' -f1 access.log | sed 's/^/+ /' | she hll -registers 4096 -window 100000
+//
+// Subcommands: bloom, bitmap, hll, cm, minhash, topk. Run with -h after
+// a subcommand for its flags; see internal/cli for the full protocol.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"she"
+	"she/internal/cli"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	kind := os.Args[1]
+	fs := flag.NewFlagSet(kind, flag.ExitOnError)
+	bits := fs.Int("bits", 1<<16, "bit-array size (bloom/bitmap) or counter count (cm/topk)")
+	registers := fs.Int("registers", 4096, "registers (hll) or signatures (minhash)")
+	k := fs.Int("k", 10, "heavy hitters to track (topk)")
+	window := fs.Uint64("window", 1<<16, "sliding window size N in items")
+	alpha := fs.Float64("alpha", 0, "cleaning slack alpha (0 = per-structure default)")
+	seed := fs.Uint64("seed", 1, "hash seed")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	engine, err := cli.New(cli.Config{
+		Kind:     kind,
+		Bits:     *bits,
+		Register: *registers,
+		K:        *k,
+		Options:  she.Options{Window: *window, Alpha: *alpha, Seed: *seed},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "she: %v\n", err)
+		usage()
+		os.Exit(2)
+	}
+	if err := engine.Run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "she: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: she <structure> [flags]
+
+structures:
+  bloom    sliding-window membership (+ key, ? key)
+  bitmap   sliding-window cardinality, linear counting (card)
+  hll      sliding-window cardinality, HyperLogLog (card)
+  cm       sliding-window frequency (freq key)
+  minhash  sliding-window similarity of two streams (+ key, +b key, sim)
+  topk     sliding-window heavy hitters (top, freq key)
+
+protocol on stdin: + key | +b key | ? key | freq key | card | sim |
+top | stats | save path | load path   ('#' comments; keys are decimal
+uint64s, anything else is hashed)`)
+}

@@ -1,0 +1,86 @@
+// Command tracegen writes a synthetic workload trace to disk so that
+// experiments can be replayed from files (the role the paper's CAIDA /
+// Campus / Webpage pcaps play), shared between machines, or inspected.
+//
+// Usage:
+//
+//	tracegen -dataset caida -n 1000000 -o caida.trace
+//	tracegen -dataset distinct -n 65536 -text -o worst-case.txt
+//
+// Datasets: caida, campus, webpage, distinct, zipf (with -skew and
+// -alphabet). Formats: binary SHET (default) or -text (one decimal key
+// per line).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"she/internal/stream"
+	"she/internal/trace"
+)
+
+func main() {
+	dataset := flag.String("dataset", "caida", "caida | campus | webpage | distinct | zipf")
+	n := flag.Int("n", 1<<20, "number of keys")
+	seed := flag.Uint64("seed", 20220829, "generator seed")
+	skew := flag.Float64("skew", 1.2, "zipf skew (zipf dataset only)")
+	alphabet := flag.Int("alphabet", 600_000, "alphabet size (zipf dataset only)")
+	text := flag.Bool("text", false, "write text format instead of binary")
+	out := flag.String("o", "", "output file (required)")
+	flag.Parse()
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -o output file is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *n <= 0 {
+		fmt.Fprintln(os.Stderr, "tracegen: -n must be positive")
+		os.Exit(2)
+	}
+
+	var gen stream.Generator
+	switch *dataset {
+	case "caida":
+		gen = stream.CAIDA(*seed)
+	case "campus":
+		gen = stream.Campus(*seed)
+	case "webpage":
+		gen = stream.Webpage(*seed)
+	case "distinct":
+		gen = stream.NewDistinct(*seed)
+	case "zipf":
+		gen = stream.NewZipf(*skew, *alphabet, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+
+	keys := make([]uint64, *n)
+	for i := range keys {
+		keys[i] = gen.Next()
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if *text {
+		err = trace.WriteText(f, keys)
+	} else {
+		err = trace.Write(f, keys)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d keys (%s) to %s\n", *n, *dataset, *out)
+}

@@ -1,0 +1,112 @@
+// Command traceinfo profiles a trace file: total and distinct keys,
+// top-talker concentration, and per-window distinct counts — the
+// numbers that decide how to size a SHE structure for the workload
+// (window cardinality drives everything: the Eq. 1 group budget, the
+// Eq. 2 optimal α, the bit budget of PlanBloomFilter).
+//
+// Usage:
+//
+//	traceinfo -window 65536 trace.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"she/internal/exact"
+	"she/internal/trace"
+)
+
+func main() {
+	window := flag.Int("window", 1<<16, "window size for per-window statistics")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: traceinfo [-window N] <trace file>")
+		os.Exit(2)
+	}
+	keys, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "traceinfo: %v\n", err)
+		os.Exit(1)
+	}
+	if len(keys) == 0 {
+		fmt.Println("empty trace")
+		return
+	}
+
+	counts := map[uint64]int{}
+	for _, k := range keys {
+		counts[k]++
+	}
+	freqs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+
+	topShare := func(n int) float64 {
+		if n > len(freqs) {
+			n = len(freqs)
+		}
+		sum := 0
+		for _, c := range freqs[:n] {
+			sum += c
+		}
+		return float64(sum) / float64(len(keys))
+	}
+
+	fmt.Printf("items:              %d\n", len(keys))
+	fmt.Printf("distinct keys:      %d (%.2f%%)\n", len(counts), 100*float64(len(counts))/float64(len(keys)))
+	fmt.Printf("hottest key share:  %.2f%%\n", 100*topShare(1))
+	fmt.Printf("top-10 share:       %.2f%%\n", 100*topShare(10))
+	fmt.Printf("top-100 share:      %.2f%%\n", 100*topShare(100))
+
+	if len(keys) >= *window {
+		win := exact.NewWindow(*window)
+		minD, maxD, sumD, samples := int(^uint(0)>>1), 0, 0, 0
+		for i, k := range keys {
+			win.Push(k)
+			if i >= *window && i%(*window/4) == 0 {
+				d := win.Cardinality()
+				if d < minD {
+					minD = d
+				}
+				if d > maxD {
+					maxD = d
+				}
+				sumD += d
+				samples++
+			}
+		}
+		if samples > 0 {
+			fmt.Printf("window %d distinct: min %d, mean %d, max %d  (over %d samples)\n",
+				*window, minD, sumD/samples, maxD, samples)
+		}
+	} else {
+		fmt.Printf("trace shorter than one window (%d); per-window stats skipped\n", *window)
+	}
+}
+
+func load(path string) ([]uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	keys, err := trace.Read(f)
+	if err == nil {
+		return keys, nil
+	}
+	if _, serr := f.Seek(0, 0); serr != nil {
+		return nil, serr
+	}
+	if keys, err = trace.ReadPcap(f, trace.KeySrcIP, 0); err == nil {
+		return keys, nil
+	}
+	if _, serr := f.Seek(0, 0); serr != nil {
+		return nil, serr
+	}
+	return trace.ReadText(f)
+}

@@ -1,0 +1,249 @@
+package she
+
+import (
+	"fmt"
+	"sync"
+
+	"she/internal/hashing"
+)
+
+// The sharded wrappers partition a stream across P independent SHE
+// structures by key hash — the software analogue of replicating the
+// hardware pipeline. Each shard serializes its own operations with a
+// mutex, so different keys proceed in parallel on different cores.
+//
+// Window semantics under sharding: each shard's count-based window
+// covers its last Window/P items, which under hash partitioning is an
+// unbiased 1/P sample of the stream's last ~Window items. Per-key
+// queries (membership, frequency) are answered entirely by the key's
+// own shard, so the per-key guarantees (no false negatives, never
+// underestimates) carry over shard-locally.
+
+// shardCount validates and normalizes a shard count.
+func shardCount(p int) (int, error) {
+	if p <= 0 {
+		return 0, fmt.Errorf("she: shard count must be positive, got %d", p)
+	}
+	return p, nil
+}
+
+// ShardedBloomFilter is a concurrency-safe sliding-window Bloom filter:
+// P shards, each holding bits/P bits and a window of Window/P items.
+type ShardedBloomFilter struct {
+	shards []struct {
+		mu sync.Mutex
+		bf *BloomFilter
+	}
+	salt uint64
+}
+
+// NewShardedBloomFilter splits a filter of the given total bits and
+// options across p shards.
+func NewShardedBloomFilter(bits, p int, opts Options) (*ShardedBloomFilter, error) {
+	p, err := shardCount(p)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Window < uint64(p) {
+		return nil, fmt.Errorf("she: window %d smaller than shard count %d", opts.Window, p)
+	}
+	s := &ShardedBloomFilter{salt: hashing.Mix64(opts.Seed ^ 0x5a4d)}
+	s.shards = make([]struct {
+		mu sync.Mutex
+		bf *BloomFilter
+	}, p)
+	shardOpts := opts
+	shardOpts.Window = opts.Window / uint64(p)
+	for i := range s.shards {
+		shardOpts.Seed = opts.Seed + uint64(i)*0x9e3779b97f4a7c15
+		bf, err := NewBloomFilter(bits/p, shardOpts)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i].bf = bf
+	}
+	return s, nil
+}
+
+func (s *ShardedBloomFilter) shard(key uint64) int {
+	return hashing.ReduceRange(hashing.U64(key, s.salt), len(s.shards))
+}
+
+// Insert records key; safe for concurrent use.
+func (s *ShardedBloomFilter) Insert(key uint64) {
+	sh := &s.shards[s.shard(key)]
+	sh.mu.Lock()
+	sh.bf.Insert(key)
+	sh.mu.Unlock()
+}
+
+// Query reports whether key may have appeared within the window; safe
+// for concurrent use.
+func (s *ShardedBloomFilter) Query(key uint64) bool {
+	sh := &s.shards[s.shard(key)]
+	sh.mu.Lock()
+	ok := sh.bf.Query(key)
+	sh.mu.Unlock()
+	return ok
+}
+
+// MemoryBits totals the shards' footprints.
+func (s *ShardedBloomFilter) MemoryBits() int {
+	total := 0
+	for i := range s.shards {
+		total += s.shards[i].bf.MemoryBits()
+	}
+	return total
+}
+
+// Shards returns the shard count.
+func (s *ShardedBloomFilter) Shards() int { return len(s.shards) }
+
+// ShardedCountMin is a concurrency-safe sliding-window Count-Min
+// sketch: P shards, each holding counters/P counters and a window of
+// Window/P items.
+type ShardedCountMin struct {
+	shards []struct {
+		mu sync.Mutex
+		cm *CountMin
+	}
+	salt uint64
+}
+
+// NewShardedCountMin splits a sketch of the given total counters and
+// options across p shards.
+func NewShardedCountMin(counters, p int, opts Options) (*ShardedCountMin, error) {
+	p, err := shardCount(p)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Window < uint64(p) {
+		return nil, fmt.Errorf("she: window %d smaller than shard count %d", opts.Window, p)
+	}
+	s := &ShardedCountMin{salt: hashing.Mix64(opts.Seed ^ 0xc43d)}
+	s.shards = make([]struct {
+		mu sync.Mutex
+		cm *CountMin
+	}, p)
+	shardOpts := opts
+	shardOpts.Window = opts.Window / uint64(p)
+	for i := range s.shards {
+		shardOpts.Seed = opts.Seed + uint64(i)*0x9e3779b97f4a7c15
+		cm, err := NewCountMin(counters/p, shardOpts)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i].cm = cm
+	}
+	return s, nil
+}
+
+func (s *ShardedCountMin) shard(key uint64) int {
+	return hashing.ReduceRange(hashing.U64(key, s.salt), len(s.shards))
+}
+
+// Insert records one occurrence of key; safe for concurrent use.
+func (s *ShardedCountMin) Insert(key uint64) {
+	sh := &s.shards[s.shard(key)]
+	sh.mu.Lock()
+	sh.cm.Insert(key)
+	sh.mu.Unlock()
+}
+
+// Frequency estimates key's occurrence count within the window; safe
+// for concurrent use.
+func (s *ShardedCountMin) Frequency(key uint64) uint64 {
+	sh := &s.shards[s.shard(key)]
+	sh.mu.Lock()
+	v := sh.cm.Frequency(key)
+	sh.mu.Unlock()
+	return v
+}
+
+// MemoryBits totals the shards' footprints.
+func (s *ShardedCountMin) MemoryBits() int {
+	total := 0
+	for i := range s.shards {
+		total += s.shards[i].cm.MemoryBits()
+	}
+	return total
+}
+
+// Shards returns the shard count.
+func (s *ShardedCountMin) Shards() int { return len(s.shards) }
+
+// ShardedHyperLogLog is a concurrency-safe sliding-window cardinality
+// estimator: keys are partitioned across P shard estimators and the
+// shard estimates are summed (hash partitioning splits the distinct set
+// uniformly, so the sum is an unbiased estimate of the whole).
+type ShardedHyperLogLog struct {
+	shards []struct {
+		mu sync.Mutex
+		h  *HyperLogLog
+	}
+	salt uint64
+}
+
+// NewShardedHyperLogLog splits registers total registers across p
+// shards.
+func NewShardedHyperLogLog(registers, p int, opts Options) (*ShardedHyperLogLog, error) {
+	p, err := shardCount(p)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Window < uint64(p) {
+		return nil, fmt.Errorf("she: window %d smaller than shard count %d", opts.Window, p)
+	}
+	s := &ShardedHyperLogLog{salt: hashing.Mix64(opts.Seed ^ 0x411)}
+	s.shards = make([]struct {
+		mu sync.Mutex
+		h  *HyperLogLog
+	}, p)
+	shardOpts := opts
+	shardOpts.Window = opts.Window / uint64(p)
+	for i := range s.shards {
+		shardOpts.Seed = opts.Seed + uint64(i)*0x9e3779b97f4a7c15
+		h, err := NewHyperLogLog(registers/p, shardOpts)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i].h = h
+	}
+	return s, nil
+}
+
+func (s *ShardedHyperLogLog) shard(key uint64) int {
+	return hashing.ReduceRange(hashing.U64(key, s.salt), len(s.shards))
+}
+
+// Insert records key; safe for concurrent use.
+func (s *ShardedHyperLogLog) Insert(key uint64) {
+	sh := &s.shards[s.shard(key)]
+	sh.mu.Lock()
+	sh.h.Insert(key)
+	sh.mu.Unlock()
+}
+
+// Cardinality sums the shard estimates; safe for concurrent use.
+func (s *ShardedHyperLogLog) Cardinality() float64 {
+	total := 0.0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		total += sh.h.Cardinality()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// MemoryBits totals the shards' footprints.
+func (s *ShardedHyperLogLog) MemoryBits() int {
+	total := 0
+	for i := range s.shards {
+		total += s.shards[i].h.MemoryBits()
+	}
+	return total
+}
+
+// Shards returns the shard count.
+func (s *ShardedHyperLogLog) Shards() int { return len(s.shards) }

@@ -1,0 +1,132 @@
+package she
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestShardedBloomFilterNoFalseNegatives(t *testing.T) {
+	s, err := NewShardedBloomFilter(1<<18, 8, Options{Window: 1 << 14, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent writers over disjoint key ranges, then verify the most
+	// recent keys of every range are present.
+	var wg sync.WaitGroup
+	const perWriter = 1 << 10
+	for wtr := 0; wtr < 8; wtr++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < perWriter; i++ {
+				s.Insert(base + i)
+			}
+		}(uint64(wtr) << 32)
+	}
+	wg.Wait()
+	for wtr := 0; wtr < 8; wtr++ {
+		base := uint64(wtr) << 32
+		for i := uint64(perWriter - 100); i < perWriter; i++ {
+			if !s.Query(base + i) {
+				t.Fatalf("writer %d key %d missing right after insertion", wtr, i)
+			}
+		}
+	}
+}
+
+func TestShardedBloomFilterExpires(t *testing.T) {
+	s, err := NewShardedBloomFilter(1<<16, 4, Options{Window: 4096, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Insert(42)
+	// Push enough traffic through 42's shard to cycle it fully. Keys
+	// are hash-partitioned, so push a broad range.
+	for i := uint64(0); i < 200_000; i++ {
+		s.Insert(1_000_000 + i%500)
+	}
+	if s.Query(42) {
+		t.Fatal("key survived many windows of traffic")
+	}
+}
+
+func TestShardedCountMinConcurrentCounts(t *testing.T) {
+	s, err := NewShardedCountMin(1<<16, 4, Options{Window: 1 << 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 goroutines each add 500 occurrences of their own key.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(key uint64) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s.Insert(key)
+			}
+		}(uint64(g + 1))
+	}
+	wg.Wait()
+	for g := 0; g < 4; g++ {
+		got := s.Frequency(uint64(g + 1))
+		if got < 500 {
+			t.Fatalf("key %d counted %d, want ≥500 (never underestimates)", g+1, got)
+		}
+		if got > 600 {
+			t.Fatalf("key %d counted %d, want ≈500", g+1, got)
+		}
+	}
+}
+
+func TestShardedHyperLogLogCardinality(t *testing.T) {
+	s, err := NewShardedHyperLogLog(8192, 8, Options{Window: 1 << 16, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const distinct = 20000
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			for i := off; i < distinct; i += 8 {
+				s.Insert(uint64(i) * 2654435761)
+			}
+		}(g)
+	}
+	wg.Wait()
+	est := s.Cardinality()
+	if math.Abs(est-distinct)/distinct > 0.2 {
+		t.Fatalf("sharded estimate %.0f, want ≈%d", est, distinct)
+	}
+}
+
+func TestShardedRejectsBadParameters(t *testing.T) {
+	if _, err := NewShardedBloomFilter(1<<16, 0, Options{Window: 100}); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+	if _, err := NewShardedBloomFilter(1<<16, 8, Options{Window: 4}); err == nil {
+		t.Fatal("window < shards accepted")
+	}
+	if _, err := NewShardedCountMin(1<<16, -1, Options{Window: 100}); err == nil {
+		t.Fatal("negative p accepted")
+	}
+	if _, err := NewShardedHyperLogLog(1024, 0, Options{Window: 100}); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+}
+
+func TestShardedMemoryAccounting(t *testing.T) {
+	s, err := NewShardedBloomFilter(1<<16, 4, Options{Window: 4096, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Shards() != 4 {
+		t.Fatalf("Shards=%d", s.Shards())
+	}
+	// 4 shards × (2^14 bits + marks).
+	if got := s.MemoryBits(); got < 1<<16 || got > 1<<16+4096 {
+		t.Fatalf("MemoryBits=%d", got)
+	}
+}

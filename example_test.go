@@ -1,0 +1,165 @@
+package she_test
+
+import (
+	"fmt"
+
+	"she"
+)
+
+// The basic lifecycle: insert, query, slide, expire.
+func ExampleBloomFilter() {
+	bf, err := she.NewBloomFilter(1<<16, she.Options{Window: 1000, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	bf.Insert(42)
+	fmt.Println("fresh:", bf.Query(42))
+	// Slide far past the window (and the cleaning cycle).
+	for i := uint64(0); i < 50_000; i++ {
+		bf.Insert(1_000_000 + i%100)
+	}
+	fmt.Println("expired:", bf.Query(42))
+	// Output:
+	// fresh: true
+	// expired: false
+}
+
+// Counting distinct keys within the window.
+func ExampleBitmap() {
+	bm, err := she.NewBitmap(1<<15, she.Options{Window: 4096, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 20_000; i++ {
+		bm.Insert(uint64(i % 1000)) // 1000 distinct keys recur
+	}
+	est := bm.Cardinality()
+	fmt.Println("estimate within 10% of 1000:", est > 900 && est < 1100)
+	// Output:
+	// estimate within 10% of 1000: true
+}
+
+// Per-key frequencies with the never-underestimate guarantee.
+func ExampleCountMin() {
+	cm, err := she.NewCountMin(1<<16, she.Options{Window: 8192, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 8192; i++ {
+		if i%16 == 0 {
+			cm.Insert(7) // 512 occurrences in the window
+		} else {
+			cm.Insert(uint64(100 + i%300))
+		}
+	}
+	got := cm.Frequency(7)
+	fmt.Println("at least 512:", got >= 512)
+	fmt.Println("close to 512:", got < 560)
+	// Output:
+	// at least 512: true
+	// close to 512: true
+}
+
+// Estimating the Jaccard similarity of two streams' windows.
+func ExampleMinHash() {
+	mh, err := she.NewMinHash(512, she.Options{Window: 8192, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	// Stream A and B share half their keys.
+	for i := 0; i < 40_000; i++ {
+		mh.InsertA(uint64(i % 600))
+		mh.InsertB(uint64(i%600 + 300))
+	}
+	// |A∩B| = 300, |A∪B| = 900 → J = 1/3.
+	sim := mh.Similarity()
+	fmt.Println("near 1/3:", sim > 0.23 && sim < 0.43)
+	// Output:
+	// near 1/3: true
+}
+
+// Lifting a custom fixed-window sketch to sliding windows with the CSM
+// interface: a conservative activity tracker.
+func ExampleNewSketch() {
+	s, err := she.NewSketch(she.CSM{
+		Cells:    1 << 12,
+		CellBits: 8,
+		K:        4,
+		Update: func(_, y uint64) uint64 {
+			if y >= 255 {
+				return y
+			}
+			return y + 1
+		},
+		Side: she.OneSided,
+	}, she.Options{Window: 1000, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 500; i++ {
+		s.Insert(99)
+	}
+	min := uint64(1 << 62)
+	s.Fold(99, func(c she.CellView) {
+		if c.Value < min {
+			min = c.Value
+		}
+	})
+	fmt.Println("activity saturated:", min == 255)
+	// Output:
+	// activity saturated: true
+}
+
+// Tracking the heaviest flows of the current window.
+func ExampleTopK() {
+	tk, err := she.NewTopK(2, 1<<14, she.Options{Window: 4096, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 4096; i++ {
+		tk.Insert(100) // every item
+		if i%2 == 0 {
+			tk.Insert(200) // half the items
+		}
+		if i%64 == 0 {
+			tk.Insert(300) // background
+		}
+	}
+	for _, e := range tk.Top() {
+		fmt.Println(e.Key)
+	}
+	// Output:
+	// 100
+	// 200
+}
+
+// Sizing a filter from a target false-positive rate.
+func ExamplePlanBloomFilter() {
+	plan, err := she.PlanBloomFilter(1<<16, 6000, 1e-4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("bits a power of two:", plan.Bits&(plan.Bits-1) == 0)
+	fmt.Println("meets target:", plan.ModelFPR <= 1e-4)
+	bf, err := she.NewBloomFilter(plan.Bits, plan.Options)
+	if err != nil {
+		panic(err)
+	}
+	bf.Insert(1)
+	fmt.Println("usable:", bf.Query(1))
+	// Output:
+	// bits a power of two: true
+	// meets target: true
+	// usable: true
+}
+
+// Snapshot and restore mid-window.
+func ExampleBloomFilter_MarshalBinary() {
+	bf, _ := she.NewBloomFilter(1<<14, she.Options{Window: 1000, Seed: 1})
+	bf.Insert(7)
+	data, _ := bf.MarshalBinary()
+	restored, _ := she.UnmarshalBloomFilter(data)
+	fmt.Println("restored sees the key:", restored.Query(7))
+	// Output:
+	// restored sees the key: true
+}

@@ -1,0 +1,92 @@
+// Flow counting: a router reports how many distinct flows crossed it
+// within the most recent window — the cardinality task. Two SHE
+// estimators are run side by side: the Bitmap (linear counting, best
+// when cardinality is comparable to the bit budget) and HyperLogLog
+// (constant relative error at any scale). The trace alternates between
+// calm and flash-crowd phases; both estimators must track the change as
+// the window slides, which is exactly what fixed-window algorithms get
+// wrong at phase boundaries.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"she"
+)
+
+func main() {
+	const window = 1 << 15
+
+	opts := she.Options{Window: window, Seed: 9}
+	bm, err := she.NewBitmap(1<<16, opts) // 8 KB
+	if err != nil {
+		panic(err)
+	}
+	hll, err := she.NewHyperLogLog(4096, opts) // 3 KB
+	if err != nil {
+		panic(err)
+	}
+
+	// Exact distinct count of the current window, for reference.
+	ring := make([]uint64, window)
+	counts := map[uint64]int{}
+	pos, filled := 0, 0
+	push := func(k uint64) {
+		if filled == window {
+			old := ring[pos]
+			if counts[old] == 1 {
+				delete(counts, old)
+			} else {
+				counts[old]--
+			}
+		} else {
+			filled++
+		}
+		ring[pos] = k
+		counts[k]++
+		pos = (pos + 1) % window
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	phases := []struct {
+		name  string
+		flows int
+	}{
+		{"calm", 2_000},
+		{"flash crowd", 20_000},
+		{"calm again", 2_000},
+	}
+
+	fmt.Printf("%-14s %10s %10s %10s %8s %8s\n",
+		"phase", "exact", "bitmap", "hll", "bm err", "hll err")
+	for _, ph := range phases {
+		// Run the phase for three windows so the window fully turns
+		// over, sampling at each window boundary.
+		for wnd := 0; wnd < 3; wnd++ {
+			for i := 0; i < window; i++ {
+				flow := uint64(rng.Intn(ph.flows))
+				// Flows are per-phase: salt with the flow population so
+				// phases do not share keys.
+				k := flow*2654435761 + uint64(ph.flows)
+				bm.Insert(k)
+				hll.Insert(k)
+				push(k)
+			}
+			exact := float64(len(counts))
+			eb, eh := bm.Cardinality(), hll.Cardinality()
+			fmt.Printf("%-14s %10.0f %10.0f %10.0f %7.1f%% %7.1f%%\n",
+				ph.name, exact, eb, eh,
+				100*abs(eb-exact)/exact, 100*abs(eh-exact)/exact)
+		}
+	}
+	fmt.Printf("\nbitmap memory: %.1f KB   hll memory: %.1f KB   exact tracker: ~%d KB\n",
+		float64(bm.MemoryBits())/8192, float64(hll.MemoryBits())/8192, window*8/1024)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

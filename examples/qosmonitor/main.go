@@ -1,0 +1,90 @@
+// QoS monitoring: find the flows that dominate the most recent traffic
+// window (heavy hitters) with a sliding-window Count-Min sketch. The
+// sketch never underestimates an in-window flow, so a threshold sweep
+// over candidate flows cannot miss a true heavy hitter — the classic
+// one-sided guarantee, preserved by SHE's age-sensitive selection.
+//
+// The trace is Zipf-like: a few elephant flows plus a long tail. At
+// mid-run the elephants change, and the report must follow within one
+// window.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"she"
+)
+
+func main() {
+	const window = 1 << 15
+	const threshold = window / 100 // a heavy hitter owns ≥1% of the window
+
+	cm, err := she.NewCountMin(1<<18, she.Options{ // 1 MB of counters
+		Window: window,
+		Seed:   5,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	exact := map[uint64][]int{} // flow → ticks (for exact window counts)
+
+	tick := 0
+	insert := func(flow uint64) {
+		cm.Insert(flow)
+		exact[flow] = append(exact[flow], tick)
+		tick++
+	}
+	windowCount := func(flow uint64) int {
+		ticks := exact[flow]
+		c := 0
+		for i := len(ticks) - 1; i >= 0 && ticks[i] > tick-window; i-- {
+			c++
+		}
+		return c
+	}
+
+	phase := func(elephants []uint64) {
+		for i := 0; i < 2*window; i++ {
+			if rng.Intn(100) < 40 { // 40% of traffic is elephants
+				insert(elephants[rng.Intn(len(elephants))])
+			} else {
+				insert(uint64(1_000_000 + rng.Intn(50_000)))
+			}
+		}
+		report(cm, elephants, windowCount, threshold)
+	}
+
+	fmt.Println("=== phase 1: elephants 101,102,103 ===")
+	phase([]uint64{101, 102, 103})
+	fmt.Println("\n=== phase 2: elephants 201,202 (old ones went quiet) ===")
+	phase([]uint64{201, 202})
+
+	// The old elephants must have decayed out of the window.
+	for _, old := range []uint64{101, 102, 103} {
+		if got := cm.Frequency(old); int(got) >= threshold {
+			panic(fmt.Sprintf("flow %d still reported heavy (%d) a window after going quiet", old, got))
+		}
+	}
+	fmt.Println("\nold elephants correctly expired from the window")
+}
+
+func report(cm *she.CountMin, candidates []uint64, windowCount func(uint64) int, threshold int) {
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	fmt.Printf("%8s %12s %12s\n", "flow", "estimated", "exact")
+	for _, f := range candidates {
+		est := cm.Frequency(f)
+		ex := windowCount(f)
+		marker := ""
+		if int(est) >= threshold {
+			marker = "  <- heavy hitter"
+		}
+		if int(est) < ex {
+			marker = "  !! UNDERESTIMATE (should never happen)"
+		}
+		fmt.Printf("%8d %12d %12d%s\n", f, est, ex, marker)
+	}
+}

@@ -1,0 +1,40 @@
+// Quickstart: the smallest useful SHE program. A sliding-window Bloom
+// filter answers "did this key appear among the last N items?" with no
+// false negatives, constant memory, and no per-item timestamps.
+package main
+
+import (
+	"fmt"
+
+	"she"
+)
+
+func main() {
+	const window = 10_000
+
+	bf, err := she.NewBloomFilter(1<<17, she.Options{ // 16 KB of bits
+		Window: window,
+		Seed:   42,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// Insert a marker key, then stream other traffic past it.
+	const marker = uint64(777_000_001)
+	bf.Insert(marker)
+	fmt.Printf("right after insert:            present=%v\n", bf.Query(marker))
+
+	for i := uint64(0); i < window/2; i++ {
+		bf.Insert(1_000_000 + i%1000)
+	}
+	fmt.Printf("half a window later:           present=%v\n", bf.Query(marker))
+
+	for i := uint64(0); i < 6*window; i++ {
+		bf.Insert(2_000_000 + i%1000)
+	}
+	fmt.Printf("six windows later:             present=%v (expired)\n", bf.Query(marker))
+
+	fmt.Printf("memory: %.1f KB for a %d-item window\n",
+		float64(bf.MemoryBits())/8192, window)
+}

@@ -1,0 +1,77 @@
+// Time-based windows: the other half of the sliding-window model. The
+// previous examples use count-based windows ("the last N items"); here
+// the window is "the last 60 seconds" and every operation carries an
+// explicit timestamp via the *At methods. The demo replays a bursty
+// login stream with irregular inter-arrival times and answers "has this
+// account attempted a login in the last minute?" — rate limiting
+// without a per-account table.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"she"
+)
+
+func main() {
+	const windowSeconds = 60
+	// Tick granularity: milliseconds. The window is 60_000 ticks.
+	const window = windowSeconds * 1000
+
+	bf, err := she.NewBloomFilter(1<<18, she.Options{
+		Window: window,
+		Seed:   3,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	rng := rand.New(rand.NewSource(19))
+	now := uint64(1_700_000_000_000) // epoch millis; any origin works
+
+	type attempt struct {
+		account uint64
+		at      uint64
+		repeat  bool // ground truth: within 60 s of this account's last try
+	}
+	lastTry := map[uint64]uint64{}
+
+	var blockedRepeats, missedRepeats, falseBlocks int
+	const attempts = 200_000
+	for i := 0; i < attempts; i++ {
+		// Irregular arrivals: bursts of a few ms, lulls of seconds.
+		if rng.Intn(100) == 0 {
+			now += uint64(rng.Intn(5000)) // lull
+		} else {
+			now += uint64(rng.Intn(20)) // burst
+		}
+		a := attempt{account: uint64(rng.Intn(30_000)), at: now}
+		if last, ok := lastTry[a.account]; ok && now-last < window {
+			a.repeat = true
+		}
+
+		flagged := bf.QueryAt(a.account, a.at)
+		switch {
+		case a.repeat && flagged:
+			blockedRepeats++
+		case a.repeat && !flagged:
+			missedRepeats++
+		case !a.repeat && flagged:
+			falseBlocks++
+		}
+		bf.InsertAt(a.account, a.at)
+		lastTry[a.account] = now
+	}
+
+	fmt.Printf("attempts:               %d over ~%d minutes of simulated time\n",
+		attempts, (now-1_700_000_000_000)/60000)
+	fmt.Printf("repeats within 60s:     %d detected, %d missed\n", blockedRepeats, missedRepeats)
+	fmt.Printf("false rate-limits:      %d\n", falseBlocks)
+	fmt.Printf("memory:                 %.0f KB (vs a %d-entry timestamp table)\n",
+		float64(bf.MemoryBits())/8192, len(lastTry))
+
+	if missedRepeats > 0 {
+		panic("a repeat within the window was missed — SHE-BF must not false-negative")
+	}
+}

@@ -1,0 +1,114 @@
+package she
+
+import (
+	"she/internal/core"
+)
+
+// UpdateFunc is the F of the Common Sketch Model triple ⟨C, K, F⟩
+// (paper §3.1): given per-location hash material aux and the current
+// cell value y, return the new cell value. Counter sketches ignore aux;
+// rank/signature sketches derive their material from it (it is
+// independently mixed for each of an insertion's K locations).
+type UpdateFunc func(aux, y uint64) uint64
+
+// ErrorSide selects the age-sensitive cell-selection rule for a custom
+// sketch's queries.
+type ErrorSide int
+
+// Error sides for CSM declarations.
+const (
+	// OneSided: only mature cells (age ≥ N) are visible to queries —
+	// the rule that preserves "no false negatives" / "never
+	// underestimates" (Bloom filter, Count-Min).
+	OneSided ErrorSide = iota
+	// TwoSided: cells with age in [βN, Tcycle) are visible — the rule
+	// for unbiased estimators (Bitmap, HyperLogLog, MinHash).
+	TwoSided
+)
+
+// CSM declares a custom fixed-window sketch to the SHE framework. Any
+// algorithm expressible as "an array of cells, K hashed locations per
+// insertion, an update function F" becomes a sliding-window sketch:
+// the framework adds the group time-marks, lazy cleaning and
+// age-sensitive selection and leaves the cell semantics to F.
+type CSM struct {
+	// Cells is the array length M.
+	Cells int
+	// CellBits is the width of each cell (1–64).
+	CellBits uint
+	// K is the number of hashed locations per insertion. Ignored when
+	// AllCells is set.
+	K int
+	// AllCells updates every cell on each insertion (MinHash-style
+	// signature sketches).
+	AllCells bool
+	// Update is F.
+	Update UpdateFunc
+	// Side picks the query selection rule.
+	Side ErrorSide
+	// ResetValue is what a cleaned cell holds — 0 for almost
+	// everything; min-update sketches need a maximal sentinel.
+	ResetValue uint64
+}
+
+// Sketch is a custom CSM algorithm lifted to sliding windows by the
+// SHE framework.
+type Sketch struct {
+	inner *core.Generic
+}
+
+// CellView is one query-visible cell: its index, current value and age.
+type CellView struct {
+	Index int
+	Value uint64
+	Age   uint64
+}
+
+// NewSketch builds a sliding-window sketch from a CSM declaration.
+func NewSketch(csm CSM, opts Options) (*Sketch, error) {
+	internal := core.CSM{
+		Cells:      csm.Cells,
+		CellBits:   csm.CellBits,
+		K:          csm.K,
+		Update:     core.UpdateFunc(csm.Update),
+		Side:       core.ErrorSide(csm.Side),
+		GroupSize:  opts.GroupSize,
+		ResetValue: csm.ResetValue,
+	}
+	if csm.AllCells {
+		internal.K = 1 // the locations hook supplies every index
+		internal.Locations = core.AllLocations
+		internal.GroupSize = 1
+	}
+	defaultAlpha := core.DefaultAlphaTwoSided
+	if csm.Side == OneSided {
+		defaultAlpha = core.DefaultAlphaCM
+	}
+	inner, err := core.NewGeneric(internal, opts.config(defaultAlpha))
+	if err != nil {
+		return nil, err
+	}
+	return &Sketch{inner: inner}, nil
+}
+
+// Insert records key as the next item of the stream.
+func (s *Sketch) Insert(key uint64) { s.inner.Insert(key) }
+
+// InsertAt records key at an explicit timestamp.
+func (s *Sketch) InsertAt(key, t uint64) { s.inner.InsertAt(key, t) }
+
+// Fold visits key's query-visible hashed cells and returns how many
+// were visited. Queries are folds: Bloom membership is "no visited
+// cell is zero", Count-Min is the minimum visited value, and so on.
+func (s *Sketch) Fold(key uint64, fn func(CellView)) int {
+	return s.inner.Fold(key, func(c core.CellView) { fn(CellView(c)) })
+}
+
+// FoldAll visits every query-visible cell of the array (estimator-style
+// queries: zero counting, register harvesting).
+func (s *Sketch) FoldAll(fn func(CellView)) int {
+	return s.inner.FoldAll(func(c core.CellView) { fn(CellView(c)) })
+}
+
+// MemoryBits returns the sketch's memory footprint in bits.
+func (s *Sketch) MemoryBits() int { return s.inner.MemoryBits() }

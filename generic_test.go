@@ -1,0 +1,153 @@
+package she
+
+import (
+	"testing"
+)
+
+// TestSketchCustomBloom rebuilds a Bloom filter through the public CSM
+// interface and checks the one-sided behaviour survives the lift.
+func TestSketchCustomBloom(t *testing.T) {
+	s, err := NewSketch(CSM{
+		Cells:    1 << 14,
+		CellBits: 1,
+		K:        6,
+		Update:   func(_, _ uint64) uint64 { return 1 },
+		Side:     OneSided,
+	}, Options{Window: 2048, Alpha: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	member := func(key uint64) bool {
+		ok := true
+		s.Fold(key, func(c CellView) {
+			if c.Value == 0 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	for i := 0; i < 5000; i++ {
+		s.Insert(uint64(i % 300))
+	}
+	for k := uint64(0); k < 300; k++ {
+		if !member(k) {
+			t.Fatalf("in-window key %d missing from custom bloom", k)
+		}
+	}
+	fp := 0
+	for k := uint64(1 << 40); k < 1<<40+2000; k++ {
+		if member(k) {
+			fp++
+		}
+	}
+	if fp > 100 {
+		t.Fatalf("%d/2000 false positives in a lightly loaded custom bloom", fp)
+	}
+}
+
+// TestSketchCustomConservativeCount builds a sketch the library does
+// not ship — a saturating 8-bit "recent activity level" per key — to
+// show the framework really is generic.
+func TestSketchCustomConservativeCount(t *testing.T) {
+	s, err := NewSketch(CSM{
+		Cells:    4096,
+		CellBits: 8,
+		K:        4,
+		Update: func(_, y uint64) uint64 {
+			if y >= 255 {
+				return 255
+			}
+			return y + 1
+		},
+		Side: OneSided,
+	}, Options{Window: 1024, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	activity := func(key uint64) uint64 {
+		min := ^uint64(0)
+		n := s.Fold(key, func(c CellView) {
+			if c.Value < min {
+				min = c.Value
+			}
+		})
+		if n == 0 {
+			return 0
+		}
+		return min
+	}
+	for i := 0; i < 3000; i++ {
+		s.Insert(77)
+		s.Insert(uint64(1000 + i%200))
+	}
+	if a := activity(77); a != 255 {
+		t.Fatalf("hot key activity %d, want saturated 255", a)
+	}
+	// Let it expire.
+	for i := 0; i < 30_000; i++ {
+		s.Insert(uint64(1000 + i%200))
+	}
+	if a := activity(77); a > 30 {
+		t.Fatalf("expired key still shows activity %d", a)
+	}
+}
+
+// TestSketchAllCellsMinSignature exercises the MinHash-style AllCells
+// mode through the public API.
+func TestSketchAllCellsMinSignature(t *testing.T) {
+	const sentinel = 1<<20 - 1
+	build := func(seed uint64) *Sketch {
+		s, err := NewSketch(CSM{
+			Cells:    64,
+			CellBits: 20,
+			AllCells: true,
+			Update: func(aux, y uint64) uint64 {
+				v := aux % sentinel
+				if v < y {
+					return v
+				}
+				return y
+			},
+			Side:       TwoSided,
+			ResetValue: sentinel,
+		}, Options{Window: 1024, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := build(7), build(7) // same seed → same per-slot hashes
+	for i := 0; i < 4000; i++ {
+		k := uint64(i % 500)
+		a.Insert(k)
+		b.Insert(k)
+	}
+	eq, n := 0, 0
+	vals := map[int]uint64{}
+	a.FoldAll(func(c CellView) { vals[c.Index] = c.Value })
+	b.FoldAll(func(c CellView) {
+		if v, ok := vals[c.Index]; ok {
+			n++
+			if v == c.Value {
+				eq++
+			}
+		}
+	})
+	if n == 0 {
+		t.Fatal("no comparable slots")
+	}
+	if float64(eq)/float64(n) < 0.9 {
+		t.Fatalf("identical streams agree on only %d/%d slots", eq, n)
+	}
+}
+
+func TestSketchRejectsBadDeclarations(t *testing.T) {
+	if _, err := NewSketch(CSM{Cells: 0, CellBits: 1, K: 1, Update: func(_, y uint64) uint64 { return y }},
+		Options{Window: 100}); err == nil {
+		t.Fatal("zero cells accepted")
+	}
+	if _, err := NewSketch(CSM{Cells: 10, CellBits: 1, K: 1},
+		Options{Window: 100}); err == nil {
+		t.Fatal("nil update accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module she
+
+go 1.22

@@ -1,0 +1,149 @@
+package she_test
+
+// Cross-component integration: generate a trace, persist it, replay it
+// through the structures, snapshot mid-stream, restore in a "new
+// process" (a fresh structure), and keep going — the full lifecycle a
+// downstream deployment would exercise.
+
+import (
+	"bytes"
+	"testing"
+
+	"she"
+	"she/internal/exact"
+	"she/internal/stream"
+	"she/internal/trace"
+)
+
+func TestTraceToStructureLifecycle(t *testing.T) {
+	// 1. Generate and persist a workload.
+	gen := stream.CAIDA(77)
+	keys := make([]uint64, 60_000)
+	for i := range keys {
+		keys[i] = gen.Next()
+	}
+	var file bytes.Buffer
+	if err := trace.Write(&file, keys); err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Reload and replay the first half through a Bloom filter and an
+	// exact reference.
+	loaded, err := trace.Read(&file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(keys) {
+		t.Fatalf("trace round-trip lost keys: %d vs %d", len(loaded), len(keys))
+	}
+	const window = 8192
+	bf, err := she.NewBloomFilter(1<<18, she.Options{Window: window, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := exact.NewWindow(window)
+	half := len(loaded) / 2
+	for _, k := range loaded[:half] {
+		bf.Insert(k)
+		win.Push(k)
+	}
+
+	// 3. Snapshot mid-window, restore into a "new process".
+	snap, err := bf.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := she.UnmarshalBloomFilter(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 4. Drive both with the second half; they must agree everywhere,
+	// and neither may false-negative an in-window key.
+	for i, k := range loaded[half:] {
+		bf.Insert(k)
+		restored.Insert(k)
+		win.Push(k)
+		if i%101 == 0 {
+			probe := loaded[half+i] // certainly in window
+			if !bf.Query(probe) || !restored.Query(probe) {
+				t.Fatalf("step %d: false negative (orig=%v restored=%v)",
+					i, bf.Query(probe), restored.Query(probe))
+			}
+		}
+	}
+	disagree := 0
+	win.Distinct(func(k uint64, _ uint64) {
+		if bf.Query(k) != restored.Query(k) {
+			disagree++
+		}
+	})
+	if disagree != 0 {
+		t.Fatalf("restored filter disagrees on %d in-window keys", disagree)
+	}
+}
+
+func TestPcapToHarnessLifecycle(t *testing.T) {
+	// A synthetic capture drives the structures end to end: write pcap,
+	// extract srcIP keys, replay into a HyperLogLog, compare with exact.
+	pairs := make([][2]uint32, 20_000)
+	g := stream.NewZipf(1.3, 3000, 5)
+	for i := range pairs {
+		pairs[i] = [2]uint32{uint32(g.Next()), 0x0a0a0a0a}
+	}
+	var capture bytes.Buffer
+	if err := trace.WritePcap(&capture, pairs); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := trace.ReadPcap(&capture, trace.KeySrcIP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != len(pairs) {
+		t.Fatalf("pcap extraction lost packets: %d vs %d", len(keys), len(pairs))
+	}
+
+	// Register count stays well below the window cardinality (~500
+	// here): the estimator's operating regime (see DESIGN.md on Eq. 1).
+	const window = 4096
+	h, err := she.NewHyperLogLog(256, she.Options{Window: window, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := exact.NewWindow(window)
+	for _, k := range keys {
+		h.Insert(k)
+		win.Push(k)
+	}
+	truth := float64(win.Cardinality())
+	est := h.Cardinality()
+	if est < truth*0.7 || est > truth*1.3 {
+		t.Fatalf("pcap-driven HLL estimate %.0f vs truth %.0f", est, truth)
+	}
+}
+
+func TestShardedSnapshotInterplay(t *testing.T) {
+	// Sharded wrapper + TopK + plain structures driven by one replayed
+	// stream; everything must stay coherent.
+	rep := stream.NewReplay([]uint64{1, 2, 3, 2, 1, 2, 2, 9})
+	tk, err := she.NewTopK(1, 1<<12, she.Options{Window: 1024, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := she.NewShardedCountMin(1<<12, 4, she.Options{Window: 1024, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8000; i++ {
+		k := rep.Next()
+		tk.Insert(k)
+		sh.Insert(k)
+	}
+	top := tk.Top()
+	if len(top) == 0 || top[0].Key != 2 {
+		t.Fatalf("top-1 = %+v, want key 2 (half the stream)", top)
+	}
+	if sh.Frequency(2) < sh.Frequency(9) {
+		t.Fatal("sharded sketch ranks the rare key above the hot one")
+	}
+}

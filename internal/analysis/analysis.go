@@ -1,0 +1,143 @@
+// Package analysis implements the mathematical results of §5 of the
+// SHE paper: the on-demand-cleaning failure expectation (Eq. 1), the
+// false-positive-rate model and optimal-α solver for SHE-BF (§5.2,
+// Eq. 2) and the error bounds for the cardinality and similarity
+// estimators (Eq. 3–5). The experiment drivers use these to pick
+// parameters (notably α for SHE-BF) and to overlay analytic curves on
+// measured ones.
+package analysis
+
+import (
+	"errors"
+	"math"
+)
+
+// OnDemandFailures returns Eq. 1's expectation of the number of groups
+// that fail to be touched (and hence cleaned) during one cleaning
+// cycle: E = G·(1−1/G)^((1+α)·C·H) ≈ G·e^(−(1+α)·C·H/G), with G groups,
+// window cardinality C and H cell updates per insertion.
+func OnDemandFailures(G int, alpha float64, C float64, H int) float64 {
+	if G <= 0 {
+		return 0
+	}
+	return float64(G) * math.Exp(-(1+alpha)*C*float64(H)/float64(G))
+}
+
+// GroupCountFor returns the largest group count G whose expected
+// on-demand-cleaning failures stay at or below eps for the given
+// workload (inverting Eq. 1 numerically). Returns at least 1.
+func GroupCountFor(eps, alpha, C float64, H int) int {
+	lo, hi := 1, 1<<30
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if OnDemandFailures(mid, alpha, C, H) <= eps {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// ZeroBitProb returns P₀(r) from §5.2: the expected proportion of zero
+// bits in a group of age r·N, for a Bloom filter with w-bit groups, G
+// groups, window cardinality C and H hash functions:
+// P₀(r) = Q^r with Q = (1−1/w)^(C·H/G).
+func ZeroBitProb(r float64, Q float64) float64 { return math.Pow(Q, r) }
+
+// QBF returns the per-window zero-survival base Q = (1−1/w)^(C·H/G)
+// for a SHE-BF with group size w, G groups, window cardinality C and
+// H hash functions.
+func QBF(w int, G int, C float64, H int) float64 {
+	if w <= 1 {
+		return 0
+	}
+	return math.Pow(1-1/float64(w), C*float64(H)/float64(G))
+}
+
+// FPR returns §5.2's false-positive-rate model for SHE-BF at cleaning
+// ratio R = 1+α: FPR(R) = [1 − (Q^R − Q)/(ln(Q)·R)]^H.
+func FPR(R float64, Q float64, H int) float64 {
+	if Q <= 0 || Q >= 1 || R <= 0 {
+		return 1
+	}
+	inner := 1 - (math.Pow(Q, R)-Q)/(math.Log(Q)*R)
+	if inner < 0 {
+		inner = 0
+	}
+	if inner > 1 {
+		inner = 1
+	}
+	return math.Pow(inner, float64(H))
+}
+
+// OptimalR solves dg/dR = Q^R·(R·ln Q − 1) + Q = 0 (the stationary
+// point of §5.2's g(R), which minimizes the FPR model) by bisection.
+// dg/dR is monotonically increasing on R ≥ 0, negative at R = 0 and
+// positive for large R, so the root is unique.
+func OptimalR(Q float64) (float64, error) {
+	if Q <= 0 || Q >= 1 {
+		return 0, errors.New("analysis: Q must lie strictly between 0 and 1")
+	}
+	deriv := func(R float64) float64 {
+		return math.Pow(Q, R)*(R*math.Log(Q)-1) + Q
+	}
+	lo, hi := 0.0, 1.0
+	for deriv(hi) < 0 {
+		hi *= 2
+		if hi > 1e9 {
+			return 0, errors.New("analysis: optimal R did not converge")
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if deriv(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// OptimalAlpha returns Eq. 2's optimal cleaning slack α = R₀ − 1 for a
+// SHE-BF with the given geometry and workload. With the paper's
+// defaults (w = 64, H = 8, CAIDA-like load) this lands near 3.
+func OptimalAlpha(w int, G int, C float64, H int) (float64, error) {
+	R, err := OptimalR(QBF(w, G, C, H))
+	if err != nil {
+		return 0, err
+	}
+	return R - 1, nil
+}
+
+// BMErrorBound returns Eq. 3's bias bound for SHE-BM:
+// |E[Ĉ]−C|/C ≤ αN/(4C).
+func BMErrorBound(alpha float64, N uint64, C float64) float64 {
+	if C <= 0 {
+		return math.Inf(1)
+	}
+	return alpha * float64(N) / (4 * C)
+}
+
+// HLLErrorBound returns Eq. 4's leading-order bias bound for SHE-HLL:
+// |E[Ĉ]−C|/C ≤ (αN)/(4C)·(1 + O(αN/C)); the returned value includes
+// the first-order correction term.
+func HLLErrorBound(alpha float64, N uint64, C float64) float64 {
+	if C <= 0 {
+		return math.Inf(1)
+	}
+	eps := alpha * float64(N) / (4 * C)
+	return eps * (1 + alpha*float64(N)/C)
+}
+
+// MHErrorBound returns Eq. 5's bias bound for SHE-MH:
+// |E[Ŝ]−S| ≤ ε/4 + ε²/6 with ε = 2αN/S∪ (S∪ = union size of the two
+// windows' key sets).
+func MHErrorBound(alpha float64, N uint64, union float64) float64 {
+	if union <= 0 {
+		return math.Inf(1)
+	}
+	eps := 2 * alpha * float64(N) / union
+	return eps/4 + eps*eps/6
+}

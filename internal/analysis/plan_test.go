@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPlanBloomMeetsModelTarget(t *testing.T) {
+	for _, target := range []float64{1e-2, 1e-3, 1e-4} {
+		plan, err := PlanBloom(5000, target)
+		if err != nil {
+			t.Fatalf("target %v: %v", target, err)
+		}
+		if plan.ModelFPR > target {
+			t.Fatalf("target %v: plan predicts %v", target, plan.ModelFPR)
+		}
+		if plan.Bits <= 0 || plan.Hashes < 2 || plan.Alpha <= 0 {
+			t.Fatalf("degenerate plan %+v", plan)
+		}
+	}
+}
+
+func TestPlanBloomTighterTargetCostsMoreMemory(t *testing.T) {
+	loose, err := PlanBloom(5000, 1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := PlanBloom(5000, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Bits < loose.Bits {
+		t.Fatalf("tighter target used fewer bits: %d vs %d", tight.Bits, loose.Bits)
+	}
+}
+
+func TestPlanBloomRejectsBadInputs(t *testing.T) {
+	if _, err := PlanBloom(0, 0.01); err == nil {
+		t.Fatal("zero distinct accepted")
+	}
+	if _, err := PlanBloom(1000, 0); err == nil {
+		t.Fatal("zero target accepted")
+	}
+	if _, err := PlanBloom(1000, 1); err == nil {
+		t.Fatal("target 1 accepted")
+	}
+}
+
+func TestBMVariance(t *testing.T) {
+	v := BMVariance(0.5, 8192, 0.2)
+	// mℓ = (2−2/1.2)·8192 ≈ 2731; Var = 0.25/2731.
+	want := 0.25 / ((2 - 2/1.2) * 8192)
+	if math.Abs(v-want)/want > 1e-9 {
+		t.Fatalf("variance %v, want %v", v, want)
+	}
+	if !math.IsInf(BMVariance(0.5, 8192, 0), 1) {
+		t.Fatal("alpha=0 should blow up (no legal cells)")
+	}
+	// Smaller alpha → fewer legal cells → larger variance.
+	if BMVariance(0.3, 8192, 0.1) <= BMVariance(0.3, 8192, 0.4) {
+		t.Fatal("variance not decreasing in alpha")
+	}
+}
+
+func TestLegalFraction(t *testing.T) {
+	if got := LegalFraction(0.2); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("LegalFraction(0.2)=%v, want 1/3", got)
+	}
+	if got := LegalFraction(1); got != 1 {
+		t.Fatalf("LegalFraction(1)=%v, want capped 1", got)
+	}
+	if got := LegalFraction(5); got != 1 {
+		t.Fatalf("LegalFraction(5)=%v, want capped 1", got)
+	}
+}

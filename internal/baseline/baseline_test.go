@@ -1,0 +1,350 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"she/internal/exact"
+)
+
+func TestSWAMPNoFalseNegatives(t *testing.T) {
+	const N = 512
+	s, err := NewSWAMP(N, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := exact.NewWindow(N)
+	rng := rand.New(rand.NewSource(30))
+	for i := 0; i < 10*N; i++ {
+		k := uint64(rng.Intn(2000))
+		s.Insert(k)
+		win.Push(k)
+	}
+	win.Distinct(func(k uint64, _ uint64) {
+		if !s.IsMember(k) {
+			t.Fatalf("false negative for in-window key %d", k)
+		}
+	})
+}
+
+func TestSWAMPExactExpiry(t *testing.T) {
+	const N = 100
+	s, err := NewSWAMP(N, 24, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Insert(777)
+	for i := 0; i < N; i++ { // exactly N more items push it out
+		s.Insert(uint64(1000 + i))
+	}
+	if s.IsMember(777) {
+		t.Fatal("key still member after exactly N subsequent items (fingerprint collision odds ~2^-24·N)")
+	}
+}
+
+func TestSWAMPFrequencyMatchesWindow(t *testing.T) {
+	const N = 256
+	s, err := NewSWAMP(N, 24, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := exact.NewWindow(N)
+	for i := 0; i < 5*N; i++ {
+		k := uint64(i % 37)
+		s.Insert(k)
+		win.Push(k)
+	}
+	for k := uint64(0); k < 37; k++ {
+		if got, want := s.Frequency(k), win.Frequency(k); got != want {
+			t.Fatalf("frequency of %d = %d, want %d (24-bit fingerprints rarely collide)", k, got, want)
+		}
+	}
+}
+
+func TestSWAMPDistinctMLE(t *testing.T) {
+	const N = 4096
+	s, err := NewSWAMP(N, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	win := exact.NewWindow(N)
+	for i := 0; i < 4*N; i++ {
+		k := uint64(rng.Intn(1500))
+		s.Insert(k)
+		win.Push(k)
+	}
+	truth := float64(win.Cardinality())
+	est := s.DistinctMLE()
+	if math.Abs(est-truth)/truth > 0.1 {
+		t.Fatalf("DistinctMLE %.0f vs truth %.0f", est, truth)
+	}
+}
+
+func TestSWAMPBudgetSizing(t *testing.T) {
+	s, err := NewSWAMPForBudget(1000, 1000*40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MemoryBits() > 1000*40 {
+		t.Fatalf("budgeted SWAMP uses %d bits, budget 40000", s.MemoryBits())
+	}
+	if _, err := NewSWAMPForBudget(1000, 1000, 1); err == nil {
+		t.Fatal("impossible budget accepted")
+	}
+}
+
+func TestTSVCardinality(t *testing.T) {
+	const N = 2048
+	v, err := NewTSV(1<<14, N, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := exact.NewWindow(N)
+	rng := rand.New(rand.NewSource(32))
+	for i := 0; i < 5*N; i++ {
+		k := uint64(rng.Intn(1000))
+		v.Insert(k)
+		win.Push(k)
+	}
+	truth := float64(win.Cardinality())
+	est := v.EstimateCardinality()
+	if math.Abs(est-truth)/truth > 0.1 {
+		t.Fatalf("TSV estimate %.0f vs truth %.0f", est, truth)
+	}
+}
+
+func TestTSVExpires(t *testing.T) {
+	const N = 100
+	v, err := NewTSV(4096, N, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 500; k++ {
+		v.Insert(k)
+	}
+	// A full window of a single repeated key: all others must expire.
+	for i := 0; i < int(N); i++ {
+		v.Insert(1)
+	}
+	if est := v.EstimateCardinality(); est > 5 {
+		t.Fatalf("TSV stale estimate %.1f, want ≈1", est)
+	}
+}
+
+func TestTSVBudget(t *testing.T) {
+	if _, err := NewTSVForBudget(32, 100, 1); err == nil {
+		t.Fatal("sub-slot budget accepted")
+	}
+	v, err := NewTSVForBudget(64*100, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.MemoryBits() != 6400 {
+		t.Fatalf("budgeted TSV MemoryBits=%d", v.MemoryBits())
+	}
+}
+
+func TestCVSCardinalityRough(t *testing.T) {
+	const N = 4096
+	c, err := NewCVS(1<<14, 10, N, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := exact.NewWindow(N)
+	rng := rand.New(rand.NewSource(33))
+	for i := 0; i < 6*N; i++ {
+		k := uint64(rng.Intn(1200))
+		c.Insert(k)
+		win.Push(k)
+	}
+	truth := float64(win.Cardinality())
+	est := c.EstimateCardinality()
+	// CVS's random decay makes it noisy; the paper shows it trailing.
+	if math.Abs(est-truth)/truth > 0.5 {
+		t.Fatalf("CVS estimate %.0f vs truth %.0f (beyond even its generous tolerance)", est, truth)
+	}
+}
+
+func TestCVSDecaysToEmpty(t *testing.T) {
+	const N = 256
+	c, err := NewCVS(4096, 10, N, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 2000; k++ {
+		c.Insert(k)
+	}
+	// Several windows of a single key: everything else must decay.
+	for i := 0; i < 10*N; i++ {
+		c.Insert(42)
+	}
+	if est := c.EstimateCardinality(); est > 100 {
+		t.Fatalf("CVS failed to decay: estimate %.0f", est)
+	}
+}
+
+func TestCVSRejectsBadParams(t *testing.T) {
+	if _, err := NewCVS(0, 10, 100, 1); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	if _, err := NewCVS(10, 0, 100, 1); err == nil {
+		t.Fatal("cmax=0 accepted")
+	}
+	if _, err := NewCVS(10, 16, 100, 1); err == nil {
+		t.Fatal("cmax>15 accepted")
+	}
+	if _, err := NewCVS(10, 10, 0, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestTOBFMembershipExact(t *testing.T) {
+	const N = 512
+	f, err := NewTOBF(1<<13, 8, N, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := exact.NewWindow(N)
+	rng := rand.New(rand.NewSource(34))
+	for i := 0; i < 8*N; i++ {
+		k := uint64(rng.Intn(1000))
+		f.Insert(k)
+		win.Push(k)
+	}
+	win.Distinct(func(k uint64, _ uint64) {
+		if !f.Query(k) {
+			t.Fatalf("TOBF false negative for in-window key %d", k)
+		}
+	})
+}
+
+func TestTOBFExpires(t *testing.T) {
+	const N = 128
+	f, err := NewTOBF(1<<13, 8, N, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Insert(99)
+	for i := 0; i < int(N); i++ {
+		f.Insert(uint64(10_000 + i))
+	}
+	if f.Query(99) {
+		t.Fatal("TOBF failed to expire a key after N items")
+	}
+}
+
+func TestTBFMembership(t *testing.T) {
+	const N = 512
+	f, err := NewTBF(1<<13, 8, 18, N, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := exact.NewWindow(N)
+	rng := rand.New(rand.NewSource(35))
+	for i := 0; i < 8*N; i++ {
+		k := uint64(rng.Intn(1000))
+		f.Insert(k)
+		win.Push(k)
+	}
+	win.Distinct(func(k uint64, _ uint64) {
+		if !f.Query(k) {
+			t.Fatalf("TBF false negative for in-window key %d", k)
+		}
+	})
+}
+
+func TestTBFExpiresAndWraps(t *testing.T) {
+	const N = 100
+	f, err := NewTBF(4096, 4, 9, N, 12) // 9-bit counters: span 511 ≥ 2N
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Insert(7)
+	// Run far past a counter wraparound (several spans).
+	for i := 0; i < 5000; i++ {
+		f.Insert(uint64(100_000 + i%50))
+	}
+	if f.Query(7) {
+		t.Fatal("TBF reports an item from 5000 ticks ago inside a 100-item window")
+	}
+}
+
+func TestTBFRejectsTooSmallCounters(t *testing.T) {
+	if _, err := NewTBF(1024, 4, 5, 100, 1); err == nil {
+		t.Fatal("5-bit counters (span 31) accepted for window 100")
+	}
+}
+
+func TestSHLLCardinality(t *testing.T) {
+	const N = 1 << 14
+	s, err := NewSHLL(1024, N, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := exact.NewWindow(N)
+	rng := rand.New(rand.NewSource(36))
+	for i := 0; i < 4*N; i++ {
+		k := rng.Uint64() % 9000
+		s.Insert(k)
+		win.Push(k)
+	}
+	truth := float64(win.Cardinality())
+	est := s.EstimateCardinality()
+	if math.Abs(est-truth)/truth > 0.15 {
+		t.Fatalf("SHLL estimate %.0f vs truth %.0f", est, truth)
+	}
+}
+
+func TestSHLLExactExpiry(t *testing.T) {
+	const N = 1000
+	s, err := NewSHLL(256, N, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 50_000; k++ {
+		s.Insert(k)
+	}
+	// One window of few keys: SHLL's queues expire exactly.
+	for i := 0; i < int(N); i++ {
+		s.Insert(uint64(i % 20))
+	}
+	if est := s.EstimateCardinalityAt(s.tick); est > 60 {
+		t.Fatalf("SHLL stale estimate %.1f, want ≈20", est)
+	}
+}
+
+func TestSHLLQueuesAreMonotone(t *testing.T) {
+	s, err := NewSHLL(64, 1000, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(37))
+	for i := 0; i < 50_000; i++ {
+		s.Insert(rng.Uint64())
+	}
+	for i, q := range s.regs {
+		for j := 1; j < len(q); j++ {
+			if q[j].rank >= q[j-1].rank {
+				t.Fatalf("register %d queue not strictly decreasing in rank at %d", i, j)
+			}
+			if q[j].t <= q[j-1].t {
+				t.Fatalf("register %d queue not increasing in time at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestSHLLMemoryGrowsWithQueues(t *testing.T) {
+	s, _ := NewSHLL(64, 1_000_000, 16)
+	if s.MemoryBits() != 0 {
+		t.Fatal("fresh SHLL reports nonzero memory")
+	}
+	for k := uint64(0); k < 10_000; k++ {
+		s.Insert(k)
+	}
+	if s.MemoryBits() == 0 || s.MaxQueue() == 0 {
+		t.Fatal("SHLL memory accounting broken")
+	}
+}

@@ -1,0 +1,95 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"she/internal/bitpack"
+	"she/internal/hashing"
+)
+
+// CVS is the Counter Vector Sketch of Shan et al.: an array of m small
+// saturating counters (max value c, 4 bits at the paper's c = 10).
+// Each arriving item sets its hashed counter to c and then randomly
+// decrements counters so that, in expectation, information decays out
+// of the vector after one window. Cardinality is linear counting over
+// non-zero counters. The random decay is the error source the SHE
+// paper points at.
+type CVS struct {
+	counters *bitpack.Packed
+	cmax     uint64
+	n        uint64
+	seed     uint64
+	rng      uint64
+	acc      float64 // fractional decrements owed
+	rate     float64 // decrements per insertion
+	tick     uint64
+}
+
+// NewCVS returns a counter vector sketch with m counters of maximum
+// value cmax for window size n.
+func NewCVS(m int, cmax uint64, n uint64, seed uint64) (*CVS, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("baseline: cvs needs a positive counter count, got %d", m)
+	}
+	if cmax == 0 || cmax > 15 {
+		return nil, fmt.Errorf("baseline: cvs counter max must be in [1, 15], got %d", cmax)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("baseline: cvs window must be positive")
+	}
+	return &CVS{
+		counters: bitpack.NewPacked(m, 4),
+		cmax:     cmax,
+		n:        n,
+		seed:     seed,
+		rng:      hashing.Mix64(seed ^ 0xc5c5),
+		// A full counter must decay from cmax to 0 in about one window:
+		// total decrement mass per window = m·cmax spread over n items.
+		rate: float64(m) * float64(cmax) / float64(n),
+	}, nil
+}
+
+// NewCVSForBudget sizes the vector to approximately memoryBits (4 bits
+// per counter), with the paper's cmax = 10.
+func NewCVSForBudget(memoryBits int, n uint64, seed uint64) (*CVS, error) {
+	m := memoryBits / 4
+	if m < 1 {
+		return nil, fmt.Errorf("baseline: %d bits cannot hold a CVS", memoryBits)
+	}
+	return NewCVS(m, 10, n, seed)
+}
+
+// Insert records key: the hashed counter jumps to cmax, then the decay
+// step decrements rate randomly chosen counters by one.
+func (c *CVS) Insert(key uint64) {
+	c.tick++
+	c.counters.Set(hashing.ReduceRange(hashing.U64(key, c.seed), c.counters.Len()), c.cmax)
+	c.acc += c.rate
+	for c.acc >= 1 {
+		c.acc--
+		j := hashing.ReduceRange(hashing.SplitMix64(&c.rng), c.counters.Len())
+		if v := c.counters.Get(j); v > 0 {
+			c.counters.Set(j, v-1)
+		}
+	}
+}
+
+// EstimateCardinality is linear counting over the non-zero counters.
+func (c *CVS) EstimateCardinality() float64 {
+	m := c.counters.Len()
+	zero := 0
+	for i := 0; i < m; i++ {
+		if c.counters.Get(i) == 0 {
+			zero++
+		}
+	}
+	u := float64(zero)
+	if zero == 0 {
+		u = 1
+	}
+	return -float64(m) * math.Log(u/float64(m))
+}
+
+// MemoryBits returns the memory footprint (4 bits per counter).
+func (c *CVS) MemoryBits() int { return c.counters.MemoryBits() }

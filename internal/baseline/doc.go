@@ -1,0 +1,27 @@
+// Package baseline implements every competitor the SHE paper evaluates
+// against, re-created from its description and its original paper:
+//
+//   - SWAMP (Assaf et al., INFOCOM'18) — generic: cyclic fingerprint
+//     queue + counting fingerprint table; membership, cardinality
+//     (DISTINCT-MLE) and frequency.
+//   - TSV (Kim & O'Hallaron, GLOBECOM'03) — timestamp vector for
+//     cardinality.
+//   - CVS (Shan et al., Neurocomputing'16) — counter vector sketch with
+//     randomized decay for cardinality.
+//   - TOBF (Kong et al., ICOIN'06) — time-out Bloom filter storing
+//     timestamps for membership.
+//   - TBF (Zhang & Guan, ICDCS'08) — timing Bloom filter with
+//     wraparound time counters and incremental scan cleaning.
+//   - SHLL (Chabchoub & Hébrail, ICDMW'10) — sliding HyperLogLog with
+//     per-register monotone queues of possible future maxima.
+//   - ECM (Papapetrou et al., VLDB'12) — Count-Min whose counters are
+//     Datar-style exponential histograms.
+//   - StrawMinHash — the paper's straw-man: MinHash plus one 64-bit
+//     timestamp per signature slot.
+//   - Ideal — the paper's "ideal goal": a fixed-window sketch rebuilt
+//     from the exact window contents at query time.
+//
+// All of them run on the same uint64 keys and logical ticks as the SHE
+// structures so accuracy and throughput comparisons are
+// apples-to-apples.
+package baseline

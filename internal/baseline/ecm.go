@@ -1,0 +1,93 @@
+package baseline
+
+import (
+	"fmt"
+
+	"she/internal/hashing"
+)
+
+// ECM is the ECM-sketch of Papapetrou et al.: a Count-Min sketch whose
+// counters are exponential histograms, giving sliding-window frequency
+// estimates. We use the paper's flat layout (n counters, k hash
+// functions, minimum over hashed counters) to match how SHE-CM is laid
+// out, and the SHE paper's setting of 4 hash functions.
+//
+// Memory is dominated by the histogram buckets: each bucket holds a
+// 64-bit timestamp and a size exponent, charged at 72 bits. The
+// footprint grows with the traffic routed to each counter, so
+// MemoryBits reports the live footprint.
+type ECM struct {
+	hists []*ExpoHist
+	fam   *hashing.Family
+	tick  uint64
+}
+
+// NewECM returns an ECM-sketch with n histogram counters, k hash
+// functions, window size win and per-histogram merge threshold kEH.
+func NewECM(n, k int, win uint64, kEH int, seed uint64) (*ECM, error) {
+	if n <= 0 || k <= 0 {
+		return nil, fmt.Errorf("baseline: invalid ecm geometry n=%d k=%d", n, k)
+	}
+	e := &ECM{hists: make([]*ExpoHist, n), fam: hashing.NewFamily(k, seed)}
+	for i := range e.hists {
+		e.hists[i] = NewExpoHist(win, kEH)
+	}
+	return e, nil
+}
+
+// NewECMForBudget sizes the sketch so its steady-state footprint is
+// approximately memoryBits on a stream filling the window: each
+// histogram on a loaded counter reaches ≈ (kEH+1)·log2(win/n·…)
+// buckets; we budget 16 buckets per counter at kEH = 1, the observed
+// steady state for the paper's workloads.
+func NewECMForBudget(memoryBits, k int, win uint64, seed uint64) (*ECM, error) {
+	const bucketBits = 72
+	const budgetBucketsPerCounter = 16
+	n := memoryBits / (bucketBits * budgetBucketsPerCounter)
+	if n < k {
+		return nil, fmt.Errorf("baseline: %d bits cannot hold an ECM with k=%d", memoryBits, k)
+	}
+	return NewECM(n, k, win, 1, seed)
+}
+
+// Insert adds one occurrence of key at the next count-based tick.
+func (e *ECM) Insert(key uint64) {
+	e.tick++
+	e.InsertAt(key, e.tick)
+}
+
+// InsertAt adds one occurrence of key at explicit time t.
+func (e *ECM) InsertAt(key uint64, t uint64) {
+	n := len(e.hists)
+	for i := 0; i < e.fam.K(); i++ {
+		e.hists[e.fam.Index(i, key, n)].Add(t)
+	}
+}
+
+// EstimateFrequency estimates key's window frequency at the current
+// tick.
+func (e *ECM) EstimateFrequency(key uint64) uint64 {
+	return e.EstimateFrequencyAt(key, e.tick)
+}
+
+// EstimateFrequencyAt returns the minimum histogram count over key's
+// hashed counters at time t.
+func (e *ECM) EstimateFrequencyAt(key uint64, t uint64) uint64 {
+	n := len(e.hists)
+	min := ^uint64(0)
+	for i := 0; i < e.fam.K(); i++ {
+		if v := e.hists[e.fam.Index(i, key, n)].Count(t); v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// MemoryBits returns the live footprint (72 bits per histogram bucket).
+func (e *ECM) MemoryBits() int {
+	buckets := 0
+	for _, h := range e.hists {
+		buckets += h.Buckets()
+	}
+	return buckets * 72
+}

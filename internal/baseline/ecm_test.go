@@ -1,0 +1,221 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"she/internal/exact"
+	"she/internal/metrics"
+)
+
+func TestExpoHistExactOnSmallCounts(t *testing.T) {
+	h := NewExpoHist(100, 4)
+	for i := uint64(1); i <= 5; i++ {
+		h.Add(i)
+	}
+	if got := h.Count(5); got != 5 {
+		t.Fatalf("count=%d, want exactly 5 (no merges yet)", got)
+	}
+}
+
+func TestExpoHistWindowExpiry(t *testing.T) {
+	h := NewExpoHist(10, 2)
+	for i := uint64(1); i <= 100; i++ {
+		h.Add(i)
+	}
+	got := h.Count(100)
+	// Exactly 10 events are in (90, 100]; EH error is bounded by half
+	// the oldest bucket.
+	if got < 5 || got > 16 {
+		t.Fatalf("count=%d, want within EH error of 10", got)
+	}
+	// Far in the future everything is expired.
+	if got := h.Count(10_000); got != 0 {
+		t.Fatalf("count=%d long after expiry, want 0", got)
+	}
+}
+
+func TestExpoHistRelativeErrorBound(t *testing.T) {
+	// Datar et al.: with threshold k, relative error ≤ 1/(2k)·(1+o(1)).
+	// Check the empirical error stays within 1/k for a long stream.
+	const win = 1000
+	const k = 4
+	h := NewExpoHist(win, k)
+	for i := uint64(1); i <= 50_000; i++ {
+		h.Add(i)
+		if i > win && i%997 == 0 {
+			got := float64(h.Count(i))
+			if math.Abs(got-win)/win > 1.0/k {
+				t.Fatalf("tick %d: count %.0f deviates more than 1/k from %d", i, got, win)
+			}
+		}
+	}
+}
+
+func TestExpoHistBucketCountLogarithmic(t *testing.T) {
+	h := NewExpoHist(1<<20, 2)
+	for i := uint64(1); i <= 1<<17; i++ {
+		h.Add(i)
+	}
+	// k+1 buckets per size, ~log2(2^17) sizes → ≈ 3·17+slack.
+	if b := h.Buckets(); b > 80 {
+		t.Fatalf("bucket count %d not logarithmic", b)
+	}
+}
+
+func TestExpoHistPanicsOnBadParams(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewExpoHist(0, 2) },
+		func() { NewExpoHist(10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestECMFrequencyTracking(t *testing.T) {
+	const N = 2048
+	e, err := NewECM(2048, 4, N, 2, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := exact.NewWindow(N)
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 8*N; i++ {
+		k := uint64(rng.Intn(100))
+		e.Insert(k)
+		win.Push(k)
+	}
+	var are metrics.AREAccumulator
+	win.Distinct(func(k uint64, truth uint64) {
+		are.Add(float64(truth), float64(e.EstimateFrequency(k)))
+	})
+	if are.Value() > 0.5 {
+		t.Fatalf("ECM ARE %.3f too high with ample counters", are.Value())
+	}
+}
+
+func TestECMExpires(t *testing.T) {
+	const N = 512
+	e, err := NewECM(1024, 4, N, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		e.Insert(5)
+	}
+	for i := 0; i < 4*int(N); i++ {
+		e.Insert(uint64(1000 + i%50))
+	}
+	if got := e.EstimateFrequency(5); got > 60 {
+		t.Fatalf("ECM stale frequency %d for an expired key", got)
+	}
+}
+
+func TestECMRejectsBadParams(t *testing.T) {
+	if _, err := NewECM(0, 4, 100, 2, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := NewECM(10, 0, 100, 2, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestECMMemoryAccounting(t *testing.T) {
+	e, err := NewECM(64, 4, 1000, 2, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.MemoryBits() != 0 {
+		t.Fatal("fresh ECM reports nonzero memory")
+	}
+	for i := 0; i < 10_000; i++ {
+		e.Insert(uint64(i % 30))
+	}
+	if e.MemoryBits() == 0 {
+		t.Fatal("loaded ECM reports zero memory")
+	}
+}
+
+func TestStrawMinHashSimilarity(t *testing.T) {
+	const N = 2048
+	s, err := NewStrawMinHash(256, N, 44)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4*N; i++ {
+		k := uint64(i % 400)
+		s.InsertA(k)
+		s.InsertB(k)
+	}
+	if sim := s.Similarity(); sim < 0.75 {
+		t.Fatalf("identical streams straw similarity %.3f (it is a straw man, but not this bad)", sim)
+	}
+}
+
+func TestStrawMinHashDisjoint(t *testing.T) {
+	const N = 2048
+	s, err := NewStrawMinHash(256, N, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4*N; i++ {
+		s.InsertA(uint64(i % 400))
+		s.InsertB(uint64(1_000_000 + i%400))
+	}
+	if sim := s.Similarity(); sim > 0.1 {
+		t.Fatalf("disjoint straw similarity %.3f", sim)
+	}
+}
+
+func TestStrawMinHashRejectsBadParams(t *testing.T) {
+	if _, err := NewStrawMinHash(0, 100, 1); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	if _, err := NewStrawMinHash(10, 0, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestIdealBaselinesMatchFixedWindowSketches(t *testing.T) {
+	const N = 1024
+	win := exact.NewWindow(N)
+	rng := rand.New(rand.NewSource(46))
+	for i := 0; i < 3*N; i++ {
+		win.Push(uint64(rng.Intn(600)))
+	}
+
+	bf := IdealBloom(win, 1<<14, 8, 9)
+	win.Distinct(func(k uint64, _ uint64) {
+		if !bf.MightContain(k) {
+			t.Fatalf("ideal bloom misses in-window key %d", k)
+		}
+	})
+
+	truth := float64(win.Cardinality())
+	if est := IdealBitmap(win, 1<<14, 9).EstimateCardinality(); math.Abs(est-truth)/truth > 0.1 {
+		t.Fatalf("ideal bitmap %.0f vs truth %.0f", est, truth)
+	}
+	if est := IdealHLL(win, 1024, 9).EstimateCardinality(); math.Abs(est-truth)/truth > 0.15 {
+		t.Fatalf("ideal hll %.0f vs truth %.0f", est, truth)
+	}
+
+	cm := IdealCountMin(win, 1<<14, 8, 9)
+	win.Distinct(func(k uint64, c uint64) {
+		if got := cm.EstimateFrequency(k); got < c {
+			t.Fatalf("ideal count-min underestimates %d: %d < %d", k, got, c)
+		}
+	})
+
+	// Identical windows → similarity 1.
+	if sim := IdealMinHash(win, win, 128, 9); sim != 1 {
+		t.Fatalf("ideal minhash self-similarity %.3f", sim)
+	}
+}

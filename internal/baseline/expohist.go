@@ -1,0 +1,88 @@
+package baseline
+
+// ExpoHist is an exponential histogram (Datar, Gionis, Indyk, Motwani,
+// SODA'02): an approximate count of how many events fell inside a
+// sliding window, using O(k·log n) buckets of exponentially growing
+// sizes. With merge threshold k the estimate's relative error is at
+// most 1/(2k) … 1/k depending on the oldest bucket's overlap. ECM uses
+// one ExpoHist per Count-Min counter.
+type ExpoHist struct {
+	// buckets are kept oldest-first; sizes are powers of two and
+	// non-increasing toward the tail.
+	buckets []ehBucket
+	n       uint64
+	k       int
+	total   uint64 // sum of bucket sizes (including the oldest)
+}
+
+type ehBucket struct {
+	t    uint64 // timestamp of the most recent event in the bucket
+	size uint64
+}
+
+// NewExpoHist returns an exponential histogram for window size n with
+// merge threshold k (k+1 buckets of each size allowed; larger k = more
+// memory, less error).
+func NewExpoHist(n uint64, k int) *ExpoHist {
+	if n == 0 {
+		panic("baseline: expohist window must be positive")
+	}
+	if k < 1 {
+		panic("baseline: expohist k must be at least 1")
+	}
+	return &ExpoHist{n: n, k: k}
+}
+
+// Add records one event at time t (t must be non-decreasing).
+func (h *ExpoHist) Add(t uint64) {
+	h.expire(t)
+	h.buckets = append(h.buckets, ehBucket{t: t, size: 1})
+	h.total++
+	// Cascade merges: whenever more than k+1 buckets share a size,
+	// merge the two oldest of that size into one of double size.
+	size := uint64(1)
+	for {
+		count, firstIdx := 0, -1
+		for i := len(h.buckets) - 1; i >= 0; i-- {
+			if h.buckets[i].size == size {
+				count++
+				firstIdx = i
+			} else if h.buckets[i].size > size {
+				break
+			}
+		}
+		if count <= h.k+1 {
+			break
+		}
+		// Merge the two oldest buckets of this size (indices firstIdx
+		// and firstIdx+1); keep the newer timestamp.
+		h.buckets[firstIdx+1].size = 2 * size
+		h.buckets = append(h.buckets[:firstIdx], h.buckets[firstIdx+1:]...)
+		size *= 2
+	}
+}
+
+// expire drops buckets whose newest event left the window at time t.
+func (h *ExpoHist) expire(t uint64) {
+	i := 0
+	for i < len(h.buckets) && h.buckets[i].t+h.n <= t {
+		h.total -= h.buckets[i].size
+		i++
+	}
+	if i > 0 {
+		h.buckets = h.buckets[i:]
+	}
+}
+
+// Count estimates the number of events in the window ending at t: all
+// complete buckets plus half of the oldest (straddling) bucket.
+func (h *ExpoHist) Count(t uint64) uint64 {
+	h.expire(t)
+	if len(h.buckets) == 0 {
+		return 0
+	}
+	return h.total - h.buckets[0].size + (h.buckets[0].size+1)/2
+}
+
+// Buckets returns the current bucket count (memory proxy).
+func (h *ExpoHist) Buckets() int { return len(h.buckets) }

@@ -1,0 +1,56 @@
+package baseline
+
+import (
+	"she/internal/exact"
+	"she/internal/sketch"
+)
+
+// The Ideal baseline is the paper's "ideal goal": the accuracy a fixed
+// window algorithm reaches when the sliding window is treated as a
+// fixed window — i.e., a fresh sketch fed exactly the window's items.
+// The helpers below rebuild each sketch from an exact.Window snapshot;
+// experiment drivers call them once per measurement epoch.
+
+// IdealBloom builds a Bloom filter with m bits and k hashes holding
+// exactly the distinct keys of w.
+func IdealBloom(w *exact.Window, m, k int, seed uint64) *sketch.BloomFilter {
+	bf := sketch.NewBloomFilter(m, k, seed)
+	w.Distinct(func(key uint64, _ uint64) { bf.Insert(key) })
+	return bf
+}
+
+// IdealBitmap builds a bitmap counter over exactly the window's keys.
+func IdealBitmap(w *exact.Window, m int, seed uint64) *sketch.Bitmap {
+	bm := sketch.NewBitmap(m, seed)
+	w.Distinct(func(key uint64, _ uint64) { bm.Insert(key) })
+	return bm
+}
+
+// IdealHLL builds a HyperLogLog over exactly the window's keys.
+func IdealHLL(w *exact.Window, m int, seed uint64) *sketch.HLL {
+	h := sketch.NewHLL(m, seed)
+	w.Distinct(func(key uint64, _ uint64) { h.Insert(key) })
+	return h
+}
+
+// IdealCountMin builds a Count-Min sketch over exactly the window's
+// multiset.
+func IdealCountMin(w *exact.Window, n, k int, seed uint64) *sketch.CountMin {
+	cm := sketch.NewCountMin(n, k, seed)
+	w.Distinct(func(key uint64, count uint64) {
+		for i := uint64(0); i < count; i++ {
+			cm.Insert(key)
+		}
+	})
+	return cm
+}
+
+// IdealMinHash builds MinHash signatures over exactly the two windows'
+// key sets and returns their similarity estimate.
+func IdealMinHash(wa, wb *exact.Window, m int, seed uint64) float64 {
+	a := sketch.NewMinHash(m, seed)
+	b := sketch.NewMinHash(m, seed)
+	wa.Distinct(func(key uint64, _ uint64) { a.Insert(key) })
+	wb.Distinct(func(key uint64, _ uint64) { b.Insert(key) })
+	return a.Similarity(b)
+}

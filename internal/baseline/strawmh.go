@@ -1,0 +1,93 @@
+package baseline
+
+import (
+	"fmt"
+
+	"she/internal/hashing"
+)
+
+// StrawMinHash is the straw-man sliding MinHash the paper compares
+// SHE-MH against: plain MinHash with one 64-bit timestamp attached to
+// every signature slot. A slot whose timestamp leaves the window is
+// treated as empty and the next insertion overwrites it. The flaw is
+// structural: once the minimum expires the true second-minimum is
+// unrecoverable, so the slot restarts from whatever arrives next —
+// and the timestamps triple the memory per slot.
+type StrawMinHash struct {
+	sig1, sig2 []uint32
+	ts1, ts2   []uint64 // time + 1; 0 = empty
+	n          uint64
+	fam        *hashing.Family
+	tick       uint64
+}
+
+const strawEmpty = ^uint32(0)
+
+// NewStrawMinHash returns a straw-man pair with m signature slots per
+// stream for window size n.
+func NewStrawMinHash(m int, n uint64, seed uint64) (*StrawMinHash, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("baseline: straw minhash needs a positive size, got %d", m)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("baseline: straw minhash window must be positive")
+	}
+	s := &StrawMinHash{
+		sig1: make([]uint32, m), sig2: make([]uint32, m),
+		ts1: make([]uint64, m), ts2: make([]uint64, m),
+		n: n, fam: hashing.NewFamily(m, seed),
+	}
+	for i := 0; i < m; i++ {
+		s.sig1[i], s.sig2[i] = strawEmpty, strawEmpty
+	}
+	return s, nil
+}
+
+// InsertA records key on stream A at the next shared tick.
+func (s *StrawMinHash) InsertA(key uint64) {
+	s.tick++
+	s.insertAt(s.sig1, s.ts1, key, s.tick)
+}
+
+// InsertB records key on stream B at the next shared tick.
+func (s *StrawMinHash) InsertB(key uint64) {
+	s.tick++
+	s.insertAt(s.sig2, s.ts2, key, s.tick)
+}
+
+func (s *StrawMinHash) insertAt(sig []uint32, ts []uint64, key uint64, t uint64) {
+	for i := range sig {
+		h := uint32(s.fam.Hash(i, key)) & (1<<24 - 1)
+		expired := ts[i] == 0 || ts[i]+s.n <= t+1
+		if expired || h < sig[i] {
+			sig[i] = h
+			ts[i] = t + 1
+		}
+	}
+}
+
+// Similarity estimates the Jaccard index of the two windows at the
+// current shared tick: the fraction of agreeing, non-expired slots.
+func (s *StrawMinHash) Similarity() float64 {
+	t := s.tick
+	k, eq := 0, 0
+	for i := range s.sig1 {
+		live1 := s.ts1[i] != 0 && s.ts1[i]+s.n > t+1
+		live2 := s.ts2[i] != 0 && s.ts2[i]+s.n > t+1
+		if !live1 && !live2 {
+			continue
+		}
+		k++
+		if live1 && live2 && s.sig1[i] == s.sig2[i] {
+			eq++
+		}
+	}
+	if k == 0 {
+		return 0
+	}
+	return float64(eq) / float64(k)
+}
+
+// MemoryBits returns the footprint: per slot a 24-bit signature and a
+// 64-bit timestamp, for both streams.
+func (s *StrawMinHash) MemoryBits() int { return len(s.sig1) * (24 + 64) * 2 }

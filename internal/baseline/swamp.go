@@ -1,0 +1,122 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"she/internal/hashing"
+)
+
+// SWAMP is the Sliding Window Approximate Measurement Protocol of
+// Assaf et al.: a cyclic queue of the fingerprints of the last N items
+// plus a table counting how many times each fingerprint currently
+// appears in the queue. One structure answers membership (IsMember),
+// cardinality (DistinctMLE) and frequency queries.
+//
+// Memory model: the queue stores N fingerprints of f bits; the
+// counting table (TinyTable in the original) stores each distinct
+// fingerprint once with a small counter, which we charge at f+4 bits
+// per queue slot — the ~1.2–1.5× overhead the TinyTable paper reports
+// rounds up to one extra fingerprint-plus-counter per item. Total:
+// N·(2f+4) bits. NewSWAMPForBudget inverts this to pick the largest
+// fingerprint that fits a byte budget, mirroring how the paper's
+// memory axes are swept.
+type SWAMP struct {
+	queue  []uint32
+	counts map[uint32]uint32
+	head   int
+	size   int
+	fpBits uint
+	fpMask uint32
+	seed   uint64
+}
+
+// NewSWAMP returns a SWAMP instance for window size n with fpBits-bit
+// fingerprints.
+func NewSWAMP(n int, fpBits uint, seed uint64) (*SWAMP, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("baseline: swamp window must be positive, got %d", n)
+	}
+	if fpBits == 0 || fpBits > 32 {
+		return nil, fmt.Errorf("baseline: swamp fingerprint bits must be in [1, 32], got %d", fpBits)
+	}
+	return &SWAMP{
+		queue:  make([]uint32, n),
+		counts: make(map[uint32]uint32),
+		fpBits: fpBits,
+		fpMask: uint32(1<<fpBits - 1),
+		seed:   seed,
+	}, nil
+}
+
+// NewSWAMPForBudget returns a SWAMP for window n sized to approximately
+// memoryBits of total memory, or an error if even 1-bit fingerprints do
+// not fit.
+func NewSWAMPForBudget(n int, memoryBits int, seed uint64) (*SWAMP, error) {
+	f := (memoryBits/n - 4) / 2
+	if f < 1 {
+		return nil, fmt.Errorf("baseline: %d bits cannot hold a SWAMP for window %d", memoryBits, n)
+	}
+	if f > 32 {
+		f = 32
+	}
+	return NewSWAMP(n, uint(f), seed)
+}
+
+func (s *SWAMP) fingerprint(key uint64) uint32 {
+	return uint32(hashing.U64(key, s.seed)) & s.fpMask
+}
+
+// Insert records key, expiring the item that leaves the window.
+func (s *SWAMP) Insert(key uint64) {
+	fp := s.fingerprint(key)
+	if s.size == len(s.queue) {
+		old := s.queue[s.head]
+		if c := s.counts[old]; c <= 1 {
+			delete(s.counts, old)
+		} else {
+			s.counts[old] = c - 1
+		}
+	} else {
+		s.size++
+	}
+	s.queue[s.head] = fp
+	s.counts[fp]++
+	s.head++
+	if s.head == len(s.queue) {
+		s.head = 0
+	}
+}
+
+// IsMember reports whether key's fingerprint occurs in the window.
+func (s *SWAMP) IsMember(key uint64) bool {
+	_, ok := s.counts[s.fingerprint(key)]
+	return ok
+}
+
+// Frequency returns the number of window items sharing key's
+// fingerprint (an overestimate of key's own frequency under fingerprint
+// collisions).
+func (s *SWAMP) Frequency(key uint64) uint64 {
+	return uint64(s.counts[s.fingerprint(key)])
+}
+
+// DistinctMLE returns SWAMP's maximum-likelihood cardinality estimate:
+// inverting the expected number of distinct fingerprints
+// E[d] = L·(1−(1−1/L)^D) over the fingerprint space L = 2^f.
+func (s *SWAMP) DistinctMLE() float64 {
+	d := float64(len(s.counts))
+	L := math.Pow(2, float64(s.fpBits))
+	if d >= L {
+		d = L - 1 // fingerprint space saturated: report the MLE's ceiling
+	}
+	if d == 0 {
+		return 0
+	}
+	return math.Log(1-d/L) / math.Log(1-1/L)
+}
+
+// MemoryBits returns the modeled memory footprint.
+func (s *SWAMP) MemoryBits() int {
+	return len(s.queue) * (2*int(s.fpBits) + 4)
+}

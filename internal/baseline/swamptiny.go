@@ -1,0 +1,144 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"she/internal/bitpack"
+	"she/internal/hashing"
+)
+
+// SWAMPTiny is SWAMP backed by an actual TinyTable rather than a Go
+// map: the cyclic fingerprint queue of the last W items plus the
+// counting fingerprint table, with every component bit-packed so
+// MemoryBits is the real footprint. This is the variant the Fig. 9
+// experiments plot (the map-backed SWAMP above remains as an
+// idealized/debug reference — it can only flatter SWAMP).
+type SWAMPTiny struct {
+	queue *bitpack.Packed
+	table *TinyTable
+
+	head, size int
+	fpBits     uint
+	fpMask     uint64
+	seed       uint64
+}
+
+// swampSlotsPerBucket and swampLoad shape the TinyTable: 4-slot buckets
+// filled to ~75%, the operating point the TinyTable paper recommends.
+const (
+	swampSlotsPerBucket = 4
+	swampLoad           = 0.75
+	swampCounterBits    = 8
+)
+
+// NewSWAMPTiny builds a SWAMP for window w with fpBits-bit
+// fingerprints (bucket-index bits + stored remainder bits).
+func NewSWAMPTiny(w int, fpBits uint, seed uint64) (*SWAMPTiny, error) {
+	if w <= 0 {
+		return nil, fmt.Errorf("baseline: swamp window must be positive, got %d", w)
+	}
+	if fpBits < 4 || fpBits > 48 {
+		return nil, fmt.Errorf("baseline: swamp fingerprint bits must be in [4, 48], got %d", fpBits)
+	}
+	totalSlots := int(math.Ceil(float64(w) / swampLoad))
+	buckets := 1 << uint(bits.Len(uint(totalSlots/swampSlotsPerBucket)))
+	bucketBits := uint(bits.TrailingZeros(uint(buckets)))
+	if bucketBits >= fpBits {
+		return nil, fmt.Errorf("baseline: window %d needs %d bucket bits, fingerprint has only %d", w, bucketBits, fpBits)
+	}
+	rbits := fpBits - bucketBits
+	if rbits > 32 {
+		rbits = 32
+	}
+	table, err := NewTinyTable(buckets, swampSlotsPerBucket, rbits, swampCounterBits)
+	if err != nil {
+		return nil, err
+	}
+	return &SWAMPTiny{
+		queue:  bitpack.NewPacked(w, fpBits),
+		table:  table,
+		fpBits: fpBits,
+		fpMask: 1<<fpBits - 1,
+		seed:   seed,
+	}, nil
+}
+
+// NewSWAMPTinyForBudget sizes the fingerprint width so that queue +
+// table fit approximately memoryBits, or errors when even minimal
+// fingerprints do not fit.
+func NewSWAMPTinyForBudget(w int, memoryBits int, seed uint64) (*SWAMPTiny, error) {
+	totalSlots := int(math.Ceil(float64(w) / swampLoad))
+	// Fixed per-slot overhead: counter + displacement bits.
+	overhead := totalSlots * (swampCounterBits + tinyDispBits)
+	// Remaining bits are shared by queue fingerprints (w×fpBits) and
+	// slot remainders (≈ totalSlots×(fpBits − bucketBits)); solve with
+	// the conservative assumption remainder ≈ fpBits.
+	avail := memoryBits - overhead
+	if avail <= 0 {
+		return nil, fmt.Errorf("baseline: %d bits cannot hold a SWAMP for window %d", memoryBits, w)
+	}
+	fpBits := uint(avail / (w + totalSlots))
+	if fpBits < 4 {
+		return nil, fmt.Errorf("baseline: %d bits cannot hold a SWAMP for window %d", memoryBits, w)
+	}
+	if fpBits > 48 {
+		fpBits = 48
+	}
+	return NewSWAMPTiny(w, fpBits, seed)
+}
+
+func (s *SWAMPTiny) fingerprint(key uint64) uint64 {
+	return hashing.U64(key, s.seed) & s.fpMask
+}
+
+// Insert records key, expiring the item that leaves the window.
+func (s *SWAMPTiny) Insert(key uint64) {
+	fp := s.fingerprint(key)
+	if s.size == s.queue.Len() {
+		// Window full: the oldest fingerprint leaves.
+		old := s.queue.Get(s.head)
+		s.table.Remove(old)
+	} else {
+		s.size++
+	}
+	s.queue.Set(s.head, fp)
+	s.table.Add(fp)
+	s.head++
+	if s.head == s.queue.Len() {
+		s.head = 0
+	}
+}
+
+// IsMember reports whether key's fingerprint occurs in the window.
+func (s *SWAMPTiny) IsMember(key uint64) bool {
+	return s.table.Contains(s.fingerprint(key))
+}
+
+// Frequency returns the table count for key's fingerprint.
+func (s *SWAMPTiny) Frequency(key uint64) uint64 {
+	return s.table.Count(s.fingerprint(key))
+}
+
+// DistinctMLE inverts the expected distinct-fingerprint count over the
+// fingerprint space, as the map-backed SWAMP does.
+func (s *SWAMPTiny) DistinctMLE() float64 {
+	d := float64(s.table.Distinct())
+	L := math.Pow(2, float64(s.fpBits))
+	if d >= L {
+		d = L - 1
+	}
+	if d == 0 {
+		return 0
+	}
+	return math.Log(1-d/L) / math.Log(1-1/L)
+}
+
+// Overflows exposes the table's dropped insertions.
+func (s *SWAMPTiny) Overflows() int { return s.table.Overflows() }
+
+// MemoryBits returns the true packed footprint: queue plus table.
+func (s *SWAMPTiny) MemoryBits() int {
+	return s.queue.MemoryBits() + s.table.MemoryBits()
+}

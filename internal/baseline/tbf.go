@@ -1,0 +1,119 @@
+package baseline
+
+import (
+	"fmt"
+
+	"she/internal/bitpack"
+	"she/internal/hashing"
+)
+
+// TBF is the Timing Bloom Filter of Zhang & Guan: like TOBF but cells
+// hold arrival times in small wraparound counters (the paper's setting
+// is 18 bits) rather than full timestamps, and every insertion scans a
+// slice of the array to expire cells before their wrapped counter
+// values could be mistaken for fresh ones.
+type TBF struct {
+	cells   *bitpack.Packed // (t mod 2^c)+1; 0 = empty
+	n       uint64
+	fam     *hashing.Family
+	span    uint64 // 2^cbits − 1 usable encodings
+	scanPos int
+	scanLen int
+	tick    uint64
+}
+
+// NewTBF returns a timing Bloom filter with m cells of cbits bits and
+// k hash functions for window size n. The counter span 2^cbits−1 must
+// be at least 2n so that in-window times are unambiguous between scans.
+func NewTBF(m, k int, cbits uint, n uint64, seed uint64) (*TBF, error) {
+	if m <= 0 || k <= 0 {
+		return nil, fmt.Errorf("baseline: invalid tbf geometry m=%d k=%d", m, k)
+	}
+	if cbits < 2 || cbits > 32 {
+		return nil, fmt.Errorf("baseline: tbf counter bits must be in [2, 32], got %d", cbits)
+	}
+	span := uint64(1)<<cbits - 1
+	if span < 2*n {
+		return nil, fmt.Errorf("baseline: tbf %d-bit counters cannot disambiguate window %d", cbits, n)
+	}
+	// Scanning m/n cells per insertion covers the array once per window,
+	// which keeps every stale cell from surviving a full wraparound.
+	scan := (m + int(n) - 1) / int(n)
+	if scan < 1 {
+		scan = 1
+	}
+	return &TBF{
+		cells:   bitpack.NewPacked(m, cbits),
+		n:       n,
+		fam:     hashing.NewFamily(k, seed),
+		span:    span,
+		scanLen: scan,
+	}, nil
+}
+
+// NewTBFForBudget sizes the filter to approximately memoryBits with the
+// paper's 18-bit counters and the given hash count.
+func NewTBFForBudget(memoryBits, k int, n uint64, seed uint64) (*TBF, error) {
+	m := memoryBits / 18
+	if m < k {
+		return nil, fmt.Errorf("baseline: %d bits cannot hold a TBF with k=%d", memoryBits, k)
+	}
+	return NewTBF(m, k, 18, n, seed)
+}
+
+// encode stores time t as (t mod span)+1, reserving 0 for "empty".
+func (f *TBF) encode(t uint64) uint64 { return t%f.span + 1 }
+
+// expired reports whether stored encoding v is out of the window ending
+// at time t.
+func (f *TBF) expired(v uint64, t uint64) bool {
+	if v == 0 {
+		return true
+	}
+	// Age of the stored (wrapped) time, assuming it was written within
+	// the last span ticks — the scan guarantees that.
+	age := (t%f.span + f.span - (v - 1)) % f.span
+	return age >= f.n
+}
+
+// Insert records key at the next count-based tick.
+func (f *TBF) Insert(key uint64) {
+	f.tick++
+	f.InsertAt(key, f.tick)
+}
+
+// InsertAt records key at explicit time t, first advancing the cleaning
+// scan by scanLen cells.
+func (f *TBF) InsertAt(key uint64, t uint64) {
+	m := f.cells.Len()
+	for s := 0; s < f.scanLen; s++ {
+		if v := f.cells.Get(f.scanPos); v != 0 && f.expired(v, t) {
+			f.cells.Set(f.scanPos, 0)
+		}
+		f.scanPos++
+		if f.scanPos == m {
+			f.scanPos = 0
+		}
+	}
+	enc := f.encode(t)
+	for i := 0; i < f.fam.K(); i++ {
+		f.cells.Set(f.fam.Index(i, key, m), enc)
+	}
+}
+
+// Query reports membership in the window ending at the current tick.
+func (f *TBF) Query(key uint64) bool { return f.QueryAt(key, f.tick) }
+
+// QueryAt reports membership at time t.
+func (f *TBF) QueryAt(key uint64, t uint64) bool {
+	m := f.cells.Len()
+	for i := 0; i < f.fam.K(); i++ {
+		if f.expired(f.cells.Get(f.fam.Index(i, key, m)), t) {
+			return false
+		}
+	}
+	return true
+}
+
+// MemoryBits returns the memory footprint.
+func (f *TBF) MemoryBits() int { return f.cells.MemoryBits() }

@@ -1,0 +1,280 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"she/internal/exact"
+)
+
+func TestTinyTableAddCountRemove(t *testing.T) {
+	tt, err := NewTinyTable(64, 4, 12, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.Contains(42) {
+		t.Fatal("fresh table contains a fingerprint")
+	}
+	for i := 0; i < 5; i++ {
+		if !tt.Add(42) {
+			t.Fatal("add dropped in an empty table")
+		}
+	}
+	if got := tt.Count(42); got != 5 {
+		t.Fatalf("Count=%d, want 5", got)
+	}
+	tt.Remove(42)
+	tt.Remove(42)
+	if got := tt.Count(42); got != 3 {
+		t.Fatalf("Count after removes=%d, want 3", got)
+	}
+	for i := 0; i < 3; i++ {
+		tt.Remove(42)
+	}
+	if tt.Contains(42) {
+		t.Fatal("fingerprint survives count reaching zero")
+	}
+	// Removing an absent fingerprint is a no-op.
+	tt.Remove(42)
+	if tt.Distinct() != 0 {
+		t.Fatalf("Distinct=%d on an empty table", tt.Distinct())
+	}
+}
+
+func TestTinyTableMatchesReferenceMultiset(t *testing.T) {
+	// Random add/remove against a map reference: with 20-bit remainders
+	// over 256 buckets, distinct fingerprints map to distinct slots.
+	tt, err := NewTinyTable(256, 4, 20, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := map[uint64]int{}
+	rng := rand.New(rand.NewSource(91))
+	live := make([]uint64, 0, 512)
+	for op := 0; op < 20000; op++ {
+		if rng.Intn(3) != 0 || len(live) == 0 {
+			fp := uint64(rng.Intn(600)) * 2654435761 % (1 << 28)
+			if len(live) >= 700 {
+				continue // stay under capacity so no drops occur
+			}
+			if !tt.Add(fp) {
+				t.Fatalf("op %d: drop below capacity", op)
+			}
+			ref[fp]++
+			live = append(live, fp)
+		} else {
+			i := rng.Intn(len(live))
+			fp := live[i]
+			tt.Remove(fp)
+			if ref[fp] == 1 {
+				delete(ref, fp)
+			} else {
+				ref[fp]--
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if op%577 == 0 {
+			for fp, want := range ref {
+				if got := tt.Count(fp); got != uint64(want) && want < 255 {
+					t.Fatalf("op %d: Count(%d)=%d, want %d", op, fp, got, want)
+				}
+			}
+			if tt.Distinct() != len(ref) {
+				t.Fatalf("op %d: Distinct=%d, want %d", op, tt.Distinct(), len(ref))
+			}
+		}
+	}
+}
+
+func TestTinyTableDisplacementOverflow(t *testing.T) {
+	// Cram many fingerprints into one home bucket: they must spill into
+	// following buckets (bounded domino) and eventually drop.
+	tt, err := NewTinyTable(64, 2, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All share home bucket 0: fp>>16 ≡ 0 (mod 64).
+	added := 0
+	for r := uint64(1); r <= 200; r++ {
+		if tt.Add(r) { // fp < 2^16 → home = 0
+			added++
+		}
+	}
+	reach := 2 * (maxDisplacement + 1) // slots reachable from bucket 0
+	if added != reach {
+		t.Fatalf("added %d fingerprints from one home bucket, reachable slots = %d", added, reach)
+	}
+	if tt.Overflows() != 200-added {
+		t.Fatalf("Overflows=%d, want %d", tt.Overflows(), 200-added)
+	}
+	// Everything added must still be findable across the displacement.
+	found := 0
+	for r := uint64(1); r <= 200; r++ {
+		if tt.Contains(r) {
+			found++
+		}
+	}
+	if found != added {
+		t.Fatalf("found %d of %d displaced fingerprints", found, added)
+	}
+}
+
+func TestTinyTableSaturatedCounterNeverUnderestimates(t *testing.T) {
+	tt, err := NewTinyTable(16, 4, 8, 2) // counters saturate at 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		tt.Add(5)
+	}
+	if got := tt.Count(5); got != 3 {
+		t.Fatalf("saturated Count=%d, want 3", got)
+	}
+	// Removals must not decrement a saturated (inexact) counter.
+	for i := 0; i < 10; i++ {
+		tt.Remove(5)
+	}
+	if !tt.Contains(5) {
+		t.Fatal("saturated counter was decremented to absence")
+	}
+}
+
+func TestTinyTableRejectsBadGeometry(t *testing.T) {
+	cases := []struct {
+		b, s  int
+		r, cb uint
+	}{
+		{0, 4, 8, 8}, {4, 0, 8, 8}, {4, 4, 0, 8}, {4, 4, 33, 8}, {4, 4, 8, 1}, {4, 4, 8, 17},
+	}
+	for i, c := range cases {
+		if _, err := NewTinyTable(c.b, c.s, c.r, c.cb); err == nil {
+			t.Fatalf("bad geometry %d accepted", i)
+		}
+	}
+}
+
+func TestSWAMPTinyWindowSemantics(t *testing.T) {
+	const W = 512
+	s, err := NewSWAMPTiny(W, 24, 92)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := exact.NewWindow(W)
+	rng := rand.New(rand.NewSource(93))
+	for i := 0; i < 10*W; i++ {
+		k := uint64(rng.Intn(300))
+		s.Insert(k)
+		win.Push(k)
+	}
+	win.Distinct(func(k uint64, want uint64) {
+		got := s.Frequency(k)
+		if got != want {
+			t.Fatalf("frequency of %d = %d, want %d (24-bit fingerprints rarely collide)", k, got, want)
+		}
+		if !s.IsMember(k) {
+			t.Fatalf("in-window key %d not a member", k)
+		}
+	})
+	// A key absent from the window must (almost surely) be absent.
+	if s.IsMember(1 << 50) {
+		t.Fatal("never-inserted key reported present")
+	}
+}
+
+func TestSWAMPTinyExactExpiry(t *testing.T) {
+	const W = 128
+	s, err := NewSWAMPTiny(W, 24, 94)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Insert(777)
+	for i := 0; i < W; i++ {
+		s.Insert(uint64(1000 + i))
+	}
+	if s.IsMember(777) {
+		t.Fatal("key still member after exactly W subsequent items")
+	}
+}
+
+func TestSWAMPTinyDistinctMLE(t *testing.T) {
+	const W = 4096
+	s, err := NewSWAMPTiny(W, 20, 95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := exact.NewWindow(W)
+	rng := rand.New(rand.NewSource(96))
+	for i := 0; i < 4*W; i++ {
+		k := uint64(rng.Intn(1500))
+		s.Insert(k)
+		win.Push(k)
+	}
+	truth := float64(win.Cardinality())
+	est := s.DistinctMLE()
+	if math.Abs(est-truth)/truth > 0.1 {
+		t.Fatalf("DistinctMLE %.0f vs truth %.0f", est, truth)
+	}
+}
+
+func TestSWAMPTinyBudgetSizing(t *testing.T) {
+	const W = 1000
+	budget := W * 60
+	s, err := NewSWAMPTinyForBudget(W, budget, 97)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.MemoryBits(); got > budget+budget/10 {
+		t.Fatalf("budgeted SWAMP uses %d bits for a %d budget", got, budget)
+	}
+	if _, err := NewSWAMPTinyForBudget(W, W, 97); err == nil {
+		t.Fatal("impossible budget accepted")
+	}
+}
+
+func TestSWAMPTinyMemoryHonest(t *testing.T) {
+	s, err := NewSWAMPTiny(1000, 24, 98)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queue: 1000×24 bits. Table: ≥ ceil(1000/0.75) slots of
+	// (remainder + 8 + 4) bits.
+	if s.MemoryBits() < 1000*24 {
+		t.Fatalf("MemoryBits=%d below the queue alone", s.MemoryBits())
+	}
+}
+
+// TestSWAMPTinyAgreesWithMapSWAMP cross-validates the TinyTable-backed
+// SWAMP against the idealized map-backed one: with wide fingerprints
+// and a table far under capacity, the two must give identical answers.
+func TestSWAMPTinyAgreesWithMapSWAMP(t *testing.T) {
+	const W = 512
+	tiny, err := NewSWAMPTiny(W, 30, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal, err := NewSWAMP(W, 30, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(100))
+	for i := 0; i < 8*W; i++ {
+		k := uint64(rng.Intn(200))
+		tiny.Insert(k)
+		ideal.Insert(k)
+		if i%37 == 0 {
+			probe := uint64(rng.Intn(400))
+			if tiny.IsMember(probe) != ideal.IsMember(probe) {
+				t.Fatalf("tick %d: membership disagrees for %d", i, probe)
+			}
+			if tiny.Frequency(probe) != ideal.Frequency(probe) {
+				t.Fatalf("tick %d: frequency disagrees for %d: %d vs %d",
+					i, probe, tiny.Frequency(probe), ideal.Frequency(probe))
+			}
+		}
+	}
+	if tiny.Overflows() != 0 {
+		t.Fatalf("under-capacity table dropped %d items", tiny.Overflows())
+	}
+}

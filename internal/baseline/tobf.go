@@ -1,0 +1,72 @@
+package baseline
+
+import (
+	"fmt"
+
+	"she/internal/hashing"
+)
+
+// TOBF is the Time-Out Bloom Filter of Kong et al.: a Bloom filter
+// whose cells hold full 64-bit arrival timestamps instead of bits. A
+// key is reported present only if all k hashed timestamps lie within
+// the window. Exact expiry, but every cell costs 64 bits.
+type TOBF struct {
+	ts   []uint64 // arrival time + 1; 0 = never written
+	n    uint64
+	fam  *hashing.Family
+	tick uint64
+}
+
+// NewTOBF returns a time-out Bloom filter with m timestamp cells and
+// k hash functions for window size n.
+func NewTOBF(m, k int, n uint64, seed uint64) (*TOBF, error) {
+	if m <= 0 || k <= 0 {
+		return nil, fmt.Errorf("baseline: invalid tobf geometry m=%d k=%d", m, k)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("baseline: tobf window must be positive")
+	}
+	return &TOBF{ts: make([]uint64, m), n: n, fam: hashing.NewFamily(k, seed)}, nil
+}
+
+// NewTOBFForBudget sizes the filter to approximately memoryBits with
+// the given hash count.
+func NewTOBFForBudget(memoryBits, k int, n uint64, seed uint64) (*TOBF, error) {
+	m := memoryBits / 64
+	if m < k {
+		return nil, fmt.Errorf("baseline: %d bits cannot hold a TOBF with k=%d", memoryBits, k)
+	}
+	return NewTOBF(m, k, n, seed)
+}
+
+// Insert records key at the next count-based tick.
+func (f *TOBF) Insert(key uint64) {
+	f.tick++
+	f.InsertAt(key, f.tick)
+}
+
+// InsertAt records key at explicit time t.
+func (f *TOBF) InsertAt(key uint64, t uint64) {
+	for i := 0; i < f.fam.K(); i++ {
+		f.ts[f.fam.Index(i, key, len(f.ts))] = t + 1
+	}
+}
+
+// Query reports whether key may have appeared within the window ending
+// at the current tick.
+func (f *TOBF) Query(key uint64) bool { return f.QueryAt(key, f.tick) }
+
+// QueryAt reports membership at time t: true iff every hashed cell
+// holds a timestamp inside the window.
+func (f *TOBF) QueryAt(key uint64, t uint64) bool {
+	for i := 0; i < f.fam.K(); i++ {
+		s := f.ts[f.fam.Index(i, key, len(f.ts))]
+		if s == 0 || s+f.n <= t+1 {
+			return false
+		}
+	}
+	return true
+}
+
+// MemoryBits returns the memory footprint (64 bits per cell).
+func (f *TOBF) MemoryBits() int { return len(f.ts) * 64 }

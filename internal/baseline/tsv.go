@@ -1,0 +1,76 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"she/internal/hashing"
+)
+
+// TSV is the Timestamp-Vector algorithm of Kim & O'Hallaron: an array
+// of m full 64-bit timestamps. Insertion writes the arrival time into
+// one hashed slot; cardinality is linear counting over the slots whose
+// timestamp falls inside the window. Accurate but memory-hungry —
+// every cell costs 64 bits, which is the weakness the SHE paper
+// exploits.
+type TSV struct {
+	ts   []uint64 // arrival time + 1; 0 means never written
+	n    uint64
+	seed uint64
+	tick uint64
+}
+
+// NewTSV returns a timestamp vector with m slots for window size n.
+func NewTSV(m int, n uint64, seed uint64) (*TSV, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("baseline: tsv needs a positive slot count, got %d", m)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("baseline: tsv window must be positive")
+	}
+	return &TSV{ts: make([]uint64, m), n: n, seed: seed}, nil
+}
+
+// NewTSVForBudget sizes the vector to approximately memoryBits.
+func NewTSVForBudget(memoryBits int, n uint64, seed uint64) (*TSV, error) {
+	m := memoryBits / 64
+	if m < 1 {
+		return nil, fmt.Errorf("baseline: %d bits cannot hold a TSV (needs ≥64)", memoryBits)
+	}
+	return NewTSV(m, n, seed)
+}
+
+// Insert records key at the next count-based tick.
+func (v *TSV) Insert(key uint64) {
+	v.tick++
+	v.InsertAt(key, v.tick)
+}
+
+// InsertAt records key at explicit time t.
+func (v *TSV) InsertAt(key uint64, t uint64) {
+	v.ts[hashing.ReduceRange(hashing.U64(key, v.seed), len(v.ts))] = t + 1
+}
+
+// EstimateCardinality estimates the distinct count in the window ending
+// at the current tick.
+func (v *TSV) EstimateCardinality() float64 { return v.EstimateCardinalityAt(v.tick) }
+
+// EstimateCardinalityAt estimates window cardinality at time t via
+// linear counting over active timestamps.
+func (v *TSV) EstimateCardinalityAt(t uint64) float64 {
+	m := len(v.ts)
+	inactive := 0
+	for _, s := range v.ts {
+		if s == 0 || s+v.n <= t+1 { // never written, or written at time ≤ t−n
+			inactive++
+		}
+	}
+	u := float64(inactive)
+	if inactive == 0 {
+		u = 1
+	}
+	return -float64(m) * math.Log(u/float64(m))
+}
+
+// MemoryBits returns the memory footprint (64 bits per slot).
+func (v *TSV) MemoryBits() int { return len(v.ts) * 64 }

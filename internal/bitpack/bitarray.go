@@ -1,0 +1,114 @@
+// Package bitpack provides the packed cell storage that every sketch in
+// this repository is built on: a dense bit array and a packed array of
+// fixed-width counters, both supporting the fast contiguous "group
+// reset" that the SHE framework's group cleaning relies on.
+//
+// The layouts are chosen to mirror what the paper's hardware version
+// assumes: a group of w cells occupies a contiguous run of memory words
+// so that cleaning a group is a handful of word stores — the same cost
+// class as the single word access the insertion was already paying for.
+package bitpack
+
+import "math/bits"
+
+const wordBits = 64
+
+// BitArray is a dense array of n bits packed into 64-bit words.
+// The zero value is unusable; create one with NewBitArray.
+type BitArray struct {
+	words []uint64
+	n     int
+}
+
+// NewBitArray returns a BitArray of n zero bits.
+func NewBitArray(n int) *BitArray {
+	if n <= 0 {
+		panic("bitpack: bit array size must be positive")
+	}
+	return &BitArray{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the number of bits in the array.
+func (b *BitArray) Len() int { return b.n }
+
+// Set sets bit i to 1.
+func (b *BitArray) Set(i int) {
+	b.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear sets bit i to 0.
+func (b *BitArray) Clear(i int) {
+	b.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Get reports whether bit i is 1.
+func (b *BitArray) Get(i int) bool {
+	return b.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// ResetRange zeroes bits [from, to). Word-aligned interiors are cleared
+// a word at a time, so resetting a SHE group of w bits costs O(w/64).
+func (b *BitArray) ResetRange(from, to int) {
+	if from < 0 || to > b.n || from > to {
+		panic("bitpack: reset range out of bounds")
+	}
+	if from == to {
+		return
+	}
+	fw, lw := from/wordBits, (to-1)/wordBits
+	headMask := ^uint64(0) << (uint(from) % wordBits)
+	tailMask := ^uint64(0) >> (wordBits - 1 - uint(to-1)%wordBits)
+	if fw == lw {
+		b.words[fw] &^= headMask & tailMask
+		return
+	}
+	b.words[fw] &^= headMask
+	for w := fw + 1; w < lw; w++ {
+		b.words[w] = 0
+	}
+	b.words[lw] &^= tailMask
+}
+
+// OnesRange counts the 1 bits in [from, to).
+func (b *BitArray) OnesRange(from, to int) int {
+	if from < 0 || to > b.n || from > to {
+		panic("bitpack: count range out of bounds")
+	}
+	if from == to {
+		return 0
+	}
+	fw, lw := from/wordBits, (to-1)/wordBits
+	headMask := ^uint64(0) << (uint(from) % wordBits)
+	tailMask := ^uint64(0) >> (wordBits - 1 - uint(to-1)%wordBits)
+	if fw == lw {
+		return bits.OnesCount64(b.words[fw] & headMask & tailMask)
+	}
+	c := bits.OnesCount64(b.words[fw] & headMask)
+	for w := fw + 1; w < lw; w++ {
+		c += bits.OnesCount64(b.words[w])
+	}
+	return c + bits.OnesCount64(b.words[lw]&tailMask)
+}
+
+// ZerosRange counts the 0 bits in [from, to).
+func (b *BitArray) ZerosRange(from, to int) int {
+	return (to - from) - b.OnesRange(from, to)
+}
+
+// Ones counts all 1 bits.
+func (b *BitArray) Ones() int { return b.OnesRange(0, b.n) }
+
+// Reset zeroes the whole array.
+func (b *BitArray) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// MemoryBits returns the number of payload bits the array occupies —
+// the quantity the paper's "Memory (KB)" axes budget.
+func (b *BitArray) MemoryBits() int { return b.n }
+
+// Words exposes the backing word slice for serialization; callers must
+// not change its length.
+func (b *BitArray) Words() []uint64 { return b.words }

@@ -1,0 +1,150 @@
+package bitpack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitArraySetGetClear(t *testing.T) {
+	b := NewBitArray(130) // crosses two word boundaries
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Get(i) {
+			t.Fatalf("bit %d set in a fresh array", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		b.Clear(i)
+		if b.Get(i) {
+			t.Fatalf("bit %d still set after Clear", i)
+		}
+	}
+}
+
+func TestBitArrayPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for size 0")
+		}
+	}()
+	NewBitArray(0)
+}
+
+// naiveBits is the reference model the property tests compare against.
+type naiveBits []bool
+
+func (n naiveBits) resetRange(from, to int) {
+	for i := from; i < to; i++ {
+		n[i] = false
+	}
+}
+
+func (n naiveBits) onesRange(from, to int) int {
+	c := 0
+	for i := from; i < to; i++ {
+		if n[i] {
+			c++
+		}
+	}
+	return c
+}
+
+// TestBitArrayMatchesNaiveModel drives random Set/ResetRange/Count
+// operations against both the packed implementation and a []bool
+// reference and requires identical observable state throughout.
+func TestBitArrayMatchesNaiveModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 517 // deliberately not word-aligned
+	b := NewBitArray(n)
+	ref := make(naiveBits, n)
+	for op := 0; op < 5000; op++ {
+		switch rng.Intn(3) {
+		case 0:
+			i := rng.Intn(n)
+			b.Set(i)
+			ref[i] = true
+		case 1:
+			from := rng.Intn(n)
+			to := from + rng.Intn(n-from+1)
+			b.ResetRange(from, to)
+			ref.resetRange(from, to)
+		case 2:
+			from := rng.Intn(n)
+			to := from + rng.Intn(n-from+1)
+			if got, want := b.OnesRange(from, to), ref.onesRange(from, to); got != want {
+				t.Fatalf("op %d: OnesRange(%d,%d)=%d, reference says %d", op, from, to, got, want)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if b.Get(i) != ref[i] {
+			t.Fatalf("final state differs at bit %d", i)
+		}
+	}
+}
+
+func TestBitArrayZerosRange(t *testing.T) {
+	b := NewBitArray(200)
+	b.Set(5)
+	b.Set(100)
+	if got := b.ZerosRange(0, 200); got != 198 {
+		t.Fatalf("ZerosRange=%d, want 198", got)
+	}
+	if got := b.ZerosRange(5, 6); got != 0 {
+		t.Fatalf("ZerosRange over a set bit=%d, want 0", got)
+	}
+}
+
+func TestBitArrayResetRangeBoundsChecked(t *testing.T) {
+	b := NewBitArray(10)
+	for _, r := range [][2]int{{-1, 5}, {0, 11}, {7, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("ResetRange(%d,%d) did not panic", r[0], r[1])
+				}
+			}()
+			b.ResetRange(r[0], r[1])
+		}()
+	}
+}
+
+func TestBitArrayReset(t *testing.T) {
+	b := NewBitArray(100)
+	for i := 0; i < 100; i += 3 {
+		b.Set(i)
+	}
+	b.Reset()
+	if b.Ones() != 0 {
+		t.Fatal("Reset left bits set")
+	}
+}
+
+func TestBitArrayEmptyRangeOps(t *testing.T) {
+	b := NewBitArray(64)
+	b.Set(10)
+	b.ResetRange(10, 10) // empty range: no-op
+	if !b.Get(10) {
+		t.Fatal("empty ResetRange cleared a bit")
+	}
+	if b.OnesRange(10, 10) != 0 {
+		t.Fatal("empty OnesRange nonzero")
+	}
+}
+
+func TestBitArrayOnesRangeQuick(t *testing.T) {
+	// Property: OnesRange(0,i)+OnesRange(i,n) == Ones() for any split.
+	b := NewBitArray(300)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 150; i++ {
+		b.Set(rng.Intn(300))
+	}
+	if err := quick.Check(func(split uint16) bool {
+		i := int(split) % 301
+		return b.OnesRange(0, i)+b.OnesRange(i, 300) == b.Ones()
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,304 @@
+// Package cli implements the line protocol behind cmd/she: an
+// interactive (or piped) processor that maintains one SHE structure and
+// answers queries as the stream flows through it. Keeping the engine
+// here, behind io.Reader/io.Writer, makes the whole protocol unit
+// testable without a process.
+//
+// Protocol (one command per line; '#' starts a comment):
+//
+//   - <key>        insert (stream A for minhash)
+//     +b <key>       insert on stream B (minhash only)
+//     ? <key>        membership query (bloom) — prints true/false
+//     freq <key>     frequency estimate (cm, topk)
+//     card           cardinality estimate (bitmap, hll)
+//     sim            similarity estimate (minhash)
+//     top            heavy hitters (topk)
+//     stats          structure kind, items, memory
+//     save <path>    write a snapshot (bloom, bitmap, hll, cm, minhash)
+//     load <path>    replace state from a snapshot
+//
+// Keys are decimal uint64s; anything non-numeric is hashed (BOBHash64),
+// so `+ alice` works as naturally as `+ 42`.
+package cli
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"she"
+	"she/internal/hashing"
+)
+
+// Config selects the structure the engine drives.
+type Config struct {
+	Kind     string // bloom | bitmap | hll | cm | minhash | topk
+	Bits     int    // array size for bloom/bitmap; counters for cm/topk
+	Register int    // registers for hll; signatures for minhash
+	K        int    // top-k size
+	Options  she.Options
+}
+
+// Engine executes the protocol against one structure.
+type Engine struct {
+	cfg   Config
+	bloom *she.BloomFilter
+	bm    *she.Bitmap
+	hll   *she.HyperLogLog
+	cm    *she.CountMin
+	mh    *she.MinHash
+	topk  *she.TopK
+	items uint64
+}
+
+// New builds the engine for cfg.
+func New(cfg Config) (*Engine, error) {
+	e := &Engine{cfg: cfg}
+	var err error
+	switch cfg.Kind {
+	case "bloom":
+		e.bloom, err = she.NewBloomFilter(cfg.Bits, cfg.Options)
+	case "bitmap":
+		e.bm, err = she.NewBitmap(cfg.Bits, cfg.Options)
+	case "hll":
+		e.hll, err = she.NewHyperLogLog(cfg.Register, cfg.Options)
+	case "cm":
+		e.cm, err = she.NewCountMin(cfg.Bits, cfg.Options)
+	case "minhash":
+		e.mh, err = she.NewMinHash(cfg.Register, cfg.Options)
+	case "topk":
+		e.topk, err = she.NewTopK(cfg.K, cfg.Bits, cfg.Options)
+	default:
+		return nil, fmt.Errorf("cli: unknown structure kind %q", cfg.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// ParseKey converts a token to a key: decimal uint64 directly, anything
+// else through BOBHash64 so arbitrary strings work as identifiers.
+func ParseKey(tok string) uint64 {
+	if k, err := strconv.ParseUint(tok, 10, 64); err == nil {
+		return k
+	}
+	return hashing.BOBHash64([]byte(tok), 0x5e)
+}
+
+// Run processes commands from r, writing replies to w, until EOF.
+// Malformed commands produce an "err:" line and processing continues.
+func (e *Engine) Run(r io.Reader, w io.Writer) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 64*1024)
+	out := bufio.NewWriter(w)
+	defer out.Flush()
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := e.exec(line, out); err != nil {
+			fmt.Fprintf(out, "err: %v\n", err)
+		}
+	}
+	return sc.Err()
+}
+
+func (e *Engine) exec(line string, out io.Writer) error {
+	fields := strings.Fields(line)
+	cmd := fields[0]
+	arg := func(i int) (string, error) {
+		if len(fields) <= i {
+			return "", fmt.Errorf("%s: missing argument", cmd)
+		}
+		return fields[i], nil
+	}
+	switch cmd {
+	case "+":
+		tok, err := arg(1)
+		if err != nil {
+			return err
+		}
+		return e.insert(ParseKey(tok), false)
+	case "+b":
+		tok, err := arg(1)
+		if err != nil {
+			return err
+		}
+		return e.insert(ParseKey(tok), true)
+	case "?":
+		tok, err := arg(1)
+		if err != nil {
+			return err
+		}
+		if e.bloom == nil {
+			return fmt.Errorf("?: structure %q does not answer membership", e.cfg.Kind)
+		}
+		fmt.Fprintln(out, e.bloom.Query(ParseKey(tok)))
+	case "freq":
+		tok, err := arg(1)
+		if err != nil {
+			return err
+		}
+		switch {
+		case e.cm != nil:
+			fmt.Fprintln(out, e.cm.Frequency(ParseKey(tok)))
+		case e.topk != nil:
+			fmt.Fprintln(out, e.topk.Frequency(ParseKey(tok)))
+		default:
+			return fmt.Errorf("freq: structure %q does not estimate frequency", e.cfg.Kind)
+		}
+	case "card":
+		switch {
+		case e.bm != nil:
+			fmt.Fprintf(out, "%.1f\n", e.bm.Cardinality())
+		case e.hll != nil:
+			fmt.Fprintf(out, "%.1f\n", e.hll.Cardinality())
+		default:
+			return fmt.Errorf("card: structure %q does not estimate cardinality", e.cfg.Kind)
+		}
+	case "sim":
+		if e.mh == nil {
+			return fmt.Errorf("sim: structure %q does not estimate similarity", e.cfg.Kind)
+		}
+		fmt.Fprintf(out, "%.4f\n", e.mh.Similarity())
+	case "top":
+		if e.topk == nil {
+			return fmt.Errorf("top: structure %q does not track heavy hitters", e.cfg.Kind)
+		}
+		for _, entry := range e.topk.Top() {
+			fmt.Fprintf(out, "%d %d\n", entry.Key, entry.Count)
+		}
+	case "stats":
+		fmt.Fprintf(out, "kind=%s items=%d memory=%.1fKB\n",
+			e.cfg.Kind, e.items, float64(e.memoryBits())/8192)
+	case "save":
+		path, err := arg(1)
+		if err != nil {
+			return err
+		}
+		return e.save(path)
+	case "load":
+		path, err := arg(1)
+		if err != nil {
+			return err
+		}
+		return e.load(path)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}
+
+func (e *Engine) insert(key uint64, streamB bool) error {
+	if streamB && e.mh == nil {
+		return fmt.Errorf("+b: structure %q has no stream B", e.cfg.Kind)
+	}
+	e.items++
+	switch {
+	case e.bloom != nil:
+		e.bloom.Insert(key)
+	case e.bm != nil:
+		e.bm.Insert(key)
+	case e.hll != nil:
+		e.hll.Insert(key)
+	case e.cm != nil:
+		e.cm.Insert(key)
+	case e.topk != nil:
+		e.topk.Insert(key)
+	case e.mh != nil:
+		if streamB {
+			e.mh.InsertB(key)
+		} else {
+			e.mh.InsertA(key)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) memoryBits() int {
+	switch {
+	case e.bloom != nil:
+		return e.bloom.MemoryBits()
+	case e.bm != nil:
+		return e.bm.MemoryBits()
+	case e.hll != nil:
+		return e.hll.MemoryBits()
+	case e.cm != nil:
+		return e.cm.MemoryBits()
+	case e.topk != nil:
+		return e.topk.MemoryBits()
+	case e.mh != nil:
+		return e.mh.MemoryBits()
+	}
+	return 0
+}
+
+func (e *Engine) save(path string) error {
+	var data []byte
+	var err error
+	switch {
+	case e.bloom != nil:
+		data, err = e.bloom.MarshalBinary()
+	case e.bm != nil:
+		data, err = e.bm.MarshalBinary()
+	case e.hll != nil:
+		data, err = e.hll.MarshalBinary()
+	case e.cm != nil:
+		data, err = e.cm.MarshalBinary()
+	case e.mh != nil:
+		data, err = e.mh.MarshalBinary()
+	default:
+		return fmt.Errorf("save: structure %q has no snapshot format", e.cfg.Kind)
+	}
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func (e *Engine) load(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	switch {
+	case e.bloom != nil:
+		bf, err := she.UnmarshalBloomFilter(data)
+		if err != nil {
+			return err
+		}
+		e.bloom = bf
+	case e.bm != nil:
+		bm, err := she.UnmarshalBitmap(data)
+		if err != nil {
+			return err
+		}
+		e.bm = bm
+	case e.hll != nil:
+		h, err := she.UnmarshalHyperLogLog(data)
+		if err != nil {
+			return err
+		}
+		e.hll = h
+	case e.cm != nil:
+		cm, err := she.UnmarshalCountMin(data)
+		if err != nil {
+			return err
+		}
+		e.cm = cm
+	case e.mh != nil:
+		mh, err := she.UnmarshalMinHash(data)
+		if err != nil {
+			return err
+		}
+		e.mh = mh
+	default:
+		return fmt.Errorf("load: structure %q has no snapshot format", e.cfg.Kind)
+	}
+	return nil
+}

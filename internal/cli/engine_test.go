@@ -1,0 +1,267 @@
+package cli
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"she"
+)
+
+func run(t *testing.T, cfg Config, script string) string {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := e.Run(strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func bloomConfig() Config {
+	return Config{Kind: "bloom", Bits: 1 << 14, Options: she.Options{Window: 1000, Seed: 1}}
+}
+
+func TestEngineBloomProtocol(t *testing.T) {
+	out := run(t, bloomConfig(), `
+# insert then query
++ alice
++ 42
+? alice
+? 42
+? carol
+`)
+	lines := strings.Fields(out)
+	if len(lines) != 3 {
+		t.Fatalf("got %d replies: %q", len(lines), out)
+	}
+	if lines[0] != "true" || lines[1] != "true" {
+		t.Fatalf("inserted keys not reported present: %q", out)
+	}
+	if lines[2] != "false" {
+		t.Fatalf("uninserted key reported present: %q", out)
+	}
+}
+
+func TestEngineCardinality(t *testing.T) {
+	var script strings.Builder
+	// 2000 inserts drawn from a 26×26-key alphabet.
+	for i := 0; i < 2000; i++ {
+		script.WriteString("+ key")
+		script.WriteString(string(rune('a' + i%26)))
+		script.WriteString(string(rune('a' + (i/26)%26)))
+		script.WriteByte('\n')
+	}
+	script.WriteString("card\n")
+	out := run(t, Config{Kind: "bitmap", Bits: 1 << 14, Options: she.Options{Window: 4096, Seed: 2}}, script.String())
+	out = strings.TrimSpace(out)
+	if out == "" {
+		t.Fatal("no cardinality reply")
+	}
+	var est float64
+	if _, err := fmt.Sscanf(out, "%f", &est); err != nil {
+		t.Fatalf("unparsable card reply %q", out)
+	}
+	// 26×26 = 676 possible keys, 2000 inserts cover most of them.
+	if est < 400 || est > 900 {
+		t.Fatalf("cardinality %v implausible for ~676 distinct", est)
+	}
+}
+
+func TestEngineFrequencyAndTop(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 300; i++ {
+		sb.WriteString("+ heavy\n")
+		if i%10 == 0 {
+			sb.WriteString("+ light\n")
+		}
+	}
+	sb.WriteString("freq heavy\nfreq light\n")
+	out := run(t, Config{Kind: "cm", Bits: 1 << 14, Options: she.Options{Window: 4096, Seed: 3}}, sb.String())
+	lines := strings.Fields(out)
+	if len(lines) != 2 {
+		t.Fatalf("replies: %q", out)
+	}
+	var heavy, light uint64
+	if _, err := fmt.Sscanf(lines[0], "%d", &heavy); err != nil {
+		t.Fatalf("unparsable freq %q", lines[0])
+	}
+	if _, err := fmt.Sscanf(lines[1], "%d", &light); err != nil {
+		t.Fatalf("unparsable freq %q", lines[1])
+	}
+	if heavy <= light {
+		t.Fatalf("heavy key counted %d vs light %d", heavy, light)
+	}
+
+	sb.WriteString("top\n")
+	out = run(t, Config{Kind: "topk", Bits: 1 << 14, K: 1, Options: she.Options{Window: 4096, Seed: 3}}, sb.String())
+	if !strings.Contains(out, "\n") {
+		t.Fatalf("top produced no entries: %q", out)
+	}
+}
+
+func TestEngineMinHash(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 500; i++ {
+		k := string(rune('a' + i%20))
+		sb.WriteString("+ " + k + "\n")
+		sb.WriteString("+b " + k + "\n")
+	}
+	sb.WriteString("sim\n")
+	out := strings.TrimSpace(run(t, Config{Kind: "minhash", Register: 128,
+		Options: she.Options{Window: 1024, Seed: 4}}, sb.String()))
+	var sim float64
+	if _, err := fmt.Sscanf(out, "%f", &sim); err != nil {
+		t.Fatalf("unparsable sim reply %q", out)
+	}
+	if sim < 0.8 {
+		t.Fatalf("identical streams sim %v", sim)
+	}
+}
+
+func TestEngineErrorsKeepGoing(t *testing.T) {
+	out := run(t, bloomConfig(), `
+bogus
+? alice
+card
++ alice
+? alice
+`)
+	if c := strings.Count(out, "err:"); c != 2 {
+		t.Fatalf("want 2 err lines (bogus, card), got %d: %q", c, out)
+	}
+	if !strings.HasSuffix(strings.TrimSpace(out), "true") {
+		t.Fatalf("engine stopped processing after errors: %q", out)
+	}
+}
+
+func TestEngineSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.she")
+	e, err := New(bloomConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	script := "+ alpha\nsave " + path + "\n"
+	if err := e.Run(strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	// A second engine loads the snapshot and must see the key.
+	e2, err := New(bloomConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := e2.Run(strings.NewReader("load "+path+"\n? alpha\n"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out.String()) != "true" {
+		t.Fatalf("loaded engine lost the key: %q", out.String())
+	}
+}
+
+func TestEngineRejectsUnknownKind(t *testing.T) {
+	if _, err := New(Config{Kind: "wat"}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestParseKey(t *testing.T) {
+	if ParseKey("42") != 42 {
+		t.Fatal("decimal key not parsed")
+	}
+	if ParseKey("alice") == ParseKey("bob") {
+		t.Fatal("string keys collide")
+	}
+	if ParseKey("alice") != ParseKey("alice") {
+		t.Fatal("string keys not deterministic")
+	}
+}
+
+func TestEngineStats(t *testing.T) {
+	out := run(t, bloomConfig(), "+ a\n+ b\nstats\n")
+	if !strings.Contains(out, "kind=bloom") || !strings.Contains(out, "items=2") {
+		t.Fatalf("stats output %q", out)
+	}
+}
+
+// TestEngineSaveLoadAllKinds exercises every snapshot-capable structure
+// through the protocol, including the error paths.
+func TestEngineSaveLoadAllKinds(t *testing.T) {
+	dir := t.TempDir()
+	kinds := []Config{
+		{Kind: "bitmap", Bits: 4096, Options: she.Options{Window: 1000, Seed: 1}},
+		{Kind: "hll", Register: 256, Options: she.Options{Window: 1000, Seed: 1}},
+		{Kind: "cm", Bits: 4096, Options: she.Options{Window: 1000, Seed: 1}},
+		{Kind: "minhash", Register: 32, Options: she.Options{Window: 1000, Seed: 1}},
+	}
+	for _, cfg := range kinds {
+		path := filepath.Join(dir, cfg.Kind+".she")
+		script := "+ alpha\n+ beta\nsave " + path + "\nload " + path + "\nstats\n"
+		out := run(t, cfg, script)
+		if strings.Contains(out, "err:") {
+			t.Fatalf("%s: save/load errored: %q", cfg.Kind, out)
+		}
+		if !strings.Contains(out, "kind="+cfg.Kind) {
+			t.Fatalf("%s: stats missing after reload: %q", cfg.Kind, out)
+		}
+	}
+	// topk has no snapshot format: save must report an error, not panic.
+	out := run(t, Config{Kind: "topk", Bits: 4096, K: 2, Options: she.Options{Window: 1000, Seed: 1}},
+		"+ a\nsave "+filepath.Join(dir, "nope")+"\n")
+	if !strings.Contains(out, "err:") {
+		t.Fatalf("topk save did not error: %q", out)
+	}
+}
+
+func TestEngineLoadErrors(t *testing.T) {
+	dir := t.TempDir()
+	// Missing file.
+	out := run(t, bloomConfig(), "load "+filepath.Join(dir, "missing")+"\n")
+	if !strings.Contains(out, "err:") {
+		t.Fatalf("missing file load did not error: %q", out)
+	}
+	// Wrong-kind snapshot.
+	path := filepath.Join(dir, "bm.she")
+	run(t, Config{Kind: "bitmap", Bits: 4096, Options: she.Options{Window: 1000, Seed: 1}},
+		"+ a\nsave "+path+"\n")
+	out = run(t, bloomConfig(), "load "+path+"\n? a\n")
+	if !strings.Contains(out, "err:") {
+		t.Fatalf("cross-kind load did not error: %q", out)
+	}
+}
+
+func TestEngineMemoryBitsAllKinds(t *testing.T) {
+	for _, cfg := range []Config{
+		{Kind: "bloom", Bits: 4096, Options: she.Options{Window: 100, Seed: 1}},
+		{Kind: "bitmap", Bits: 4096, Options: she.Options{Window: 100, Seed: 1}},
+		{Kind: "hll", Register: 4096, Options: she.Options{Window: 100, Seed: 1}},
+		{Kind: "cm", Bits: 4096, Options: she.Options{Window: 100, Seed: 1}},
+		{Kind: "minhash", Register: 256, Options: she.Options{Window: 100, Seed: 1}},
+		{Kind: "topk", Bits: 4096, K: 2, Options: she.Options{Window: 100, Seed: 1}},
+	} {
+		out := run(t, cfg, "stats\n")
+		if !strings.Contains(out, "memory=") || strings.Contains(out, "memory=0.0KB") {
+			t.Fatalf("%s: stats memory suspicious: %q", cfg.Kind, out)
+		}
+	}
+}
+
+func TestEngineMissingArguments(t *testing.T) {
+	out := run(t, bloomConfig(), "+\n?\nsave\nload\n")
+	if c := strings.Count(out, "err:"); c != 4 {
+		t.Fatalf("want 4 err lines, got %d: %q", c, out)
+	}
+}
+
+func TestEngineStreamBOnNonMinhash(t *testing.T) {
+	out := run(t, bloomConfig(), "+b 5\n")
+	if !strings.Contains(out, "err:") {
+		t.Fatalf("+b on bloom did not error: %q", out)
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"she/internal/bitpack"
+	"she/internal/hashing"
+)
+
+// BF is SHE-BF (§4.2): a Bloom filter over a sliding window. Bits are
+// grouped w per group with a 1-bit time mark each; insertion lazily
+// cleans the touched groups; queries ignore young bits (age < N) so the
+// structure keeps the Bloom filter's one-sided error — it never reports
+// false for a key inserted within the window (up to the on-demand
+// cleaning slack of §5.1).
+type BF struct {
+	cfg  WindowConfig
+	bits *bitpack.BitArray
+	gc   *groupClock
+	fam  *hashing.Family
+	w    int
+	tick uint64
+}
+
+// NewBF returns a SHE Bloom filter with m bits in groups of w, k hash
+// functions and the given window configuration.
+func NewBF(m, w, k int, cfg WindowConfig) (*BF, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if m <= 0 || w <= 0 || w > m {
+		return nil, fmt.Errorf("core: invalid bloom geometry m=%d w=%d", m, w)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("core: bloom needs at least one hash function, got %d", k)
+	}
+	groups := (m + w - 1) / w
+	return &BF{
+		cfg:  cfg,
+		bits: bitpack.NewBitArray(m),
+		gc:   newGroupClock(groups, cfg.Tcycle(), cfg.N),
+		fam:  hashing.NewFamily(k, cfg.Seed),
+		w:    w,
+	}, nil
+}
+
+// groupOf returns the group index of bit j and the bounds of the group.
+func (f *BF) groupOf(j int) (gid, lo, hi int) {
+	gid = j / f.w
+	lo = gid * f.w
+	hi = lo + f.w
+	if hi > f.bits.Len() {
+		hi = f.bits.Len()
+	}
+	return gid, lo, hi
+}
+
+// Insert records key at the next count-based tick.
+func (f *BF) Insert(key uint64) {
+	f.tick++
+	f.InsertAt(key, f.tick)
+}
+
+// InsertAt records key at explicit time t.
+func (f *BF) InsertAt(key uint64, t uint64) {
+	m := f.bits.Len()
+	for i := 0; i < f.fam.K(); i++ {
+		j := f.fam.Index(i, key, m)
+		gid, lo, hi := f.groupOf(j)
+		f.gc.check(gid, t, func() { f.bits.ResetRange(lo, hi) })
+		f.bits.Set(j)
+	}
+}
+
+// Query reports whether key may have appeared within the last N items.
+func (f *BF) Query(key uint64) bool { return f.QueryAt(key, f.tick) }
+
+// QueryAt reports whether key may have appeared in the window ending at
+// time t. Young bits are ignored; if every hashed bit is young the
+// filter has no evidence either way and conservatively answers true,
+// preserving one-sidedness.
+func (f *BF) QueryAt(key uint64, t uint64) bool {
+	m := f.bits.Len()
+	for i := 0; i < f.fam.K(); i++ {
+		j := f.fam.Index(i, key, m)
+		gid, lo, hi := f.groupOf(j)
+		f.gc.check(gid, t, func() { f.bits.ResetRange(lo, hi) })
+		if !f.gc.mature(gid, t) {
+			continue // young cell: ignoring it preserves one-sided error
+		}
+		if !f.bits.Get(j) {
+			return false
+		}
+	}
+	return true
+}
+
+// QueryAllCells answers the membership query without age-sensitive
+// selection: young cells are treated like any other. This deliberately
+// breaks the one-sided error guarantee (a recently cleaned group can
+// hide an in-window item) and exists only for the selection ablation
+// benchmark, which quantifies how many false negatives the technique
+// prevents.
+func (f *BF) QueryAllCells(key uint64) bool {
+	t := f.tick
+	m := f.bits.Len()
+	for i := 0; i < f.fam.K(); i++ {
+		j := f.fam.Index(i, key, m)
+		gid, lo, hi := f.groupOf(j)
+		f.gc.check(gid, t, func() { f.bits.ResetRange(lo, hi) })
+		if !f.bits.Get(j) {
+			return false
+		}
+	}
+	return true
+}
+
+// Tick returns the current count-based tick (items inserted so far).
+func (f *BF) Tick() uint64 { return f.tick }
+
+// K returns the number of hash functions.
+func (f *BF) K() int { return f.fam.K() }
+
+// Config returns the window configuration.
+func (f *BF) Config() WindowConfig { return f.cfg }
+
+// MemoryBits returns the structure's payload memory: the bit array plus
+// one mark bit per group.
+func (f *BF) MemoryBits() int { return f.bits.MemoryBits() + f.gc.memoryBits() }

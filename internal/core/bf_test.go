@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"she/internal/exact"
+)
+
+func bfConfig(n uint64) WindowConfig {
+	return WindowConfig{N: n, Alpha: 3, Seed: 1}
+}
+
+func TestBFNoFalseNegativesEver(t *testing.T) {
+	// The paper's central one-sided-error claim: an item inserted
+	// within the window is never reported absent, regardless of stream
+	// shape, because young cells are ignored and cleanings only touch
+	// cells that would be young anyway.
+	const N = 1024
+	bf, err := NewBF(1<<14, 64, 8, bfConfig(N))
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := exact.NewWindow(N)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20*N; i++ {
+		k := uint64(rng.Intn(5000))
+		bf.Insert(k)
+		win.Push(k)
+		if i%97 == 0 { // probe an in-window key regularly
+			probe := uint64(rng.Intn(5000))
+			if win.Contains(probe) && !bf.Query(probe) {
+				t.Fatalf("false negative at tick %d for in-window key %d", i, probe)
+			}
+		}
+	}
+	// Final full check over every in-window key.
+	win.Distinct(func(k uint64, _ uint64) {
+		if !bf.Query(k) {
+			t.Fatalf("false negative for in-window key %d at end of stream", k)
+		}
+	})
+}
+
+func TestBFExpiresOldItems(t *testing.T) {
+	// A key inserted once must eventually be forgotten: after the full
+	// cleaning cycle passes, its bits are gone.
+	const N = 256
+	cfg := bfConfig(N) // Tcycle = 4N
+	bf, err := NewBF(1<<13, 64, 8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const marker = uint64(0xdeadbeef)
+	bf.Insert(marker)
+	// Push sparse unrelated traffic (200 distinct keys, so hash
+	// collisions are negligible) long past the cleaning cycle: the
+	// traffic keeps every group's cleaning on schedule.
+	for i := 0; i < int(cfg.Tcycle())*3; i++ {
+		bf.Insert(uint64(1_000_000 + i%200))
+	}
+	if bf.Query(marker) {
+		t.Fatal("key still reported present three cleaning cycles after insertion")
+	}
+}
+
+func TestBFFalsePositiveRateBounded(t *testing.T) {
+	const N = 4096
+	bf, err := NewBF(1<<16, 64, 8, bfConfig(N))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	// ~2000 distinct keys recurring across the whole cleaning cycle:
+	// bit load stays low (2000·8/65536 ≈ 0.24), the regime the filter
+	// is sized for. (With α=3 the filter holds up to 4 windows' worth
+	// of distinct keys, so the distinct count per cycle is what the
+	// memory must cover.)
+	for i := 0; i < 8*N; i++ {
+		bf.Insert(rng.Uint64() % 2000)
+	}
+	fp := 0
+	const probes = 5000
+	for i := 0; i < probes; i++ {
+		if bf.Query(rng.Uint64() + 1<<40) { // keys never inserted
+			fp++
+		}
+	}
+	if rate := float64(fp) / probes; rate > 0.01 {
+		t.Fatalf("FPR %.4f too high for a comfortably sized filter", rate)
+	}
+}
+
+func TestBFQueryAtDoesNotNeedInsertClock(t *testing.T) {
+	// Time-based usage: explicit timestamps only.
+	bf, err := NewBF(4096, 64, 4, bfConfig(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf.InsertAt(7, 1000)
+	if !bf.QueryAt(7, 1050) {
+		t.Fatal("key missing 50 ticks after insertion (window 100)")
+	}
+	if bf.QueryAt(7, 1000+4*100*3) {
+		t.Fatal("key still present cycles later")
+	}
+}
+
+func TestBFRejectsBadParameters(t *testing.T) {
+	good := bfConfig(100)
+	if _, err := NewBF(0, 64, 8, good); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	if _, err := NewBF(100, 0, 8, good); err == nil {
+		t.Fatal("w=0 accepted")
+	}
+	if _, err := NewBF(100, 200, 8, good); err == nil {
+		t.Fatal("w>m accepted")
+	}
+	if _, err := NewBF(100, 10, 0, good); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewBF(100, 10, 4, WindowConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestBFMemoryBitsIncludesMarks(t *testing.T) {
+	bf, err := NewBF(1024, 64, 8, bfConfig(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bf.MemoryBits(); got != 1024+16 {
+		t.Fatalf("MemoryBits=%d, want 1040 (1024 bits + 16 marks)", got)
+	}
+}
+
+func TestBFGroupSizeOneAndOddGeometry(t *testing.T) {
+	// w=1 and a non-multiple group size both have to work; the last
+	// group is short.
+	for _, geom := range []struct{ m, w int }{{100, 1}, {100, 7}, {127, 64}} {
+		bf, err := NewBF(geom.m, geom.w, 3, bfConfig(50))
+		if err != nil {
+			t.Fatalf("geometry %+v rejected: %v", geom, err)
+		}
+		win := exact.NewWindow(50)
+		for i := 0; i < 500; i++ {
+			k := uint64(i % 97)
+			bf.Insert(k)
+			win.Push(k)
+		}
+		win.Distinct(func(k uint64, _ uint64) {
+			if !bf.Query(k) {
+				t.Fatalf("geometry %+v: false negative for %d", geom, k)
+			}
+		})
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+// groupClock is the hardware version's cleaning machinery (§3.3,
+// Algorithm 1): one time-mark bit and one fixed time offset per group.
+//
+// The paper writes the offset as d_gid = −⌊Tcycle·gid/G⌋. To keep all
+// arithmetic in the positive uint64 domain we use the equivalent
+// phase(gid, t) = t + 2·Tcycle − ⌊Tcycle·gid/G⌋: the current mark is
+// (phase/Tcycle) mod 2 and the group age is phase mod Tcycle, exactly
+// as in the paper (shifting by 2·Tcycle changes neither parity nor
+// residue, and ⌊Tcycle·gid/G⌋ < Tcycle keeps phase non-negative for
+// every t ≥ 0).
+type groupClock struct {
+	marks []bool
+	offs  []uint64 // offs[gid] = ⌊Tcycle·gid/G⌋
+	T     uint64
+	N     uint64
+}
+
+// newGroupClock builds the clock for G groups. Marks are initialized to
+// each group's mark at t = 0 so that an untouched, still-zero array is
+// never spuriously "cleaned".
+func newGroupClock(G int, T, N uint64) *groupClock {
+	if G <= 0 {
+		panic("core: group count must be positive")
+	}
+	c := &groupClock{marks: make([]bool, G), offs: make([]uint64, G), T: T, N: N}
+	for gid := 0; gid < G; gid++ {
+		c.offs[gid] = T * uint64(gid) / uint64(G)
+		c.marks[gid] = c.curMark(gid, 0)
+	}
+	return c
+}
+
+func (c *groupClock) groups() int { return len(c.marks) }
+
+func (c *groupClock) phase(gid int, t uint64) uint64 {
+	return t + 2*c.T - c.offs[gid]
+}
+
+// curMark is ⌊(t+d_gid)/Tcycle⌋ mod 2 — the mark a freshly cleaned
+// group would carry at time t.
+func (c *groupClock) curMark(gid int, t uint64) bool {
+	return (c.phase(gid, t)/c.T)&1 == 1
+}
+
+// age returns the time since the group's latest (virtual) cleaning:
+// (t + d_gid) mod Tcycle. Ages lie in [0, Tcycle).
+func (c *groupClock) age(gid int, t uint64) uint64 {
+	return c.phase(gid, t) % c.T
+}
+
+// check performs on-demand cleaning (Algorithm 1, CheckGroup): if the
+// stored mark differs from the current one, at least one virtual
+// cleaning has passed since the group was last touched, so reset runs
+// and the mark is updated. Reports whether the group was cleaned.
+//
+// Note the deliberate 1-bit aliasing the paper analyzes in §5.1: a
+// group untouched for two full cycles lands back on the same mark and
+// keeps stale cells. Eq. 1 bounds how often that happens.
+func (c *groupClock) check(gid int, t uint64, reset func()) bool {
+	m := c.curMark(gid, t)
+	if m == c.marks[gid] {
+		return false
+	}
+	c.marks[gid] = m
+	reset()
+	return true
+}
+
+// mature reports whether the group's cells are old enough for a
+// one-sided query: age ≥ N (perfect or aged cells; Algorithm 1,
+// CheckMature).
+func (c *groupClock) mature(gid int, t uint64) bool {
+	return c.age(gid, t) >= c.N
+}
+
+// legalTwoSided reports whether the group's age lies in [floor, Tcycle)
+// — the age window the two-sided estimators accept.
+func (c *groupClock) legalTwoSided(gid int, t uint64, floor uint64) bool {
+	return c.age(gid, t) >= floor
+}
+
+// memoryBits returns the bookkeeping overhead: one mark bit per group.
+func (c *groupClock) memoryBits() int { return len(c.marks) }

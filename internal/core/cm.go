@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"she/internal/bitpack"
+	"she/internal/hashing"
+)
+
+// CM is SHE-CM (§4.4): a Count-Min sketch over a sliding window.
+// Counters are grouped w per group with a 1-bit mark; queries take the
+// minimum over the hashed counters whose age is ≥ N, preserving the
+// Count-Min "never underestimates" property for in-window items (up to
+// the on-demand cleaning slack).
+type CM struct {
+	cfg      WindowConfig
+	counters *bitpack.Packed
+	gc       *groupClock
+	fam      *hashing.Family
+	w        int
+	tick     uint64
+}
+
+// NewCM returns a SHE Count-Min sketch with n counters of the given bit
+// width in groups of w, using k hash functions.
+func NewCM(n, w, k int, width uint, cfg WindowConfig) (*CM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 || w <= 0 || w > n {
+		return nil, fmt.Errorf("core: invalid count-min geometry n=%d w=%d", n, w)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("core: count-min needs at least one hash function, got %d", k)
+	}
+	groups := (n + w - 1) / w
+	return &CM{
+		cfg:      cfg,
+		counters: bitpack.NewPacked(n, width),
+		gc:       newGroupClock(groups, cfg.Tcycle(), cfg.N),
+		fam:      hashing.NewFamily(k, cfg.Seed),
+		w:        w,
+	}, nil
+}
+
+// Insert adds one occurrence of key at the next count-based tick.
+func (c *CM) Insert(key uint64) {
+	c.tick++
+	c.InsertAt(key, c.tick)
+}
+
+// InsertAt adds one occurrence of key at explicit time t.
+func (c *CM) InsertAt(key uint64, t uint64) {
+	n := c.counters.Len()
+	for i := 0; i < c.fam.K(); i++ {
+		j := c.fam.Index(i, key, n)
+		gid := j / c.w
+		lo := gid * c.w
+		hi := lo + c.w
+		if hi > n {
+			hi = n
+		}
+		c.gc.check(gid, t, func() { c.counters.ResetRange(lo, hi) })
+		c.counters.AddSat(j, 1)
+	}
+}
+
+// EstimateFrequency estimates key's frequency within the last N items.
+func (c *CM) EstimateFrequency(key uint64) uint64 {
+	return c.EstimateFrequencyAt(key, c.tick)
+}
+
+// EstimateFrequencyAt estimates key's window frequency at time t: the
+// minimum over the hashed counters with age ≥ N. If every hashed
+// counter is young (probability (N/Tcycle)^k, ~4·10⁻³ at the α=1, k=8
+// defaults), the minimum over all hashed counters is returned instead —
+// the only information available.
+func (c *CM) EstimateFrequencyAt(key uint64, t uint64) uint64 {
+	n := c.counters.Len()
+	minMature := ^uint64(0)
+	minAll := ^uint64(0)
+	for i := 0; i < c.fam.K(); i++ {
+		j := c.fam.Index(i, key, n)
+		gid := j / c.w
+		lo := gid * c.w
+		hi := lo + c.w
+		if hi > n {
+			hi = n
+		}
+		c.gc.check(gid, t, func() { c.counters.ResetRange(lo, hi) })
+		v := c.counters.Get(j)
+		if v < minAll {
+			minAll = v
+		}
+		if c.gc.mature(gid, t) && v < minMature {
+			minMature = v
+		}
+	}
+	if minMature != ^uint64(0) {
+		return minMature
+	}
+	return minAll
+}
+
+// Counter reports the raw value of counter i without cleaning or age
+// filtering — a state-inspection hook mirroring BM.Bit, used by the
+// hardware-datapath equivalence tests.
+func (c *CM) Counter(i int) uint64 { return c.counters.Get(i) }
+
+// Tick returns the current count-based tick.
+func (c *CM) Tick() uint64 { return c.tick }
+
+// K returns the number of hash functions.
+func (c *CM) K() int { return c.fam.K() }
+
+// Config returns the window configuration.
+func (c *CM) Config() WindowConfig { return c.cfg }
+
+// MemoryBits returns payload memory: counters plus group marks.
+func (c *CM) MemoryBits() int { return c.counters.MemoryBits() + c.gc.memoryBits() }

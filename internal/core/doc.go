@@ -1,0 +1,40 @@
+// Package core implements the Sliding Hardware Estimator (SHE)
+// framework of Wu et al. (ICPP 2022) — the paper's primary
+// contribution — together with its five instantiations: SHE-BF
+// (membership), SHE-BM and SHE-HLL (cardinality), SHE-CM (frequency)
+// and SHE-MH (similarity).
+//
+// # Model
+//
+// A SHE structure is a fixed-window sketch (an array of M cells) made
+// sliding by approximate cleaning: conceptually, a cleaning process
+// sweeps the array once every Tcycle = (1+α)·N ticks (N = window size)
+// and zeroes each cell as it passes. A cell's position therefore
+// determines its age — the time since its last cleaning — and at query
+// time cells are classified as young (age < N), perfect (age = N) or
+// aged (age > N). One-sided sketches ignore young cells; two-sided
+// estimators restrict themselves to cells whose age lies in [βN,
+// Tcycle).
+//
+// The hardware version implemented here replaces the sweeping process
+// with group cleaning + on-demand (lazy) cleaning: the array is split
+// into G groups of w cells, each carrying a 1-bit time mark and a fixed
+// time offset. Whenever an insertion or query touches a group, the
+// current mark ⌊(t+d_gid)/Tcycle⌋ mod 2 is compared with the stored
+// mark; a mismatch means at least one (virtual) cleaning passed since
+// the group was last touched, so the group is zeroed. All state needed
+// to process one item lives in one group, which is what makes the
+// scheme implementable as a single pipeline stage per memory region.
+//
+// The software (sweeping) version is also provided (SweepBF, SweepBM)
+// and is behaviourally identical to the lazy version for w = 1; the
+// equivalence is exercised by the test suite.
+//
+// # Clock
+//
+// All structures run on a uint64 logical tick. Insert/Query advance and
+// use an internal counter (count-based windows, the paper's primary
+// model); InsertAt/QueryAt take explicit timestamps (time-based
+// windows, which the paper reduces to count-based assuming uniform
+// arrivals). Do not mix the two styles on one structure.
+package core

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Binary snapshot format, shared by the five structures. Everything is
+// little-endian. Layout:
+//
+//	magic   [4]byte  "SHE1"
+//	kind    uint8    structure tag
+//	N       uint64
+//	alpha   float64
+//	beta    float64
+//	seed    uint64
+//	tick    uint64
+//	geom    per-kind fixed fields (uint32 each)
+//	marks   uint32 count + ⌈count/8⌉ packed bytes (per clock)
+//	cells   uint32 word count + words (per array)
+//
+// Snapshots are self-describing and validated on load; a snapshot
+// restores an identical structure (same answers to every future query),
+// which the tests enforce.
+
+const snapshotMagic = "SHE1"
+
+// Structure tags.
+const (
+	kindBF byte = iota + 1
+	kindBM
+	kindHLL
+	kindCM
+	kindMH
+)
+
+var errSnapshot = errors.New("core: malformed snapshot")
+
+type snapEncoder struct{ buf []byte }
+
+func (e *snapEncoder) u8(v byte)     { e.buf = append(e.buf, v) }
+func (e *snapEncoder) u32(v uint32)  { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *snapEncoder) u64(v uint64)  { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *snapEncoder) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+func (e *snapEncoder) header(kind byte, cfg WindowConfig, tick uint64) {
+	e.buf = append(e.buf, snapshotMagic...)
+	e.u8(kind)
+	e.u64(cfg.N)
+	e.f64(cfg.Alpha)
+	e.f64(cfg.Beta)
+	e.u64(cfg.Seed)
+	e.u64(tick)
+}
+
+func (e *snapEncoder) marks(gc *groupClock) {
+	e.u32(uint32(len(gc.marks)))
+	var cur byte
+	for i, m := range gc.marks {
+		if m {
+			cur |= 1 << (i % 8)
+		}
+		if i%8 == 7 {
+			e.u8(cur)
+			cur = 0
+		}
+	}
+	if len(gc.marks)%8 != 0 {
+		e.u8(cur)
+	}
+}
+
+func (e *snapEncoder) words(ws []uint64) {
+	e.u32(uint32(len(ws)))
+	for _, w := range ws {
+		e.u64(w)
+	}
+}
+
+type snapDecoder struct{ buf []byte }
+
+func (d *snapDecoder) u8() (byte, error) {
+	if len(d.buf) < 1 {
+		return 0, errSnapshot
+	}
+	v := d.buf[0]
+	d.buf = d.buf[1:]
+	return v, nil
+}
+
+func (d *snapDecoder) u32() (uint32, error) {
+	if len(d.buf) < 4 {
+		return 0, errSnapshot
+	}
+	v := binary.LittleEndian.Uint32(d.buf)
+	d.buf = d.buf[4:]
+	return v, nil
+}
+
+func (d *snapDecoder) u64() (uint64, error) {
+	if len(d.buf) < 8 {
+		return 0, errSnapshot
+	}
+	v := binary.LittleEndian.Uint64(d.buf)
+	d.buf = d.buf[8:]
+	return v, nil
+}
+
+func (d *snapDecoder) f64() (float64, error) {
+	v, err := d.u64()
+	return math.Float64frombits(v), err
+}
+
+func (d *snapDecoder) header(wantKind byte) (cfg WindowConfig, tick uint64, err error) {
+	if len(d.buf) < 4 || string(d.buf[:4]) != snapshotMagic {
+		return cfg, 0, fmt.Errorf("core: bad snapshot magic")
+	}
+	d.buf = d.buf[4:]
+	kind, err := d.u8()
+	if err != nil {
+		return cfg, 0, err
+	}
+	if kind != wantKind {
+		return cfg, 0, fmt.Errorf("core: snapshot holds kind %d, want %d", kind, wantKind)
+	}
+	if cfg.N, err = d.u64(); err != nil {
+		return cfg, 0, err
+	}
+	if cfg.Alpha, err = d.f64(); err != nil {
+		return cfg, 0, err
+	}
+	if cfg.Beta, err = d.f64(); err != nil {
+		return cfg, 0, err
+	}
+	if cfg.Seed, err = d.u64(); err != nil {
+		return cfg, 0, err
+	}
+	if tick, err = d.u64(); err != nil {
+		return cfg, 0, err
+	}
+	return cfg, tick, cfg.Validate()
+}
+
+func (d *snapDecoder) marks(gc *groupClock) error {
+	n, err := d.u32()
+	if err != nil {
+		return err
+	}
+	if int(n) != len(gc.marks) {
+		return fmt.Errorf("core: snapshot has %d marks, structure has %d", n, len(gc.marks))
+	}
+	bytes := (int(n) + 7) / 8
+	if len(d.buf) < bytes {
+		return errSnapshot
+	}
+	for i := 0; i < int(n); i++ {
+		gc.marks[i] = d.buf[i/8]&(1<<(i%8)) != 0
+	}
+	d.buf = d.buf[bytes:]
+	return nil
+}
+
+func (d *snapDecoder) words(ws []uint64) error {
+	n, err := d.u32()
+	if err != nil {
+		return err
+	}
+	if int(n) != len(ws) {
+		return fmt.Errorf("core: snapshot has %d words, structure has %d", n, len(ws))
+	}
+	for i := range ws {
+		if ws[i], err = d.u64(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *snapDecoder) done() error {
+	if len(d.buf) != 0 {
+		return fmt.Errorf("core: %d trailing bytes in snapshot", len(d.buf))
+	}
+	return nil
+}

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"she/internal/exact"
+	"she/internal/hashing"
+	"she/internal/sketch"
+)
+
+// bloomCSM declares the Bloom filter as a CSM triple, as Fig. 2 of the
+// paper does: ⟨bit, k, F(x,y)=1⟩, one-sided.
+func bloomCSM(m, k int) CSM {
+	return CSM{
+		Cells:    m,
+		CellBits: 1,
+		K:        k,
+		Update:   func(_, _ uint64) uint64 { return 1 },
+		Side:     OneSided,
+	}
+}
+
+func TestGenericBloomMatchesDedicatedBF(t *testing.T) {
+	// The generic engine and the dedicated SHE-BF must answer
+	// identically when given the same geometry, window and seed: the
+	// dedicated type is the CSM ⟨bit, k, set-1⟩ with the same hash
+	// family layout (k location hashes drawn first).
+	const m = 1 << 12
+	const k = 4
+	cfg := WindowConfig{N: 512, Alpha: 3, Seed: 31}
+	gen, err := NewGeneric(bloomCSM(m, k), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := NewBF(m, DefaultGroupSize, k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(60))
+	queryGeneric := func(key uint64) bool {
+		ok := true
+		gen.Fold(key, func(c CellView) {
+			if c.Value == 0 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	for i := 0; i < 6000; i++ {
+		key := uint64(rng.Intn(2000))
+		gen.Insert(key)
+		bf.Insert(key)
+		if i%37 == 0 {
+			probe := uint64(rng.Intn(4000))
+			if got, want := queryGeneric(probe), bf.Query(probe); got != want {
+				t.Fatalf("tick %d: generic says %v, dedicated BF says %v for key %d", i, got, want, probe)
+			}
+		}
+	}
+}
+
+func TestGenericCountMinNeverUnderestimates(t *testing.T) {
+	// The CSM ⟨counter, k, F(x,y)=y+1⟩ with one-sided selection keeps
+	// Count-Min's guarantee through the generic engine.
+	const N = 1024
+	cm, err := NewGeneric(CSM{
+		Cells:    1 << 13,
+		CellBits: 32,
+		K:        8,
+		Update:   func(_, y uint64) uint64 { return y + 1 },
+		Side:     OneSided,
+	}, WindowConfig{N: N, Alpha: 1, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	estimate := func(key uint64) (uint64, bool) {
+		min := ^uint64(0)
+		legal := cm.Fold(key, func(c CellView) {
+			if c.Value < min {
+				min = c.Value
+			}
+		})
+		return min, legal > 0
+	}
+	win := exact.NewWindow(N)
+	rng := rand.New(rand.NewSource(61))
+	for i := 0; i < 10*N; i++ {
+		key := uint64(rng.Intn(200))
+		cm.Insert(key)
+		win.Push(key)
+		if i > N && i%41 == 0 {
+			probe := uint64(rng.Intn(200))
+			truth := win.Frequency(probe)
+			if est, ok := estimate(probe); ok && est < truth {
+				t.Fatalf("tick %d: generic CM estimates %d below true %d", i, est, truth)
+			}
+		}
+	}
+}
+
+func TestGenericBitmapCardinality(t *testing.T) {
+	// The CSM ⟨bit, 1, set-1⟩ with two-sided selection: estimate via
+	// FoldAll zero counting, scaled as §4.1 prescribes.
+	const N = 4096
+	const m = 1 << 14
+	bm, err := NewGeneric(CSM{
+		Cells:    m,
+		CellBits: 1,
+		K:        1,
+		Update:   func(_, _ uint64) uint64 { return 1 },
+		Side:     TwoSided,
+	}, WindowConfig{N: N, Alpha: 0.2, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(62))
+	win := exact.NewWindow(N)
+	for i := 0; i < 8*N; i++ {
+		key := uint64(rng.Intn(2000))
+		bm.Insert(key)
+		win.Push(key)
+	}
+	zeros, sampled := 0, 0
+	bm.FoldAll(func(c CellView) {
+		sampled++
+		if c.Value == 0 {
+			zeros++
+		}
+	})
+	if sampled == 0 || zeros == 0 {
+		t.Fatalf("degenerate sample: %d cells, %d zeros", sampled, zeros)
+	}
+	est := -float64(m) * math.Log(float64(zeros)/float64(sampled))
+	truth := float64(win.Cardinality())
+	if math.Abs(est-truth)/truth > 0.15 {
+		t.Fatalf("generic bitmap estimate %.0f vs truth %.0f", est, truth)
+	}
+}
+
+func TestGenericCustomSumSketch(t *testing.T) {
+	// A user-defined CSM the paper never shipped: a "sliding load"
+	// sketch — plain counters, K=2, two-sided — whose FoldAll total
+	// measures how many insertions each legal cell absorbed since its
+	// cleaning. At steady state under a uniform stream, the expected
+	// total is K · Σ_legal(age) / M, which the engine must track.
+	const N = 2048
+	const M = 256
+	const K = 2
+	cfg := WindowConfig{N: N, Alpha: 0.2, Seed: 34}
+	g, err := NewGeneric(CSM{
+		Cells:     M,
+		CellBits:  32,
+		K:         K,
+		Update:    func(_, y uint64) uint64 { return y + 1 },
+		Side:      TwoSided,
+		GroupSize: 1,
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(63))
+	// Dense recurring traffic keeps every cell inside Eq. 1's regime.
+	for i := 0; i < 10*N; i++ {
+		g.Insert(rng.Uint64())
+	}
+	var total, ageSum uint64
+	legal := g.FoldAll(func(c CellView) {
+		total += c.Value
+		ageSum += c.Age
+	})
+	if legal == 0 {
+		t.Fatal("no legal cells")
+	}
+	want := float64(K) * float64(ageSum) / float64(M)
+	got := float64(total)
+	if math.Abs(got-want)/want > 0.25 {
+		t.Fatalf("legal-cell load %0.f, steady-state expectation %.0f", got, want)
+	}
+}
+
+func TestGenericMinHashStyleResetValue(t *testing.T) {
+	// A min-update CSM needs a non-zero reset value (the sentinel), as
+	// SHE-MH does: a cleaned cell must not absorb every later minimum.
+	const sentinel = 1<<16 - 1
+	g, err := NewGeneric(CSM{
+		Cells:    64,
+		CellBits: 16,
+		K:        1,
+		Locations: func(fam *hashing.Family, key uint64, cells int) []int {
+			idx := make([]int, cells)
+			for i := range idx {
+				idx[i] = i
+			}
+			return idx
+		},
+		Update: func(aux, y uint64) uint64 {
+			v := aux & 0xFFFE // never the sentinel
+			if v < y {
+				return v
+			}
+			return y
+		},
+		Side:       TwoSided,
+		GroupSize:  1,
+		ResetValue: sentinel,
+	}, WindowConfig{N: 128, Alpha: 0.2, Seed: 35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before any insert, every cell must hold the sentinel.
+	seen := 0
+	g.FoldAll(func(c CellView) {
+		seen++
+		if c.Value != sentinel {
+			t.Fatalf("fresh cell %d holds %d, want sentinel", c.Index, c.Value)
+		}
+	})
+	if seen == 0 {
+		t.Fatal("no legal cells at t=0")
+	}
+	g.Insert(99)
+	nonSentinel := 0
+	for i := 0; i < g.Cells(); i++ {
+		if g.Cell(i) != sentinel {
+			nonSentinel++
+		}
+	}
+	if nonSentinel != 64 {
+		t.Fatalf("%d cells updated by an all-locations insert, want 64", nonSentinel)
+	}
+	// The per-location aux mixing must give the slots distinct values
+	// (a single shared hash would make every slot identical, which
+	// breaks MinHash-style signatures).
+	distinct := map[uint64]bool{}
+	for i := 0; i < g.Cells(); i++ {
+		distinct[g.Cell(i)] = true
+	}
+	if len(distinct) < 32 {
+		t.Fatalf("only %d distinct slot values after an all-locations insert; aux not location-mixed", len(distinct))
+	}
+}
+
+func TestGenericRejectsBadCSM(t *testing.T) {
+	cfg := WindowConfig{N: 100, Alpha: 1, Seed: 1}
+	bad := []CSM{
+		{Cells: 0, CellBits: 1, K: 1, Update: func(_, y uint64) uint64 { return y }},
+		{Cells: 10, CellBits: 0, K: 1, Update: func(_, y uint64) uint64 { return y }},
+		{Cells: 10, CellBits: 65, K: 1, Update: func(_, y uint64) uint64 { return y }},
+		{Cells: 10, CellBits: 1, K: 0, Update: func(_, y uint64) uint64 { return y }},
+		{Cells: 10, CellBits: 1, K: 1, Update: nil},
+	}
+	for i, csm := range bad {
+		if _, err := NewGeneric(csm, cfg); err == nil {
+			t.Fatalf("bad CSM %d accepted", i)
+		}
+	}
+	if _, err := NewGeneric(bloomCSM(16, 1), WindowConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestGenericMemoryBits(t *testing.T) {
+	g, err := NewGeneric(CSM{
+		Cells:     128,
+		CellBits:  8,
+		K:         1,
+		Update:    func(_, y uint64) uint64 { return y + 1 },
+		GroupSize: 64,
+	}, WindowConfig{N: 100, Alpha: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.MemoryBits(); got != 128*8+2 {
+		t.Fatalf("MemoryBits=%d, want 1026", got)
+	}
+}
+
+// TestGenericHLLMatchesDedicated validates the CSM form of HyperLogLog
+// (⟨counter, 1, F = max(rank, y)⟩, two-sided, w = 1) against the
+// dedicated SHE-HLL. The two use different hash families, so the check
+// is statistical: both estimates must track the exact window
+// cardinality within HLL tolerance.
+func TestGenericHLLMatchesDedicated(t *testing.T) {
+	const N = 1 << 13
+	const M = 1024
+	cfg := WindowConfig{N: N, Alpha: 0.2, Seed: 64}
+	gen, err := NewGeneric(CSM{
+		Cells:    M,
+		CellBits: 5,
+		K:        1,
+		Update: func(aux, y uint64) uint64 {
+			r := sketch.Rank32(uint32(aux))
+			if r > y {
+				return r
+			}
+			return y
+		},
+		Side:      TwoSided,
+		GroupSize: 1,
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ded, err := NewHLL(M, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := exact.NewWindow(N)
+	rng := rand.New(rand.NewSource(65))
+	for i := 0; i < 6*N; i++ {
+		k := rng.Uint64() % 5000
+		gen.Insert(k)
+		ded.Insert(k)
+		win.Push(k)
+	}
+	// Harvest the generic engine's legal registers and run the same
+	// estimator the dedicated implementation uses.
+	var ranks []uint64
+	gen.FoldAll(func(c CellView) { ranks = append(ranks, c.Value) })
+	sub := sketch.EstimateFromRegisters(func(i int) uint64 { return ranks[i] }, len(ranks))
+	genEst := sub * float64(M) / float64(len(ranks))
+
+	truth := float64(win.Cardinality())
+	for name, est := range map[string]float64{"generic": genEst, "dedicated": ded.EstimateCardinality()} {
+		if math.Abs(est-truth)/truth > 0.25 {
+			t.Fatalf("%s estimate %.0f vs truth %.0f", name, est, truth)
+		}
+	}
+}

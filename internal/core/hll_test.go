@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"she/internal/exact"
+)
+
+func hllConfig(n uint64) WindowConfig {
+	return WindowConfig{N: n, Alpha: 0.2, Seed: 3}
+}
+
+func TestHLLTracksWindowCardinality(t *testing.T) {
+	const N = 1 << 14
+	h, err := NewHLL(2048, hllConfig(N))
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := exact.NewWindow(N)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 6*N; i++ {
+		k := rng.Uint64() % 8000
+		h.Insert(k)
+		win.Push(k)
+	}
+	truth := float64(win.Cardinality())
+	est := h.EstimateCardinality()
+	if math.Abs(est-truth)/truth > 0.25 {
+		t.Fatalf("estimate %.0f vs truth %.0f", est, truth)
+	}
+}
+
+func TestHLLExpiresOldKeys(t *testing.T) {
+	const N = 4096
+	h, err := NewHLL(1024, hllConfig(N))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1: large cardinality.
+	for k := uint64(0); k < 100_000; k++ {
+		h.Insert(k)
+	}
+	// Phase 2: a 5000-key recurring set for several cycles. (The
+	// cardinality must stay well above the register count so every
+	// register keeps being touched — Eq. 1's on-demand cleaning
+	// precondition; far below it, aliased registers legitimately retain
+	// stale ranks, which is the §5.1 error the paper accepts.)
+	for i := 0; i < 10*N; i++ {
+		h.Insert(uint64(500_000 + i%5000))
+	}
+	if est := h.EstimateCardinality(); est > 7500 {
+		t.Fatalf("stale cardinality persists: estimate %.0f, window holds ~4100 distinct", est)
+	}
+}
+
+func TestHLLEmptyEstimatesZero(t *testing.T) {
+	h, err := NewHLL(256, hllConfig(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est := h.EstimateCardinality(); est > 1 {
+		t.Fatalf("fresh HLL estimates %.2f", est)
+	}
+}
+
+func TestHLLRejectsBadParameters(t *testing.T) {
+	if _, err := NewHLL(0, hllConfig(100)); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	if _, err := NewHLL(10, WindowConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestHLLMemoryBits(t *testing.T) {
+	h, err := NewHLL(100, hllConfig(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.MemoryBits(); got != 100*5+100 {
+		t.Fatalf("MemoryBits=%d, want 600 (5-bit regs + marks)", got)
+	}
+}
+
+func TestHLLDuplicatesDoNotInflate(t *testing.T) {
+	h, err := NewHLL(512, hllConfig(2048))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50_000; i++ {
+		h.Insert(uint64(i % 300))
+	}
+	if est := h.EstimateCardinality(); est > 900 {
+		t.Fatalf("300 distinct keys estimated at %.0f", est)
+	}
+}

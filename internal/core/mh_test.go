@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"she/internal/exact"
+	"she/internal/stream"
+)
+
+func mhConfig(n uint64) WindowConfig {
+	return WindowConfig{N: n, Alpha: 0.2, Seed: 5}
+}
+
+func TestMHIdenticalStreams(t *testing.T) {
+	const N = 2048
+	mh, err := NewMH(256, mhConfig(N))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4*N; i++ {
+		k := uint64(i % 500)
+		mh.InsertA(k)
+		mh.InsertB(k)
+	}
+	if sim := mh.Similarity(); sim < 0.9 {
+		t.Fatalf("identical streams similarity %.3f, want ≈1", sim)
+	}
+}
+
+func TestMHDisjointStreams(t *testing.T) {
+	const N = 2048
+	mh, err := NewMH(256, mhConfig(N))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4*N; i++ {
+		mh.InsertA(uint64(i % 500))
+		mh.InsertB(uint64(1_000_000 + i%500))
+	}
+	if sim := mh.Similarity(); sim > 0.1 {
+		t.Fatalf("disjoint streams similarity %.3f, want ≈0", sim)
+	}
+}
+
+func TestMHTracksWindowJaccard(t *testing.T) {
+	const N = 4096
+	mh, err := NewMH(512, mhConfig(N))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := stream.NewRelevantPair(0.4, 2000, 14)
+	wa, wb := exact.NewWindow(N), exact.NewWindow(N)
+	for i := 0; i < 5*N; i++ {
+		a, b := pair.NextA(), pair.NextB()
+		mh.InsertA(a)
+		wa.Push(a)
+		mh.InsertB(b)
+		wb.Push(b)
+	}
+	truth := exact.Jaccard(wa, wb)
+	est := mh.Similarity()
+	if math.Abs(est-truth) > 0.12 {
+		t.Fatalf("similarity %.3f vs truth %.3f", est, truth)
+	}
+}
+
+func TestMHForgetsOldOverlap(t *testing.T) {
+	const N = 1024
+	mh, err := NewMH(256, mhConfig(N))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1: identical streams.
+	for i := 0; i < 2*N; i++ {
+		k := uint64(i % 300)
+		mh.InsertA(k)
+		mh.InsertB(k)
+	}
+	// Phase 2: disjoint streams for many cycles.
+	for i := 0; i < 10*N; i++ {
+		mh.InsertA(uint64(1_000_000 + i%300))
+		mh.InsertB(uint64(2_000_000 + i%300))
+	}
+	if sim := mh.Similarity(); sim > 0.15 {
+		t.Fatalf("stale overlap persists: similarity %.3f", sim)
+	}
+}
+
+func TestMHEmptyIsZero(t *testing.T) {
+	mh, err := NewMH(64, mhConfig(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim := mh.Similarity(); sim != 0 {
+		t.Fatalf("empty pair similarity %.3f, want 0", sim)
+	}
+}
+
+func TestMHRejectsBadParameters(t *testing.T) {
+	if _, err := NewMH(0, mhConfig(100)); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	if _, err := NewMH(16, WindowConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestMHMemoryBits(t *testing.T) {
+	mh, err := NewMH(100, mhConfig(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2*100*24 + 2*100
+	if got := mh.MemoryBits(); got != want {
+		t.Fatalf("MemoryBits=%d, want %d", got, want)
+	}
+}

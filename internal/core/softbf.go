@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+
+	"she/internal/bitpack"
+	"she/internal/hashing"
+)
+
+// SweepBF is the software version of SHE-BF (§3.2): identical query
+// semantics to BF, but out-dated bits are removed by an explicit
+// cleaning process that sweeps the array once per Tcycle instead of by
+// lazy group marks. It exists as the reference implementation the lazy
+// version is validated against and as the baseline for the
+// cleaning-strategy ablation.
+type SweepBF struct {
+	cfg  WindowConfig
+	bits *bitpack.BitArray
+	sw   *sweeper
+	fam  *hashing.Family
+	tick uint64
+}
+
+// NewSweepBF returns a software-cleaned SHE Bloom filter with m bits
+// and k hash functions.
+func NewSweepBF(m, k int, cfg WindowConfig) (*SweepBF, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if m <= 0 || k <= 0 {
+		return nil, fmt.Errorf("core: invalid sweep bloom geometry m=%d k=%d", m, k)
+	}
+	f := &SweepBF{
+		cfg:  cfg,
+		bits: bitpack.NewBitArray(m),
+		fam:  hashing.NewFamily(k, cfg.Seed),
+	}
+	f.sw = newSweeper(m, cfg.Tcycle(), func(lo, hi int) { f.bits.ResetRange(lo, hi) })
+	return f, nil
+}
+
+// Insert records key at the next count-based tick.
+func (f *SweepBF) Insert(key uint64) {
+	f.tick++
+	f.InsertAt(key, f.tick)
+}
+
+// InsertAt records key at explicit time t, first advancing the cleaning
+// process to t.
+func (f *SweepBF) InsertAt(key uint64, t uint64) {
+	f.sw.advance(t)
+	m := f.bits.Len()
+	for i := 0; i < f.fam.K(); i++ {
+		f.bits.Set(f.fam.Index(i, key, m))
+	}
+}
+
+// Query reports whether key may have appeared within the last N items.
+func (f *SweepBF) Query(key uint64) bool { return f.QueryAt(key, f.tick) }
+
+// QueryAt reports whether key may have appeared in the window ending at
+// t, ignoring young bits.
+func (f *SweepBF) QueryAt(key uint64, t uint64) bool {
+	f.sw.advance(t)
+	m := f.bits.Len()
+	for i := 0; i < f.fam.K(); i++ {
+		j := f.fam.Index(i, key, m)
+		if f.sw.age(j, t) < f.cfg.N {
+			continue
+		}
+		if !f.bits.Get(j) {
+			return false
+		}
+	}
+	return true
+}
+
+// Tick returns the current count-based tick.
+func (f *SweepBF) Tick() uint64 { return f.tick }
+
+// MemoryBits returns payload memory (no marks are needed, but the
+// sweeping process itself is what hardware cannot afford).
+func (f *SweepBF) MemoryBits() int { return f.bits.MemoryBits() }

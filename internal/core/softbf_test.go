@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"she/internal/exact"
+)
+
+func TestSweepBFNoFalseNegatives(t *testing.T) {
+	const N = 1024
+	f, err := NewSweepBF(1<<14, 8, bfConfig(N))
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := exact.NewWindow(N)
+	rng := rand.New(rand.NewSource(15))
+	for i := 0; i < 10*N; i++ {
+		k := uint64(rng.Intn(3000))
+		f.Insert(k)
+		win.Push(k)
+	}
+	win.Distinct(func(k uint64, _ uint64) {
+		if !f.Query(k) {
+			t.Fatalf("false negative for in-window key %d", k)
+		}
+	})
+}
+
+func TestSweepBFExpires(t *testing.T) {
+	const N = 256
+	cfg := bfConfig(N)
+	f, err := NewSweepBF(1<<13, 8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Insert(42)
+	for i := 0; i < int(cfg.Tcycle())*2; i++ {
+		f.Insert(uint64(1000 + i%100))
+	}
+	if f.Query(42) {
+		t.Fatal("sweeping cleaner failed to expire a key after two full cycles")
+	}
+}
+
+func TestSweepBFAgreesWithLazyBFOnBusyStream(t *testing.T) {
+	// With every group touched each cycle, lazy and sweeping cleaning
+	// produce the same query answers: same hash seed, same window, and
+	// the lazy version's group ages coincide with the sweep ages at
+	// w=1.
+	const N = 2048
+	cfg := bfConfig(N)
+	lazy, err := NewBF(1024, 1, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soft, err := NewSweepBF(1024, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(16))
+	disagreements := 0
+	const probes = 2000
+	for i := 0; i < 12*N; i++ {
+		k := uint64(rng.Intn(150)) // dense recurrence keeps groups fresh
+		lazy.Insert(k)
+		soft.Insert(k)
+	}
+	for p := 0; p < probes; p++ {
+		k := uint64(rng.Intn(400))
+		if lazy.Query(k) != soft.Query(k) {
+			disagreements++
+		}
+	}
+	if disagreements > probes/100 {
+		t.Fatalf("%d/%d query disagreements between lazy and sweeping versions", disagreements, probes)
+	}
+}
+
+func TestSweepBFRejectsBadParameters(t *testing.T) {
+	if _, err := NewSweepBF(0, 8, bfConfig(100)); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	if _, err := NewSweepBF(64, 0, bfConfig(100)); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"she/internal/bitpack"
+	"she/internal/hashing"
+)
+
+// SweepBM is the software version of SHE-BM: the sliding bitmap with an
+// explicit sweeping cleaner instead of lazy group marks.
+type SweepBM struct {
+	cfg  WindowConfig
+	bits *bitpack.BitArray
+	sw   *sweeper
+	fam  *hashing.Family
+	tick uint64
+}
+
+// NewSweepBM returns a software-cleaned SHE bitmap with m bits.
+func NewSweepBM(m int, cfg WindowConfig) (*SweepBM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("core: invalid sweep bitmap size m=%d", m)
+	}
+	b := &SweepBM{
+		cfg:  cfg,
+		bits: bitpack.NewBitArray(m),
+		fam:  hashing.NewFamily(1, cfg.Seed),
+	}
+	b.sw = newSweeper(m, cfg.Tcycle(), func(lo, hi int) { b.bits.ResetRange(lo, hi) })
+	return b, nil
+}
+
+// Insert records key at the next count-based tick.
+func (b *SweepBM) Insert(key uint64) {
+	b.tick++
+	b.InsertAt(key, b.tick)
+}
+
+// InsertAt records key at explicit time t.
+func (b *SweepBM) InsertAt(key uint64, t uint64) {
+	b.sw.advance(t)
+	b.bits.Set(b.fam.Index(0, key, b.bits.Len()))
+}
+
+// EstimateCardinality estimates window cardinality at the current tick.
+func (b *SweepBM) EstimateCardinality() float64 { return b.EstimateCardinalityAt(b.tick) }
+
+// EstimateCardinalityAt estimates window cardinality at time t from the
+// bits whose age is legal.
+func (b *SweepBM) EstimateCardinalityAt(t uint64) float64 {
+	b.sw.advance(t)
+	floor := b.cfg.legalFloor()
+	m := b.bits.Len()
+	zeros, sampled := 0, 0
+	for i := 0; i < m; i++ {
+		if b.sw.age(i, t) < floor {
+			continue
+		}
+		sampled++
+		if !b.bits.Get(i) {
+			zeros++
+		}
+	}
+	if sampled == 0 {
+		return 0
+	}
+	u := float64(zeros)
+	if zeros == 0 {
+		u = 1
+	}
+	return -float64(m) * math.Log(u/float64(sampled))
+}
+
+// Tick returns the current count-based tick.
+func (b *SweepBM) Tick() uint64 { return b.tick }
+
+// MemoryBits returns payload memory.
+func (b *SweepBM) MemoryBits() int { return b.bits.MemoryBits() }

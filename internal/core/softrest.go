@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+
+	"she/internal/bitpack"
+	"she/internal/hashing"
+	"she/internal/sketch"
+)
+
+// The software (sweeping-cleaner) versions of the remaining three
+// sketches, completing the §3.2 picture: identical query semantics to
+// the lazy versions, with the explicit cleaning process the paper's
+// software platform runs. They serve as references for the
+// hardware-version equivalence tests and for the cleaning ablation.
+
+// SweepCM is the software version of SHE-CM.
+type SweepCM struct {
+	cfg      WindowConfig
+	counters *bitpack.Packed
+	sw       *sweeper
+	fam      *hashing.Family
+	tick     uint64
+}
+
+// NewSweepCM returns a software-cleaned SHE Count-Min sketch with n
+// counters of the given width and k hash functions.
+func NewSweepCM(n, k int, width uint, cfg WindowConfig) (*SweepCM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 || k <= 0 {
+		return nil, fmt.Errorf("core: invalid sweep count-min geometry n=%d k=%d", n, k)
+	}
+	c := &SweepCM{
+		cfg:      cfg,
+		counters: bitpack.NewPacked(n, width),
+		fam:      hashing.NewFamily(k, cfg.Seed),
+	}
+	c.sw = newSweeper(n, cfg.Tcycle(), func(lo, hi int) { c.counters.ResetRange(lo, hi) })
+	return c, nil
+}
+
+// Insert adds one occurrence of key at the next count-based tick.
+func (c *SweepCM) Insert(key uint64) {
+	c.tick++
+	c.InsertAt(key, c.tick)
+}
+
+// InsertAt adds one occurrence at explicit time t.
+func (c *SweepCM) InsertAt(key uint64, t uint64) {
+	c.sw.advance(t)
+	n := c.counters.Len()
+	for i := 0; i < c.fam.K(); i++ {
+		c.counters.AddSat(c.fam.Index(i, key, n), 1)
+	}
+}
+
+// EstimateFrequency estimates key's window frequency at the current
+// tick.
+func (c *SweepCM) EstimateFrequency(key uint64) uint64 {
+	return c.EstimateFrequencyAt(key, c.tick)
+}
+
+// EstimateFrequencyAt mirrors CM.EstimateFrequencyAt: the minimum over
+// mature hashed counters, falling back to the overall minimum when all
+// are young.
+func (c *SweepCM) EstimateFrequencyAt(key uint64, t uint64) uint64 {
+	c.sw.advance(t)
+	n := c.counters.Len()
+	minMature := ^uint64(0)
+	minAll := ^uint64(0)
+	for i := 0; i < c.fam.K(); i++ {
+		j := c.fam.Index(i, key, n)
+		v := c.counters.Get(j)
+		if v < minAll {
+			minAll = v
+		}
+		if c.sw.age(j, t) >= c.cfg.N && v < minMature {
+			minMature = v
+		}
+	}
+	if minMature != ^uint64(0) {
+		return minMature
+	}
+	return minAll
+}
+
+// MemoryBits returns payload memory.
+func (c *SweepCM) MemoryBits() int { return c.counters.MemoryBits() }
+
+// SweepHLL is the software version of SHE-HLL.
+type SweepHLL struct {
+	cfg  WindowConfig
+	regs *bitpack.Packed
+	sw   *sweeper
+	fam  *hashing.Family
+	tick uint64
+}
+
+// NewSweepHLL returns a software-cleaned SHE HyperLogLog with m
+// registers.
+func NewSweepHLL(m int, cfg WindowConfig) (*SweepHLL, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("core: invalid sweep hll size m=%d", m)
+	}
+	h := &SweepHLL{
+		cfg:  cfg,
+		regs: bitpack.NewPacked(m, 5),
+		fam:  hashing.NewFamily(2, cfg.Seed),
+	}
+	h.sw = newSweeper(m, cfg.Tcycle(), func(lo, hi int) { h.regs.ResetRange(lo, hi) })
+	return h, nil
+}
+
+// Insert records key at the next count-based tick.
+func (h *SweepHLL) Insert(key uint64) {
+	h.tick++
+	h.InsertAt(key, h.tick)
+}
+
+// InsertAt records key at explicit time t.
+func (h *SweepHLL) InsertAt(key uint64, t uint64) {
+	h.sw.advance(t)
+	i := h.fam.Index(0, key, h.regs.Len())
+	r := sketch.Rank32(uint32(h.fam.Hash(1, key)))
+	if r > h.regs.Get(i) {
+		h.regs.Set(i, r)
+	}
+}
+
+// EstimateCardinality estimates the window cardinality at the current
+// tick.
+func (h *SweepHLL) EstimateCardinality() float64 { return h.EstimateCardinalityAt(h.tick) }
+
+// EstimateCardinalityAt mirrors HLL.EstimateCardinalityAt over the
+// sweeper's ages.
+func (h *SweepHLL) EstimateCardinalityAt(t uint64) float64 {
+	h.sw.advance(t)
+	floor := h.cfg.legalFloor()
+	legal := make([]uint64, 0, h.regs.Len())
+	for i := 0; i < h.regs.Len(); i++ {
+		if h.sw.age(i, t) < floor {
+			continue
+		}
+		legal = append(legal, h.regs.Get(i))
+	}
+	if len(legal) == 0 {
+		return 0
+	}
+	sub := sketch.EstimateFromRegisters(func(i int) uint64 { return legal[i] }, len(legal))
+	return sub * float64(h.regs.Len()) / float64(len(legal))
+}
+
+// MemoryBits returns payload memory.
+func (h *SweepHLL) MemoryBits() int { return h.regs.MemoryBits() }
+
+// SweepMH is the software version of SHE-MH: a MinHash pair whose
+// signature arrays are swept by explicit cleaners (cells reset to the
+// empty sentinel).
+type SweepMH struct {
+	cfg      WindowConfig
+	c1, c2   *bitpack.Packed
+	sw1, sw2 *sweeper
+	fam      *hashing.Family
+	tick     uint64
+}
+
+// NewSweepMH returns a software-cleaned SHE MinHash pair with m
+// signature slots per stream.
+func NewSweepMH(m int, cfg WindowConfig) (*SweepMH, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("core: invalid sweep minhash size m=%d", m)
+	}
+	mh := &SweepMH{
+		cfg: cfg,
+		c1:  bitpack.NewPacked(m, 24),
+		c2:  bitpack.NewPacked(m, 24),
+		fam: hashing.NewFamily(m, cfg.Seed),
+	}
+	fill := func(c *bitpack.Packed) func(lo, hi int) {
+		return func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				c.Set(i, mhEmpty)
+			}
+		}
+	}
+	mh.sw1 = newSweeper(m, cfg.Tcycle(), fill(mh.c1))
+	mh.sw2 = newSweeper(m, cfg.Tcycle(), fill(mh.c2))
+	for i := 0; i < m; i++ {
+		mh.c1.Set(i, mhEmpty)
+		mh.c2.Set(i, mhEmpty)
+	}
+	return mh, nil
+}
+
+// InsertA records key on stream A at the next shared tick.
+func (mh *SweepMH) InsertA(key uint64) {
+	mh.tick++
+	mh.insertAt(mh.c1, mh.sw1, key, mh.tick)
+}
+
+// InsertB records key on stream B at the next shared tick.
+func (mh *SweepMH) InsertB(key uint64) {
+	mh.tick++
+	mh.insertAt(mh.c2, mh.sw2, key, mh.tick)
+}
+
+func (mh *SweepMH) insertAt(c *bitpack.Packed, sw *sweeper, key uint64, t uint64) {
+	sw.advance(t)
+	for i := 0; i < c.Len(); i++ {
+		h := mh.fam.Hash(i, key) & mhEmpty
+		if h == mhEmpty {
+			h--
+		}
+		if h < c.Get(i) {
+			c.Set(i, h)
+		}
+	}
+}
+
+// Similarity estimates the window Jaccard index at the current shared
+// tick, mirroring MH.SimilarityAt's slot rules.
+func (mh *SweepMH) Similarity() float64 {
+	t := mh.tick
+	mh.sw1.advance(t)
+	mh.sw2.advance(t)
+	floor := mh.cfg.legalFloor()
+	k, eq := 0, 0
+	for i := 0; i < mh.c1.Len(); i++ {
+		if mh.sw1.age(i, t) < floor {
+			continue
+		}
+		v1, v2 := mh.c1.Get(i), mh.c2.Get(i)
+		if v1 == mhEmpty && v2 == mhEmpty {
+			continue
+		}
+		k++
+		if v1 == v2 {
+			eq++
+		}
+	}
+	if k == 0 {
+		return 0
+	}
+	return float64(eq) / float64(k)
+}
+
+// MemoryBits returns payload memory for both arrays.
+func (mh *SweepMH) MemoryBits() int { return mh.c1.MemoryBits() + mh.c2.MemoryBits() }

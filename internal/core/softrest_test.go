@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"she/internal/exact"
+)
+
+func TestSweepCMNeverUnderestimates(t *testing.T) {
+	const N = 1024
+	cm, err := NewSweepCM(1<<13, 8, 32, WindowConfig{N: N, Alpha: 1, Seed: 47})
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := exact.NewWindow(N)
+	rng := rand.New(rand.NewSource(48))
+	under, checks := 0, 0
+	for i := 0; i < 10*N; i++ {
+		k := uint64(rng.Intn(150))
+		cm.Insert(k)
+		win.Push(k)
+		if i > N && i%43 == 0 {
+			probe := uint64(rng.Intn(150))
+			truth := win.Frequency(probe)
+			if truth == 0 {
+				continue
+			}
+			checks++
+			if cm.EstimateFrequency(probe) < truth {
+				under++
+			}
+		}
+	}
+	if checks == 0 {
+		t.Fatal("no checks")
+	}
+	if rate := float64(under) / float64(checks); rate > 0.02 {
+		t.Fatalf("underestimate rate %.4f", rate)
+	}
+}
+
+func TestSweepCMAgreesWithLazyCM(t *testing.T) {
+	// Same seed, same window, every group busy: the cleaning strategies
+	// must give closely matching estimates.
+	const N = 2048
+	cfg := WindowConfig{N: N, Alpha: 1, Seed: 49}
+	lazy, err := NewCM(512, 1, 4, 32, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soft, err := NewSweepCM(512, 4, 32, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(50))
+	for i := 0; i < 10*N; i++ {
+		k := uint64(rng.Intn(60))
+		lazy.Insert(k)
+		soft.Insert(k)
+	}
+	for k := uint64(0); k < 60; k++ {
+		a, b := lazy.EstimateFrequency(k), soft.EstimateFrequency(k)
+		diff := math.Abs(float64(a) - float64(b))
+		if diff > 0.25*float64(b)+8 {
+			t.Fatalf("key %d: lazy %d vs sweep %d", k, a, b)
+		}
+	}
+}
+
+func TestSweepHLLTracksCardinality(t *testing.T) {
+	const N = 1 << 13
+	h, err := NewSweepHLL(1024, WindowConfig{N: N, Alpha: 0.2, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := exact.NewWindow(N)
+	rng := rand.New(rand.NewSource(52))
+	for i := 0; i < 6*N; i++ {
+		k := rng.Uint64() % 5000
+		h.Insert(k)
+		win.Push(k)
+	}
+	truth := float64(win.Cardinality())
+	est := h.EstimateCardinality()
+	if math.Abs(est-truth)/truth > 0.25 {
+		t.Fatalf("estimate %.0f vs truth %.0f", est, truth)
+	}
+}
+
+func TestSweepHLLAgreesWithLazyHLL(t *testing.T) {
+	const N = 1 << 13
+	cfg := WindowConfig{N: N, Alpha: 0.2, Seed: 53}
+	lazy, err := NewHLL(512, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soft, err := NewSweepHLL(512, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(54))
+	for i := 0; i < 8*N; i++ {
+		k := rng.Uint64() % 20000 // dense traffic: every register busy
+		lazy.Insert(k)
+		soft.Insert(k)
+	}
+	a, b := lazy.EstimateCardinality(), soft.EstimateCardinality()
+	if b == 0 || math.Abs(a-b)/b > 0.15 {
+		t.Fatalf("lazy %.0f vs sweep %.0f diverge", a, b)
+	}
+}
+
+func TestSweepMHSimilarity(t *testing.T) {
+	const N = 4096
+	mh, err := NewSweepMH(256, WindowConfig{N: N, Alpha: 0.2, Seed: 55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half-overlapping alphabets → J = 1/3.
+	for i := 0; i < 6*N; i++ {
+		mh.InsertA(uint64(i % 600))
+		mh.InsertB(uint64(i%600 + 300))
+	}
+	sim := mh.Similarity()
+	if math.Abs(sim-1.0/3) > 0.12 {
+		t.Fatalf("similarity %.3f, want ≈0.333", sim)
+	}
+}
+
+func TestSweepMHForgets(t *testing.T) {
+	const N = 1024
+	mh, err := NewSweepMH(128, WindowConfig{N: N, Alpha: 0.2, Seed: 56})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2*N; i++ {
+		k := uint64(i % 200)
+		mh.InsertA(k)
+		mh.InsertB(k)
+	}
+	for i := 0; i < 8*N; i++ {
+		mh.InsertA(uint64(1_000_000 + i%200))
+		mh.InsertB(uint64(2_000_000 + i%200))
+	}
+	if sim := mh.Similarity(); sim > 0.15 {
+		t.Fatalf("stale overlap persists: %.3f", sim)
+	}
+}
+
+func TestSweepVariantsRejectBadParams(t *testing.T) {
+	good := WindowConfig{N: 100, Alpha: 1, Seed: 1}
+	if _, err := NewSweepCM(0, 4, 32, good); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := NewSweepCM(64, 0, 32, good); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewSweepHLL(0, good); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	if _, err := NewSweepMH(0, good); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	if _, err := NewSweepMH(16, WindowConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}

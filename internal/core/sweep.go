@@ -1,0 +1,74 @@
+package core
+
+// sweeper is the software version's cleaning process (§3.2): a pointer
+// that sweeps an M-cell array left to right at constant speed, zeroing
+// cells, completing one pass every Tcycle ticks and wrapping around.
+//
+// Cell i is (re)cleaned at every tick t with t ≡ ⌊i·Tcycle/M⌋
+// (mod Tcycle); its age at time t is therefore
+// (t − ⌊i·Tcycle/M⌋) mod Tcycle — for M = G·w with w = 1 this is
+// exactly the lazy groupClock's age, which is what makes the two
+// versions equivalent (see the equivalence tests).
+type sweeper struct {
+	M     int
+	T     uint64
+	last  uint64           // last tick the sweep has been advanced to
+	reset func(lo, hi int) // zeroes cells [lo, hi)
+}
+
+func newSweeper(m int, T uint64, reset func(lo, hi int)) *sweeper {
+	if m <= 0 {
+		panic("core: sweeper needs a positive cell count")
+	}
+	return &sweeper{M: m, T: T, reset: reset}
+}
+
+// cleanedBefore returns how many cells have cleaning residue ≤ c, i.e.
+// the exclusive upper cell index of the prefix cleaned once the sweep
+// has processed residue c.
+func (s *sweeper) cleanedBefore(c uint64) int {
+	// r_i = ⌊i·T/M⌋ ≤ c  ⇔  i < (c+1)·M/T.
+	n := ((c + 1) * uint64(s.M)) / s.T
+	if ((c+1)*uint64(s.M))%s.T == 0 {
+		// exact division: i < (c+1)M/T excludes the boundary index
+		return int(n)
+	}
+	return int(n) + 1
+}
+
+// advance runs the cleaning process from the previously seen tick up to
+// and including t, zeroing every cell whose scheduled cleaning time
+// falls in that interval.
+func (s *sweeper) advance(t uint64) {
+	if t <= s.last {
+		return
+	}
+	if t-s.last >= s.T {
+		s.reset(0, s.M)
+		s.last = t
+		return
+	}
+	a, b := s.last%s.T, t%s.T // clean residues in (a, b] with wraparound
+	lo := s.cleanedBefore(a)  // cells with r_i ≤ a already cleaned this lap
+	hi := s.cleanedBefore(b)
+	if a < b {
+		if lo < hi {
+			s.reset(lo, hi)
+		}
+	} else {
+		if lo < s.M {
+			s.reset(lo, s.M)
+		}
+		if hi > 0 {
+			s.reset(0, hi)
+		}
+	}
+	s.last = t
+}
+
+// age returns cell i's age at time t: the time since its last scheduled
+// cleaning.
+func (s *sweeper) age(i int, t uint64) uint64 {
+	r := uint64(i) * s.T / uint64(s.M)
+	return (t + s.T - r) % s.T
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// timedItem pairs a key with its explicit timestamp for the time-based
+// reference model.
+type timedItem struct {
+	key uint64
+	t   uint64
+}
+
+// inTimeWindow reports whether key occurs among items with timestamp in
+// (now−N, now].
+func inTimeWindow(items []timedItem, key, now, n uint64) bool {
+	for i := len(items) - 1; i >= 0; i-- {
+		if items[i].t+n <= now {
+			break // items are time-ordered; everything earlier is out
+		}
+		if items[i].key == key {
+			return true
+		}
+	}
+	return false
+}
+
+func TestBFTimeBasedNoFalseNegativesWithGaps(t *testing.T) {
+	// The one-sided guarantee must survive bursty, gappy timestamps:
+	// arbitrary idle stretches (including multi-cycle ones that trigger
+	// aliasing) never produce a false negative, because cleaning only
+	// ever fires on cells whose content would be young anyway.
+	const N = 1000
+	bf, err := NewBF(1<<13, 64, 8, WindowConfig{N: N, Alpha: 3, Seed: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(41))
+	var items []timedItem
+	now := uint64(1)
+	for i := 0; i < 30_000; i++ {
+		switch rng.Intn(20) {
+		case 0:
+			now += uint64(rng.Intn(3 * N)) // long lull, possibly > Tcycle
+		default:
+			now += uint64(rng.Intn(3))
+		}
+		k := uint64(rng.Intn(700))
+		bf.InsertAt(k, now)
+		items = append(items, timedItem{key: k, t: now})
+
+		if i%71 == 0 {
+			probe := uint64(rng.Intn(700))
+			if inTimeWindow(items, probe, now, N) && !bf.QueryAt(probe, now) {
+				t.Fatalf("step %d: false negative for key %d at t=%d", i, probe, now)
+			}
+		}
+	}
+}
+
+func TestCMTimeBasedNeverUnderestimatesWithGaps(t *testing.T) {
+	const N = 800
+	cm, err := NewCM(1<<13, 64, 8, 32, WindowConfig{N: N, Alpha: 1, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(43))
+	var items []timedItem
+	now := uint64(1)
+	countInWindow := func(key uint64) uint64 {
+		var c uint64
+		for i := len(items) - 1; i >= 0; i-- {
+			if items[i].t+N <= now {
+				break
+			}
+			if items[i].key == key {
+				c++
+			}
+		}
+		return c
+	}
+	under, checks := 0, 0
+	for i := 0; i < 20_000; i++ {
+		if rng.Intn(25) == 0 {
+			now += uint64(rng.Intn(2 * N))
+		} else {
+			now += uint64(rng.Intn(2))
+		}
+		k := uint64(rng.Intn(120))
+		cm.InsertAt(k, now)
+		items = append(items, timedItem{key: k, t: now})
+		if i%97 == 0 {
+			probe := uint64(rng.Intn(120))
+			truth := countInWindow(probe)
+			if truth == 0 {
+				continue
+			}
+			checks++
+			if cm.EstimateFrequencyAt(probe, now) < truth {
+				under++
+			}
+		}
+	}
+	if checks == 0 {
+		t.Fatal("no checks performed")
+	}
+	// Only the documented all-young fallback may undercount.
+	if rate := float64(under) / float64(checks); rate > 0.02 {
+		t.Fatalf("underestimate rate %.4f over %d checks", rate, checks)
+	}
+}
+
+func TestBMTimeBasedIdlePeriodsDoNotInflate(t *testing.T) {
+	// Cardinality of a quiet stream: after heavy traffic stops, the
+	// estimate at a much later time must reflect the (small) recent
+	// window, not the old burst — even though only queries touch the
+	// structure during the lull.
+	const N = 2048
+	bm, err := NewBM(1<<13, 64, WindowConfig{N: N, Alpha: 0.2, Seed: 44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := uint64(1)
+	for i := 0; i < 6*N; i++ {
+		now++
+		bm.InsertAt(uint64(i%3000), now)
+	}
+	// Lull: traffic drops to a quarter of the tick rate and a much
+	// smaller key population for 10 cleaning cycles. The trickle still
+	// touches every group once per cycle (Eq. 1's operating regime —
+	// ~5 insertions per group per cycle here), which is what lets the
+	// marks clean the burst away. (A lull with *no* traffic into a
+	// group for an even number of cycles aliases the 1-bit mark and
+	// legitimately retains stale bits; that failure mode is §5.1's and
+	// is exercised in TestGroupClockAliasingSkipsClean.)
+	T := bm.Config().Tcycle()
+	lullInserts := int(10 * T / 4)
+	for i := 0; i < lullInserts; i++ {
+		now += 4
+		bm.InsertAt(uint64(100_000+i%1500), now)
+	}
+	// Window holds ~N/4 trickle items drawn from 1500 keys ≈ 430
+	// distinct; the 3000-key burst must be gone.
+	est := bm.EstimateCardinalityAt(now)
+	if est > 800 {
+		t.Fatalf("idle-period estimate %.0f; window holds ~430 distinct trickle keys", est)
+	}
+	if est < 150 {
+		t.Fatalf("idle-period estimate %.0f collapsed below the live traffic", est)
+	}
+}
+
+func TestQueryAtIsRepeatable(t *testing.T) {
+	// Two identical queries at the same timestamp must agree (the
+	// on-demand cleaning a query performs is idempotent at fixed t).
+	bf, err := NewBF(4096, 64, 8, WindowConfig{N: 500, Alpha: 3, Seed: 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(46))
+	now := uint64(0)
+	for i := 0; i < 5000; i++ {
+		now += uint64(rng.Intn(4))
+		bf.InsertAt(uint64(rng.Intn(400)), now)
+	}
+	for p := 0; p < 500; p++ {
+		k := uint64(rng.Intn(800))
+		if bf.QueryAt(k, now) != bf.QueryAt(k, now) {
+			t.Fatalf("query for %d not repeatable at t=%d", k, now)
+		}
+	}
+}

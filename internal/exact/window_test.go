@@ -1,0 +1,154 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveWindow recomputes statistics from a plain slice — the model the
+// ring implementation is checked against.
+type naiveWindow struct {
+	items []uint64
+	n     int
+}
+
+func (w *naiveWindow) push(k uint64) {
+	w.items = append(w.items, k)
+	if len(w.items) > w.n {
+		w.items = w.items[1:]
+	}
+}
+
+func (w *naiveWindow) freq(k uint64) uint64 {
+	var c uint64
+	for _, x := range w.items {
+		if x == k {
+			c++
+		}
+	}
+	return c
+}
+
+func (w *naiveWindow) card() int {
+	set := map[uint64]bool{}
+	for _, x := range w.items {
+		set[x] = true
+	}
+	return len(set)
+}
+
+func TestWindowMatchesNaiveModel(t *testing.T) {
+	const N = 64
+	w := NewWindow(N)
+	ref := &naiveWindow{n: N}
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 5000; i++ {
+		k := uint64(rng.Intn(40))
+		w.Push(k)
+		ref.push(k)
+		probe := uint64(rng.Intn(40))
+		if got, want := w.Frequency(probe), ref.freq(probe); got != want {
+			t.Fatalf("step %d: Frequency(%d)=%d, want %d", i, probe, got, want)
+		}
+		if got, want := w.Contains(probe), ref.freq(probe) > 0; got != want {
+			t.Fatalf("step %d: Contains(%d)=%v, want %v", i, probe, got, want)
+		}
+		if got, want := w.Cardinality(), ref.card(); got != want {
+			t.Fatalf("step %d: Cardinality=%d, want %d", i, got, want)
+		}
+		if got, want := w.Len(), len(ref.items); got != want {
+			t.Fatalf("step %d: Len=%d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestWindowPartialFill(t *testing.T) {
+	w := NewWindow(100)
+	for k := uint64(0); k < 10; k++ {
+		w.Push(k)
+	}
+	if w.Len() != 10 || w.Cardinality() != 10 {
+		t.Fatalf("Len=%d Cardinality=%d after 10 pushes", w.Len(), w.Cardinality())
+	}
+	if !w.Contains(5) || w.Contains(50) {
+		t.Fatal("membership wrong on partially filled window")
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	w := NewWindow(3)
+	for _, k := range []uint64{1, 2, 3, 4} {
+		w.Push(k)
+	}
+	if w.Contains(1) {
+		t.Fatal("evicted key still reported present")
+	}
+	for _, k := range []uint64{2, 3, 4} {
+		if !w.Contains(k) {
+			t.Fatalf("key %d missing from window", k)
+		}
+	}
+}
+
+func TestWindowDistinctIteration(t *testing.T) {
+	w := NewWindow(10)
+	for _, k := range []uint64{7, 7, 8, 9, 9, 9} {
+		w.Push(k)
+	}
+	got := map[uint64]uint64{}
+	w.Distinct(func(k, c uint64) { got[k] = c })
+	want := map[uint64]uint64{7: 2, 8: 1, 9: 3}
+	if len(got) != len(want) {
+		t.Fatalf("Distinct visited %d keys, want %d", len(got), len(want))
+	}
+	for k, c := range want {
+		if got[k] != c {
+			t.Fatalf("Distinct count for %d = %d, want %d", k, got[k], c)
+		}
+	}
+}
+
+func TestWindowPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for capacity 0")
+		}
+	}()
+	NewWindow(0)
+}
+
+func TestJaccard(t *testing.T) {
+	a, b := NewWindow(10), NewWindow(10)
+	// A = {1,2,3}, B = {2,3,4}: J = 2/4.
+	for _, k := range []uint64{1, 2, 3} {
+		a.Push(k)
+	}
+	for _, k := range []uint64{2, 3, 4} {
+		b.Push(k)
+	}
+	if got := Jaccard(a, b); got != 0.5 {
+		t.Fatalf("Jaccard=%v, want 0.5", got)
+	}
+	if got := Jaccard(a, a); got != 1 {
+		t.Fatalf("self Jaccard=%v, want 1", got)
+	}
+	empty := NewWindow(5)
+	if got := Jaccard(empty, empty); got != 0 {
+		t.Fatalf("empty Jaccard=%v, want 0", got)
+	}
+	if got := Jaccard(a, empty); got != 0 {
+		t.Fatalf("half-empty Jaccard=%v, want 0", got)
+	}
+}
+
+func TestJaccardSymmetric(t *testing.T) {
+	a, b := NewWindow(50), NewWindow(50)
+	rng := rand.New(rand.NewSource(18))
+	for i := 0; i < 50; i++ {
+		a.Push(uint64(rng.Intn(30)))
+		b.Push(uint64(rng.Intn(30)))
+	}
+	if Jaccard(a, b) != Jaccard(b, a) {
+		t.Fatal("Jaccard is not symmetric")
+	}
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+
+	"she/internal/core"
+)
+
+// warmFor returns the warm-up length in windows for a cleaning slack α:
+// two full cleaning cycles plus two windows, so every cell has cycled
+// at least twice — clearing even 1-bit-aliased groups — before
+// measurement ("we feed enough items until the performance is stable",
+// §7.1).
+func warmFor(alpha float64) int { return 2*int(alpha+1) + 2 }
+
+// groupW clamps the paper's default group size (64) to the array size.
+func groupW(cells int) int {
+	if cells < core.DefaultGroupSize {
+		return cells
+	}
+	return core.DefaultGroupSize
+}
+
+func mustBM(bits int, n uint64, alpha float64, seed uint64) *core.BM {
+	bm, err := core.NewBM(bits, groupW(bits), core.WindowConfig{N: n, Alpha: alpha, Seed: seed})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: bm: %v", err))
+	}
+	return bm
+}
+
+func mustBF(bits int, n uint64, alpha float64, k int, seed uint64) *core.BF {
+	bf, err := core.NewBF(bits, groupW(bits), k, core.WindowConfig{N: n, Alpha: alpha, Seed: seed})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: bf: %v", err))
+	}
+	return bf
+}
+
+func mustHLL(regs int, n uint64, alpha float64, seed uint64) *core.HLL {
+	h, err := core.NewHLL(regs, core.WindowConfig{N: n, Alpha: alpha, Seed: seed})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: hll: %v", err))
+	}
+	return h
+}
+
+func mustCM(counters int, n uint64, alpha float64, k int, seed uint64) *core.CM {
+	cm, err := core.NewCM(counters, groupW(counters), k, 32, core.WindowConfig{N: n, Alpha: alpha, Seed: seed})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: cm: %v", err))
+	}
+	return cm
+}
+
+func mustMH(sigs int, n uint64, alpha float64, seed uint64) *core.MH {
+	mh, err := core.NewMH(sigs, core.WindowConfig{N: n, Alpha: alpha, Seed: seed})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: mh: %v", err))
+	}
+	return mh
+}

@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// meanY averages a series' Y values, ignoring non-finite entries.
+func meanY(ys []float64) float64 {
+	sum, n := 0.0, 0
+	for _, y := range ys {
+		if math.IsInf(y, 0) || math.IsNaN(y) {
+			continue
+		}
+		sum += y
+		n++
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return sum / float64(n)
+}
+
+func TestFig5AllSeriesFiniteAndStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment drivers are slow")
+	}
+	sc := QuickScale()
+	for _, fig := range Fig5(sc) {
+		if len(fig.Series) != 3 {
+			t.Fatalf("%s: %d series, want 3 memory sizes", fig.Title, len(fig.Series))
+		}
+		for _, s := range fig.Series {
+			if len(s.Y) != sc.Epochs {
+				t.Fatalf("%s/%s: %d epochs, want %d", fig.Title, s.Name, len(s.Y), sc.Epochs)
+			}
+			for i, y := range s.Y {
+				if math.IsNaN(y) || math.IsInf(y, 0) || y < 0 {
+					t.Fatalf("%s/%s: epoch %d value %v", fig.Title, s.Name, i, y)
+				}
+			}
+		}
+		// Stability claim: the largest memory size should not be wildly
+		// worse than its own mean at any epoch (no drift/blowup).
+		big := fig.Series[len(fig.Series)-1]
+		m := meanY(big.Y)
+		for i, y := range big.Y {
+			if y > 5*m+0.2 {
+				t.Fatalf("%s/%s: epoch %d spikes to %v (mean %v)", fig.Title, big.Name, i, y, m)
+			}
+		}
+	}
+}
+
+func TestFig5MoreMemoryHelps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment drivers are slow")
+	}
+	sc := QuickScale()
+	figs := Fig5(sc)
+	// For the membership task the smallest memory must be worse than
+	// the largest (FPR decreasing in memory).
+	d := figs[3]
+	small, large := meanY(d.Series[0].Y), meanY(d.Series[2].Y)
+	if small < large {
+		t.Fatalf("Fig5d: FPR at %s (%.3g) below FPR at %s (%.3g)",
+			d.Series[0].Name, small, d.Series[2].Name, large)
+	}
+}
+
+func TestFig6WindowSweepRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment drivers are slow")
+	}
+	figs := Fig6(QuickScale())
+	if len(figs) != 5 {
+		t.Fatalf("%d figures, want 5", len(figs))
+	}
+	for _, fig := range figs {
+		for _, s := range fig.Series {
+			if len(s.X) != 4 {
+				t.Fatalf("%s/%s: %d window points, want 4", fig.Title, s.Name, len(s.X))
+			}
+			for i, y := range s.Y {
+				if math.IsNaN(y) || y < 0 {
+					t.Fatalf("%s/%s: point %d value %v", fig.Title, s.Name, i, y)
+				}
+			}
+		}
+	}
+}
+
+func TestFig7OptimalAlphaCompetitive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment drivers are slow")
+	}
+	figs := Fig7(QuickScale())
+	a := figs[0]
+	if len(a.Series) != 3 {
+		t.Fatalf("Fig7a: %d series", len(a.Series))
+	}
+	opt := meanY(a.Series[1].Y)
+	alpha1 := meanY(a.Series[0].Y)
+	// Eq. 2's optimum should beat the too-eager α=1 setting clearly.
+	if opt > alpha1 {
+		t.Fatalf("Fig7a: optimal alpha FPR %.3g worse than alpha=1 FPR %.3g", opt, alpha1)
+	}
+	b := figs[1]
+	if len(b.Series) != 3 {
+		t.Fatalf("Fig7b: %d series", len(b.Series))
+	}
+}
+
+func TestFig8AgeDecay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment drivers are slow")
+	}
+	figs := Fig8(QuickScale())
+	a := figs[0]
+	for _, s := range a.Series {
+		// In-window items (age ≤ 1 window) always answer true…
+		if s.Y[0] < 0.99 {
+			t.Fatalf("Fig8a/%s: in-window positive rate %.3f, want ≈1", s.Name, s.Y[0])
+		}
+		// …and far beyond the relaxed window the rate must collapse.
+		last := s.Y[len(s.Y)-1]
+		if last > 0.5 {
+			t.Fatalf("Fig8a/%s: positive rate %.3f at age 5 windows", s.Name, last)
+		}
+	}
+}
+
+func TestFig9HeadlineClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment drivers are slow")
+	}
+	sc := QuickScale()
+	figs := Fig9(sc)
+
+	// 9a: SHE-BM must beat CVS on mean RE over the shared grid.
+	a := figs[0]
+	series := map[string][]float64{}
+	for _, s := range a.Series {
+		series[s.Name] = s.Y
+	}
+	if meanY(series["SHE-BM"]) > meanY(series["CVS"]) {
+		t.Fatalf("Fig9a: SHE-BM RE %.3g not better than CVS %.3g",
+			meanY(series["SHE-BM"]), meanY(series["CVS"]))
+	}
+
+	// 9d: SHE-BF must beat TOBF and TBF (the 64-bit/18-bit timestamp
+	// structures) on FPR.
+	d := figs[3]
+	dm := map[string]float64{}
+	for _, s := range d.Series {
+		dm[s.Name] = meanY(s.Y)
+	}
+	if dm["SHE-BF"] > dm["TOBF"] {
+		t.Fatalf("Fig9d: SHE-BF FPR %.3g not better than TOBF %.3g", dm["SHE-BF"], dm["TOBF"])
+	}
+	if dm["SHE-BF"] > dm["TBF"] {
+		t.Fatalf("Fig9d: SHE-BF FPR %.3g not better than TBF %.3g", dm["SHE-BF"], dm["TBF"])
+	}
+
+	// 9e: SHE-MH must beat the straw-man.
+	e := figs[4]
+	em := map[string]float64{}
+	for _, s := range e.Series {
+		em[s.Name] = meanY(s.Y)
+	}
+	if em["SHE-MH"] > em["Straw-man"] {
+		t.Fatalf("Fig9e: SHE-MH RE %.3g not better than straw-man %.3g", em["SHE-MH"], em["Straw-man"])
+	}
+}
+
+func TestFig10And11Throughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment drivers are slow")
+	}
+	sc := QuickScale()
+	for _, fig := range Fig10(sc) {
+		for _, s := range fig.Series {
+			for i, y := range s.Y {
+				if y <= 0 {
+					t.Fatalf("%s/%s: throughput %v at point %d", fig.Title, s.Name, y, i)
+				}
+			}
+		}
+	}
+	f11 := Fig11(sc)
+	if len(f11.Series) != 2 {
+		t.Fatalf("Fig11: %d series", len(f11.Series))
+	}
+	for i := range f11.Series[0].Y {
+		ideal, she := f11.Series[0].Y[i], f11.Series[1].Y[i]
+		// SHE's insert should stay within a small factor of the ideal.
+		if she < ideal/6 {
+			t.Fatalf("Fig11 structure %d: SHE %.1f Mips vs ideal %.1f — overhead too large", i, she, ideal)
+		}
+	}
+}
+
+func TestTables(t *testing.T) {
+	t2 := Table2()
+	if len(t2.Rows) != 2 {
+		t.Fatalf("Table2 rows=%d", len(t2.Rows))
+	}
+	t3 := Table3()
+	if len(t3.Rows) != 2 {
+		t.Fatalf("Table3 rows=%d", len(t3.Rows))
+	}
+	tc := TableConstraints()
+	if len(tc.Rows) < 3 {
+		t.Fatalf("constraint table rows=%d", len(tc.Rows))
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment drivers are slow")
+	}
+	tables := Ablations(QuickScale())
+	if len(tables) != 5 {
+		t.Fatalf("%d ablation tables, want 5", len(tables))
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) == 0 {
+			t.Fatalf("%s: empty", tb.Title)
+		}
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment drivers are slow")
+	}
+	tables := ModelValidation(QuickScale())
+	if len(tables) != 2 {
+		t.Fatalf("%d model tables, want 2", len(tables))
+	}
+	// Every Eq. 3 row must report the bias inside the bound.
+	for _, row := range tables[1].Rows {
+		if row[len(row)-1] != "true" {
+			t.Fatalf("Eq.3 bound violated: %v", row)
+		}
+	}
+}

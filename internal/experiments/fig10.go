@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"she/internal/baseline"
+	"she/internal/core"
+	"she/internal/metrics"
+	"she/internal/sketch"
+	"she/internal/stream"
+)
+
+// Fig10 reproduces "Processing speed comparison for two specific
+// tasks": insertion throughput (Mips) of the ideal fixed-window
+// algorithm, the SHE version and the specialized sliding-window
+// competitor, on three datasets. The paper's claim: SHE's insertion
+// costs barely more than the original algorithm and beats the
+// specialized structures.
+func Fig10(sc Scale) []metrics.Figure {
+	return []metrics.Figure{fig10a(sc), fig10b(sc)}
+}
+
+// fig10Datasets is the x-axis of Fig. 10: the three trace profiles.
+func fig10Datasets(seed uint64) []struct {
+	name string
+	gen  stream.Generator
+} {
+	return []struct {
+		name string
+		gen  stream.Generator
+	}{
+		{"CAIDA", stream.CAIDA(seed)},
+		{"Campus", stream.Campus(seed)},
+		{"Webpage", stream.Webpage(seed)},
+	}
+}
+
+func fig10a(sc Scale) metrics.Figure {
+	fig := metrics.Figure{Title: "Fig 10a: Insertion throughput, HLL task",
+		XLabel: "Dataset (1=CAIDA 2=Campus 3=Webpage)", YLabel: "Throughput (Mips)"}
+	n := sc.NHLL
+	regs := 4096
+	var xs, ideal, she, shll []float64
+	for i, ds := range fig10Datasets(sc.Seed) {
+		keys := genKeys(ds.gen, sc.ThroughputItems)
+		xs = append(xs, float64(i+1))
+
+		ih := sketch.NewHLL(regs, sc.Seed)
+		ideal = append(ideal, throughputMips(keys, ih.Insert))
+
+		h := mustHLL(regs, n, core.DefaultAlphaTwoSided, sc.Seed)
+		she = append(she, throughputMips(keys, h.Insert))
+
+		s, err := baseline.NewSHLL(regs, n, sc.Seed)
+		if err != nil {
+			panic(err)
+		}
+		shll = append(shll, throughputMips(keys, s.Insert))
+	}
+	fig.Add("Ideal", xs, ideal)
+	fig.Add("SHE-HLL", xs, she)
+	fig.Add("SHLL", xs, shll)
+	return fig
+}
+
+func fig10b(sc Scale) metrics.Figure {
+	fig := metrics.Figure{Title: "Fig 10b: Insertion throughput, Bitmap task",
+		XLabel: "Dataset (1=CAIDA 2=Campus 3=Webpage)", YLabel: "Throughput (Mips)"}
+	n := sc.N
+	bits := 1 << 16
+	var xs, ideal, she, cvs []float64
+	for i, ds := range fig10Datasets(sc.Seed) {
+		keys := genKeys(ds.gen, sc.ThroughputItems)
+		xs = append(xs, float64(i+1))
+
+		ib := sketch.NewBitmap(bits, sc.Seed)
+		ideal = append(ideal, throughputMips(keys, ib.Insert))
+
+		bm := mustBM(bits, n, core.DefaultAlphaTwoSided, sc.Seed)
+		she = append(she, throughputMips(keys, bm.Insert))
+
+		c, err := baseline.NewCVS(bits/4, 10, n, sc.Seed)
+		if err != nil {
+			panic(err)
+		}
+		cvs = append(cvs, throughputMips(keys, c.Insert))
+	}
+	fig.Add("Ideal", xs, ideal)
+	fig.Add("SHE-BM", xs, she)
+	fig.Add("CVS", xs, cvs)
+	return fig
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"she/internal/core"
+	"she/internal/metrics"
+	"she/internal/sketch"
+	"she/internal/stream"
+)
+
+// Fig11 reproduces "Processing speed comparison with the ideal goal":
+// insertion throughput of each original fixed-window algorithm against
+// its SHE version on the CAIDA-like trace. The paper's claim: the SHE
+// overhead (mark check + occasional group reset) costs little.
+func Fig11(sc Scale) metrics.Figure {
+	return ThroughputOnKeys(sc, genKeys(stream.CAIDA(sc.Seed), sc.ThroughputItems))
+}
+
+// ThroughputOnKeys is Fig11 over an arbitrary recorded trace (the
+// shebench -trace flag feeds files loaded via internal/trace here).
+func ThroughputOnKeys(sc Scale, keys []uint64) metrics.Figure {
+	fig := metrics.Figure{Title: "Fig 11: Throughput, SHE vs ideal (original algorithms)",
+		XLabel: "Structure (1=BM 2=CM 3=BF 4=HLL 5=MH)", YLabel: "Throughput (Mips)"}
+	n := sc.N
+
+	var ideal, she []float64
+
+	// Bitmap.
+	ib := sketch.NewBitmap(1<<16, sc.Seed)
+	ideal = append(ideal, throughputMips(keys, ib.Insert))
+	bm := mustBM(1<<16, n, core.DefaultAlphaTwoSided, sc.Seed)
+	she = append(she, throughputMips(keys, bm.Insert))
+
+	// Count-Min.
+	icm := sketch.NewCountMin(1<<16, core.DefaultHashes, sc.Seed)
+	ideal = append(ideal, throughputMips(keys, icm.Insert))
+	cm := mustCM(1<<16, n, core.DefaultAlphaCM, core.DefaultHashes, sc.Seed)
+	she = append(she, throughputMips(keys, cm.Insert))
+
+	// Bloom filter.
+	ibf := sketch.NewBloomFilter(1<<19, core.DefaultHashes, sc.Seed)
+	ideal = append(ideal, throughputMips(keys, ibf.Insert))
+	bf := mustBF(1<<19, n, core.DefaultAlphaBF, core.DefaultHashes, sc.Seed)
+	she = append(she, throughputMips(keys, bf.Insert))
+
+	// HyperLogLog.
+	ih := sketch.NewHLL(4096, sc.Seed)
+	ideal = append(ideal, throughputMips(keys, ih.Insert))
+	h := mustHLL(4096, n, core.DefaultAlphaTwoSided, sc.Seed)
+	she = append(she, throughputMips(keys, h.Insert))
+
+	// MinHash: M hash evaluations per insert make it far slower; use a
+	// shorter key slice so the run stays bounded.
+	mhKeys := keys
+	if len(mhKeys) > 1<<16 {
+		mhKeys = mhKeys[:1<<16]
+	}
+	imh := sketch.NewMinHash(128, sc.Seed)
+	ideal = append(ideal, throughputMips(mhKeys, imh.Insert))
+	mh := mustMH(128, n, core.DefaultAlphaTwoSided, sc.Seed)
+	she = append(she, throughputMips(mhKeys, mh.InsertA))
+
+	xs := []float64{1, 2, 3, 4, 5}
+	fig.Add("Ideal", xs, ideal)
+	fig.Add("SHE", xs, she)
+	return fig
+}

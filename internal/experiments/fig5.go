@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+
+	"she/internal/core"
+	"she/internal/exact"
+	"she/internal/metrics"
+	"she/internal/stream"
+)
+
+// Fig5 reproduces "The stability of SHE as the window slides with
+// time": each SHE structure is run at three memory sizes and its error
+// is sampled every half window. The paper's claim is flatness — the
+// curves neither drift nor oscillate as the window slides.
+func Fig5(sc Scale) []metrics.Figure {
+	return []metrics.Figure{
+		fig5a(sc), fig5b(sc), fig5c(sc), fig5d(sc), fig5e(sc),
+	}
+}
+
+func memLabel(bits int) string {
+	kb := metrics.KB(bits)
+	switch {
+	case kb >= 1024:
+		return fmt.Sprintf("%.3g MB", kb/1024)
+	case kb >= 1:
+		return fmt.Sprintf("%.3g KB", kb)
+	default:
+		return fmt.Sprintf("%.0f B", kb*1024)
+	}
+}
+
+func fig5a(sc Scale) metrics.Figure {
+	fig := metrics.Figure{Title: "Fig 5a: Cardinality (Bitmap) stability over time",
+		XLabel: "Time (Window)", YLabel: "Relative Error"}
+	for _, bpi := range []float64{0.0625, 0.125, 0.25} { // 0.5/1/2 KB at N=2^16
+		bits := int(bpi * float64(sc.N))
+		bm := mustBM(bits, sc.N, core.DefaultAlphaTwoSided, sc.Seed)
+		ys := make([]float64, sc.Epochs)
+		cardRun(sc, sc.N, stream.CAIDA(sc.Seed), warmFor(core.DefaultAlphaTwoSided),
+			bm.Insert,
+			func(*exact.Window) float64 { return bm.EstimateCardinality() },
+			func(e int, re float64) { ys[e] = re })
+		fig.Add(memLabel(bm.MemoryBits()), epochAxis(sc.Epochs), ys)
+	}
+	return fig
+}
+
+func fig5b(sc Scale) metrics.Figure {
+	fig := metrics.Figure{Title: "Fig 5b: Cardinality (HLL) stability over time",
+		XLabel: "Time (Window)", YLabel: "Relative Error"}
+	for _, div := range []int{192, 48, 6} { // 0.25/1/8 KB at N=2^16
+		regs := int(sc.N) / div
+		h := mustHLL(regs, sc.N, core.DefaultAlphaTwoSided, sc.Seed)
+		ys := make([]float64, sc.Epochs)
+		cardRun(sc, sc.N, stream.CAIDA(sc.Seed), warmFor(core.DefaultAlphaTwoSided),
+			h.Insert,
+			func(*exact.Window) float64 { return h.EstimateCardinality() },
+			func(e int, re float64) { ys[e] = re })
+		fig.Add(memLabel(h.MemoryBits()), epochAxis(sc.Epochs), ys)
+	}
+	return fig
+}
+
+func fig5c(sc Scale) metrics.Figure {
+	fig := metrics.Figure{Title: "Fig 5c: Frequency (Count-Min) stability over time",
+		XLabel: "Time (Window)", YLabel: "Average Relative Error"}
+	for _, cpi := range []int{4, 8, 16} { // 1/2/4 MB at N=2^16
+		counters := cpi * int(sc.N)
+		cm := mustCM(counters, sc.N, core.DefaultAlphaCM, core.DefaultHashes, sc.Seed)
+		ys := make([]float64, sc.Epochs)
+		areRun(sc, sc.N, stream.CAIDA(sc.Seed), warmFor(core.DefaultAlphaCM),
+			cm.Insert, sheEstimate(cm.EstimateFrequency),
+			func(e int, are float64) { ys[e] = are })
+		fig.Add(memLabel(cm.MemoryBits()), epochAxis(sc.Epochs), ys)
+	}
+	return fig
+}
+
+func fig5d(sc Scale) metrics.Figure {
+	fig := metrics.Figure{Title: "Fig 5d: Membership (Bloom filter) stability over time",
+		XLabel: "Time (Window)", YLabel: "False Positive Rate"}
+	for _, bpi := range []float64{4, 16, 64} { // 32/128/512 KB at N=2^16
+		bits := int(bpi * float64(sc.N))
+		bf := mustBF(bits, sc.N, core.DefaultAlphaBF, core.DefaultHashes, sc.Seed)
+		ys := make([]float64, sc.Epochs)
+		fprRun(sc, sc.N, stream.CAIDA(sc.Seed), warmFor(core.DefaultAlphaBF),
+			bf.Insert, sheQuery(bf.Query),
+			func(e int, fpr float64) { ys[e] = fpr })
+		fig.Add(memLabel(bf.MemoryBits()), epochAxis(sc.Epochs), ys)
+	}
+	return fig
+}
+
+func fig5e(sc Scale) metrics.Figure {
+	fig := metrics.Figure{Title: "Fig 5e: Similarity (MinHash) stability over time",
+		XLabel: "Time (Window)", YLabel: "Relative Error"}
+	for _, div := range []int{800, 400, 200} { // 0.5/1/2 KB pair at N=2^16
+		sigs := int(sc.N) / div
+		mh := mustMH(sigs, sc.N, core.DefaultAlphaTwoSided, sc.Seed)
+		ys := make([]float64, sc.Epochs)
+		pair := stream.NewRelevantPair(0.3, int(sc.N)/6, sc.Seed)
+		simRun(sc, sc.N, pair, warmFor(core.DefaultAlphaTwoSided),
+			mh.InsertA, mh.InsertB, func(_, _ *exact.Window) float64 { return mh.Similarity() },
+			func(e int, re float64) { ys[e] = re })
+		fig.Add(memLabel(mh.MemoryBits()), epochAxis(sc.Epochs), ys)
+	}
+	return fig
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"she/internal/core"
+	"she/internal/exact"
+	"she/internal/metrics"
+	"she/internal/stream"
+)
+
+// Fig6 reproduces "The adaptation for different window size": with
+// memory fixed, the window size N sweeps across two orders of magnitude
+// and the error is reported per size. The paper's claim is that SHE's
+// accuracy is stable in N (for fixed memory-per-window pressure the
+// curves stay flat or degrade smoothly).
+func Fig6(sc Scale) []metrics.Figure {
+	return []metrics.Figure{
+		fig6a(sc), fig6b(sc), fig6c(sc), fig6d(sc), fig6e(sc),
+	}
+}
+
+// fig6Windows is the window-size sweep, bracketing the configured N.
+func fig6Windows(n uint64) []uint64 {
+	return []uint64{n / 16, n / 4, n, 4 * n}
+}
+
+func fig6a(sc Scale) metrics.Figure {
+	fig := metrics.Figure{Title: "Fig 6a: Cardinality (Bitmap) vs window size",
+		XLabel: "Window (*1024)", YLabel: "Relative Error"}
+	for _, scale := range []float64{0.5, 1, 2} {
+		bits := int(scale * float64(sc.N) / 8) // 1 KB at N=2^16, halved/doubled
+		var xs, ys []float64
+		for _, n := range fig6Windows(sc.N) {
+			bm := mustBM(bits, n, core.DefaultAlphaTwoSided, sc.Seed)
+			re := cardRun(sc, n, stream.CAIDA(sc.Seed), warmFor(core.DefaultAlphaTwoSided),
+				bm.Insert, func(*exact.Window) float64 { return bm.EstimateCardinality() }, nil)
+			xs = append(xs, float64(n)/1024)
+			ys = append(ys, re)
+		}
+		fig.Add(memLabel(bits), xs, ys)
+	}
+	return fig
+}
+
+func fig6b(sc Scale) metrics.Figure {
+	fig := metrics.Figure{Title: "Fig 6b: Cardinality (HLL) vs window size",
+		XLabel: "Window (*1024)", YLabel: "Relative Error"}
+	for _, scale := range []float64{0.5, 1, 2} {
+		regs := int(scale * float64(sc.N) / 48)
+		var xs, ys []float64
+		for _, n := range fig6Windows(sc.N) {
+			h := mustHLL(regs, n, core.DefaultAlphaTwoSided, sc.Seed)
+			re := cardRun(sc, n, stream.CAIDA(sc.Seed), warmFor(core.DefaultAlphaTwoSided),
+				h.Insert, func(*exact.Window) float64 { return h.EstimateCardinality() }, nil)
+			xs = append(xs, float64(n)/1024)
+			ys = append(ys, re)
+		}
+		fig.Add(memLabel(regs*6), xs, ys)
+	}
+	return fig
+}
+
+func fig6c(sc Scale) metrics.Figure {
+	fig := metrics.Figure{Title: "Fig 6c: Frequency (Count-Min) vs window size",
+		XLabel: "Window (*1024)", YLabel: "Average Relative Error"}
+	for _, scale := range []float64{0.5, 1, 2} {
+		counters := int(scale * 8 * float64(sc.N))
+		var xs, ys []float64
+		for _, n := range fig6Windows(sc.N) {
+			cm := mustCM(counters, n, core.DefaultAlphaCM, core.DefaultHashes, sc.Seed)
+			are := areRun(sc, n, stream.CAIDA(sc.Seed), warmFor(core.DefaultAlphaCM),
+				cm.Insert, sheEstimate(cm.EstimateFrequency), nil)
+			xs = append(xs, float64(n)/1024)
+			ys = append(ys, are)
+		}
+		fig.Add(memLabel(counters*32), xs, ys)
+	}
+	return fig
+}
+
+func fig6d(sc Scale) metrics.Figure {
+	fig := metrics.Figure{Title: "Fig 6d: Membership (Bloom filter) vs window size",
+		XLabel: "Window (*1024)", YLabel: "False Positive Rate"}
+	for _, scale := range []float64{0.5, 1, 2} {
+		bits := int(scale * 16 * float64(sc.N))
+		var xs, ys []float64
+		for _, n := range fig6Windows(sc.N) {
+			bf := mustBF(bits, n, core.DefaultAlphaBF, core.DefaultHashes, sc.Seed)
+			fpr := fprRun(sc, n, stream.CAIDA(sc.Seed), warmFor(core.DefaultAlphaBF),
+				bf.Insert, sheQuery(bf.Query), nil)
+			xs = append(xs, float64(n)/1024)
+			ys = append(ys, fpr)
+		}
+		fig.Add(memLabel(bits), xs, ys)
+	}
+	return fig
+}
+
+func fig6e(sc Scale) metrics.Figure {
+	fig := metrics.Figure{Title: "Fig 6e: Similarity (MinHash) vs window size",
+		XLabel: "Window (*1024)", YLabel: "Relative Error"}
+	for _, scale := range []float64{0.5, 1, 2} {
+		sigs := int(scale * float64(sc.N) / 400)
+		var xs, ys []float64
+		for _, n := range fig6Windows(sc.N) {
+			mh := mustMH(sigs, n, core.DefaultAlphaTwoSided, sc.Seed)
+			pair := stream.NewRelevantPair(0.3, int(n)/6, sc.Seed)
+			re := simRun(sc, n, pair, warmFor(core.DefaultAlphaTwoSided),
+				mh.InsertA, mh.InsertB, func(_, _ *exact.Window) float64 { return mh.Similarity() }, nil)
+			xs = append(xs, float64(n)/1024)
+			ys = append(ys, re)
+		}
+		fig.Add(memLabel(sigs*50), xs, ys)
+	}
+	return fig
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"she/internal/analysis"
+	"she/internal/core"
+	"she/internal/exact"
+	"she/internal/metrics"
+	"she/internal/stream"
+)
+
+// Fig7 reproduces "Performance vs. α": (a) SHE-BF's FPR across a
+// memory sweep for a small, the Eq. 2-optimal, and a large α;
+// (b) SHE-BM's RE across memory for α ∈ {0.2, 0.4, 1.0}. The paper's
+// claims: the analytic optimum performs best for the one-sided filter,
+// and 0.2–0.4 is the sweet spot for the two-sided estimators.
+func Fig7(sc Scale) []metrics.Figure {
+	return []metrics.Figure{fig7a(sc), fig7b(sc)}
+}
+
+func fig7a(sc Scale) metrics.Figure {
+	fig := metrics.Figure{Title: "Fig 7a: SHE-BF false positive rate vs alpha",
+		XLabel: "Memory (KB)", YLabel: "False Positive Rate"}
+	memKB := kbGrid(sc.N, []float64{1, 2, 4, 8, 16}) // 8..128 KB at N=2^16
+	distinct := windowDistinct(sc.N, stream.CAIDA(sc.Seed))
+	alphas := func(bits int) []struct {
+		name  string
+		alpha float64
+	} {
+		groups := (bits + 63) / 64
+		opt, err := analysis.OptimalAlpha(64, groups, distinct, core.DefaultHashes)
+		if err != nil || opt < 0.1 {
+			opt = core.DefaultAlphaBF
+		}
+		return []struct {
+			name  string
+			alpha float64
+		}{
+			{"alpha=1", 1},
+			{fmt.Sprintf("optimal (%.1f)", opt), opt},
+			{"alpha=5", 5},
+		}
+	}
+	// Build the three series across the memory sweep; the optimal α is
+	// re-derived per memory point (it depends on the per-group load).
+	names := []string{"alpha=1", "optimal (Eq. 2)", "alpha=5"}
+	ys := make([][]float64, 3)
+	for _, kb := range memKB {
+		bits := bitsFor(kb)
+		for i, a := range alphas(bits) {
+			bf := mustBF(bits, sc.N, a.alpha, core.DefaultHashes, sc.Seed)
+			fpr := fprRun(sc, sc.N, stream.CAIDA(sc.Seed), warmFor(a.alpha),
+				bf.Insert, sheQuery(bf.Query), nil)
+			ys[i] = append(ys[i], fpr)
+		}
+	}
+	for i, name := range names {
+		fig.Add(name, memKB, ys[i])
+	}
+	return fig
+}
+
+func fig7b(sc Scale) metrics.Figure {
+	fig := metrics.Figure{Title: "Fig 7b: SHE-BM relative error vs alpha",
+		XLabel: "Memory (KB)", YLabel: "Relative Error"}
+	memKB := kbGrid(sc.N, []float64{0.0625, 0.125, 0.1875, 0.25}) // 0.5..2 KB at N=2^16
+	for _, alpha := range []float64{0.2, 0.4, 1.0} {
+		var ys []float64
+		for _, kb := range memKB {
+			bm := mustBM(bitsFor(kb), sc.N, alpha, sc.Seed)
+			re := cardRun(sc, sc.N, stream.CAIDA(sc.Seed), warmFor(alpha),
+				bm.Insert, func(*exact.Window) float64 { return bm.EstimateCardinality() }, nil)
+			ys = append(ys, re)
+		}
+		fig.Add(fmt.Sprintf("alpha=%.1f", alpha), memKB, ys)
+	}
+	return fig
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"she/internal/analysis"
+	"she/internal/core"
+	"she/internal/hashing"
+	"she/internal/metrics"
+	"she/internal/stream"
+)
+
+// Fig8 reproduces the SHE-BF parameter studies on the Distinct Stream
+// (the Bloom filter's worst case: every item unique, so no group is
+// refreshed by repeats):
+//
+//	(a) the probability a query answers true as a function of the
+//	    queried item's age, in windows — it should stay ≈1 inside the
+//	    window and fall off steeply past the relaxed window (1+α)·N;
+//	(b) FPR vs the number of hash functions, with α fixed and with the
+//	    Eq. 2 per-k optimal α.
+func Fig8(sc Scale) []metrics.Figure {
+	return []metrics.Figure{fig8a(sc), fig8b(sc)}
+}
+
+func fig8a(sc Scale) metrics.Figure {
+	fig := metrics.Figure{Title: "Fig 8a: SHE-BF positive rate vs item age (Distinct Stream)",
+		XLabel: "Item Age (Window)", YLabel: "False Positive Rate"}
+	n := sc.N
+	ages := []float64{0.5, 1, 1.5, 2, 2.5, 3, 3.5, 4, 5}
+	for _, bpi := range []float64{16, 64} { // 128/512 KB at N=2^16
+		bits := int(bpi * float64(n))
+		bf := mustBF(bits, n, core.DefaultAlphaBF, core.DefaultHashes, sc.Seed)
+		gen := stream.NewDistinct(sc.Seed)
+		// Record the stream so aged items can be re-queried later.
+		total := (warmFor(core.DefaultAlphaBF) + 6) * int(n)
+		history := make([]uint64, total)
+		for i := range history {
+			k := gen.Next()
+			history[i] = k
+			bf.Insert(k)
+		}
+		ys := make([]float64, len(ages))
+		probesPer := sc.Probes / 4
+		if probesPer < 200 {
+			probesPer = 200
+		}
+		rng := hashing.Mix64(sc.Seed ^ 0x8a)
+		for ai, age := range ages {
+			back := int(age * float64(n))
+			if back >= total {
+				back = total - 1
+			}
+			hits := 0
+			for p := 0; p < probesPer; p++ {
+				// Sample items whose age is ~age windows.
+				off := int(hashing.SplitMix64(&rng) % uint64(n/8+1))
+				idx := total - back + off
+				if idx < 0 {
+					idx = 0
+				}
+				if idx >= total {
+					idx = total - 1
+				}
+				if bf.Query(history[idx]) {
+					hits++
+				}
+			}
+			ys[ai] = float64(hits) / float64(probesPer)
+		}
+		fig.Add(memLabel(bf.MemoryBits()), ages, ys)
+	}
+	return fig
+}
+
+func fig8b(sc Scale) metrics.Figure {
+	fig := metrics.Figure{Title: "Fig 8b: SHE-BF FPR vs number of hash functions (Distinct Stream)",
+		XLabel: "# of Hash Functions", YLabel: "False Positive Rate"}
+	n := sc.N
+	bits := int(16 * float64(n)) // 128 KB at N=2^16
+	ks := []float64{2, 4, 8, 12, 16, 24, 30}
+	distinct := float64(n) // fully distinct stream
+	fixed := make([]float64, len(ks))
+	optimal := make([]float64, len(ks))
+	for i, kf := range ks {
+		k := int(kf)
+		groups := (bits + 63) / 64
+		// Fixed α = 3 (the paper's default for k=8).
+		bfFixed := mustBF(bits, n, core.DefaultAlphaBF, k, sc.Seed)
+		fixed[i] = fprRun(sc, n, stream.NewDistinct(sc.Seed), warmFor(core.DefaultAlphaBF),
+			bfFixed.Insert, sheQuery(bfFixed.Query), nil)
+		// Eq. 2 optimal α for this k.
+		opt, err := analysis.OptimalAlpha(64, groups, distinct, k)
+		if err != nil || opt < 0.05 {
+			opt = core.DefaultAlphaBF
+		}
+		bfOpt := mustBF(bits, n, opt, k, sc.Seed)
+		optimal[i] = fprRun(sc, n, stream.NewDistinct(sc.Seed), warmFor(opt),
+			bfOpt.Insert, sheQuery(bfOpt.Query), nil)
+	}
+	fig.Add("alpha=3 (fixed)", ks, fixed)
+	fig.Add("alpha optimal (Eq. 2)", ks, optimal)
+	return fig
+}

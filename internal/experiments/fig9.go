@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"she/internal/baseline"
+	"she/internal/core"
+	"she/internal/exact"
+	"she/internal/metrics"
+	"she/internal/stream"
+)
+
+// Fig9 reproduces "Accuracy comparison for five tasks": each SHE
+// structure against its competitors and the ideal goal, across a memory
+// sweep. The paper's claims: SHE-BM beats TSV/CVS/SWAMP across the
+// sweep (SWAMP needs ~100 KB to even work); SHE-HLL is ~10× more
+// accurate than SHLL below 16 KB; SHE-CM is ~10× better than ECM/SWAMP
+// when memory is scarce; SHE-BF's FPR is ~100× below TOBF/TBF/SWAMP
+// under 256 KB; SHE-MH is ~10× better than the straw-man.
+func Fig9(sc Scale) []metrics.Figure {
+	return []metrics.Figure{
+		fig9a(sc), fig9b(sc), fig9c(sc), fig9d(sc), fig9e(sc),
+	}
+}
+
+func fig9a(sc Scale) metrics.Figure {
+	fig := metrics.Figure{Title: "Fig 9a: Cardinality (Bitmap family) vs memory",
+		XLabel: "Memory (KB)", YLabel: "Relative Error"}
+	n := sc.N
+	// 0.5..10 KB at N=2^16, plus two broken-axis points (the paper's
+	// "100 KB" region): the TinyTable-backed SWAMP cannot even be built
+	// below ~55 bits per window item (queue + table overhead), and needs
+	// a comfortably wider fingerprint before its estimator works.
+	grid := kbGrid(n, []float64{0.0625, 0.125, 0.25, 0.5, 1, 1.25, 12.5, 64})
+	gen := func() stream.Generator { return stream.CAIDA(sc.Seed) }
+	warm := warmFor(core.DefaultAlphaTwoSided)
+
+	var she, ideal, tsv, cvs, swamp []float64
+	var swampX []float64
+	for _, kb := range grid {
+		bits := bitsFor(kb)
+
+		bm := mustBM(bits, n, core.DefaultAlphaTwoSided, sc.Seed)
+		she = append(she, cardRun(sc, n, gen(), warm, bm.Insert,
+			func(*exact.Window) float64 { return bm.EstimateCardinality() }, nil))
+
+		ideal = append(ideal, cardRun(sc, n, gen(), warm, func(uint64) {},
+			func(w *exact.Window) float64 {
+				return baseline.IdealBitmap(w, bits, sc.Seed).EstimateCardinality()
+			}, nil))
+
+		v, err := baseline.NewTSVForBudget(bits, n, sc.Seed)
+		if err == nil {
+			tsv = append(tsv, cardRun(sc, n, gen(), warm, v.Insert,
+				func(*exact.Window) float64 { return v.EstimateCardinality() }, nil))
+		} else {
+			tsv = append(tsv, 1)
+		}
+
+		c, err := baseline.NewCVSForBudget(bits, n, sc.Seed)
+		if err == nil {
+			cvs = append(cvs, cardRun(sc, n, gen(), warm, c.Insert,
+				func(*exact.Window) float64 { return c.EstimateCardinality() }, nil))
+		} else {
+			cvs = append(cvs, 1)
+		}
+
+		s, err := baseline.NewSWAMPTinyForBudget(int(n), bits, sc.Seed)
+		if err == nil {
+			swampX = append(swampX, kb)
+			swamp = append(swamp, cardRun(sc, n, gen(), warm, s.Insert,
+				func(*exact.Window) float64 { return s.DistinctMLE() }, nil))
+		}
+	}
+	fig.Add("SHE-BM", grid, she)
+	fig.Add("Ideal", grid, ideal)
+	fig.Add("TSV", grid, tsv)
+	fig.Add("CVS", grid, cvs)
+	fig.Add("SWAMP", swampX, swamp)
+	return fig
+}
+
+func fig9b(sc Scale) metrics.Figure {
+	fig := metrics.Figure{Title: "Fig 9b: Cardinality (HLL family) vs memory",
+		XLabel: "Memory (KB)", YLabel: "Relative Error"}
+	// 1..16 KB at N=2^19. The top of the sweep is capped so the
+	// register count stays well below the window cardinality — SHE-HLL
+	// (like HLL itself) is meant for C ≫ m, and Eq. 1 requires every
+	// register to keep being touched.
+	n := sc.NHLL
+	grid := kbGrid(n, []float64{0.015625, 0.03125, 0.0625, 0.125, 0.25})
+	warm := warmFor(core.DefaultAlphaTwoSided)
+
+	var she, ideal, shll, shllX []float64
+	for _, kb := range grid {
+		bits := bitsFor(kb)
+
+		h := mustHLL(bits/6, n, core.DefaultAlphaTwoSided, sc.Seed)
+		she = append(she, cardRun(sc, n, stream.CAIDA(sc.Seed), warm, h.Insert,
+			func(*exact.Window) float64 { return h.EstimateCardinality() }, nil))
+
+		ideal = append(ideal, cardRun(sc, n, stream.CAIDA(sc.Seed), warm, func(uint64) {},
+			func(w *exact.Window) float64 {
+				return baseline.IdealHLL(w, bits/5, sc.Seed).EstimateCardinality()
+			}, nil))
+
+		// SHLL stores a queue of (rank, 64-bit timestamp) per register;
+		// budget registers assuming one live entry each, then report the
+		// series at the memory it actually consumed.
+		regs := bits / 69
+		if regs < 16 {
+			regs = 16
+		}
+		s, err := baseline.NewSHLL(regs, n, sc.Seed)
+		if err == nil {
+			re := cardRun(sc, n, stream.CAIDA(sc.Seed), warm, s.Insert,
+				func(*exact.Window) float64 { return s.EstimateCardinality() }, nil)
+			shll = append(shll, re)
+			shllX = append(shllX, metrics.KB(s.MemoryBits()))
+		}
+	}
+	fig.Add("SHE-HLL", grid, she)
+	fig.Add("Ideal", grid, ideal)
+	fig.Add("SHLL (measured mem)", shllX, shll)
+	return fig
+}
+
+func fig9c(sc Scale) metrics.Figure {
+	fig := metrics.Figure{Title: "Fig 9c: Frequency (Count-Min family) vs memory",
+		XLabel: "Memory (MB)", YLabel: "Average Relative Error"}
+	n := sc.N
+	countersPerItem := []float64{1, 2, 4, 8, 10} // 0.25..2.5 MB at N=2^16
+	warm := warmFor(core.DefaultAlphaCM)
+
+	var grid, she, ideal, ecm, swamp []float64
+	var swampX []float64
+	for _, cpi := range countersPerItem {
+		counters := int(cpi * float64(n))
+		bits := counters * 32
+		mb := metrics.KB(bits) / 1024
+		grid = append(grid, mb)
+
+		cm := mustCM(counters, n, core.DefaultAlphaCM, core.DefaultHashes, sc.Seed)
+		she = append(she, areRun(sc, n, stream.CAIDA(sc.Seed), warm, cm.Insert,
+			sheEstimate(cm.EstimateFrequency), nil))
+
+		ideal = append(ideal, areRun(sc, n, stream.CAIDA(sc.Seed), warm, func(uint64) {},
+			func(w *exact.Window) func(uint64) uint64 {
+				icm := baseline.IdealCountMin(w, counters, core.DefaultHashes, sc.Seed)
+				return icm.EstimateFrequency
+			}, nil))
+
+		e, err := baseline.NewECMForBudget(bits, 4, n, sc.Seed)
+		if err == nil {
+			ecm = append(ecm, areRun(sc, n, stream.CAIDA(sc.Seed), warm, e.Insert,
+				sheEstimate(e.EstimateFrequency), nil))
+		} else {
+			ecm = append(ecm, 10)
+		}
+
+		s, err := baseline.NewSWAMPTinyForBudget(int(n), bits, sc.Seed)
+		if err == nil {
+			swampX = append(swampX, mb)
+			swamp = append(swamp, areRun(sc, n, stream.CAIDA(sc.Seed), warm, s.Insert,
+				sheEstimate(s.Frequency), nil))
+		}
+	}
+	fig.Add("SHE-CM", grid, she)
+	fig.Add("Ideal", grid, ideal)
+	fig.Add("ECM", grid, ecm)
+	fig.Add("SWAMP", swampX, swamp)
+	return fig
+}
+
+func fig9d(sc Scale) metrics.Figure {
+	fig := metrics.Figure{Title: "Fig 9d: Membership (Bloom family) vs memory",
+		XLabel: "Memory (KB)", YLabel: "False Positive Rate"}
+	n := sc.N
+	grid := kbGrid(n, []float64{2, 4, 8, 16, 32, 64}) // 16..512 KB at N=2^16
+	k := core.DefaultHashes
+	warm := warmFor(core.DefaultAlphaBF)
+
+	var she, ideal, tobf, tbf, swamp []float64
+	var swampX []float64
+	for _, kb := range grid {
+		bits := bitsFor(kb)
+
+		bf := mustBF(bits, n, core.DefaultAlphaBF, k, sc.Seed)
+		she = append(she, fprRun(sc, n, stream.CAIDA(sc.Seed), warm,
+			bf.Insert, sheQuery(bf.Query), nil))
+
+		ideal = append(ideal, fprRun(sc, n, stream.CAIDA(sc.Seed), warm, func(uint64) {},
+			func(w *exact.Window) func(uint64) bool {
+				ibf := baseline.IdealBloom(w, bits, k, sc.Seed)
+				return ibf.MightContain
+			}, nil))
+
+		to, err := baseline.NewTOBFForBudget(bits, k, n, sc.Seed)
+		if err == nil {
+			tobf = append(tobf, fprRun(sc, n, stream.CAIDA(sc.Seed), warm,
+				to.Insert, sheQuery(to.Query), nil))
+		} else {
+			tobf = append(tobf, 1)
+		}
+
+		tb, err := baseline.NewTBFForBudget(bits, k, n, sc.Seed)
+		if err == nil {
+			tbf = append(tbf, fprRun(sc, n, stream.CAIDA(sc.Seed), warm,
+				tb.Insert, sheQuery(tb.Query), nil))
+		} else {
+			tbf = append(tbf, 1)
+		}
+
+		s, err := baseline.NewSWAMPTinyForBudget(int(n), bits, sc.Seed)
+		if err == nil {
+			swampX = append(swampX, kb)
+			swamp = append(swamp, fprRun(sc, n, stream.CAIDA(sc.Seed), warm,
+				s.Insert, sheQuery(s.IsMember), nil))
+		}
+	}
+	fig.Add("SHE-BF", grid, she)
+	fig.Add("Ideal", grid, ideal)
+	fig.Add("TOBF", grid, tobf)
+	fig.Add("TBF", grid, tbf)
+	fig.Add("SWAMP", swampX, swamp)
+	return fig
+}
+
+func fig9e(sc Scale) metrics.Figure {
+	fig := metrics.Figure{Title: "Fig 9e: Similarity (MinHash family) vs memory",
+		XLabel: "Memory (KB)", YLabel: "Relative Error"}
+	n := sc.N
+	grid := kbGrid(n, []float64{0.0625, 0.125, 0.25, 0.5}) // 0.5..4 KB at N=2^16
+	warm := warmFor(core.DefaultAlphaTwoSided)
+
+	var she, ideal, straw []float64
+	for _, kb := range grid {
+		bits := bitsFor(kb)
+
+		mh := mustMH(bits/50, n, core.DefaultAlphaTwoSided, sc.Seed)
+		pair := stream.NewRelevantPair(0.3, int(n)/6, sc.Seed)
+		she = append(she, simRun(sc, n, pair, warm, mh.InsertA, mh.InsertB,
+			func(_, _ *exact.Window) float64 { return mh.Similarity() }, nil))
+
+		pair = stream.NewRelevantPair(0.3, int(n)/6, sc.Seed)
+		ideal = append(ideal, simRun(sc, n, pair, warm, func(uint64) {}, func(uint64) {},
+			func(wa, wb *exact.Window) float64 {
+				return baseline.IdealMinHash(wa, wb, bits/48, sc.Seed)
+			}, nil))
+
+		sm, err := baseline.NewStrawMinHash(bits/176, n, sc.Seed)
+		if err == nil {
+			pair = stream.NewRelevantPair(0.3, int(n)/6, sc.Seed)
+			straw = append(straw, simRun(sc, n, pair, warm, sm.InsertA, sm.InsertB,
+				func(_, _ *exact.Window) float64 { return sm.Similarity() }, nil))
+		} else {
+			straw = append(straw, 1)
+		}
+	}
+	fig.Add("SHE-MH", grid, she)
+	fig.Add("Ideal", grid, ideal)
+	fig.Add("Straw-man", grid, straw)
+	return fig
+}

@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"time"
+
+	"she/internal/exact"
+	"she/internal/hashing"
+	"she/internal/metrics"
+	"she/internal/stream"
+)
+
+// epochSpacing is the sampling interval of the stability runs: half a
+// window, as in Fig. 5's x-axis.
+func epochSpacing(n uint64) int { return int(n / 2) }
+
+// cardRun feeds gen for warmWindows windows, then samples the relative
+// error of estimate() against the exact window cardinality every half
+// window for sc.Epochs epochs. insert is called for every stream item;
+// estimate receives the exact window so the Ideal baseline can rebuild
+// a fixed-window sketch from it. Returns the mean RE; each (optional)
+// receives the per-epoch values.
+func cardRun(sc Scale, n uint64, gen stream.Generator, warmWindows int,
+	insert func(uint64), estimate func(win *exact.Window) float64, each func(epoch int, re float64)) float64 {
+	win := exact.NewWindow(int(n))
+	warm := warmWindows * int(n)
+	for i := 0; i < warm; i++ {
+		k := gen.Next()
+		insert(k)
+		win.Push(k)
+	}
+	sum := 0.0
+	for e := 0; e < sc.Epochs; e++ {
+		for i := 0; i < epochSpacing(n); i++ {
+			k := gen.Next()
+			insert(k)
+			win.Push(k)
+		}
+		re := metrics.RelativeError(float64(win.Cardinality()), estimate(win))
+		if each != nil {
+			each(e, re)
+		}
+		sum += re
+	}
+	return sum / float64(sc.Epochs)
+}
+
+// fprRun measures the false positive rate of negative membership
+// probes: keys drawn from a key space disjoint from the generator's (a
+// different mixing salt), so they were never inserted. The probe set is
+// re-drawn each epoch, as the paper queries items absent from the
+// recent (1+α)·N items. prepare is called once per epoch with the exact
+// window and returns the query function (the Ideal baseline rebuilds a
+// Bloom filter from the window there; SHE and the sliding baselines
+// ignore the window and return their own Query).
+func fprRun(sc Scale, n uint64, gen stream.Generator, warmWindows int,
+	insert func(uint64), prepare func(win *exact.Window) func(uint64) bool, each func(epoch int, fpr float64)) float64 {
+	win := exact.NewWindow(int(n))
+	warm := warmWindows * int(n)
+	for i := 0; i < warm; i++ {
+		k := gen.Next()
+		insert(k)
+		win.Push(k)
+	}
+	probeState := hashing.Mix64(sc.Seed ^ 0xfeedface)
+	sum := 0.0
+	for e := 0; e < sc.Epochs; e++ {
+		for i := 0; i < epochSpacing(n); i++ {
+			k := gen.Next()
+			insert(k)
+			win.Push(k)
+		}
+		query := prepare(win)
+		var acc metrics.FPRAccumulator
+		for p := 0; p < sc.Probes; p++ {
+			probe := hashing.SplitMix64(&probeState) | 1<<63 // disjoint space
+			acc.Add(query(probe))
+		}
+		if each != nil {
+			each(e, acc.Value())
+		}
+		sum += acc.Value()
+	}
+	return sum / float64(sc.Epochs)
+}
+
+// sheQuery adapts a structure's own Query for fprRun's prepare hook.
+func sheQuery(q func(uint64) bool) func(*exact.Window) func(uint64) bool {
+	return func(*exact.Window) func(uint64) bool { return q }
+}
+
+// areRun measures the average relative error of per-key frequency
+// estimates over the distinct keys of the exact window at each epoch
+// (capped at areKeyCap keys per epoch to bound runtime). prepare is the
+// per-epoch estimator factory, mirroring fprRun.
+const areKeyCap = 4096
+
+func areRun(sc Scale, n uint64, gen stream.Generator, warmWindows int,
+	insert func(uint64), prepare func(win *exact.Window) func(uint64) uint64, each func(epoch int, are float64)) float64 {
+	win := exact.NewWindow(int(n))
+	warm := warmWindows * int(n)
+	for i := 0; i < warm; i++ {
+		k := gen.Next()
+		insert(k)
+		win.Push(k)
+	}
+	sum := 0.0
+	for e := 0; e < sc.Epochs; e++ {
+		for i := 0; i < epochSpacing(n); i++ {
+			k := gen.Next()
+			insert(k)
+			win.Push(k)
+		}
+		estimate := prepare(win)
+		var are metrics.AREAccumulator
+		win.Distinct(func(k uint64, truth uint64) {
+			if are.N() >= areKeyCap {
+				return
+			}
+			are.Add(float64(truth), float64(estimate(k)))
+		})
+		if each != nil {
+			each(e, are.Value())
+		}
+		sum += are.Value()
+	}
+	return sum / float64(sc.Epochs)
+}
+
+// sheEstimate adapts a structure's own estimator for areRun's prepare.
+func sheEstimate(f func(uint64) uint64) func(*exact.Window) func(uint64) uint64 {
+	return func(*exact.Window) func(uint64) uint64 { return f }
+}
+
+// areRunWithTruth is areRun for estimators that also want to see the
+// true count of each probed key (the CU ablation counts undercuts).
+func areRunWithTruth(sc Scale, n uint64, gen stream.Generator, warmWindows int,
+	insert func(uint64), estimate func(key, truth uint64) uint64) float64 {
+	win := exact.NewWindow(int(n))
+	warm := warmWindows * int(n)
+	for i := 0; i < warm; i++ {
+		k := gen.Next()
+		insert(k)
+		win.Push(k)
+	}
+	sum := 0.0
+	for e := 0; e < sc.Epochs; e++ {
+		for i := 0; i < epochSpacing(n); i++ {
+			k := gen.Next()
+			insert(k)
+			win.Push(k)
+		}
+		var are metrics.AREAccumulator
+		win.Distinct(func(k uint64, truth uint64) {
+			if are.N() >= areKeyCap {
+				return
+			}
+			are.Add(float64(truth), float64(estimate(k, truth)))
+		})
+		sum += are.Value()
+	}
+	return sum / float64(sc.Epochs)
+}
+
+// simRun measures the relative error of a similarity estimate against
+// the exact window Jaccard index of a stream pair. The two streams
+// share one logical clock (as in §4.5), alternating A and B items, so
+// one interleaved step advances the window clock by two ticks and a
+// window of n ticks holds n/2 items of each stream. estimate receives
+// both exact windows for the Ideal baseline's benefit.
+func simRun(sc Scale, n uint64, pair *stream.RelevantPair, warmWindows int,
+	insertA, insertB func(uint64), estimate func(wa, wb *exact.Window) float64, each func(epoch int, re float64)) float64 {
+	wa, wb := exact.NewWindow(int(n)/2), exact.NewWindow(int(n)/2)
+	step := func() { // two ticks of the shared clock
+		a, b := pair.NextA(), pair.NextB()
+		insertA(a)
+		wa.Push(a)
+		insertB(b)
+		wb.Push(b)
+	}
+	warm := warmWindows * int(n) / 2
+	for i := 0; i < warm; i++ {
+		step()
+	}
+	sum := 0.0
+	for e := 0; e < sc.Epochs; e++ {
+		for i := 0; i < epochSpacing(n)/2; i++ {
+			step()
+		}
+		re := metrics.RelativeError(exact.Jaccard(wa, wb), estimate(wa, wb))
+		if each != nil {
+			each(e, re)
+		}
+		sum += re
+	}
+	return sum / float64(sc.Epochs)
+}
+
+// throughputMips times insert over a pre-generated key slice and
+// returns million inserts per second.
+func throughputMips(keys []uint64, insert func(uint64)) float64 {
+	start := time.Now()
+	for _, k := range keys {
+		insert(k)
+	}
+	return metrics.Mips(len(keys), time.Since(start))
+}
+
+// genKeys pre-draws count keys from gen.
+func genKeys(gen stream.Generator, count int) []uint64 {
+	keys := make([]uint64, count)
+	for i := range keys {
+		keys[i] = gen.Next()
+	}
+	return keys
+}
+
+// windowDistinct estimates the steady-state distinct count of a window
+// of size n over gen — several parameter choices (optimal α, SWAMP
+// sizing) need it up front.
+func windowDistinct(n uint64, gen stream.Generator) float64 {
+	win := exact.NewWindow(int(n))
+	for i := 0; i < 2*int(n); i++ {
+		win.Push(gen.Next())
+	}
+	return float64(win.Cardinality())
+}
+
+// epochAxis returns the Fig. 5 x-axis: epoch index → time in windows.
+func epochAxis(epochs int) []float64 {
+	xs := make([]float64, epochs)
+	for i := range xs {
+		xs[i] = float64(i+1) / 2
+	}
+	return xs
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"she/internal/analysis"
+	"she/internal/core"
+	"she/internal/exact"
+	"she/internal/metrics"
+	"she/internal/stream"
+)
+
+// ModelValidation checks §5's analysis against measurement:
+//
+//   - the SHE-BF false-positive model FPR(R) = [1−(Q^R−Q)/(ln Q·R)]^H
+//     (§5.2) against measured FPR across a memory sweep, at the Eq. 2
+//     optimal α;
+//   - the SHE-BM bias bound |E[Ĉ]−C|/C ≤ αN/(4C) (Eq. 3) against the
+//     measured mean signed error across α.
+//
+// The model is a first-order approximation (it ignores hash collision
+// clustering and on-demand cleaning misses), so the check asserts
+// agreement in order of magnitude and direction, which is also what
+// makes it usable for planning (PlanBloomFilter).
+func ModelValidation(sc Scale) []metrics.Table {
+	return []metrics.Table{modelBF(sc), modelBM(sc)}
+}
+
+func modelBF(sc Scale) metrics.Table {
+	t := metrics.Table{
+		Title:   "Model check: SHE-BF FPR, §5.2 model vs measured (optimal alpha)",
+		Columns: []string{"Memory (KB)", "alpha (Eq.2)", "model FPR", "measured FPR", "ratio"},
+	}
+	n := sc.N
+	distinct := windowDistinct(n, stream.CAIDA(sc.Seed))
+	k := core.DefaultHashes
+	for _, bpi := range []float64{4, 8, 16} {
+		bits := int(bpi * float64(n))
+		groups := (bits + 63) / 64
+		Q := analysis.QBF(64, groups, distinct, k)
+		alpha, err := analysis.OptimalAlpha(64, groups, distinct, k)
+		if err != nil || alpha < 0.1 {
+			alpha = core.DefaultAlphaBF
+		}
+		model := analysis.FPR(1+alpha, Q, k)
+		bf := mustBF(bits, n, alpha, k, sc.Seed)
+		measured := fprRun(sc, n, stream.CAIDA(sc.Seed), warmFor(alpha),
+			bf.Insert, sheQuery(bf.Query), nil)
+		ratio := math.Inf(1)
+		if model > 0 {
+			ratio = measured / model
+		}
+		t.AddRow(fmt.Sprintf("%.0f", metrics.KB(bits)), fmt.Sprintf("%.2f", alpha),
+			fmt.Sprintf("%.3e", model), fmt.Sprintf("%.3e", measured), fmt.Sprintf("%.2f", ratio))
+	}
+	return t
+}
+
+func modelBM(sc Scale) metrics.Table {
+	t := metrics.Table{
+		Title:   "Model check: SHE-BM bias, Eq. 3 bound vs measured mean signed error",
+		Columns: []string{"alpha", "Eq.3 bound", "measured |bias|", "within bound"},
+	}
+	n := sc.N
+	bits := int(float64(n) / 4) // 2 KB at N=2^16: comfortable accuracy
+	distinct := windowDistinct(n, stream.CAIDA(sc.Seed))
+	for _, alpha := range []float64{0.2, 0.4, 0.8} {
+		bm := mustBM(bits, n, alpha, sc.Seed)
+		// Mean signed error: Eq. 3 bounds the estimator's bias, not its
+		// per-epoch noise, so average the signed deviations.
+		var sum float64
+		var count int
+		cardRun(sc, n, stream.CAIDA(sc.Seed), warmFor(alpha), bm.Insert,
+			func(w *exact.Window) float64 {
+				est := bm.EstimateCardinality()
+				truth := float64(w.Cardinality())
+				if truth > 0 {
+					sum += (est - truth) / truth
+					count++
+				}
+				return est
+			}, nil)
+		bias := math.Abs(sum / float64(count))
+		bound := analysis.BMErrorBound(alpha, n, distinct)
+		t.AddRow(fmt.Sprintf("%.1f", alpha), fmt.Sprintf("%.4f", bound),
+			fmt.Sprintf("%.4f", bias), fmt.Sprintf("%v", bias <= bound))
+	}
+	return t
+}

@@ -1,0 +1,79 @@
+// Package experiments reproduces every table and figure of the SHE
+// paper's evaluation (§6–§7). Each driver returns metrics.Figure /
+// metrics.Table values that print the same rows and series the paper
+// plots; cmd/shebench exposes them on the command line and
+// bench_test.go at the repository root wraps each one in a benchmark.
+//
+// Absolute numbers depend on the synthetic workloads and the Go
+// runtime; the shapes — who wins, by what factor, where the crossovers
+// sit — are the reproduction targets. EXPERIMENTS.md records
+// paper-vs-measured for every experiment.
+package experiments
+
+// Scale sets the size of an experiment run. Memory grids are expressed
+// relative to the window size so the same drivers work at paper scale
+// and at test scale.
+type Scale struct {
+	// N is the sliding-window size for the BF/BM/CM/MH tasks
+	// (the paper's default is 2^16).
+	N uint64
+	// NHLL is the window for the HLL task (the paper uses 2^21
+	// "because HyperLogLog is usually used to estimate massive
+	// cardinality"; the default here is 2^18 to keep runs minutes-fast).
+	NHLL uint64
+	// Windows is how many windows of stream feed each measurement run
+	// after warm-up.
+	Windows int
+	// Epochs is how many measurement points are taken per
+	// configuration (spread half a window apart, as in Fig. 5).
+	Epochs int
+	// Probes is the number of negative membership queries per FPR
+	// measurement.
+	Probes int
+	// ThroughputItems is the stream length for the speed experiments
+	// (Figs. 10–11).
+	ThroughputItems int
+	// Seed drives every generator and hash family.
+	Seed uint64
+}
+
+// DefaultScale is the CLI default: paper-shaped sizes that run in
+// minutes on a laptop.
+func DefaultScale() Scale {
+	return Scale{
+		N:               1 << 16,
+		NHLL:            1 << 19,
+		Windows:         4,
+		Epochs:          8,
+		Probes:          20000,
+		ThroughputItems: 4 << 20,
+		Seed:            20220829,
+	}
+}
+
+// QuickScale shrinks everything so the full suite runs in seconds; the
+// benchmark harness and tests use it.
+func QuickScale() Scale {
+	return Scale{
+		N:               1 << 12,
+		NHLL:            1 << 14,
+		Windows:         3,
+		Epochs:          4,
+		Probes:          1000,
+		ThroughputItems: 1 << 18,
+		Seed:            20220829,
+	}
+}
+
+// kbGrid converts a grid of bits-per-window-item into kilobyte points
+// for window n.
+func kbGrid(n uint64, bitsPerItem []float64) []float64 {
+	out := make([]float64, len(bitsPerItem))
+	for i, b := range bitsPerItem {
+		out[i] = b * float64(n) / 8192
+	}
+	return out
+}
+
+// bitsFor converts a kilobyte budget to bits.
+func bitsFor(kb float64) int { return int(kb * 8192) }

@@ -1,0 +1,159 @@
+package fpga
+
+import (
+	"fmt"
+
+	"she/internal/bitpack"
+	"she/internal/hashing"
+)
+
+// cmTxn is the per-item transaction of the Count-Min lane pipeline.
+type cmTxn struct {
+	key     uint64
+	t       uint64
+	index   int
+	gid     int
+	curMark bool
+	clean   bool
+}
+
+// CMDatapath is the cycle-level SHE-CM insertion pipeline: the same
+// four stages as SHE-BM (§6: "the insertion process of SHE-BF and
+// other SHE algorithms is barely the same as SHE-BM"), with the S4
+// bit-set replaced by a saturating counter increment. One lane serves
+// one hash function; k lanes over partitioned counter banks form the
+// full sketch, mirroring BFDatapath.
+type CMDatapath struct {
+	cells, w, groups int
+	T, N             uint64
+	width            uint
+
+	counter  uint64
+	marks    []bool
+	counters *bitpack.Packed
+
+	fam *hashing.Family
+
+	latch  [3]*cmTxn
+	cycles uint64
+	items  uint64
+}
+
+// NewCMDatapath builds one Count-Min lane over cells counters of the
+// given bit width in groups of w.
+func NewCMDatapath(cells, w int, width uint, N, T uint64, fam *hashing.Family) *CMDatapath {
+	if cells <= 0 || w <= 0 || w > cells {
+		panic(fmt.Sprintf("fpga: invalid cm datapath geometry cells=%d w=%d", cells, w))
+	}
+	groups := (cells + w - 1) / w
+	d := &CMDatapath{
+		cells: cells, w: w, groups: groups,
+		T: T, N: N, width: width,
+		marks:    make([]bool, groups),
+		counters: bitpack.NewPacked(cells, width),
+		fam:      fam,
+	}
+	for gid := 0; gid < groups; gid++ {
+		d.marks[gid] = d.curMark(gid, 0)
+	}
+	return d
+}
+
+func (d *CMDatapath) offset(gid int) uint64 {
+	return d.T * uint64(gid) / uint64(d.groups)
+}
+
+func (d *CMDatapath) curMark(gid int, t uint64) bool {
+	return ((t+2*d.T-d.offset(gid))/d.T)&1 == 1
+}
+
+// Cycle advances one clock; a non-nil key enters stage 1, hashed with
+// family index laneHash.
+func (d *CMDatapath) Cycle(key *uint64, laneHash int) {
+	d.cycles++
+
+	// S4: clean the group if flagged, then increment the counter.
+	if tx := d.latch[2]; tx != nil {
+		if tx.clean {
+			lo := tx.gid * d.w
+			hi := lo + d.w
+			if hi > d.cells {
+				hi = d.cells
+			}
+			d.counters.ResetRange(lo, hi)
+		}
+		d.counters.AddSat(tx.index, 1)
+	}
+
+	// S3: time-mark compare and update.
+	if tx := d.latch[1]; tx != nil {
+		tx.curMark = d.curMark(tx.gid, tx.t)
+		if tx.curMark != d.marks[tx.gid] {
+			d.marks[tx.gid] = tx.curMark
+			tx.clean = true
+		}
+	}
+	d.latch[2] = d.latch[1]
+
+	// S2: hash.
+	if tx := d.latch[0]; tx != nil {
+		tx.index = d.fam.Index(laneHash, tx.key, d.cells)
+		tx.gid = tx.index / d.w
+	}
+	d.latch[1] = d.latch[0]
+
+	// S1: timestamp.
+	if key != nil {
+		d.counter++
+		d.latch[0] = &cmTxn{key: *key, t: d.counter}
+		d.items++
+	} else {
+		d.latch[0] = nil
+	}
+}
+
+// Run feeds keys and drains the pipeline.
+func (d *CMDatapath) Run(keys []uint64) {
+	for i := range keys {
+		d.Cycle(&keys[i], 0)
+	}
+	for i := 0; i < len(d.latch); i++ {
+		d.Cycle(nil, 0)
+	}
+}
+
+// Counter reports counter i's raw value (equivalence checks).
+func (d *CMDatapath) Counter(i int) uint64 { return d.counters.Get(i) }
+
+// Cycles and Items report the II=1 property.
+func (d *CMDatapath) Cycles() uint64 { return d.cycles }
+
+// Items returns the accepted item count.
+func (d *CMDatapath) Items() uint64 { return d.items }
+
+// SHECMDesign returns the structural pipeline description for a k-lane
+// SHE-CM over cells counters of the given width in groups of w: the
+// SHE-BM stages with the bit array replaced by a counter bank. Group
+// accesses are w×width bits wide, so constraint 3 caps w×width at the
+// memory line.
+func SHECMDesign(cells, w, k int, width, counterBits int) *Design {
+	groups := (cells + w - 1) / w
+	perLane := cells / k
+	return &Design{
+		Name: "SHE-CM",
+		Regions: []Region{
+			{Name: "item_counter", Bits: counterBits},
+			{Name: "time_marks", Bits: groups / k},
+			{Name: "bit_array", Bits: perLane * width},
+		},
+		Stages: []Stage{
+			{Name: "S1 timestamp", Accesses: []Access{{Region: "item_counter", Kind: ReadWrite, WidthBits: counterBits, Addresses: 1}}},
+			{Name: "S2 hash"},
+			{Name: "S3 mark", Accesses: []Access{{Region: "time_marks", Kind: ReadWrite, WidthBits: 1, Addresses: 1}}},
+			{Name: "S4 update", Accesses: []Access{{Region: "bit_array", Kind: ReadWrite, WidthBits: w * width, Addresses: 1}}},
+		},
+		Lanes:      k,
+		LUTPerLane: lutHashUnit + lutMarkLogic + lutControl + 8*width, // adder per counter bit
+		ClockMHz:   ClockSHEBF,
+	}
+}

@@ -1,0 +1,80 @@
+package fpga
+
+import (
+	"math/rand"
+	"testing"
+
+	"she/internal/core"
+	"she/internal/hashing"
+)
+
+func TestCMDatapathMatchesCoreCounterForCounter(t *testing.T) {
+	// A single-lane (k=1) SHE-CM datapath must leave exactly the state
+	// of the sequential implementation.
+	const cells = 1024
+	const w = 64
+	const N = 500
+	const T = 1000 // α = 1
+	fam := hashing.NewFamily(1, 55)
+	dp := NewCMDatapath(cells, w, 32, N, T, fam)
+
+	ref, err := core.NewCM(cells, w, 1, 32, core.WindowConfig{N: N, Alpha: 1, Seed: 55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(56))
+	keys := make([]uint64, 8000)
+	for i := range keys {
+		keys[i] = uint64(rng.Intn(400))
+	}
+	dp.Run(keys)
+	for _, k := range keys {
+		ref.Insert(k)
+	}
+	for i := 0; i < cells; i++ {
+		if dp.Counter(i) != ref.Counter(i) {
+			t.Fatalf("counter %d differs: datapath %d, core %d", i, dp.Counter(i), ref.Counter(i))
+		}
+	}
+}
+
+func TestCMDatapathInitiationIntervalOne(t *testing.T) {
+	fam := hashing.NewFamily(1, 5)
+	dp := NewCMDatapath(256, 64, 32, 100, 200, fam)
+	keys := make([]uint64, 500)
+	for i := range keys {
+		keys[i] = uint64(i % 40)
+	}
+	dp.Run(keys)
+	if dp.Items() != 500 || dp.Cycles() != 503 {
+		t.Fatalf("items=%d cycles=%d, want 500/503", dp.Items(), dp.Cycles())
+	}
+}
+
+func TestSHECMDesignConstraints(t *testing.T) {
+	d := SHECMDesign(1<<16, 8, 8, 32, 32)
+	if vs := d.Check(DefaultLimits()); len(vs) != 0 {
+		t.Fatalf("SHE-CM design violates constraints: %v", vs)
+	}
+	// A 64-counter group of 32-bit counters is a 2048-bit access: wider
+	// than the 1024-bit line, so constraint 3 must fire.
+	wide := SHECMDesign(1<<16, 64, 8, 32, 32)
+	found := false
+	for _, v := range wide.Check(DefaultLimits()) {
+		if v.Constraint == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("2048-bit counter-group access not flagged")
+	}
+}
+
+func TestCMDatapathRejectsBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCMDatapath(10, 20, 32, 100, 200, hashing.NewFamily(1, 1))
+}

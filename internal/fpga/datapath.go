@@ -1,0 +1,228 @@
+package fpga
+
+import (
+	"fmt"
+
+	"she/internal/bitpack"
+	"she/internal/hashing"
+)
+
+// bmTxn is the transaction carried through the pipeline latches: one
+// item's state as it advances a stage per clock.
+type bmTxn struct {
+	key     uint64
+	t       uint64 // assigned in S1
+	index   int    // computed in S2
+	gid     int
+	curMark bool // computed in S3
+	clean   bool // S3's decision: group must be reset in S4
+}
+
+// BMDatapath is a cycle-level simulation of the 4-stage SHE-BM
+// insertion pipeline of §6. One item enters per clock; each stage
+// touches only its own memory region (S1: item counter, S2: none,
+// S3: time marks, S4: bit array), so the pipeline never stalls and the
+// initiation interval is 1. Because transactions retire in order, the
+// final array state is bit-for-bit the state the sequential software
+// implementation (internal/core.BM) produces — a property the tests
+// enforce.
+type BMDatapath struct {
+	mBits, w, groups int
+	T, N             uint64
+
+	// Architectural state (the design's memory regions).
+	counter uint64 // S1's item counter register
+	marks   []bool // S3's time-mark bits
+	array   *bitpack.BitArray
+
+	fam *hashing.Family
+
+	// Pipeline latches between the four stages.
+	latch  [3]*bmTxn
+	cycles uint64
+	items  uint64
+}
+
+// NewBMDatapath builds the datapath for an mBits-bit array in groups of
+// w bits, window N, cleaning cycle T, hashing under seed with hash
+// index hashIdx of the seed's family (lanes of a Bloom filter pass
+// 0..k−1; plain SHE-BM passes family size 1, index 0).
+func NewBMDatapath(mBits, w int, N, T uint64, fam *hashing.Family) *BMDatapath {
+	if mBits <= 0 || w <= 0 || w > mBits {
+		panic(fmt.Sprintf("fpga: invalid datapath geometry m=%d w=%d", mBits, w))
+	}
+	groups := (mBits + w - 1) / w
+	d := &BMDatapath{
+		mBits: mBits, w: w, groups: groups,
+		T: T, N: N,
+		marks: make([]bool, groups),
+		array: bitpack.NewBitArray(mBits),
+		fam:   fam,
+	}
+	for gid := 0; gid < groups; gid++ {
+		d.marks[gid] = d.curMark(gid, 0)
+	}
+	return d
+}
+
+// NewBMDatapathSeeded is NewBMDatapath with a single-function hash
+// family derived from seed — the plain SHE-BM configuration.
+func NewBMDatapathSeeded(mBits, w int, N, T uint64, seed uint64) *BMDatapath {
+	return NewBMDatapath(mBits, w, N, T, hashing.NewFamily(1, seed))
+}
+
+func (d *BMDatapath) offset(gid int) uint64 {
+	return d.T * uint64(gid) / uint64(d.groups)
+}
+
+func (d *BMDatapath) curMark(gid int, t uint64) bool {
+	return ((t+2*d.T-d.offset(gid))/d.T)&1 == 1
+}
+
+// Cycle advances the pipeline one clock. If key is non-nil a new item
+// enters stage 1. Stages execute back-to-front so each reads its input
+// latch before it is overwritten — exactly the behaviour of registered
+// hardware stages.
+func (d *BMDatapath) Cycle(key *uint64, laneHash int) {
+	d.cycles++
+
+	// S4: update the mapped group in the bit array.
+	if tx := d.latch[2]; tx != nil {
+		lo := tx.gid * d.w
+		hi := lo + d.w
+		if hi > d.mBits {
+			hi = d.mBits
+		}
+		if tx.clean {
+			d.array.ResetRange(lo, hi)
+		}
+		d.array.Set(tx.index)
+	}
+
+	// S3: compare and update the group's time mark.
+	if tx := d.latch[1]; tx != nil {
+		tx.curMark = d.curMark(tx.gid, tx.t)
+		if tx.curMark != d.marks[tx.gid] {
+			d.marks[tx.gid] = tx.curMark
+			tx.clean = true
+		}
+	}
+	d.latch[2] = d.latch[1]
+
+	// S2: hash the key to a bit index (pure logic, no memory).
+	if tx := d.latch[0]; tx != nil {
+		tx.index = d.fam.Index(laneHash, tx.key, d.mBits)
+		tx.gid = tx.index / d.w
+	}
+	d.latch[1] = d.latch[0]
+
+	// S1: stamp the item from the item counter and update the counter.
+	if key != nil {
+		d.counter++
+		d.latch[0] = &bmTxn{key: *key, t: d.counter}
+		d.items++
+	} else {
+		d.latch[0] = nil
+	}
+}
+
+// Run feeds every key through the pipeline and then drains it.
+func (d *BMDatapath) Run(keys []uint64) {
+	for i := range keys {
+		d.Cycle(&keys[i], 0)
+	}
+	d.Drain()
+}
+
+// Drain flushes in-flight transactions (3 bubble cycles).
+func (d *BMDatapath) Drain() {
+	for i := 0; i < len(d.latch); i++ {
+		d.Cycle(nil, 0)
+	}
+}
+
+// Cycles returns total clocks elapsed; Items returns items accepted.
+// Items/Cycles approaches 1 — the initiation-interval-one property
+// behind Table 3's "Mips = clock MHz".
+func (d *BMDatapath) Cycles() uint64 { return d.cycles }
+
+// Items returns the number of items the pipeline has accepted.
+func (d *BMDatapath) Items() uint64 { return d.items }
+
+// Bit reports the state of array bit i (for equivalence checks).
+func (d *BMDatapath) Bit(i int) bool { return d.array.Get(i) }
+
+// BFDatapath is the SHE-BF pipeline: k identical lanes, one per hash
+// function, each owning an mBits/k-bit partition of the filter (the
+// paper's "8 identical processes"). All lanes accept the same item in
+// the same clock, so throughput is still one item per cycle.
+type BFDatapath struct {
+	lanes []*BMDatapath
+}
+
+// NewBFDatapath builds a k-lane Bloom pipeline over mBits total bits in
+// groups of w, window N, cycle T, seeded by seed.
+func NewBFDatapath(mBits, w, k int, N, T uint64, seed uint64) *BFDatapath {
+	if k <= 0 || mBits/k < w {
+		panic(fmt.Sprintf("fpga: invalid BF datapath geometry m=%d w=%d k=%d", mBits, w, k))
+	}
+	part := mBits / k
+	fam := hashing.NewFamily(k, seed)
+	d := &BFDatapath{lanes: make([]*BMDatapath, k)}
+	for i := range d.lanes {
+		d.lanes[i] = NewBMDatapath(part, w, N, T, fam)
+	}
+	return d
+}
+
+// Cycle advances every lane one clock on the same input item.
+func (d *BFDatapath) Cycle(key *uint64) {
+	for i, lane := range d.lanes {
+		lane.Cycle(key, i)
+	}
+}
+
+// Run feeds keys and drains the pipeline.
+func (d *BFDatapath) Run(keys []uint64) {
+	for i := range keys {
+		d.Cycle(&keys[i])
+	}
+	for i := 0; i < 3; i++ {
+		d.Cycle(nil)
+	}
+}
+
+// Query answers a membership query against the drained pipeline state,
+// mirroring core.BF's age-sensitive rule per lane partition.
+func (d *BFDatapath) Query(key uint64, t uint64) bool {
+	for i, lane := range d.lanes {
+		j := lane.fam.Index(i, key, lane.mBits)
+		gid := j / lane.w
+		// On-demand clean at query, as Algorithm 1 does.
+		cur := lane.curMark(gid, t)
+		if cur != lane.marks[gid] {
+			lane.marks[gid] = cur
+			lo := gid * lane.w
+			hi := lo + lane.w
+			if hi > lane.mBits {
+				hi = lane.mBits
+			}
+			lane.array.ResetRange(lo, hi)
+		}
+		age := (t + 2*lane.T - lane.offset(gid)) % lane.T
+		if age < lane.N {
+			continue
+		}
+		if !lane.array.Get(j) {
+			return false
+		}
+	}
+	return true
+}
+
+// Cycles returns the clock count of the first lane (lanes are in
+// lockstep).
+func (d *BFDatapath) Cycles() uint64 { return d.lanes[0].cycles }
+
+// Items returns the items accepted.
+func (d *BFDatapath) Items() uint64 { return d.lanes[0].items }

@@ -1,0 +1,188 @@
+// Package fpga models the hardware implementation of §6 of the SHE
+// paper. A real Virtex-7 bitstream cannot ship in a Go repository, so
+// this package substitutes the three things the paper's §6 actually
+// establishes (see DESIGN.md §4):
+//
+//  1. a structural pipeline description with a checker for the three
+//     hardware constraints of §2.3 (SRAM budget, single-stage memory
+//     access, limited concurrent access) — SHE designs pass, a
+//     SWAMP-shaped design provably fails;
+//  2. a resource model (register bits counted exactly from the design;
+//     LUT counts via a per-component proxy calibrated to Table 2);
+//  3. a cycle-level datapath simulator that executes the 4-stage
+//     SHE-BM/SHE-BF insertion pipeline one item per clock and must
+//     produce bit-for-bit the same array state as internal/core — the
+//     equivalence is enforced by tests.
+//
+// With the pipeline's initiation interval verified to be 1, throughput
+// in Mips equals the clock in MHz, which is how Table 3's 544 Mips
+// figure arises.
+package fpga
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AccessKind distinguishes reads, writes and read-modify-writes to a
+// memory region.
+type AccessKind int
+
+// Access kinds.
+const (
+	Read AccessKind = iota
+	Write
+	ReadWrite
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case Read:
+		return "R"
+	case Write:
+		return "W"
+	default:
+		return "RW"
+	}
+}
+
+// Region is a named memory region (register bank or SRAM block) of a
+// design.
+type Region struct {
+	Name string
+	Bits int // total storage
+}
+
+// Access is one stage's access to a region.
+type Access struct {
+	Region string
+	Kind   AccessKind
+	// WidthBits is how many bits the stage touches per item — one
+	// address worth of data. Constraint 3 bounds this.
+	WidthBits int
+	// Addresses is how many distinct addresses the stage may touch for
+	// one item. Constraint 3 requires 1; SWAMP's domino expansion makes
+	// it unbounded (represented as a large number).
+	Addresses int
+}
+
+// Stage is one pipeline stage with its memory accesses.
+type Stage struct {
+	Name     string
+	Accesses []Access
+}
+
+// Design is a pipeline design: an ordered list of stages over a set of
+// regions, possibly replicated into independent lanes (SHE-BF runs
+// k = 8 identical lanes, one per hash function).
+type Design struct {
+	Name    string
+	Regions []Region
+	Stages  []Stage
+	Lanes   int
+	// LUTProxy estimates lookup-table usage per lane; see resources.go.
+	LUTPerLane int
+	// ClockMHz is the design's reference clock. The shipped SHE designs
+	// carry the paper's measured Virtex-7 frequencies (Table 3).
+	ClockMHz float64
+}
+
+// Violation describes one broken hardware constraint.
+type Violation struct {
+	Constraint int // 1, 2 or 3 as numbered in §2.3
+	Detail     string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("constraint %d: %s", v.Constraint, v.Detail)
+}
+
+// Limits parameterizes the constraint check.
+type Limits struct {
+	// SRAMBits is the on-chip memory budget (constraint 1). The paper
+	// cites <30 MB for a Virtex FPGA.
+	SRAMBits int
+	// MaxAccessBits is the widest single memory access a stage may make
+	// (constraint 3); FPGAs fetch a memory line of ~1024 bits.
+	MaxAccessBits int
+}
+
+// DefaultLimits matches the platform described in the paper: 30 MB of
+// SRAM and 1024-bit memory lines.
+func DefaultLimits() Limits {
+	return Limits{SRAMBits: 30 * 1024 * 1024 * 8, MaxAccessBits: 1024}
+}
+
+// Check verifies the three constraints of §2.3 and returns every
+// violation found (empty = hardware-implementable).
+func (d *Design) Check(lim Limits) []Violation {
+	var vs []Violation
+	lanes := d.Lanes
+	if lanes < 1 {
+		lanes = 1
+	}
+	// Constraint 1: total memory within SRAM budget.
+	if mem := d.MemoryBits(); mem > lim.SRAMBits {
+		vs = append(vs, Violation{1, fmt.Sprintf("design needs %d bits of SRAM, budget is %d", mem, lim.SRAMBits)})
+	}
+	// Constraint 2: each region accessed by exactly one stage.
+	users := map[string][]string{}
+	for _, st := range d.Stages {
+		for _, a := range st.Accesses {
+			users[a.Region] = append(users[a.Region], st.Name)
+		}
+	}
+	names := make([]string, 0, len(users))
+	for r := range users {
+		names = append(names, r)
+	}
+	sort.Strings(names)
+	for _, r := range names {
+		if len(users[r]) > 1 {
+			vs = append(vs, Violation{2, fmt.Sprintf("region %q accessed by %d stages %v", r, len(users[r]), users[r])})
+		}
+	}
+	// Every declared access must reference a declared region.
+	regions := map[string]bool{}
+	for _, r := range d.Regions {
+		regions[r.Name] = true
+	}
+	for _, st := range d.Stages {
+		for _, a := range st.Accesses {
+			if !regions[a.Region] {
+				vs = append(vs, Violation{2, fmt.Sprintf("stage %q accesses undeclared region %q", st.Name, a.Region)})
+			}
+		}
+	}
+	// Constraint 3: one address per stage, bounded width.
+	for _, st := range d.Stages {
+		for _, a := range st.Accesses {
+			if a.Addresses > 1 {
+				vs = append(vs, Violation{3, fmt.Sprintf("stage %q touches %d addresses of region %q per item", st.Name, a.Addresses, a.Region)})
+			}
+			if a.WidthBits > lim.MaxAccessBits {
+				vs = append(vs, Violation{3, fmt.Sprintf("stage %q accesses %d bits of region %q, line limit is %d", st.Name, a.WidthBits, a.Region, lim.MaxAccessBits)})
+			}
+		}
+	}
+	return vs
+}
+
+// MemoryBits totals the design's storage over all lanes.
+func (d *Design) MemoryBits() int {
+	lanes := d.Lanes
+	if lanes < 1 {
+		lanes = 1
+	}
+	sum := 0
+	for _, r := range d.Regions {
+		sum += r.Bits
+	}
+	return sum * lanes
+}
+
+// ThroughputMips returns the design's insertion throughput in million
+// items per second. With all constraints satisfied the pipeline's
+// initiation interval is one item per clock, so Mips = clock MHz
+// (lanes process the same item in parallel, not different items).
+func (d *Design) ThroughputMips() float64 { return d.ClockMHz }

@@ -1,0 +1,143 @@
+package fpga
+
+import (
+	"math"
+	"math/bits"
+)
+
+// LUT proxy constants, calibrated so that the shipped SHE-BM/SHE-BF
+// configurations reproduce Table 2's utilization (1653 / 12875 LUTs).
+// They are stated per functional unit so that other geometries scale
+// plausibly; they are a model, not a synthesis result.
+const (
+	lutHashUnit  = 1000 // one BOBHash pipeline
+	lutMarkLogic = 350  // time-mark compute + compare + group reset mux
+	lutControl   = 303  // counters, muxes, handshaking per lane
+)
+
+// Paper-measured Virtex-7 clock frequencies (Table 3).
+const (
+	ClockSHEBM = 544.07
+	ClockSHEBF = 468.82
+)
+
+// SHEBMDesign returns the 4-stage SHE-BM insertion pipeline of §6 for
+// an mBits-bit array in groups of w bits, with a counterBits item
+// counter.
+//
+// Stage 1 reads/updates the item counter; stage 2 computes the hash
+// (no memory); stage 3 reads/updates the group's time mark; stage 4
+// updates the mapped group (reset-and-set or set). Each region is
+// touched in exactly one stage and each stage touches one address of at
+// most group width.
+func SHEBMDesign(mBits, w, counterBits int) *Design {
+	groups := (mBits + w - 1) / w
+	return &Design{
+		Name: "SHE-BM",
+		Regions: []Region{
+			{Name: "item_counter", Bits: counterBits},
+			{Name: "time_marks", Bits: groups},
+			{Name: "bit_array", Bits: mBits},
+		},
+		Stages: []Stage{
+			{Name: "S1 timestamp", Accesses: []Access{{Region: "item_counter", Kind: ReadWrite, WidthBits: counterBits, Addresses: 1}}},
+			{Name: "S2 hash"},
+			{Name: "S3 mark", Accesses: []Access{{Region: "time_marks", Kind: ReadWrite, WidthBits: 1, Addresses: 1}}},
+			{Name: "S4 update", Accesses: []Access{{Region: "bit_array", Kind: ReadWrite, WidthBits: w, Addresses: 1}}},
+		},
+		Lanes:      1,
+		LUTPerLane: lutHashUnit + lutMarkLogic + lutControl,
+		ClockMHz:   ClockSHEBM,
+	}
+}
+
+// SHEBFDesign returns the SHE-BF pipeline: k identical SHE-BM-shaped
+// lanes, one per hash function, each owning an mBits/k-bit partition of
+// the filter (the paper replicates the insertion process 8×).
+func SHEBFDesign(mBits, w, k, counterBits int) *Design {
+	d := SHEBMDesign(mBits/k, w, counterBits)
+	d.Name = "SHE-BF"
+	d.Lanes = k
+	d.ClockMHz = ClockSHEBF
+	return d
+}
+
+// Resources summarizes a design's estimated utilization.
+type Resources struct {
+	LUTs      int
+	Registers int
+	BlockRAM  int // SHE's arrays fit in registers; always 0 here
+}
+
+// latchBits estimates the pipeline latch registers per lane: the key
+// (64 b), timestamp (32 b), hashed index (log2 m), mark flags and
+// valid bits carried between the four stages.
+func latchBits(mBits int) int {
+	idx := bits.Len(uint(mBits))
+	perBoundary := 64 + 32 + idx + 2
+	return 3 * perBoundary // three stage boundaries
+}
+
+// EstimateResources returns the design's resource model: exact register
+// bits (state + latches) and proxy LUTs.
+func (d *Design) EstimateResources() Resources {
+	lanes := d.Lanes
+	if lanes < 1 {
+		lanes = 1
+	}
+	state := 0
+	var arrayBits int
+	for _, r := range d.Regions {
+		state += r.Bits
+		if r.Name == "bit_array" {
+			arrayBits = r.Bits
+		}
+	}
+	perLane := state + latchBits(arrayBits)
+	return Resources{
+		LUTs:      d.LUTPerLane * lanes,
+		Registers: perLane * lanes,
+		BlockRAM:  0,
+	}
+}
+
+// UtilizationPercent converts a resource count to percent of the
+// paper's target device (Virtex-7 xc7vx690t: 433200 LUTs, 866400
+// registers).
+func UtilizationPercent(luts, regs int) (lutPct, regPct float64) {
+	const deviceLUTs = 433200.0
+	const deviceRegs = 866400.0
+	round := func(x float64) float64 { return math.Round(x*100) / 100 }
+	return round(float64(luts) / deviceLUTs * 100), round(float64(regs) / deviceRegs * 100)
+}
+
+// SWAMPDesign returns a structural model of SWAMP's insertion path,
+// used to demonstrate why SWAMP cannot run on the pipeline (§2.3): the
+// TinyTable's three fields are modified interdependently (same region
+// touched by multiple stages) and bucket overflow chains ("domino
+// effect") touch an unbounded number of addresses. The windowItems
+// parameter sizes the fingerprint queue, whose SRAM demand is O(W).
+func SWAMPDesign(windowItems, fpBits int) *Design {
+	queueBits := windowItems * fpBits
+	tableBits := windowItems * (fpBits + 4)
+	return &Design{
+		Name: "SWAMP",
+		Regions: []Region{
+			{Name: "fp_queue", Bits: queueBits},
+			{Name: "tiny_table", Bits: tableBits},
+		},
+		Stages: []Stage{
+			{Name: "S1 dequeue", Accesses: []Access{
+				{Region: "fp_queue", Kind: ReadWrite, WidthBits: fpBits, Addresses: 1},
+				{Region: "tiny_table", Kind: ReadWrite, WidthBits: fpBits + 4, Addresses: 1},
+			}},
+			{Name: "S2 insert", Accesses: []Access{
+				// Bucket overflow may cascade across neighbours.
+				{Region: "tiny_table", Kind: ReadWrite, WidthBits: fpBits + 4, Addresses: windowItems},
+			}},
+		},
+		Lanes:      1,
+		LUTPerLane: 0,
+		ClockMHz:   0,
+	}
+}

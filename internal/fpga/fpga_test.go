@@ -1,0 +1,187 @@
+package fpga
+
+import (
+	"math/rand"
+	"testing"
+
+	"she/internal/core"
+	"she/internal/exact"
+	"she/internal/hashing"
+)
+
+func TestSHEDesignsSatisfyConstraints(t *testing.T) {
+	lim := DefaultLimits()
+	for _, d := range []*Design{
+		SHEBMDesign(1024, 64, 32),
+		SHEBFDesign(8192, 64, 8, 32),
+	} {
+		if vs := d.Check(lim); len(vs) != 0 {
+			t.Fatalf("%s violates constraints: %v", d.Name, vs)
+		}
+	}
+}
+
+func TestSWAMPDesignViolatesConstraints(t *testing.T) {
+	d := SWAMPDesign(1<<16, 16)
+	vs := d.Check(DefaultLimits())
+	var c2, c3 bool
+	for _, v := range vs {
+		switch v.Constraint {
+		case 2:
+			c2 = true
+		case 3:
+			c3 = true
+		}
+	}
+	if !c2 {
+		t.Fatal("SWAMP's multi-stage TinyTable access not flagged (constraint 2)")
+	}
+	if !c3 {
+		t.Fatal("SWAMP's domino expansion not flagged (constraint 3)")
+	}
+}
+
+func TestConstraint1FlagsOversizedDesign(t *testing.T) {
+	d := SHEBMDesign(1024, 64, 32)
+	lim := Limits{SRAMBits: 100, MaxAccessBits: 1024}
+	vs := d.Check(lim)
+	found := false
+	for _, v := range vs {
+		if v.Constraint == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("100-bit SRAM budget not flagged")
+	}
+}
+
+func TestConstraint3FlagsWideGroups(t *testing.T) {
+	d := SHEBMDesign(1<<16, 2048, 32) // 2048-bit groups exceed the line
+	vs := d.Check(DefaultLimits())
+	found := false
+	for _, v := range vs {
+		if v.Constraint == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("2048-bit group access not flagged against the 1024-bit line")
+	}
+}
+
+func TestTable2ResourceModel(t *testing.T) {
+	// The shipped configurations must reproduce Table 2's LUT counts
+	// (they calibrate the proxy) and land near its register counts.
+	bm := SHEBMDesign(1024, 64, 32).EstimateResources()
+	if bm.LUTs != 1653 {
+		t.Fatalf("SHE-BM LUT proxy %d, calibration target 1653", bm.LUTs)
+	}
+	if bm.Registers < 1024 || bm.Registers > 2000 {
+		t.Fatalf("SHE-BM registers %d outside the plausible band around 1509", bm.Registers)
+	}
+	if bm.BlockRAM != 0 {
+		t.Fatal("SHE-BM should use no block memory (Table 2)")
+	}
+	bf := SHEBFDesign(8192, 64, 8, 32).EstimateResources()
+	if bf.LUTs != 8*1653 {
+		t.Fatalf("SHE-BF LUT proxy %d, want 8 lanes", bf.LUTs)
+	}
+}
+
+func TestTable3Throughput(t *testing.T) {
+	if mips := SHEBMDesign(1024, 64, 32).ThroughputMips(); mips != ClockSHEBM {
+		t.Fatalf("SHE-BM Mips=%v, want clock-rate %v (II=1)", mips, ClockSHEBM)
+	}
+	if mips := SHEBFDesign(8192, 64, 8, 32).ThroughputMips(); mips != ClockSHEBF {
+		t.Fatalf("SHE-BF Mips=%v, want %v", mips, ClockSHEBF)
+	}
+}
+
+func TestBMDatapathMatchesCoreBitForBit(t *testing.T) {
+	// The pipeline datapath must leave exactly the same array state as
+	// the sequential software implementation, for the same keys and
+	// the same count-based clock.
+	const m = 1024
+	const w = 64
+	const N = 300
+	const T = 360 // α = 0.2
+	fam := hashing.NewFamily(1, 77)
+	dp := NewBMDatapath(m, w, N, T, fam)
+
+	ref, err := core.NewBM(m, w, core.WindowConfig{N: N, Alpha: 0.2, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(50))
+	keys := make([]uint64, 5000)
+	for i := range keys {
+		keys[i] = rng.Uint64() % 700
+	}
+	dp.Run(keys)
+	for _, k := range keys {
+		ref.Insert(k)
+	}
+	for i := 0; i < m; i++ {
+		if dp.Bit(i) != ref.Bit(i) {
+			t.Fatalf("bit %d differs: datapath %v, core %v", i, dp.Bit(i), ref.Bit(i))
+		}
+	}
+}
+
+func TestBMDatapathInitiationIntervalOne(t *testing.T) {
+	fam := hashing.NewFamily(1, 3)
+	dp := NewBMDatapath(512, 64, 100, 120, fam)
+	keys := make([]uint64, 1000)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	dp.Run(keys)
+	if dp.Items() != 1000 {
+		t.Fatalf("items=%d", dp.Items())
+	}
+	if dp.Cycles() != 1000+3 {
+		t.Fatalf("cycles=%d, want items+3 drain bubbles", dp.Cycles())
+	}
+}
+
+func TestBFDatapathNoFalseNegatives(t *testing.T) {
+	const N = 256
+	const T = 4 * N
+	dp := NewBFDatapath(1<<13, 64, 8, N, T, 91)
+	win := exact.NewWindow(N)
+	rng := rand.New(rand.NewSource(51))
+	keys := make([]uint64, 6*N)
+	for i := range keys {
+		keys[i] = uint64(rng.Intn(900))
+	}
+	dp.Run(keys)
+	for _, k := range keys {
+		win.Push(k)
+	}
+	tcur := dp.Items()
+	win.Distinct(func(k uint64, _ uint64) {
+		if !dp.Query(k, tcur) {
+			t.Fatalf("hardware BF false negative for in-window key %d", k)
+		}
+	})
+}
+
+func TestBFDatapathRejectsBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for partition smaller than group")
+		}
+	}()
+	NewBFDatapath(256, 64, 8, 100, 400, 1) // 32-bit partitions < w
+}
+
+func TestUtilizationPercent(t *testing.T) {
+	lut, reg := UtilizationPercent(1653, 1509)
+	if lut < 0.3 || lut > 0.5 {
+		t.Fatalf("LUT%%=%v, Table 2 says 0.38", lut)
+	}
+	if reg < 0.1 || reg > 0.3 {
+		t.Fatalf("Reg%%=%v, Table 2 says 0.17", reg)
+	}
+}

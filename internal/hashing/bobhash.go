@@ -1,0 +1,131 @@
+// Package hashing provides the hash functions used throughout the SHE
+// framework: a faithful Go port of Bob Jenkins' lookup3 hash ("BOBHash",
+// the function the SHE paper uses), a splitmix64 mixer for integer keys
+// and synthetic workload generation, and seeded hash families that
+// produce the k independent functions sketches need.
+//
+// Everything in this package is deterministic: the same seed and input
+// always produce the same value, on every platform, so experiments are
+// reproducible bit-for-bit.
+package hashing
+
+// rot rotates x left by k bits.
+func rot(x uint32, k uint) uint32 { return x<<k | x>>(32-k) }
+
+// mix mixes three 32-bit values reversibly (lookup3 internal mix).
+func mix(a, b, c uint32) (uint32, uint32, uint32) {
+	a -= c
+	a ^= rot(c, 4)
+	c += b
+	b -= a
+	b ^= rot(a, 6)
+	a += c
+	c -= b
+	c ^= rot(b, 8)
+	b += a
+	a -= c
+	a ^= rot(c, 16)
+	c += b
+	b -= a
+	b ^= rot(a, 19)
+	a += c
+	c -= b
+	c ^= rot(b, 4)
+	b += a
+	return a, b, c
+}
+
+// final forces all bits of a, b and c to avalanche (lookup3 final).
+func final(a, b, c uint32) (uint32, uint32, uint32) {
+	c ^= b
+	c -= rot(b, 14)
+	a ^= c
+	a -= rot(c, 11)
+	b ^= a
+	b -= rot(a, 25)
+	c ^= b
+	c -= rot(b, 16)
+	a ^= c
+	a -= rot(c, 4)
+	b ^= a
+	b -= rot(a, 14)
+	c ^= b
+	c -= rot(b, 24)
+	return a, b, c
+}
+
+// BOBHash32 hashes key with the given seed using Bob Jenkins' lookup3
+// algorithm (hashlittle). It is the hash function the SHE paper's
+// reference implementation uses for every sketch.
+func BOBHash32(key []byte, seed uint32) uint32 {
+	a := uint32(0xdeadbeef) + uint32(len(key)) + seed
+	b, c := a, a
+
+	k := key
+	for len(k) > 12 {
+		a += le32(k[0:4])
+		b += le32(k[4:8])
+		c += le32(k[8:12])
+		a, b, c = mix(a, b, c)
+		k = k[12:]
+	}
+
+	// Tail: the canonical implementation reads the last partial words
+	// byte by byte; cases fall through as in the original C switch.
+	switch len(k) {
+	case 12:
+		c += le32(k[8:12])
+		b += le32(k[4:8])
+		a += le32(k[0:4])
+	case 11:
+		c += uint32(k[10]) << 16
+		fallthrough
+	case 10:
+		c += uint32(k[9]) << 8
+		fallthrough
+	case 9:
+		c += uint32(k[8])
+		fallthrough
+	case 8:
+		b += le32(k[4:8])
+		a += le32(k[0:4])
+	case 7:
+		b += uint32(k[6]) << 16
+		fallthrough
+	case 6:
+		b += uint32(k[5]) << 8
+		fallthrough
+	case 5:
+		b += uint32(k[4])
+		fallthrough
+	case 4:
+		a += le32(k[0:4])
+	case 3:
+		a += uint32(k[2]) << 16
+		fallthrough
+	case 2:
+		a += uint32(k[1]) << 8
+		fallthrough
+	case 1:
+		a += uint32(k[0])
+	case 0:
+		return c // zero-length strings require no mixing
+	}
+	_, _, c = final(a, b, c)
+	return c
+}
+
+// le32 decodes a little-endian uint32.
+func le32(b []byte) uint32 {
+	_ = b[3]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// BOBHash64 combines two independently seeded BOBHash32 values into a
+// 64-bit hash. Sketches that need wide hashes (HyperLogLog rank bits,
+// MinHash signatures) use this.
+func BOBHash64(key []byte, seed uint32) uint64 {
+	hi := BOBHash32(key, seed)
+	lo := BOBHash32(key, seed^0x9e3779b9)
+	return uint64(hi)<<32 | uint64(lo)
+}

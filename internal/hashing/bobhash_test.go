@@ -1,0 +1,116 @@
+package hashing
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBOBHash32Deterministic(t *testing.T) {
+	key := []byte("sliding hardware estimator")
+	a := BOBHash32(key, 7)
+	b := BOBHash32(key, 7)
+	if a != b {
+		t.Fatalf("same key+seed hashed differently: %#x vs %#x", a, b)
+	}
+}
+
+func TestBOBHash32SeedSensitivity(t *testing.T) {
+	key := []byte("key")
+	if BOBHash32(key, 1) == BOBHash32(key, 2) {
+		t.Fatal("different seeds produced identical hashes (possible, but astronomically unlikely)")
+	}
+}
+
+func TestBOBHash32EmptyKey(t *testing.T) {
+	// Zero-length input must not panic and must depend on the seed.
+	a := BOBHash32(nil, 0)
+	b := BOBHash32(nil, 99)
+	if a == b {
+		t.Fatal("empty-key hashes ignore the seed")
+	}
+	if got := BOBHash32([]byte{}, 0); got != a {
+		t.Fatalf("nil and empty slice disagree: %#x vs %#x", got, a)
+	}
+}
+
+// TestBOBHash32AllTailLengths exercises every switch arm of the tail
+// handling (lengths 0..13 cover the full 12-byte block plus each
+// partial case) and checks distinct inputs rarely collide.
+func TestBOBHash32AllTailLengths(t *testing.T) {
+	seen := map[uint32]int{}
+	for n := 0; n <= 13; n++ {
+		key := make([]byte, n)
+		for i := range key {
+			key[i] = byte(i + 1)
+		}
+		h := BOBHash32(key, 12345)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("length %d collides with length %d", n, prev)
+		}
+		seen[h] = n
+	}
+}
+
+func TestBOBHash32PrefixIndependence(t *testing.T) {
+	// Appending a byte must change the hash (no length-extension
+	// blindness for these sizes).
+	base := []byte("abcdefghijklm") // 13 bytes: crosses the 12-byte block
+	h1 := BOBHash32(base, 0)
+	h2 := BOBHash32(append(append([]byte{}, base...), 'x'), 0)
+	if h1 == h2 {
+		t.Fatal("extended key hashed identically")
+	}
+}
+
+// TestBOBHash32Uniformity bins 64k sequential keys into 64 buckets and
+// checks no bucket deviates grossly from the mean — a smoke test for
+// gross bias, not a rigorous statistical test.
+func TestBOBHash32Uniformity(t *testing.T) {
+	const keys = 1 << 16
+	const buckets = 64
+	var counts [buckets]int
+	var buf [8]byte
+	for i := 0; i < keys; i++ {
+		buf[0], buf[1], buf[2], buf[3] = byte(i), byte(i>>8), byte(i>>16), byte(i>>24)
+		counts[BOBHash32(buf[:], 3)%buckets]++
+	}
+	mean := float64(keys) / buckets
+	for b, c := range counts {
+		if float64(c) < 0.8*mean || float64(c) > 1.2*mean {
+			t.Fatalf("bucket %d holds %d keys, expected about %.0f", b, c, mean)
+		}
+	}
+}
+
+func TestBOBHash64CombinesHalves(t *testing.T) {
+	key := []byte("halves")
+	h := BOBHash64(key, 5)
+	if uint32(h>>32) != BOBHash32(key, 5) {
+		t.Fatal("high half of BOBHash64 is not BOBHash32(seed)")
+	}
+	if uint32(h) == uint32(h>>32) {
+		t.Fatal("both halves identical; seed derivation broken")
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	// splitmix64's finalizer is a bijection; sampled inputs must not
+	// collide.
+	if err := quick.Check(func(a, b uint64) bool {
+		return a == b || Mix64(a) != Mix64(b)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitMix64Sequence(t *testing.T) {
+	s1, s2 := uint64(42), uint64(42)
+	for i := 0; i < 100; i++ {
+		if SplitMix64(&s1) != SplitMix64(&s2) {
+			t.Fatal("identical states diverged")
+		}
+	}
+	if s1 != s2 {
+		t.Fatal("states diverged after identical sequences")
+	}
+}

@@ -1,0 +1,90 @@
+package hashing
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFamilyPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k=0")
+		}
+	}()
+	NewFamily(0, 1)
+}
+
+func TestFamilyIndependentFunctions(t *testing.T) {
+	f := NewFamily(8, 99)
+	key := uint64(123456)
+	seen := map[uint64]bool{}
+	for i := 0; i < f.K(); i++ {
+		h := f.Hash(i, key)
+		if seen[h] {
+			t.Fatalf("functions %d collide on key", i)
+		}
+		seen[h] = true
+	}
+}
+
+func TestFamilyDeterministicAcrossInstances(t *testing.T) {
+	a := NewFamily(4, 7)
+	b := NewFamily(4, 7)
+	for i := 0; i < 4; i++ {
+		if a.Hash(i, 42) != b.Hash(i, 42) {
+			t.Fatalf("function %d differs between same-seed families", i)
+		}
+	}
+}
+
+func TestReduceRangeBounds(t *testing.T) {
+	if err := quick.Check(func(h uint64, n uint16) bool {
+		m := int(n)%1000 + 1
+		r := ReduceRange(h, m)
+		return r >= 0 && r < m
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceRangeCoversRange(t *testing.T) {
+	// With many hashes every slot of a small range should be hit.
+	const n = 16
+	hit := make([]bool, n)
+	f := NewFamily(1, 5)
+	for k := uint64(0); k < 4096; k++ {
+		hit[f.Index(0, k, n)] = true
+	}
+	for i, h := range hit {
+		if !h {
+			t.Fatalf("slot %d never hit by 4096 hashes", i)
+		}
+	}
+}
+
+func TestReduceRangePanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n=0")
+		}
+	}()
+	ReduceRange(1, 0)
+}
+
+// TestReduceRangeUniform checks the multiply-shift reduction does not
+// systematically favor low or high slots.
+func TestReduceRangeUniform(t *testing.T) {
+	const n = 10
+	counts := make([]int, n)
+	f := NewFamily(1, 11)
+	const trials = 100000
+	for k := uint64(0); k < trials; k++ {
+		counts[f.Index(0, k, n)]++
+	}
+	mean := float64(trials) / n
+	for i, c := range counts {
+		if float64(c) < 0.9*mean || float64(c) > 1.1*mean {
+			t.Fatalf("slot %d got %d of %d (expected about %.0f)", i, c, trials, mean)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package hashing
+
+// SplitMix64 advances the splitmix64 state and returns the next value.
+// It is the standard Vigna mixer: a full-period 2^64 generator whose
+// output passes BigCrush; we use it for integer-key hashing and inside
+// the synthetic workload generators.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix64 applies the splitmix64 finalizer to x: a fast, high-quality
+// stateless 64-bit mixer for integer keys.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// U64 hashes a 64-bit key under the given seed. It is the fast path the
+// sketches use when keys are integers (flow IDs, packet 5-tuple hashes)
+// rather than byte strings.
+func U64(key uint64, seed uint64) uint64 {
+	return Mix64(key ^ Mix64(seed))
+}

@@ -1,0 +1,41 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// RenderJSON writes the figure as a single JSON object — the
+// machine-readable alternative to Render for plotting pipelines
+// (shebench -json). Field names are stable: title, xlabel, ylabel,
+// series[{name, x, y}].
+func (f *Figure) RenderJSON(w io.Writer) error {
+	type series struct {
+		Name string    `json:"name"`
+		X    []float64 `json:"x"`
+		Y    []float64 `json:"y"`
+	}
+	out := struct {
+		Title  string   `json:"title"`
+		XLabel string   `json:"xlabel"`
+		YLabel string   `json:"ylabel"`
+		Series []series `json:"series"`
+	}{Title: f.Title, XLabel: f.XLabel, YLabel: f.YLabel}
+	for _, s := range f.Series {
+		out.Series = append(out.Series, series{Name: s.Name, X: s.X, Y: s.Y})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// RenderJSON writes the table as a JSON object with stable field names:
+// title, columns, rows.
+func (t *Table) RenderJSON(w io.Writer) error {
+	out := struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}{Title: t.Title, Columns: t.Columns, Rows: t.Rows}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

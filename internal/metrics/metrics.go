@@ -1,0 +1,218 @@
+// Package metrics provides the evaluation metrics of §7.1 — false
+// positive rate, relative error, average relative error and throughput
+// in Mips — plus the tabular figure/series rendering the experiment
+// harness prints.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+)
+
+// RelativeError returns |truth − est| / truth (RE). A zero truth with a
+// nonzero estimate is reported as +Inf; zero/zero is 0.
+func RelativeError(truth, est float64) float64 {
+	if truth == 0 {
+		if est == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(truth-est) / math.Abs(truth)
+}
+
+// AREAccumulator accumulates per-item relative errors into an average
+// relative error (ARE).
+type AREAccumulator struct {
+	sum float64
+	n   int
+}
+
+// Add records one item's true and estimated values.
+func (a *AREAccumulator) Add(truth, est float64) {
+	a.sum += RelativeError(truth, est)
+	a.n++
+}
+
+// Value returns the average relative error over all recorded items.
+func (a *AREAccumulator) Value() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sum / float64(a.n)
+}
+
+// N returns the number of recorded items.
+func (a *AREAccumulator) N() int { return a.n }
+
+// FPRAccumulator counts false positives among negative membership
+// queries.
+type FPRAccumulator struct {
+	fp, total int
+}
+
+// Add records one negative query's outcome (answered true = false
+// positive).
+func (f *FPRAccumulator) Add(answeredTrue bool) {
+	if answeredTrue {
+		f.fp++
+	}
+	f.total++
+}
+
+// Value returns the false positive rate.
+func (f *FPRAccumulator) Value() float64 {
+	if f.total == 0 {
+		return 0
+	}
+	return float64(f.fp) / float64(f.total)
+}
+
+// N returns the number of recorded queries.
+func (f *FPRAccumulator) N() int { return f.total }
+
+// Mips converts an item count and elapsed time to million items per
+// second, the paper's throughput unit.
+func Mips(items int, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(items) / elapsed.Seconds() / 1e6
+}
+
+// KB converts a bit count to kilobytes (the paper's memory axes).
+func KB(bits int) float64 { return float64(bits) / 8 / 1024 }
+
+// Series is one labeled curve of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a rendered experiment: a set of series over a common pair
+// of axes. Render prints it as an aligned text table, one row per X,
+// one column per series — the same rows/series the paper plots.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Add appends a series to the figure.
+func (f *Figure) Add(name string, x, y []float64) {
+	f.Series = append(f.Series, Series{Name: name, X: x, Y: y})
+}
+
+// Render writes the figure as a text table.
+func (f *Figure) Render(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", f.Title)
+	fmt.Fprintf(w, "   (y: %s)\n", f.YLabel)
+	cols := make([]string, 0, len(f.Series)+1)
+	cols = append(cols, f.XLabel)
+	for _, s := range f.Series {
+		cols = append(cols, s.Name)
+	}
+	// Collect the union of X values in first-seen order.
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	rows := make([][]string, 0, len(xs))
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for _, s := range f.Series {
+			cell := ""
+			for i, sx := range s.X {
+				if sx == x {
+					cell = formatY(s.Y[i])
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		rows = append(rows, row)
+	}
+	writeTable(w, cols, rows)
+}
+
+// Table is a titled text table (used for the FPGA resource tables).
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends one row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	writeTable(w, t.Columns, t.Rows)
+}
+
+func writeTable(w io.Writer, cols []string, rows [][]string) {
+	width := make([]int, len(cols))
+	for i, c := range cols {
+		width[i] = len(c)
+	}
+	for _, r := range rows {
+		for i, cell := range r {
+			if i < len(width) && len(cell) > width[i] {
+				width[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, width[i])
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(cols)
+	sep := make([]string, len(cols))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+func pad(s string, n int) string {
+	if len(s) >= n {
+		return s
+	}
+	return s + strings.Repeat(" ", n-len(s))
+}
+
+func trimFloat(x float64) string {
+	if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%.4g", x)
+}
+
+func formatY(y float64) string {
+	switch {
+	case math.IsInf(y, 0) || math.IsNaN(y):
+		return fmt.Sprintf("%v", y)
+	case y != 0 && math.Abs(y) < 1e-3:
+		return fmt.Sprintf("%.3e", y)
+	default:
+		return fmt.Sprintf("%.4f", y)
+	}
+}

@@ -1,0 +1,170 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRelativeError(t *testing.T) {
+	cases := []struct {
+		truth, est, want float64
+	}{
+		{100, 110, 0.1},
+		{100, 90, 0.1},
+		{100, 100, 0},
+		{0, 0, 0},
+		{-50, -60, 0.2},
+	}
+	for _, c := range cases {
+		if got := RelativeError(c.truth, c.est); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("RelativeError(%v,%v)=%v, want %v", c.truth, c.est, got, c.want)
+		}
+	}
+	if !math.IsInf(RelativeError(0, 5), 1) {
+		t.Fatal("zero truth with nonzero estimate should be +Inf")
+	}
+}
+
+func TestAREAccumulator(t *testing.T) {
+	var a AREAccumulator
+	if a.Value() != 0 {
+		t.Fatal("empty accumulator nonzero")
+	}
+	a.Add(10, 11) // 0.1
+	a.Add(10, 13) // 0.3
+	if got := a.Value(); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("ARE=%v, want 0.2", got)
+	}
+	if a.N() != 2 {
+		t.Fatalf("N=%d", a.N())
+	}
+}
+
+func TestFPRAccumulator(t *testing.T) {
+	var f FPRAccumulator
+	if f.Value() != 0 {
+		t.Fatal("empty accumulator nonzero")
+	}
+	f.Add(true)
+	f.Add(false)
+	f.Add(false)
+	f.Add(true)
+	if got := f.Value(); got != 0.5 {
+		t.Fatalf("FPR=%v, want 0.5", got)
+	}
+	if f.N() != 4 {
+		t.Fatalf("N=%d", f.N())
+	}
+}
+
+func TestMips(t *testing.T) {
+	if got := Mips(1_000_000, time.Second); got != 1 {
+		t.Fatalf("Mips=%v, want 1", got)
+	}
+	if got := Mips(100, 0); got != 0 {
+		t.Fatalf("Mips with zero duration=%v", got)
+	}
+}
+
+func TestKB(t *testing.T) {
+	if got := KB(8192); got != 1 {
+		t.Fatalf("KB(8192)=%v", got)
+	}
+}
+
+func TestFigureRenderAlignsSeries(t *testing.T) {
+	var fig Figure
+	fig.Title = "test"
+	fig.XLabel = "x"
+	fig.YLabel = "y"
+	fig.Add("a", []float64{1, 2, 3}, []float64{0.5, 0.25, 0.125})
+	fig.Add("b", []float64{2, 3, 4}, []float64{9, 8, 7})
+	var sb strings.Builder
+	fig.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"test", "a", "b", "0.5000", "9.0000", "0.1250"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered figure missing %q:\n%s", want, out)
+		}
+	}
+	// x=1 exists only for series a; x=4 only for b — both rows appear.
+	if !strings.Contains(out, "\n  1 ") && !strings.Contains(out, "\n  1  ") {
+		t.Fatalf("x=1 row missing:\n%s", out)
+	}
+}
+
+func TestFigureRenderSmallValuesScientific(t *testing.T) {
+	var fig Figure
+	fig.Add("s", []float64{1}, []float64{1e-6})
+	var sb strings.Builder
+	fig.Render(&sb)
+	if !strings.Contains(sb.String(), "1.000e-06") {
+		t.Fatalf("tiny value not scientific:\n%s", sb.String())
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := Table{Title: "T", Columns: []string{"a", "bb"}}
+	tab.AddRow("x", "y")
+	tab.AddRow("longer", "z")
+	var sb strings.Builder
+	tab.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"T", "a", "bb", "longer", "z"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if got := trimFloat(4); got != "4" {
+		t.Fatalf("trimFloat(4)=%q", got)
+	}
+	if got := trimFloat(0.5); got != "0.5" {
+		t.Fatalf("trimFloat(0.5)=%q", got)
+	}
+}
+
+func TestRenderJSON(t *testing.T) {
+	var fig Figure
+	fig.Title = "f"
+	fig.Add("s", []float64{1, 2}, []float64{3, 4})
+	var sb strings.Builder
+	if err := fig.RenderJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Title  string `json:"title"`
+		Series []struct {
+			Name string    `json:"name"`
+			X    []float64 `json:"x"`
+			Y    []float64 `json:"y"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if got.Title != "f" || len(got.Series) != 1 || got.Series[0].Y[1] != 4 {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+
+	tab := Table{Title: "t", Columns: []string{"a"}}
+	tab.AddRow("x")
+	sb.Reset()
+	if err := tab.RenderJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var gotTab struct {
+		Rows [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &gotTab); err != nil {
+		t.Fatalf("invalid table JSON: %v", err)
+	}
+	if len(gotTab.Rows) != 1 || gotTab.Rows[0][0] != "x" {
+		t.Fatalf("table round-trip mismatch: %+v", gotTab)
+	}
+}

@@ -1,0 +1,201 @@
+// Package p4 models the other hardware target the SHE paper names
+// (§1, §2.3): a programmable match-action switch pipeline in the
+// RMT/Tofino mold. The discipline it enforces is stricter than the
+// FPGA's and is exactly what makes most sliding-window structures
+// unimplementable there:
+//
+//   - a packet traverses a fixed sequence of stages, once, in order;
+//   - each stage may perform at most ONE read-modify-write on ONE slot
+//     of ONE register array (the stateful-ALU constraint);
+//   - a register slot is at most slotBits wide (Tofino exposes ≤128;
+//     we default to 64), so a SHE cleaning group must fit one slot —
+//     which is why the paper's w = 64-bit groups are the natural
+//     choice;
+//   - no stage may revisit an array touched by an earlier stage
+//     (single-stage memory access, constraint 2).
+//
+// Program compiles a SHE-BM/BF lane onto such a pipeline; the runtime
+// enforces the discipline dynamically (any violation panics in tests
+// via Violations) and the result must match internal/core bit for bit.
+package p4
+
+import (
+	"fmt"
+
+	"she/internal/hashing"
+)
+
+// RegisterArray is one stateful memory: an array of fixed-width slots.
+type RegisterArray struct {
+	name     string
+	slots    []uint64
+	slotBits uint
+
+	// lastPacket/lastStage track the access discipline.
+	lastPacket uint64
+	stage      int // owning stage; -1 until first access
+	accesses   uint64
+}
+
+// NewRegisterArray creates an array of n slots of the given width.
+func NewRegisterArray(name string, n int, slotBits uint) *RegisterArray {
+	if n <= 0 || slotBits == 0 || slotBits > 64 {
+		panic(fmt.Sprintf("p4: invalid register array %q geometry", name))
+	}
+	return &RegisterArray{name: name, slots: make([]uint64, n), slotBits: slotBits, stage: -1}
+}
+
+// Len returns the slot count.
+func (r *RegisterArray) Len() int { return len(r.slots) }
+
+// Pipeline is an ordered sequence of match-action stages processing
+// one packet at a time.
+type Pipeline struct {
+	stages     []Stage
+	packetSeq  uint64
+	violations []string
+}
+
+// Metadata is the per-packet header vector stages communicate through
+// (PHV): stages may only exchange data here, never through registers.
+type Metadata map[string]uint64
+
+// Stage is one match-action stage: an action over the packet metadata
+// plus at most one register RMW, performed through the stage's RMW
+// handle.
+type Stage struct {
+	Name string
+	// Array is the register array this stage owns (nil for pure-action
+	// stages such as hashing).
+	Array *RegisterArray
+	// Action receives the metadata and an rmw handle bound to Array;
+	// calling rmw more than once per packet is a violation.
+	Action func(meta Metadata, rmw RMW)
+}
+
+// RMW performs the stage's single read-modify-write: f receives the
+// current slot value and returns the new one.
+type RMW func(index int, f func(old uint64) uint64) uint64
+
+// NewPipeline assembles stages and checks static discipline: each
+// register array owned by exactly one stage.
+func NewPipeline(stages ...Stage) (*Pipeline, error) {
+	owner := map[*RegisterArray]string{}
+	for _, st := range stages {
+		if st.Array == nil {
+			continue
+		}
+		if prev, dup := owner[st.Array]; dup {
+			return nil, fmt.Errorf("p4: register array %q owned by stages %q and %q",
+				st.Array.name, prev, st.Name)
+		}
+		owner[st.Array] = st.Name
+	}
+	return &Pipeline{stages: stages}, nil
+}
+
+// Process runs one packet through every stage in order.
+func (p *Pipeline) Process(meta Metadata) {
+	p.packetSeq++
+	for si := range p.stages {
+		st := &p.stages[si]
+		used := false
+		rmw := RMW(func(index int, f func(uint64) uint64) uint64 {
+			arr := st.Array
+			if arr == nil {
+				p.violations = append(p.violations,
+					fmt.Sprintf("stage %q has no register array but issued an RMW", st.Name))
+				return 0
+			}
+			if used {
+				p.violations = append(p.violations,
+					fmt.Sprintf("stage %q issued a second RMW for one packet", st.Name))
+			}
+			used = true
+			if arr.lastPacket == p.packetSeq && arr.stage != si {
+				p.violations = append(p.violations,
+					fmt.Sprintf("array %q touched by two stages in one packet", arr.name))
+			}
+			arr.lastPacket = p.packetSeq
+			arr.stage = si
+			arr.accesses++
+			mask := ^uint64(0)
+			if arr.slotBits < 64 {
+				mask = 1<<arr.slotBits - 1
+			}
+			nv := f(arr.slots[index]&mask) & mask
+			arr.slots[index] = nv
+			return nv
+		})
+		st.Action(meta, rmw)
+	}
+}
+
+// Violations returns every dynamic discipline violation observed.
+func (p *Pipeline) Violations() []string { return p.violations }
+
+// SHEBMProgram compiles one SHE-BM lane onto a 4-stage match-action
+// pipeline for an mBits-bit filter in w-bit groups (w = slot width, so
+// one group = one register slot and the group reset is the slot
+// overwrite a stateful ALU can do), window N and cycle T. The pipeline
+// and its architectural registers are returned; feed packets with
+// Process(Metadata{"key": k}).
+func SHEBMProgram(mBits, w int, N, T uint64, fam *hashing.Family, laneHash int) (*Pipeline, *RegisterArray, error) {
+	if w <= 0 || w > 64 || mBits%w != 0 {
+		return nil, nil, fmt.Errorf("p4: group width %d must divide m=%d and fit a 64-bit slot", w, mBits)
+	}
+	groups := mBits / w
+	seqArr := NewRegisterArray("item_counter", 1, 64)
+	markArr := NewRegisterArray("time_marks", groups, 1)
+	groupArr := NewRegisterArray("bit_groups", groups, uint(w))
+
+	offset := func(gid int) uint64 { return T * uint64(gid) / uint64(groups) }
+	// Marks start in the t=0 phase so a fresh, all-zero filter is not
+	// spuriously cleaned (same convention as internal/core).
+	for gid := 0; gid < groups; gid++ {
+		markArr.slots[gid] = ((2*T - offset(gid)) / T) & 1
+	}
+
+	pipe, err := NewPipeline(
+		Stage{Name: "S1 timestamp", Array: seqArr, Action: func(meta Metadata, rmw RMW) {
+			meta["t"] = rmw(0, func(old uint64) uint64 { return old + 1 })
+		}},
+		Stage{Name: "S2 hash", Action: func(meta Metadata, _ RMW) {
+			j := fam.Index(laneHash, meta["key"], mBits)
+			meta["gid"] = uint64(j / w)
+			meta["bit"] = uint64(j % w)
+		}},
+		Stage{Name: "S3 mark", Array: markArr, Action: func(meta Metadata, rmw RMW) {
+			gid := int(meta["gid"])
+			cur := ((meta["t"] + 2*T - offset(gid)) / T) & 1
+			var cleaned uint64
+			rmw(gid, func(old uint64) uint64 {
+				if old != cur {
+					cleaned = 1
+				}
+				return cur
+			})
+			meta["clean"] = cleaned
+		}},
+		Stage{Name: "S4 update", Array: groupArr, Action: func(meta Metadata, rmw RMW) {
+			bit := uint64(1) << meta["bit"]
+			clean := meta["clean"] != 0
+			rmw(int(meta["gid"]), func(old uint64) uint64 {
+				if clean {
+					return bit
+				}
+				return old | bit
+			})
+		}},
+	)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pipe, groupArr, nil
+}
+
+// Bit reads filter bit i from the group register array (state
+// inspection for equivalence tests).
+func Bit(groups *RegisterArray, w, i int) bool {
+	return groups.slots[i/w]&(1<<(uint(i)%uint(w))) != 0
+}

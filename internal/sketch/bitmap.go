@@ -1,0 +1,44 @@
+package sketch
+
+import (
+	"math"
+
+	"she/internal/bitpack"
+)
+
+// Bitmap is the linear probabilistic counter of Whang et al.: an m-bit
+// vector where each distinct key sets one hashed bit, and cardinality
+// is the maximum-likelihood estimate −m·ln(u/m) with u the count of
+// zero bits.
+type Bitmap struct {
+	bits *bitpack.BitArray
+	fam  *hashFam
+}
+
+// NewBitmap returns a bitmap counter with m bits.
+func NewBitmap(m int, seed uint64) *Bitmap {
+	return &Bitmap{bits: bitpack.NewBitArray(m), fam: newHashFam(1, seed)}
+}
+
+// Insert records key.
+func (b *Bitmap) Insert(key uint64) {
+	b.bits.Set(b.fam.index(0, key, b.bits.Len()))
+}
+
+// EstimateCardinality returns the MLE of the number of distinct keys
+// inserted. When the bitmap is saturated (no zero bits) the estimate is
+// the upper bound −m·ln(1/m) reachable by the estimator.
+func (b *Bitmap) EstimateCardinality() float64 {
+	m := float64(b.bits.Len())
+	u := float64(b.bits.ZerosRange(0, b.bits.Len()))
+	if u == 0 {
+		u = 1 // saturated: report the largest estimate the model allows
+	}
+	return -m * math.Log(u/m)
+}
+
+// Reset clears the bitmap.
+func (b *Bitmap) Reset() { b.bits.Reset() }
+
+// MemoryBits returns the payload memory in bits.
+func (b *Bitmap) MemoryBits() int { return b.bits.MemoryBits() }

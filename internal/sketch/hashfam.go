@@ -1,0 +1,18 @@
+package sketch
+
+import "she/internal/hashing"
+
+// hashFam is a small adapter over hashing.Family shared by the sketches
+// in this package.
+type hashFam struct {
+	fam *hashing.Family
+	k   int
+}
+
+func newHashFam(k int, seed uint64) *hashFam {
+	return &hashFam{fam: hashing.NewFamily(k, seed), k: k}
+}
+
+func (h *hashFam) hash(i int, key uint64) uint64 { return h.fam.Hash(i, key) }
+
+func (h *hashFam) index(i int, key uint64, n int) int { return h.fam.Index(i, key, n) }

@@ -1,0 +1,99 @@
+package sketch
+
+import (
+	"math"
+	"math/bits"
+
+	"she/internal/bitpack"
+)
+
+// rankBits is the width of a HyperLogLog register: ranks from a 32-bit
+// hash fit in 5 bits (the setting the paper uses).
+const rankBits = 5
+
+// HLL is the HyperLogLog cardinality estimator of Flajolet et al.:
+// m 5-bit registers, each holding the maximum "rank" (leading-zero
+// count + 1) of the hashes routed to it.
+type HLL struct {
+	regs *bitpack.Packed
+	fam  *hashFam
+}
+
+// NewHLL returns a HyperLogLog with m registers.
+func NewHLL(m int, seed uint64) *HLL {
+	return &HLL{regs: bitpack.NewPacked(m, rankBits), fam: newHashFam(2, seed)}
+}
+
+// Rank32 returns the HLL rank of a 32-bit hash value: the position of
+// the leftmost 1 bit (leading zeros + 1), capped to fit a 5-bit
+// register.
+func Rank32(h uint32) uint64 {
+	r := uint64(bits.LeadingZeros32(h)) + 1
+	if r > 31 {
+		r = 31
+	}
+	return r
+}
+
+// Insert records key.
+func (h *HLL) Insert(key uint64) {
+	i := h.fam.index(0, key, h.regs.Len())
+	r := Rank32(uint32(h.fam.hash(1, key)))
+	if r > h.regs.Get(i) {
+		h.regs.Set(i, r)
+	}
+}
+
+// alphaM returns the bias-correction constant for m registers.
+func alphaM(m int) float64 {
+	switch {
+	case m <= 16:
+		return 0.673
+	case m <= 32:
+		return 0.697
+	case m <= 64:
+		return 0.709
+	default:
+		return 0.7213 / (1 + 1.079/float64(m))
+	}
+}
+
+// EstimateCardinality returns the HLL estimate with the standard
+// small-range (linear counting) correction.
+func (h *HLL) EstimateCardinality() float64 {
+	m := h.regs.Len()
+	return EstimateFromRegisters(func(i int) uint64 { return h.regs.Get(i) }, m)
+}
+
+// EstimateFromRegisters computes the HyperLogLog estimate from an
+// arbitrary register accessor; the sliding-window variants (SHE-HLL,
+// SHLL) reuse it over their own filtered register sets.
+func EstimateFromRegisters(reg func(i int) uint64, m int) float64 {
+	if m == 0 {
+		return 0
+	}
+	sum := 0.0
+	zeros := 0
+	for i := 0; i < m; i++ {
+		r := reg(i)
+		sum += math.Pow(2, -float64(r))
+		if r == 0 {
+			zeros++
+		}
+	}
+	est := alphaM(m) * float64(m) * float64(m) / sum
+	if est <= 2.5*float64(m) && zeros > 0 {
+		// Small-range correction: linear counting on empty registers.
+		est = float64(m) * math.Log(float64(m)/float64(zeros))
+	}
+	return est
+}
+
+// Registers returns the number of registers.
+func (h *HLL) Registers() int { return h.regs.Len() }
+
+// Reset clears every register.
+func (h *HLL) Reset() { h.regs.Reset() }
+
+// MemoryBits returns the payload memory in bits.
+func (h *HLL) MemoryBits() int { return h.regs.MemoryBits() }

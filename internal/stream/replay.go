@@ -1,0 +1,30 @@
+package stream
+
+// Replay turns a recorded key slice into a Generator, cycling back to
+// the start when exhausted (experiments need unbounded streams). Use it
+// to run the harness against real traces loaded via internal/trace.
+type Replay struct {
+	keys []uint64
+	pos  int
+}
+
+// NewReplay wraps keys; the slice must be non-empty and is not copied.
+func NewReplay(keys []uint64) *Replay {
+	if len(keys) == 0 {
+		panic("stream: replay needs at least one key")
+	}
+	return &Replay{keys: keys}
+}
+
+// Next returns the next key, wrapping around at the end.
+func (r *Replay) Next() uint64 {
+	k := r.keys[r.pos]
+	r.pos++
+	if r.pos == len(r.keys) {
+		r.pos = 0
+	}
+	return k
+}
+
+// Len returns the recorded trace length.
+func (r *Replay) Len() int { return len(r.keys) }

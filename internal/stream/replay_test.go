@@ -1,0 +1,32 @@
+package stream
+
+import "testing"
+
+func TestReplayWrapsAround(t *testing.T) {
+	r := NewReplay([]uint64{7, 8, 9})
+	if r.Len() != 3 {
+		t.Fatalf("Len=%d", r.Len())
+	}
+	want := []uint64{7, 8, 9, 7, 8, 9, 7}
+	for i, w := range want {
+		if got := r.Next(); got != w {
+			t.Fatalf("item %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestReplayImplementsGenerator(t *testing.T) {
+	var g Generator = NewReplay([]uint64{1})
+	if g.Next() != 1 {
+		t.Fatal("replay through Generator interface broken")
+	}
+}
+
+func TestReplayPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty replay")
+		}
+	}()
+	NewReplay(nil)
+}

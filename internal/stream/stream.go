@@ -1,0 +1,134 @@
+// Package stream generates the deterministic synthetic workloads the
+// experiments run on. The paper evaluates on CAIDA backbone traces
+// (~30M packets, ~600K distinct source IPs), campus gateway traces, a
+// web-page itemset dataset, a fully-distinct stream (Bloom filter worst
+// case) and IMC10-derived stream pairs with known similarity. None of
+// those datasets can ship with a self-contained repository, so each is
+// replaced by a seeded generator matching the property the experiments
+// actually exercise — the key-frequency profile — as documented in
+// DESIGN.md §4. Identical seeds give identical streams, so every
+// algorithm in a comparison sees the same items.
+package stream
+
+import (
+	"math/rand"
+
+	"she/internal/hashing"
+)
+
+// Generator produces an endless stream of 64-bit keys.
+type Generator interface {
+	// Next returns the next key of the stream.
+	Next() uint64
+}
+
+// Zipf generates keys with a Zipf(s) frequency profile over a fixed
+// alphabet of distinct keys. Rank-r keys are scrambled through a
+// 64-bit mixer so that popularity is uncorrelated with hash location.
+type Zipf struct {
+	z     *rand.Zipf
+	salt  uint64
+	ranks uint64
+}
+
+// NewZipf returns a Zipf generator with the given skew s (> 1),
+// alphabet size, and seed.
+func NewZipf(s float64, distinct int, seed uint64) *Zipf {
+	if distinct <= 0 {
+		panic("stream: alphabet size must be positive")
+	}
+	if s <= 1 {
+		panic("stream: zipf skew must exceed 1")
+	}
+	r := rand.New(rand.NewSource(int64(seed)))
+	return &Zipf{
+		z:    rand.NewZipf(r, s, 1, uint64(distinct-1)),
+		salt: hashing.Mix64(seed ^ 0xca1da),
+	}
+}
+
+// Next returns the next key.
+func (g *Zipf) Next() uint64 {
+	return hashing.Mix64(g.z.Uint64() ^ g.salt)
+}
+
+// CAIDA returns a generator matching the paper's CAIDA trace profile:
+// a heavily skewed packet stream with roughly 2% distinct/total ratio.
+// The default alphabet is 600K distinct keys as in the paper's traces.
+func CAIDA(seed uint64) Generator { return NewZipf(1.2, 600_000, seed) }
+
+// Campus returns a generator standing in for the campus-gateway trace:
+// fewer flows, heavier skew than the backbone.
+func Campus(seed uint64) Generator { return NewZipf(1.5, 200_000, seed) }
+
+// Webpage returns a generator standing in for the FIMI web-page
+// itemset dataset: a larger, flatter alphabet.
+func Webpage(seed uint64) Generator { return NewZipf(1.05, 1_000_000, seed) }
+
+// Distinct generates a stream in which every key occurs exactly once —
+// the paper's "Distinct Stream", the worst case for SHE-BF because no
+// group is refreshed by repeats.
+type Distinct struct {
+	next uint64
+	salt uint64
+}
+
+// NewDistinct returns a fully-distinct stream.
+func NewDistinct(seed uint64) *Distinct {
+	return &Distinct{salt: hashing.Mix64(seed ^ 0xd15713c7)}
+}
+
+// Next returns the next (never previously emitted) key.
+func (g *Distinct) Next() uint64 {
+	g.next++
+	return hashing.Mix64(g.next ^ g.salt)
+}
+
+// RelevantPair generates two streams whose key sets overlap by a
+// controllable amount, standing in for the paper's IMC10-derived
+// "Relevant Stream" similarity workloads. Both streams draw uniformly
+// from alphabets of equal size D whose intersection holds s keys, so
+// the steady-state window Jaccard index approaches s/(2D−s).
+type RelevantPair struct {
+	rngA, rngB *rand.Rand
+	d, overlap uint64
+	salt       uint64
+}
+
+// NewRelevantPair returns a pair generator with alphabet size d per
+// stream whose set Jaccard similarity is approximately target.
+func NewRelevantPair(target float64, d int, seed uint64) *RelevantPair {
+	if target < 0 || target > 1 {
+		panic("stream: target similarity must lie in [0, 1]")
+	}
+	if d <= 0 {
+		panic("stream: alphabet size must be positive")
+	}
+	// J = s/(2D−s)  ⇔  s = 2DJ/(1+J).
+	s := uint64(2 * float64(d) * target / (1 + target))
+	return &RelevantPair{
+		rngA:    rand.New(rand.NewSource(int64(seed))),
+		rngB:    rand.New(rand.NewSource(int64(seed) ^ 0x5eed)),
+		d:       uint64(d),
+		overlap: s,
+		salt:    hashing.Mix64(seed ^ 0xabcd),
+	}
+}
+
+// NextA returns the next key of stream A (alphabet [0, D)).
+func (p *RelevantPair) NextA() uint64 {
+	k := p.rngA.Uint64() % p.d
+	return hashing.Mix64(k ^ p.salt)
+}
+
+// NextB returns the next key of stream B (alphabet [D−s, 2D−s)).
+func (p *RelevantPair) NextB() uint64 {
+	k := p.d - p.overlap + p.rngB.Uint64()%p.d
+	return hashing.Mix64(k ^ p.salt)
+}
+
+// TargetJaccard returns the steady-state set similarity implied by the
+// configured overlap.
+func (p *RelevantPair) TargetJaccard() float64 {
+	return float64(p.overlap) / float64(2*p.d-p.overlap)
+}

@@ -1,0 +1,149 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"she/internal/exact"
+)
+
+func TestZipfDeterministic(t *testing.T) {
+	a := NewZipf(1.2, 1000, 42)
+	b := NewZipf(1.2, 1000, 42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("same-seed generators diverged at item %d", i)
+		}
+	}
+}
+
+func TestZipfSeedsDiffer(t *testing.T) {
+	a := NewZipf(1.2, 1000, 1)
+	b := NewZipf(1.2, 1000, 2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 50 {
+		t.Fatalf("different seeds produced %d/100 identical items", same)
+	}
+}
+
+func TestZipfSkewConcentratesMass(t *testing.T) {
+	g := NewZipf(1.5, 100000, 7)
+	counts := map[uint64]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[g.Next()]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// The hottest key of a heavily skewed stream takes a large share.
+	if float64(max)/n < 0.05 {
+		t.Fatalf("hottest key only %.2f%% of stream; skew looks broken", 100*float64(max)/n)
+	}
+	if len(counts) < 100 {
+		t.Fatalf("only %d distinct keys; alphabet collapsed", len(counts))
+	}
+}
+
+func TestZipfPanicsOnBadParams(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewZipf(1.0, 100, 1) },
+		func() { NewZipf(1.2, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDistinctStreamAllUnique(t *testing.T) {
+	g := NewDistinct(9)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100000; i++ {
+		k := g.Next()
+		if seen[k] {
+			t.Fatalf("duplicate key at item %d", i)
+		}
+		seen[k] = true
+	}
+}
+
+func TestDistinctDeterministic(t *testing.T) {
+	a, b := NewDistinct(3), NewDistinct(3)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("distinct streams with same seed diverged")
+		}
+	}
+}
+
+func TestRelevantPairHitsTargetJaccard(t *testing.T) {
+	for _, target := range []float64{0.1, 0.4, 0.8} {
+		pair := NewRelevantPair(target, 5000, 21)
+		wa, wb := exact.NewWindow(40000), exact.NewWindow(40000)
+		for i := 0; i < 60000; i++ {
+			wa.Push(pair.NextA())
+			wb.Push(pair.NextB())
+		}
+		got := exact.Jaccard(wa, wb)
+		if math.Abs(got-target) > 0.06 {
+			t.Fatalf("target J=%.2f, measured %.3f (configured %.3f)", target, got, pair.TargetJaccard())
+		}
+	}
+}
+
+func TestRelevantPairExtremes(t *testing.T) {
+	disjoint := NewRelevantPair(0, 1000, 5)
+	if disjoint.TargetJaccard() != 0 {
+		t.Fatal("J=0 pair has overlap")
+	}
+	identical := NewRelevantPair(1, 1000, 5)
+	if identical.TargetJaccard() != 1 {
+		t.Fatalf("J=1 pair target %.3f", identical.TargetJaccard())
+	}
+}
+
+func TestRelevantPairPanicsOnBadParams(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewRelevantPair(-0.1, 100, 1) },
+		func() { NewRelevantPair(1.1, 100, 1) },
+		func() { NewRelevantPair(0.5, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNamedDatasetsProduceDifferentProfiles(t *testing.T) {
+	card := func(g Generator) int {
+		seen := map[uint64]bool{}
+		for i := 0; i < 50000; i++ {
+			seen[g.Next()] = true
+		}
+		return len(seen)
+	}
+	caida, campus, web := card(CAIDA(1)), card(Campus(1)), card(Webpage(1))
+	// Campus is the most skewed (fewest distinct), Webpage the flattest.
+	if !(campus < caida && caida < web) {
+		t.Fatalf("distinct counts campus=%d caida=%d webpage=%d violate skew ordering", campus, caida, web)
+	}
+}

@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead checks the binary reader never panics or over-allocates on
+// arbitrary input, and that anything it accepts round-trips.
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	if err := Write(&buf, []uint64{1, 2, 3}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("SHET"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		keys, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := Write(&out, keys); err != nil {
+			t.Fatalf("rewrite of accepted trace failed: %v", err)
+		}
+		again, err := Read(&out)
+		if err != nil {
+			t.Fatalf("reread of rewritten trace failed: %v", err)
+		}
+		if len(again) != len(keys) {
+			t.Fatalf("round-trip length %d vs %d", len(again), len(keys))
+		}
+	})
+}
+
+// FuzzReadText checks the text parser on arbitrary UTF-8-ish input.
+func FuzzReadText(f *testing.F) {
+	f.Add("1\n2\n3\n")
+	f.Add("# comment\n\n42\n")
+	f.Add("not a number")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		keys, err := ReadText(bytes.NewReader([]byte(s)))
+		if err != nil {
+			return
+		}
+		// Accepted input must serialize cleanly.
+		var out bytes.Buffer
+		if err := WriteText(&out, keys); err != nil {
+			t.Fatalf("rewrite failed: %v", err)
+		}
+	})
+}

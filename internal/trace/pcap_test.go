@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func samplePairs() [][2]uint32 {
+	return [][2]uint32{
+		{0x0a000001, 0xc0a80001}, // 10.0.0.1 → 192.168.0.1
+		{0x0a000002, 0xc0a80001},
+		{0x0a000001, 0xc0a80002},
+	}
+}
+
+func TestPcapRoundTripSrcIP(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, samplePairs()); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := ReadPcap(&buf, KeySrcIP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{0x0a000001, 0x0a000002, 0x0a000001}
+	if len(keys) != len(want) {
+		t.Fatalf("got %d keys", len(keys))
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("key %d = %#x, want %#x", i, keys[i], want[i])
+		}
+	}
+}
+
+func TestPcapDstAndFlowKeys(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, samplePairs()); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	dst, err := ReadPcap(bytes.NewReader(data), KeyDstIP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 0xc0a80001 || dst[2] != 0xc0a80002 {
+		t.Fatalf("dst keys %#x", dst)
+	}
+
+	flow, err := ReadPcap(bytes.NewReader(data), KeyFlow, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three distinct flows → three distinct keys.
+	if flow[0] == flow[1] || flow[0] == flow[2] || flow[1] == flow[2] {
+		t.Fatalf("flow keys collide: %#x", flow)
+	}
+}
+
+func TestPcapMaxPacketsCap(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, samplePairs()); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := ReadPcap(&buf, KeySrcIP, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 {
+		t.Fatalf("cap ignored: %d keys", len(keys))
+	}
+}
+
+func TestPcapSkipsNonIPFrames(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, samplePairs()[:1]); err != nil {
+		t.Fatal(err)
+	}
+	// Append an ARP frame record by hand.
+	arp := make([]byte, 14+28)
+	arp[12], arp[13] = 0x08, 0x06
+	var rec [16]byte
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(arp)))
+	binary.LittleEndian.PutUint32(rec[12:16], uint32(len(arp)))
+	buf.Write(rec[:])
+	buf.Write(arp)
+
+	keys, err := ReadPcap(&buf, KeySrcIP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 {
+		t.Fatalf("ARP frame produced a key: %d keys", len(keys))
+	}
+}
+
+func TestPcapRejectsGarbage(t *testing.T) {
+	if _, err := ReadPcap(bytes.NewReader([]byte("definitely not a pcap file")), KeySrcIP, 0); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadPcap(bytes.NewReader(nil), KeySrcIP, 0); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Valid header followed by a truncated record body.
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, samplePairs()[:1]); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadPcap(bytes.NewReader(data[:len(data)-5]), KeySrcIP, 0); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+}
+
+func TestPcapRejectsImplausibleLength(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var rec [16]byte
+	binary.LittleEndian.PutUint32(rec[8:12], 1<<24) // 16 MB "packet"
+	buf.Write(rec[:])
+	if _, err := ReadPcap(&buf, KeySrcIP, 0); err == nil {
+		t.Fatal("16MB packet length accepted")
+	}
+}
+
+func TestPcapVLANTags(t *testing.T) {
+	// Hand-build a single-VLAN-tagged IPv4 frame.
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	frame := make([]byte, 14+4+20)
+	frame[12], frame[13] = 0x81, 0x00 // VLAN tag
+	frame[16], frame[17] = 0x08, 0x00 // inner IPv4
+	frame[18] = 0x45
+	binary.BigEndian.PutUint32(frame[18+12:], 0x01020304)
+	binary.BigEndian.PutUint32(frame[18+16:], 0x05060708)
+	var rec [16]byte
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(frame)))
+	binary.LittleEndian.PutUint32(rec[12:16], uint32(len(frame)))
+	buf.Write(rec[:])
+	buf.Write(frame)
+
+	keys, err := ReadPcap(&buf, KeySrcIP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != 0x01020304 {
+		t.Fatalf("VLAN frame keys %#x", keys)
+	}
+}

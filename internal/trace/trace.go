@@ -1,0 +1,108 @@
+// Package trace reads and writes key-stream trace files so experiments
+// can be replayed against recorded workloads (the role CAIDA pcaps play
+// in the paper). Two formats:
+//
+//   - binary (magic "SHET"): a fixed header followed by little-endian
+//     uint64 keys — compact and fast;
+//   - CSV/text: one decimal uint64 key per line, '#' comments allowed —
+//     convenient for hand-made or exported traces.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+const magic = "SHET"
+
+// Write emits keys in the binary trace format.
+func Write(w io.Writer, keys []uint64) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(keys)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [8]byte
+	for _, k := range keys {
+		binary.LittleEndian.PutUint64(buf[:], k)
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read loads a binary trace written by Write.
+func Read(r io.Reader) ([]uint64, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 4+8)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if string(head[:4]) != magic {
+		return nil, errors.New("trace: bad magic (not a SHET trace)")
+	}
+	n := binary.LittleEndian.Uint64(head[4:])
+	const maxKeys = 1 << 30
+	if n > maxKeys {
+		return nil, fmt.Errorf("trace: header claims %d keys (limit %d)", n, maxKeys)
+	}
+	keys := make([]uint64, n)
+	var buf [8]byte
+	for i := range keys {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("trace: truncated at key %d: %w", i, err)
+		}
+		keys[i] = binary.LittleEndian.Uint64(buf[:])
+	}
+	// Trailing garbage means the file is not what it claims.
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, errors.New("trace: trailing bytes after declared keys")
+	}
+	return keys, nil
+}
+
+// WriteText emits keys as one decimal per line.
+func WriteText(w io.Writer, keys []uint64) error {
+	bw := bufio.NewWriter(w)
+	for _, k := range keys {
+		if _, err := fmt.Fprintln(bw, k); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses one decimal uint64 key per line; blank lines and
+// lines starting with '#' are skipped.
+func ReadText(r io.Reader) ([]uint64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 64*1024)
+	var keys []uint64
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		k, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		keys = append(keys, k)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return keys, nil
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	keys := make([]uint64, 1000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, keys); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("read %d keys, wrote %d", len(got), len(keys))
+	}
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("key %d: %d vs %d", i, got[i], keys[i])
+		}
+	}
+}
+
+func TestBinaryEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty trace read back %d keys", len(got))
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, []uint64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	cases := map[string][]byte{
+		"bad magic": append([]byte("NOPE"), data[4:]...),
+		"truncated": data[:len(data)-3],
+		"trailing":  append(append([]byte{}, data...), 9),
+		"empty":     {},
+	}
+	for name, d := range cases {
+		if _, err := Read(bytes.NewReader(d)); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}
+
+func TestBinaryRejectsHugeClaim(t *testing.T) {
+	// A header claiming 2^40 keys must be rejected, not allocated.
+	d := []byte(magic)
+	d = append(d, 0, 0, 0, 0, 0, 1, 0, 0) // 2^40 little-endian
+	if _, err := Read(bytes.NewReader(d)); err == nil {
+		t.Fatal("absurd key count accepted")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	keys := []uint64{0, 1, 42, ^uint64(0)}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, keys); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("read %d keys", len(got))
+	}
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("key %d: %d vs %d", i, got[i], keys[i])
+		}
+	}
+}
+
+func TestTextSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n10\n  20  \n# mid\n30\n"
+	got, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestTextRejectsGarbage(t *testing.T) {
+	if _, err := ReadText(strings.NewReader("12\nnot-a-number\n")); err == nil {
+		t.Fatal("garbage line accepted")
+	}
+	if _, err := ReadText(strings.NewReader("-5\n")); err == nil {
+		t.Fatal("negative key accepted")
+	}
+}

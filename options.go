@@ -1,0 +1,53 @@
+package she
+
+import "she/internal/core"
+
+// Options configures a SHE structure's sliding window.
+type Options struct {
+	// Window is the sliding-window size N in items (count-based) or
+	// time units (when using the *At methods). Required.
+	Window uint64
+	// Alpha is the cleaning slack α = (Tcycle−N)/N. Zero selects the
+	// paper's per-structure default: 0.2 for Bitmap/HyperLogLog/
+	// MinHash, 1 for CountMin, and the Eq. 2 optimum (≈3 at 8 hashes)
+	// for BloomFilter.
+	Alpha float64
+	// Beta sets the lower edge β of the legal age range [βN, Tcycle)
+	// used by the two-sided estimators (Bitmap, HyperLogLog, MinHash).
+	// Zero selects the analysis default β = max(0, 1−α).
+	Beta float64
+	// GroupSize is the number of cells per cleaning group w. Zero
+	// selects the paper's defaults: 64 for BloomFilter/Bitmap/CountMin,
+	// 1 (fixed) for HyperLogLog/MinHash.
+	GroupSize int
+	// Hashes is the number of hash functions k for BloomFilter and
+	// CountMin. Zero selects the paper's default of 8.
+	Hashes int
+	// Seed derives every hash function. Structures that are compared
+	// (e.g. the two sides of a MinHash pair) must share a seed.
+	Seed uint64
+}
+
+// config converts Options to the internal window configuration with
+// defaultAlpha applied when Alpha is unset.
+func (o Options) config(defaultAlpha float64) core.WindowConfig {
+	alpha := o.Alpha
+	if alpha == 0 {
+		alpha = defaultAlpha
+	}
+	return core.WindowConfig{N: o.Window, Alpha: alpha, Beta: o.Beta, Seed: o.Seed}
+}
+
+func (o Options) groupSize() int {
+	if o.GroupSize == 0 {
+		return core.DefaultGroupSize
+	}
+	return o.GroupSize
+}
+
+func (o Options) hashes() int {
+	if o.Hashes == 0 {
+		return core.DefaultHashes
+	}
+	return o.Hashes
+}

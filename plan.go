@@ -1,0 +1,40 @@
+package she
+
+import "she/internal/analysis"
+
+// BloomPlan is a recommended sliding-window Bloom filter configuration
+// produced by PlanBloomFilter.
+type BloomPlan struct {
+	// Bits is the filter size to pass to NewBloomFilter.
+	Bits int
+	// Options carries the planned window, α, group size and hash count;
+	// set Seed before use.
+	Options Options
+	// ModelFPR is the §5.2 model's predicted false positive rate.
+	ModelFPR float64
+}
+
+// PlanBloomFilter recommends the smallest filter geometry whose modeled
+// false positive rate meets target, for a window of size window holding
+// about windowDistinct distinct keys. The plan uses the analysis
+// model's optimal α (Eq. 2 of the paper) for its geometry:
+//
+//	plan, err := she.PlanBloomFilter(1<<16, 6000, 1e-4)
+//	plan.Options.Seed = mySeed
+//	bf, err := she.NewBloomFilter(plan.Bits, plan.Options)
+func PlanBloomFilter(window uint64, windowDistinct float64, target float64) (BloomPlan, error) {
+	p, err := analysis.PlanBloom(windowDistinct, target)
+	if err != nil {
+		return BloomPlan{}, err
+	}
+	return BloomPlan{
+		Bits: p.Bits,
+		Options: Options{
+			Window:    window,
+			Alpha:     p.Alpha,
+			GroupSize: p.GroupSize,
+			Hashes:    p.Hashes,
+		},
+		ModelFPR: p.ModelFPR,
+	}, nil
+}

@@ -1,0 +1,64 @@
+package she
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPlanBloomFilterHoldsInSimulation drives a planned filter with a
+// workload matching the plan's assumptions and checks the measured FPR
+// is within a small factor of the model target.
+func TestPlanBloomFilterHoldsInSimulation(t *testing.T) {
+	const window = 1 << 14
+	const distinct = 3000
+	const target = 1e-3
+	plan, err := PlanBloomFilter(window, distinct, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Options.Seed = 7
+	bf, err := NewBloomFilter(plan.Bits, plan.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(110))
+	// Warm past two cleaning cycles.
+	warm := int((plan.Options.Alpha + 1) * 2 * window)
+	for i := 0; i < warm+4*window; i++ {
+		bf.Insert(uint64(rng.Intn(distinct)))
+	}
+	fp := 0
+	const probes = 100000
+	for i := 0; i < probes; i++ {
+		if bf.Query(rng.Uint64() | 1<<63) {
+			fp++
+		}
+	}
+	measured := float64(fp) / probes
+	if measured > 5*target {
+		t.Fatalf("planned filter (bits=%d k=%d α=%.2f, model %.2e) measured FPR %.2e > 5×target %.0e",
+			plan.Bits, plan.Options.Hashes, plan.Options.Alpha, plan.ModelFPR, measured, target)
+	}
+}
+
+func TestPlanBloomFilterErrors(t *testing.T) {
+	if _, err := PlanBloomFilter(100, -1, 0.01); err == nil {
+		t.Fatal("negative distinct accepted")
+	}
+	if _, err := PlanBloomFilter(100, 1000, 2); err == nil {
+		t.Fatal("target > 1 accepted")
+	}
+}
+
+func TestPlanBloomFilterProducesWorkingOptions(t *testing.T) {
+	plan, err := PlanBloomFilter(1<<16, 6000, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewBloomFilter(plan.Bits, plan.Options); err != nil {
+		t.Fatalf("plan rejected by constructor: %v", err)
+	}
+	if plan.ModelFPR > 1e-4 {
+		t.Fatalf("plan misses its own target: %v", plan.ModelFPR)
+	}
+}

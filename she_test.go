@@ -1,0 +1,175 @@
+package she
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPublicBloomFilterRoundTrip(t *testing.T) {
+	bf, err := NewBloomFilter(1<<16, Options{Window: 1000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf.Insert(42)
+	if !bf.Query(42) {
+		t.Fatal("inserted key missing")
+	}
+	for i := uint64(0); i < 20_000; i++ {
+		bf.Insert(1_000_000 + i%200)
+	}
+	if bf.Query(42) {
+		t.Fatal("key never expired")
+	}
+}
+
+func TestPublicBloomFilterTimeBased(t *testing.T) {
+	bf, err := NewBloomFilter(1<<14, Options{Window: 60, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf.InsertAt(9, 1000)
+	if !bf.QueryAt(9, 1030) {
+		t.Fatal("key missing 30 time units later (window 60)")
+	}
+}
+
+func TestPublicBitmap(t *testing.T) {
+	bm, err := NewBitmap(1<<15, Options{Window: 4096, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20_000; i++ {
+		bm.Insert(uint64(i % 1500))
+	}
+	est := bm.Cardinality()
+	if math.Abs(est-1500)/1500 > 0.15 {
+		t.Fatalf("cardinality %.0f, want ≈1500", est)
+	}
+}
+
+func TestPublicHyperLogLog(t *testing.T) {
+	h, err := NewHyperLogLog(2048, Options{Window: 1 << 14, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1<<16; i++ {
+		h.Insert(uint64(i%10_000) * 2654435761)
+	}
+	est := h.Cardinality()
+	if math.Abs(est-10_000)/10_000 > 0.2 {
+		t.Fatalf("cardinality %.0f, want ≈10000", est)
+	}
+}
+
+func TestPublicCountMin(t *testing.T) {
+	cm, err := NewCountMin(1<<16, Options{Window: 8192, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8192; i++ {
+		if i%8 == 0 {
+			cm.Insert(7)
+		} else {
+			cm.Insert(uint64(1000 + i%500))
+		}
+	}
+	got := cm.Frequency(7)
+	if got < 1024 {
+		t.Fatalf("frequency %d below true 1024 (must never underestimate)", got)
+	}
+	if got > 1200 {
+		t.Fatalf("frequency %d far above true 1024", got)
+	}
+}
+
+func TestPublicMinHash(t *testing.T) {
+	mh, err := NewMinHash(256, Options{Window: 8192, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40_000; i++ {
+		k := uint64(i % 700)
+		mh.InsertA(k)
+		mh.InsertB(k)
+	}
+	if sim := mh.Similarity(); sim < 0.9 {
+		t.Fatalf("identical streams similarity %.3f", sim)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	// Zero Alpha/GroupSize/Hashes pick the paper defaults and must
+	// produce working structures.
+	if _, err := NewBloomFilter(1<<12, Options{Window: 100}); err != nil {
+		t.Fatalf("defaulted bloom rejected: %v", err)
+	}
+	if _, err := NewCountMin(1<<12, Options{Window: 100}); err != nil {
+		t.Fatalf("defaulted count-min rejected: %v", err)
+	}
+	// Explicit overrides are honored.
+	bf, err := NewBloomFilter(1<<12, Options{Window: 100, Alpha: 2, GroupSize: 16, Hashes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.MemoryBits() != 1<<12+(1<<12)/16 {
+		t.Fatalf("MemoryBits=%d with 16-bit groups", bf.MemoryBits())
+	}
+}
+
+func TestInvalidOptionsRejected(t *testing.T) {
+	if _, err := NewBloomFilter(1<<12, Options{}); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	if _, err := NewBitmap(0, Options{Window: 100}); err == nil {
+		t.Fatal("zero bits accepted")
+	}
+	if _, err := NewHyperLogLog(-5, Options{Window: 100}); err == nil {
+		t.Fatal("negative registers accepted")
+	}
+	if _, err := NewMinHash(0, Options{Window: 100}); err == nil {
+		t.Fatal("zero signatures accepted")
+	}
+	if _, err := NewBloomFilter(1<<12, Options{Window: 100, Alpha: -1}); err == nil {
+		t.Fatal("negative alpha accepted")
+	}
+}
+
+func TestOptimalBloomAlpha(t *testing.T) {
+	alpha, err := OptimalBloomAlpha(1<<18, 64, 8, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha <= 0 || alpha > 50 {
+		t.Fatalf("optimal alpha %v out of plausible range", alpha)
+	}
+	// Using it must produce a valid filter.
+	if _, err := NewBloomFilter(1<<18, Options{Window: 1 << 16, Alpha: alpha}); err != nil {
+		t.Fatalf("optimal alpha rejected by constructor: %v", err)
+	}
+}
+
+func TestPublicCountMinCU(t *testing.T) {
+	cu, err := NewCountMinCU(1<<14, Options{Window: 8192, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := NewCountMin(1<<14, Options{Window: 8192, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40_000; i++ {
+		k := uint64(i % 900)
+		cu.Insert(k)
+		cm.Insert(k)
+	}
+	// Same stream, same geometry: CU's estimates are never above CM's
+	// (conservative update only skips increments CM performs).
+	for k := uint64(0); k < 900; k++ {
+		if cu.Frequency(k) > cm.Frequency(k) {
+			t.Fatalf("key %d: CU %d above CM %d", k, cu.Frequency(k), cm.Frequency(k))
+		}
+	}
+	if _, err := NewCountMinCU(0, Options{Window: 100}); err == nil {
+		t.Fatal("zero counters accepted")
+	}
+}

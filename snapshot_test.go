@@ -1,0 +1,120 @@
+package she
+
+import (
+	"encoding"
+	"testing"
+)
+
+// The public wrappers must round-trip through the snapshot format.
+func TestPublicSnapshotRoundTrips(t *testing.T) {
+	opts := Options{Window: 2048, Seed: 21}
+
+	bf, err := NewBloomFilter(1<<14, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 5000; i++ {
+		bf.Insert(i % 400)
+	}
+	data, err := bf.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf2, err := UnmarshalBloomFilter(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 400; k++ {
+		if bf.Query(k) != bf2.Query(k) {
+			t.Fatalf("restored bloom diverges on key %d", k)
+		}
+	}
+
+	cm, err := NewCountMin(1<<12, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 3000; i++ {
+		cm.Insert(i % 100)
+	}
+	data, err = cm.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm2, err := UnmarshalCountMin(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 100; k++ {
+		if cm.Frequency(k) != cm2.Frequency(k) {
+			t.Fatalf("restored count-min diverges on key %d", k)
+		}
+	}
+
+	bm, err := NewBitmap(1<<12, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm.Insert(1)
+	data, err = bm.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm2, err := UnmarshalBitmap(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm.Cardinality() != bm2.Cardinality() {
+		t.Fatal("restored bitmap diverges")
+	}
+
+	h, err := NewHyperLogLog(256, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Insert(7)
+	data, err = h.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := UnmarshalHyperLogLog(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Cardinality() != h2.Cardinality() {
+		t.Fatal("restored hll diverges")
+	}
+
+	mh, err := NewMinHash(64, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mh.InsertA(1)
+	mh.InsertB(1)
+	data, err = mh.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mh2, err := UnmarshalMinHash(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mh.Similarity() != mh2.Similarity() {
+		t.Fatal("restored minhash diverges")
+	}
+}
+
+// All five structures satisfy encoding.BinaryMarshaler.
+func TestStructuresAreBinaryMarshalers(t *testing.T) {
+	opts := Options{Window: 100, Seed: 1}
+	bf, _ := NewBloomFilter(1024, opts)
+	bm, _ := NewBitmap(1024, opts)
+	h, _ := NewHyperLogLog(64, opts)
+	cm, _ := NewCountMin(1024, opts)
+	mh, _ := NewMinHash(16, opts)
+	for i, m := range []encoding.BinaryMarshaler{bf, bm, h, cm, mh} {
+		if _, err := m.MarshalBinary(); err != nil {
+			t.Fatalf("structure %d failed to marshal: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package she
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// TopK tracks the heaviest keys of the sliding window: a CountMin
+// sketch estimates per-key window frequencies and a bounded candidate
+// heap remembers the keys whose estimates were largest when they were
+// last seen. Because the window slides, a candidate's estimate decays
+// on its own; Top re-estimates every candidate at query time, so a flow
+// that went quiet drops out within a window without any explicit
+// eviction logic — the SHE cleaning does the forgetting.
+//
+// The classic guarantee carries over from SHE-CM: estimates never
+// undercount an in-window key, so no true heavy hitter can be displaced
+// from the candidate set by estimation error alone (only by the
+// candidate capacity, which is 4× K).
+type TopK struct {
+	cm    *CountMin
+	k     int
+	cand  candidateHeap
+	index map[uint64]int // key → heap position
+}
+
+// TopEntry is one reported heavy hitter.
+type TopEntry struct {
+	Key   uint64
+	Count uint64
+}
+
+// NewTopK returns a tracker for the k heaviest window keys, backed by a
+// CountMin sketch with the given number of counters.
+func NewTopK(k, counters int, opts Options) (*TopK, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("she: top-k needs a positive k, got %d", k)
+	}
+	cm, err := NewCountMin(counters, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &TopK{
+		cm:    cm,
+		k:     k,
+		index: make(map[uint64]int),
+	}, nil
+}
+
+// Insert records one occurrence of key and refreshes its candidacy.
+func (t *TopK) Insert(key uint64) {
+	t.cm.Insert(key)
+	est := t.cm.Frequency(key)
+	if pos, ok := t.index[key]; ok {
+		t.cand[pos].est = est
+		heap.Fix(&t.cand, pos)
+		return
+	}
+	cap := 4 * t.k
+	if len(t.cand) < cap {
+		heap.Push(&t.cand, &candidate{key: key, est: est, owner: t})
+		return
+	}
+	// Full: a newcomer must beat the current minimum — but the
+	// minimum's estimate may be stale (its window share decayed), so
+	// refresh it first.
+	min := t.cand[0]
+	min.est = t.cm.Frequency(min.key)
+	heap.Fix(&t.cand, 0)
+	min = t.cand[0]
+	if est <= min.est {
+		return
+	}
+	delete(t.index, min.key)
+	min.key, min.est = key, est
+	t.index[key] = 0
+	heap.Fix(&t.cand, 0)
+}
+
+// Top returns up to k entries, heaviest first, with freshly
+// re-estimated window counts. Candidates whose windows have emptied are
+// dropped.
+func (t *TopK) Top() []TopEntry {
+	entries := make([]TopEntry, 0, len(t.cand))
+	for _, c := range t.cand {
+		est := t.cm.Frequency(c.key)
+		if est == 0 {
+			continue
+		}
+		entries = append(entries, TopEntry{Key: c.key, Count: est})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Count != entries[j].Count {
+			return entries[i].Count > entries[j].Count
+		}
+		return entries[i].Key < entries[j].Key
+	})
+	if len(entries) > t.k {
+		entries = entries[:t.k]
+	}
+	return entries
+}
+
+// Frequency exposes the underlying estimator.
+func (t *TopK) Frequency(key uint64) uint64 { return t.cm.Frequency(key) }
+
+// MemoryBits returns the sketch footprint (the candidate heap adds
+// O(k) words on top).
+func (t *TopK) MemoryBits() int { return t.cm.MemoryBits() }
+
+// candidate is one heap entry; owner backlinks let the heap maintain
+// the key→position index during swaps.
+type candidate struct {
+	key   uint64
+	est   uint64
+	owner *TopK
+}
+
+// candidateHeap is a min-heap on estimated count.
+type candidateHeap []*candidate
+
+func (h candidateHeap) Len() int           { return len(h) }
+func (h candidateHeap) Less(i, j int) bool { return h[i].est < h[j].est }
+func (h candidateHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].owner.index[h[i].key] = i
+	h[j].owner.index[h[j].key] = j
+}
+
+func (h *candidateHeap) Push(x any) {
+	c := x.(*candidate)
+	c.owner.index[c.key] = len(*h)
+	*h = append(*h, c)
+}
+
+func (h *candidateHeap) Pop() any {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	delete(c.owner.index, c.key)
+	return c
+}

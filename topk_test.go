@@ -1,0 +1,140 @@
+package she
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTopKFindsElephants(t *testing.T) {
+	tk, err := NewTopK(3, 1<<16, Options{Window: 1 << 14, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(100))
+	elephants := []uint64{11, 22, 33}
+	for i := 0; i < 1<<15; i++ {
+		if rng.Intn(100) < 30 {
+			tk.Insert(elephants[rng.Intn(3)])
+		} else {
+			tk.Insert(uint64(1000 + rng.Intn(20000)))
+		}
+	}
+	top := tk.Top()
+	if len(top) != 3 {
+		t.Fatalf("Top returned %d entries, want 3", len(top))
+	}
+	want := map[uint64]bool{11: true, 22: true, 33: true}
+	for _, e := range top {
+		if !want[e.Key] {
+			t.Fatalf("non-elephant %d in top-3: %+v", e.Key, top)
+		}
+	}
+}
+
+func TestTopKFollowsWindowShift(t *testing.T) {
+	const window = 1 << 13
+	tk, err := NewTopK(2, 1<<16, Options{Window: window, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(101))
+	phase := func(elephants []uint64) {
+		for i := 0; i < 4*window; i++ {
+			if rng.Intn(100) < 40 {
+				tk.Insert(elephants[rng.Intn(len(elephants))])
+			} else {
+				tk.Insert(uint64(10_000 + rng.Intn(30_000)))
+			}
+		}
+	}
+	phase([]uint64{1, 2})
+	phase([]uint64{8, 9}) // old elephants go silent
+	top := tk.Top()
+	if len(top) < 2 {
+		t.Fatalf("top too short: %+v", top)
+	}
+	for _, e := range top[:2] {
+		if e.Key != 8 && e.Key != 9 {
+			t.Fatalf("stale elephant %d still leads after a phase change: %+v", e.Key, top)
+		}
+	}
+}
+
+func TestTopKOrderingAndTruncation(t *testing.T) {
+	tk, err := NewTopK(2, 1<<14, Options{Window: 1 << 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three keys with clearly distinct rates.
+	for i := 0; i < 1<<12; i++ {
+		tk.Insert(5)
+		if i%2 == 0 {
+			tk.Insert(6)
+		}
+		if i%8 == 0 {
+			tk.Insert(7)
+		}
+	}
+	top := tk.Top()
+	if len(top) != 2 {
+		t.Fatalf("Top returned %d entries, want k=2", len(top))
+	}
+	if top[0].Key != 5 || top[1].Key != 6 {
+		t.Fatalf("wrong order: %+v", top)
+	}
+	if top[0].Count < top[1].Count {
+		t.Fatal("entries not sorted by count")
+	}
+}
+
+func TestTopKEmptyAndExpired(t *testing.T) {
+	tk, err := NewTopK(4, 1<<14, Options{Window: 1024, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tk.Top(); len(got) != 0 {
+		t.Fatalf("fresh tracker reports %+v", got)
+	}
+	for i := 0; i < 500; i++ {
+		tk.Insert(9)
+	}
+	// Bury key 9 under several windows of scattered traffic.
+	for i := 0; i < 20_000; i++ {
+		tk.Insert(uint64(100 + i))
+	}
+	for _, e := range tk.Top() {
+		if e.Key == 9 && e.Count > 50 {
+			t.Fatalf("expired key 9 still reported heavy: %+v", e)
+		}
+	}
+}
+
+func TestTopKRejectsBadParams(t *testing.T) {
+	if _, err := NewTopK(0, 1024, Options{Window: 100}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewTopK(3, 1024, Options{}); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+func TestTopKHeapIndexConsistency(t *testing.T) {
+	tk, err := NewTopK(8, 1<<14, Options{Window: 1 << 12, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(102))
+	for i := 0; i < 50_000; i++ {
+		tk.Insert(uint64(rng.Intn(200)))
+		if i%1000 == 0 {
+			for pos, c := range tk.cand {
+				if got, ok := tk.index[c.key]; !ok || got != pos {
+					t.Fatalf("step %d: index says key %d is at %d, heap has it at %d", i, c.key, got, pos)
+				}
+			}
+			if len(tk.index) != len(tk.cand) {
+				t.Fatalf("step %d: index size %d, heap size %d", i, len(tk.index), len(tk.cand))
+			}
+		}
+	}
+}
