@@ -1,0 +1,73 @@
+// Command shed is the SHE daemon: a TCP server hosting many named
+// sliding-window sketches behind a small RESP-like text protocol.
+// Writes go through the sharded wrappers, so one hot sketch scales
+// across cores; snapshots use the library's binary format, so sketches
+// survive restarts mid-window.
+//
+// Quick start:
+//
+//	shed -listen :6380 -debug :6390 -autosave /var/lib/shed &
+//	printf 'SKETCH.CREATE flows bloom bits=1048576 window=65536 shards=8
+//	SKETCH.INSERT flows alice
+//	SKETCH.QUERY flows alice
+//	SKETCH.QUERY flows carol
+//	' | nc localhost 6380
+//	+OK
+//	:1
+//	:1
+//	:0
+//
+// Counters are served at http://localhost:6390/debug/vars. SIGINT or
+// SIGTERM shuts down gracefully: in-flight commands finish, and with
+// -autosave set every sketch is snapshotted and restored on the next
+// start. See internal/server for the full protocol reference.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"she/internal/server"
+)
+
+func main() {
+	listen := flag.String("listen", ":6380", "TCP address for the sketch protocol")
+	debug := flag.String("debug", "", "HTTP address for /debug/vars counters (empty = disabled)")
+	autosave := flag.String("autosave", "", "snapshot directory: loaded at startup, saved at shutdown (empty = disabled)")
+	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
+	flag.Parse()
+
+	log.SetPrefix("shed: ")
+	log.SetFlags(0)
+
+	srv := server.New(server.Config{
+		Listen:      *listen,
+		DebugListen: *debug,
+		AutosaveDir: *autosave,
+	})
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s", srv.Addr())
+	if a := srv.DebugAddr(); a != nil {
+		log.Printf("debug vars on http://%s/debug/vars", a)
+	}
+	if *autosave != "" {
+		log.Printf("autosave to %s (%d sketches restored)", *autosave, srv.Registry().Len())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down (drain %s)", *drain)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+}

@@ -1,0 +1,221 @@
+package she
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Sharded snapshot format: a thin wrapper around the per-shard core
+// snapshots, so the concurrency-safe structures persist and restore
+// exactly like the single-threaded ones. Everything is little-endian.
+// Layout:
+//
+//	magic  [4]byte  "SHES"
+//	kind   uint8    1=bloom 2=cm 3=hll
+//	salt   uint64   shard-routing salt
+//	shards uint32   shard count P
+//	per shard: uint32 length + that shard's MarshalBinary bytes
+//
+// MarshalBinary locks each shard while that shard is encoded, so every
+// shard's snapshot is internally consistent; the snapshot as a whole is
+// shard-sequential (concurrent writers may land between shards). A
+// restored structure routes every key to the same shard and answers
+// every per-key query exactly as the original would.
+
+const shardedMagic = "SHES"
+
+// Sharded structure tags.
+const (
+	shardedKindBloom byte = iota + 1
+	shardedKindCM
+	shardedKindHLL
+)
+
+var errShardedSnapshot = errors.New("she: malformed sharded snapshot")
+
+// ShardedSnapshotKind reports which sharded structure a snapshot holds
+// ("bloom", "cm" or "hll") without decoding its payload.
+func ShardedSnapshotKind(data []byte) (string, error) {
+	if len(data) < 5 || string(data[:4]) != shardedMagic {
+		return "", errShardedSnapshot
+	}
+	switch data[4] {
+	case shardedKindBloom:
+		return "bloom", nil
+	case shardedKindCM:
+		return "cm", nil
+	case shardedKindHLL:
+		return "hll", nil
+	}
+	return "", fmt.Errorf("she: unknown sharded snapshot kind %d", data[4])
+}
+
+func marshalSharded(kind byte, salt uint64, shards [][]byte) []byte {
+	size := 4 + 1 + 8 + 4
+	for _, b := range shards {
+		size += 4 + len(b)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, shardedMagic...)
+	buf = append(buf, kind)
+	buf = binary.LittleEndian.AppendUint64(buf, salt)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(shards)))
+	for _, b := range shards {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b)))
+		buf = append(buf, b...)
+	}
+	return buf
+}
+
+func unmarshalSharded(wantKind byte, data []byte) (salt uint64, shards [][]byte, err error) {
+	kind, err := ShardedSnapshotKind(data)
+	if err != nil {
+		return 0, nil, err
+	}
+	if data[4] != wantKind {
+		return 0, nil, fmt.Errorf("she: sharded snapshot holds kind %q", kind)
+	}
+	data = data[5:]
+	if len(data) < 12 {
+		return 0, nil, errShardedSnapshot
+	}
+	salt = binary.LittleEndian.Uint64(data)
+	p := binary.LittleEndian.Uint32(data[8:])
+	data = data[12:]
+	if p == 0 || p > 1<<20 {
+		return 0, nil, fmt.Errorf("she: sharded snapshot has implausible shard count %d", p)
+	}
+	shards = make([][]byte, 0, p)
+	for i := uint32(0); i < p; i++ {
+		if len(data) < 4 {
+			return 0, nil, errShardedSnapshot
+		}
+		n := binary.LittleEndian.Uint32(data)
+		data = data[4:]
+		if uint32(len(data)) < n {
+			return 0, nil, errShardedSnapshot
+		}
+		shards = append(shards, data[:n])
+		data = data[n:]
+	}
+	if len(data) != 0 {
+		return 0, nil, fmt.Errorf("she: %d trailing bytes in sharded snapshot", len(data))
+	}
+	return salt, shards, nil
+}
+
+// MarshalBinary snapshots the filter: the routing salt plus every
+// shard's full state.
+func (s *ShardedBloomFilter) MarshalBinary() ([]byte, error) {
+	blobs := make([][]byte, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		b, err := sh.bf.MarshalBinary()
+		sh.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		blobs[i] = b
+	}
+	return marshalSharded(shardedKindBloom, s.salt, blobs), nil
+}
+
+// UnmarshalShardedBloomFilter restores a filter from a snapshot.
+func UnmarshalShardedBloomFilter(data []byte) (*ShardedBloomFilter, error) {
+	salt, blobs, err := unmarshalSharded(shardedKindBloom, data)
+	if err != nil {
+		return nil, err
+	}
+	s := &ShardedBloomFilter{salt: salt}
+	s.shards = make([]struct {
+		mu sync.Mutex
+		bf *BloomFilter
+	}, len(blobs))
+	for i, b := range blobs {
+		bf, err := UnmarshalBloomFilter(b)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		s.shards[i].bf = bf
+	}
+	return s, nil
+}
+
+// MarshalBinary snapshots the sketch: the routing salt plus every
+// shard's full state.
+func (s *ShardedCountMin) MarshalBinary() ([]byte, error) {
+	blobs := make([][]byte, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		b, err := sh.cm.MarshalBinary()
+		sh.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		blobs[i] = b
+	}
+	return marshalSharded(shardedKindCM, s.salt, blobs), nil
+}
+
+// UnmarshalShardedCountMin restores a sketch from a snapshot.
+func UnmarshalShardedCountMin(data []byte) (*ShardedCountMin, error) {
+	salt, blobs, err := unmarshalSharded(shardedKindCM, data)
+	if err != nil {
+		return nil, err
+	}
+	s := &ShardedCountMin{salt: salt}
+	s.shards = make([]struct {
+		mu sync.Mutex
+		cm *CountMin
+	}, len(blobs))
+	for i, b := range blobs {
+		cm, err := UnmarshalCountMin(b)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		s.shards[i].cm = cm
+	}
+	return s, nil
+}
+
+// MarshalBinary snapshots the estimator: the routing salt plus every
+// shard's full state.
+func (s *ShardedHyperLogLog) MarshalBinary() ([]byte, error) {
+	blobs := make([][]byte, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		b, err := sh.h.MarshalBinary()
+		sh.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		blobs[i] = b
+	}
+	return marshalSharded(shardedKindHLL, s.salt, blobs), nil
+}
+
+// UnmarshalShardedHyperLogLog restores an estimator from a snapshot.
+func UnmarshalShardedHyperLogLog(data []byte) (*ShardedHyperLogLog, error) {
+	salt, blobs, err := unmarshalSharded(shardedKindHLL, data)
+	if err != nil {
+		return nil, err
+	}
+	s := &ShardedHyperLogLog{salt: salt}
+	s.shards = make([]struct {
+		mu sync.Mutex
+		h  *HyperLogLog
+	}, len(blobs))
+	for i, b := range blobs {
+		h, err := UnmarshalHyperLogLog(b)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		s.shards[i].h = h
+	}
+	return s, nil
+}

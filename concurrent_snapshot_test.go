@@ -1,0 +1,123 @@
+package she
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestShardedBloomSnapshotRoundTrip checks that a restored sharded
+// filter answers every membership query exactly as the original.
+func TestShardedBloomSnapshotRoundTrip(t *testing.T) {
+	bf, err := NewShardedBloomFilter(1<<16, 4, Options{Window: 1 << 12, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 3000; i++ {
+		bf.Insert(i)
+	}
+	data, err := bf.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind, err := ShardedSnapshotKind(data); err != nil || kind != "bloom" {
+		t.Fatalf("ShardedSnapshotKind = %q, %v; want bloom", kind, err)
+	}
+	got, err := UnmarshalShardedBloomFilter(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shards() != bf.Shards() {
+		t.Fatalf("restored %d shards, want %d", got.Shards(), bf.Shards())
+	}
+	for i := uint64(0); i < 6000; i++ {
+		if got.Query(i) != bf.Query(i) {
+			t.Fatalf("key %d: restored filter disagrees with original", i)
+		}
+	}
+	// The restored filter must also evolve identically.
+	bf.Insert(99991)
+	got.Insert(99991)
+	for i := uint64(99990); i < 99995; i++ {
+		if got.Query(i) != bf.Query(i) {
+			t.Fatalf("after insert, key %d: restored filter disagrees", i)
+		}
+	}
+}
+
+// TestShardedCountMinSnapshotRoundTrip checks frequency answers survive
+// the round trip unchanged.
+func TestShardedCountMinSnapshotRoundTrip(t *testing.T) {
+	cm, err := NewShardedCountMin(1<<14, 4, Options{Window: 1 << 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 3000; i++ {
+		cm.Insert(i % 100)
+	}
+	data, err := cm.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalShardedCountMin(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 200; i++ {
+		if g, w := got.Frequency(i), cm.Frequency(i); g != w {
+			t.Fatalf("key %d: restored frequency %d, want %d", i, g, w)
+		}
+	}
+}
+
+// TestShardedHLLSnapshotRoundTrip checks the cardinality estimate
+// survives the round trip bit-for-bit.
+func TestShardedHLLSnapshotRoundTrip(t *testing.T) {
+	h, err := NewShardedHyperLogLog(4096, 4, Options{Window: 1 << 14, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 20000; i++ {
+		h.Insert(i)
+	}
+	data, err := h.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalShardedHyperLogLog(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, w := got.Cardinality(), h.Cardinality(); g != w {
+		t.Fatalf("restored cardinality %f, want %f", g, w)
+	}
+}
+
+// TestShardedSnapshotRejectsCorruption walks truncations and kind
+// mismatches through the decoder: every one must error, never panic.
+func TestShardedSnapshotRejectsCorruption(t *testing.T) {
+	bf, err := NewShardedBloomFilter(1<<12, 2, Options{Window: 1 << 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		bf.Insert(i)
+	}
+	valid, err := bf.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(valid); cut += 7 {
+		if _, err := UnmarshalShardedBloomFilter(valid[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+	if _, err := UnmarshalShardedCountMin(valid); err == nil {
+		t.Fatal("bloom snapshot accepted as count-min")
+	}
+	if _, err := UnmarshalShardedBloomFilter(append(bytes.Clone(valid), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	if _, err := ShardedSnapshotKind([]byte("SHES\xff")); err == nil {
+		t.Fatal("unknown kind byte accepted")
+	}
+}

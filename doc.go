@@ -35,5 +35,7 @@
 //
 // See the examples/ directory for complete programs, DESIGN.md for the
 // architecture and EXPERIMENTS.md for the reproduction of the paper's
-// evaluation.
+// evaluation. To serve sketches over the network instead of embedding
+// the library, run cmd/shed — a TCP daemon hosting named sharded
+// sketches (see internal/server for the protocol).
 package she

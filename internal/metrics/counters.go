@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Operational counters for long-running processes (cmd/shed): cheap
+// atomic counters grouped into a named set that can be snapshotted for
+// an INFO command or a /debug/vars endpoint. Distinct from the
+// evaluation metrics above, which score accuracy offline.
+
+// Counter is an int64 operational counter, safe for concurrent use.
+// The zero value is ready. Negative deltas are allowed, so a Counter
+// doubles as a gauge (e.g. active connections).
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (which may be negative).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current value.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// CounterSet is a collection of named counters. Looking a counter up
+// takes the set's lock; holding the returned *Counter and updating it
+// directly is lock-free, so hot paths should cache the pointer.
+type CounterSet struct {
+	mu sync.Mutex
+	m  map[string]*Counter
+}
+
+// NewCounterSet returns an empty set.
+func NewCounterSet() *CounterSet {
+	return &CounterSet{m: make(map[string]*Counter)}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (s *CounterSet) Counter(name string) *Counter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.m[name]
+	if c == nil {
+		c = &Counter{}
+		s.m[name] = c
+	}
+	return c
+}
+
+// Snapshot returns a copy of every counter's current value.
+func (s *CounterSet) Snapshot() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.m))
+	for name, c := range s.m {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// Names returns the counter names in sorted order.
+func (s *CounterSet) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.m))
+	for name := range s.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

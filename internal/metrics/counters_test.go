@@ -1,0 +1,55 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCounterSetConcurrent hammers one set from many goroutines; run
+// under -race this doubles as the data-race check.
+func TestCounterSetConcurrent(t *testing.T) {
+	s := NewCounterSet()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := s.Counter("shared")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				s.Counter("lookups").Add(2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Counter("shared").Value(); got != workers*perWorker {
+		t.Fatalf("shared = %d, want %d", got, workers*perWorker)
+	}
+	if got := s.Counter("lookups").Value(); got != 2*workers*perWorker {
+		t.Fatalf("lookups = %d, want %d", got, 2*workers*perWorker)
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	if c.Value() != 2 {
+		t.Fatalf("gauge value = %d, want 2", c.Value())
+	}
+}
+
+func TestCounterSetSnapshotAndNames(t *testing.T) {
+	s := NewCounterSet()
+	s.Counter("b").Add(2)
+	s.Counter("a").Inc()
+	snap := s.Snapshot()
+	if snap["a"] != 1 || snap["b"] != 2 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v, want [a b]", names)
+	}
+}

@@ -1,0 +1,65 @@
+package server_test
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"she/internal/server"
+)
+
+// BenchmarkServerInsert measures end-to-end server-side inserts/sec
+// over loopback with a pipelining client (one flush per batch) — the
+// baseline later networking PRs are measured against.
+func BenchmarkServerInsert(b *testing.B) {
+	s := server.New(server.Config{Listen: "127.0.0.1:0"})
+	if err := s.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReaderSize(conn, 64*1024)
+	w := bufio.NewWriterSize(conn, 64*1024)
+	fmt.Fprintf(w, "SKETCH.CREATE bench bloom bits=1048576 window=1048576 shards=8\n")
+	w.Flush()
+	if reply, err := r.ReadString('\n'); err != nil || reply != "+OK\n" {
+		b.Fatalf("CREATE = %q, %v", reply, err)
+	}
+
+	const batch = 256
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		n := batch
+		if rem := b.N - done; rem < n {
+			n = rem
+		}
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(w, "SKETCH.INSERT bench %d\n", done+i)
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			reply, err := r.ReadString('\n')
+			if err != nil || !strings.HasPrefix(reply, ":") {
+				b.Fatalf("reply = %q, %v", reply, err)
+			}
+		}
+		done += n
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "inserts/sec")
+}

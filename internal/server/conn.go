@@ -1,0 +1,285 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"time"
+)
+
+var errLineTooLong = errors.New("line too long")
+
+// readLine returns the next request line. Lines longer than the
+// reader's buffer (MaxLineBytes) are unrecoverable — the reader cannot
+// resync inside them — so they surface as errLineTooLong and the
+// connection closes. A partial line at EOF (abrupt disconnect) is
+// dropped silently.
+func readLine(r *bufio.Reader) (string, error) {
+	b, err := r.ReadSlice('\n')
+	if err == nil {
+		return string(b), nil
+	}
+	if errors.Is(err, bufio.ErrBufferFull) {
+		return "", errLineTooLong
+	}
+	return "", err
+}
+
+// handleConn runs one client's read-execute-reply loop. Replies are
+// written in request order and flushed when the input buffer drains, so
+// pipelined clients pay one syscall per batch, not per command.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	s.trackConn(conn, true)
+	defer s.trackConn(conn, false)
+	s.counters.Counter("connections_total").Inc()
+	active := s.counters.Counter("connections_active")
+	active.Inc()
+	defer active.Add(-1)
+
+	// If shutdown began between Accept and here, unblock the first read.
+	select {
+	case <-s.done:
+		conn.SetReadDeadline(time.Now())
+	default:
+	}
+
+	r := bufio.NewReaderSize(conn, MaxLineBytes)
+	w := bufio.NewWriterSize(conn, 32*1024)
+	defer w.Flush()
+	for {
+		line, err := readLine(r)
+		if err != nil {
+			if errors.Is(err, errLineTooLong) {
+				s.counters.Counter("errors_total").Inc()
+				writeError(w, errLineTooLong.Error())
+			}
+			return
+		}
+		cmd, err := ParseCommand(line)
+		switch {
+		case errors.Is(err, ErrEmpty):
+			// Blank line: no reply.
+		case err != nil:
+			s.counters.Counter("errors_total").Inc()
+			writeError(w, err.Error())
+		default:
+			if quit := s.execute(cmd, w); quit {
+				return
+			}
+		}
+		if r.Buffered() == 0 {
+			if err := w.Flush(); err != nil {
+				return
+			}
+		}
+		select {
+		case <-s.done:
+			// Graceful drain: the command that was in flight has been
+			// answered; stop reading new ones.
+			return
+		default:
+		}
+	}
+}
+
+// execute runs one command and writes its reply; it reports whether
+// the connection should close (QUIT).
+func (s *Server) execute(cmd Command, w *bufio.Writer) (quit bool) {
+	s.counters.Counter("commands_total").Inc()
+	var err error
+	switch cmd.Name {
+	case "PING":
+		writeSimple(w, "PONG")
+	case "QUIT":
+		writeSimple(w, "OK")
+		return true
+	case "INFO":
+		s.writeInfo(w)
+	case "SKETCH.LIST":
+		s.writeList(w)
+	case "SKETCH.CREATE":
+		err = s.cmdCreate(cmd, w)
+	case "SKETCH.DROP":
+		err = s.cmdDrop(cmd, w)
+	case "SKETCH.INSERT":
+		err = s.cmdInsert(cmd, w)
+	case "SKETCH.QUERY":
+		err = s.cmdQuery(cmd, w)
+	case "SKETCH.CARD":
+		err = s.cmdCard(cmd, w)
+	case "SKETCH.SAVE":
+		err = s.cmdSave(cmd, w)
+	case "SKETCH.LOAD":
+		err = s.cmdLoad(cmd, w)
+	default:
+		err = fmt.Errorf("unknown command %q", cmd.Name)
+	}
+	if err != nil {
+		s.counters.Counter("errors_total").Inc()
+		writeError(w, err.Error())
+	}
+	return false
+}
+
+// wantArgs checks the argument count: exactly n when variadic is
+// false, at least n otherwise.
+func wantArgs(cmd Command, n int, variadic bool, usage string) error {
+	if len(cmd.Args) == n || (variadic && len(cmd.Args) > n) {
+		return nil
+	}
+	return fmt.Errorf("%s: want %s", cmd.Name, usage)
+}
+
+func (s *Server) cmdCreate(cmd Command, w *bufio.Writer) error {
+	if err := wantArgs(cmd, 2, true, "name kind [param=value ...]"); err != nil {
+		return err
+	}
+	name := cmd.Args[0]
+	if !ValidName(name) {
+		return fmt.Errorf("invalid sketch name %q", name)
+	}
+	kv, err := ParseKV(cmd.Args[2:])
+	if err != nil {
+		return err
+	}
+	if err := s.reg.Create(name, cmd.Args[1], kv); err != nil {
+		return err
+	}
+	writeSimple(w, "OK")
+	return nil
+}
+
+func (s *Server) cmdDrop(cmd Command, w *bufio.Writer) error {
+	if err := wantArgs(cmd, 1, false, "name"); err != nil {
+		return err
+	}
+	if err := s.reg.Drop(cmd.Args[0]); err != nil {
+		return err
+	}
+	writeSimple(w, "OK")
+	return nil
+}
+
+func (s *Server) cmdInsert(cmd Command, w *bufio.Writer) error {
+	if err := wantArgs(cmd, 2, true, "name key [key ...]"); err != nil {
+		return err
+	}
+	sk, err := s.reg.Get(cmd.Args[0])
+	if err != nil {
+		return err
+	}
+	keys := cmd.Args[1:]
+	for _, tok := range keys {
+		sk.Insert(ParseKey(tok))
+	}
+	s.counters.Counter("inserts_total").Add(int64(len(keys)))
+	writeInt(w, int64(len(keys)))
+	return nil
+}
+
+func (s *Server) cmdQuery(cmd Command, w *bufio.Writer) error {
+	if err := wantArgs(cmd, 2, false, "name key"); err != nil {
+		return err
+	}
+	sk, err := s.reg.Get(cmd.Args[0])
+	if err != nil {
+		return err
+	}
+	v, err := sk.Query(ParseKey(cmd.Args[1]))
+	if err != nil {
+		return err
+	}
+	writeInt(w, v)
+	return nil
+}
+
+func (s *Server) cmdCard(cmd Command, w *bufio.Writer) error {
+	if err := wantArgs(cmd, 1, false, "name"); err != nil {
+		return err
+	}
+	sk, err := s.reg.Get(cmd.Args[0])
+	if err != nil {
+		return err
+	}
+	v, err := sk.Cardinality()
+	if err != nil {
+		return err
+	}
+	writeFloat(w, v)
+	return nil
+}
+
+func (s *Server) cmdSave(cmd Command, w *bufio.Writer) error {
+	if err := wantArgs(cmd, 2, false, "name path"); err != nil {
+		return err
+	}
+	sk, err := s.reg.Get(cmd.Args[0])
+	if err != nil {
+		return err
+	}
+	data, err := sk.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(cmd.Args[1], data, 0o644); err != nil {
+		return err
+	}
+	s.counters.Counter("snapshots_saved").Inc()
+	writeSimple(w, "OK")
+	return nil
+}
+
+func (s *Server) cmdLoad(cmd Command, w *bufio.Writer) error {
+	if err := wantArgs(cmd, 2, false, "name path"); err != nil {
+		return err
+	}
+	name := cmd.Args[0]
+	if !ValidName(name) {
+		return fmt.Errorf("invalid sketch name %q", name)
+	}
+	data, err := os.ReadFile(cmd.Args[1])
+	if err != nil {
+		return err
+	}
+	sk, err := UnmarshalSketch(data)
+	if err != nil {
+		return err
+	}
+	s.reg.Put(name, sk)
+	s.counters.Counter("snapshots_loaded").Inc()
+	writeSimple(w, "OK")
+	return nil
+}
+
+func (s *Server) writeInfo(w *bufio.Writer) {
+	uptime := time.Since(s.start).Seconds()
+	lines := []string{
+		fmt.Sprintf("uptime_seconds=%.1f", uptime),
+		fmt.Sprintf("sketches=%d", s.reg.Len()),
+	}
+	if uptime > 0 {
+		cps := float64(s.counters.Counter("commands_total").Value()) / uptime
+		lines = append(lines, fmt.Sprintf("commands_per_sec=%.1f", cps))
+	}
+	for _, name := range s.counters.Names() {
+		lines = append(lines, fmt.Sprintf("%s=%d", name, s.counters.Counter(name).Value()))
+	}
+	writeArray(w, lines)
+}
+
+func (s *Server) writeList(w *bufio.Writer) {
+	var lines []string
+	for _, name := range s.reg.Names() {
+		sk, err := s.reg.Get(name)
+		if err != nil {
+			continue // dropped between Names and Get
+		}
+		lines = append(lines, fmt.Sprintf("%s kind=%s shards=%d inserts=%d memory_kb=%.1f",
+			name, sk.Kind(), sk.Shards(), sk.Inserts(), float64(sk.MemoryBits())/8192))
+	}
+	writeArray(w, lines)
+}

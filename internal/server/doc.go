@@ -1,0 +1,78 @@
+// Package server implements shed, a concurrent TCP server that hosts
+// many named sliding-window sketches and serves them over a small
+// RESP-like text protocol. It is the network face of the SHE library:
+// writes are routed through the sharded wrappers (she.Sharded*), so a
+// hot sketch scales across cores, and snapshots use the library's
+// binary format, so a sketch saved over the wire restores mid-window.
+//
+// # Wire protocol
+//
+// One command per line (LF or CRLF terminated, at most 64 KiB); the
+// reply is one line, except for starred arrays. Command names are
+// case-insensitive; sketch names are [A-Za-z0-9_.:-]{1,128}. Keys are
+// decimal uint64s, and any other token is hashed (BOBHash64) — the same
+// rule as cmd/she, so `alice` names the same key everywhere.
+//
+// Replies:
+//
+//	+<text>      success / scalar value (e.g. +OK, +PONG, +1234.5)
+//	:<int>       integer result (membership 0/1, frequency, insert count)
+//	-ERR <msg>   command failed; the connection stays open
+//	*<n>         array header, followed by n +lines (INFO, SKETCH.LIST)
+//
+// Commands:
+//
+//	PING
+//	    Liveness probe; replies +PONG.
+//	INFO
+//	    Server counters (uptime, connections, commands, errors, ...),
+//	    one +name=value line per counter.
+//	QUIT
+//	    Replies +OK and closes the connection.
+//	SKETCH.CREATE <name> <kind> [param=value ...]
+//	    Create a named sketch. Kinds and their size parameter:
+//	        bloom  membership    bits=N       (default 1048576)
+//	        cm     frequency     counters=N   (default 65536)
+//	        hll    cardinality   registers=N  (default 4096)
+//	    Common parameters: window=N (default 65536), shards=P (default
+//	    8), seed=N (default 1), alpha=F and hashes=K (0 = per-structure
+//	    defaults). Errors if the name is taken.
+//	SKETCH.INSERT <name> <key> [key ...]
+//	    Insert keys; replies :n with the number inserted.
+//	SKETCH.QUERY <name> <key>
+//	    bloom: membership in the window, :1 or :0. cm: windowed
+//	    frequency estimate :n.
+//	SKETCH.CARD <name>
+//	    hll: windowed distinct-count estimate, +<float>.
+//	SKETCH.SAVE <name> <path>
+//	    Write a snapshot of the sketch to a server-side file.
+//	SKETCH.LOAD <name> <path>
+//	    Create or replace <name> from a snapshot file (the snapshot is
+//	    self-describing, so no kind argument).
+//	SKETCH.DROP <name>
+//	    Remove a sketch.
+//	SKETCH.LIST
+//	    One +line per sketch: name kind=... shards=... inserts=...
+//	    memory_kb=...
+//
+// Example session (nc localhost 6380):
+//
+//	SKETCH.CREATE flows bloom bits=1048576 window=65536 shards=8
+//	+OK
+//	SKETCH.INSERT flows alice bob
+//	:2
+//	SKETCH.QUERY flows alice
+//	:1
+//	SKETCH.QUERY flows carol
+//	:0
+//
+// # Operations
+//
+// The server runs one goroutine per connection; pipelining works —
+// replies are written in request order and flushed when the input
+// buffer drains. An optional debug HTTP listener serves JSON counters
+// at /debug/vars (uptime, commands/sec, per-sketch inserts). Shutdown
+// is graceful: the listener closes, in-flight commands finish, and with
+// an autosave directory configured every sketch is snapshotted on the
+// way down and restored on the next start.
+package server

@@ -1,0 +1,52 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseCommand hammers the wire-protocol parser with arbitrary
+// request lines: it must never panic, and anything it accepts must
+// satisfy the protocol's invariants (upper-cased name, no control
+// bytes, bounded argument count).
+func FuzzParseCommand(f *testing.F) {
+	f.Add("PING")
+	f.Add("sketch.create flows bloom bits=1048576 window=65536 shards=8")
+	f.Add("SKETCH.INSERT flows alice bob 42\r\n")
+	f.Add("SKETCH.QUERY flows carol\n")
+	f.Add("  \t ")
+	f.Add("-ERR not a command")
+	f.Add("*3")
+	f.Add(strings.Repeat("a ", 200))
+	f.Add("PING\x00PONG")
+	f.Add("k=v k=v k")
+
+	f.Fuzz(func(t *testing.T, line string) {
+		cmd, err := ParseCommand(line)
+		if err != nil {
+			return
+		}
+		if cmd.Name == "" {
+			t.Fatalf("accepted command with empty name from %q", line)
+		}
+		if strings.ContainsFunc(cmd.Name, func(r rune) bool { return 'a' <= r && r <= 'z' }) {
+			t.Fatalf("name %q not upper-cased", cmd.Name)
+		}
+		if len(cmd.Args) > MaxArgs-1 {
+			t.Fatalf("accepted %d args from %q", len(cmd.Args), line)
+		}
+		for _, tok := range append([]string{cmd.Name}, cmd.Args...) {
+			for i := 0; i < len(tok); i++ {
+				if tok[i] <= 0x20 || tok[i] == 0x7f {
+					t.Fatalf("token %q contains byte 0x%02x", tok, tok[i])
+				}
+			}
+		}
+		// Downstream helpers must be total on accepted commands.
+		_, _ = ParseKV(cmd.Args)
+		for _, a := range cmd.Args {
+			_ = ParseKey(a)
+			_ = ValidName(a)
+		}
+	})
+}

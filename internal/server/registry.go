@@ -1,0 +1,288 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"she"
+)
+
+// Default SKETCH.CREATE parameters.
+const (
+	DefaultBits      = 1 << 20
+	DefaultCounters  = 1 << 16
+	DefaultRegisters = 4096
+	DefaultWindow    = 1 << 16
+	DefaultShards    = 8
+	DefaultSeed      = 1
+)
+
+// Sketch is one named sketch hosted by the server: a sharded
+// sliding-window structure plus its insert counter. All methods are
+// safe for concurrent use — writes go through the sharded wrappers, so
+// different keys proceed in parallel on different cores.
+type Sketch struct {
+	kind    string
+	bloom   *she.ShardedBloomFilter
+	cm      *she.ShardedCountMin
+	hll     *she.ShardedHyperLogLog
+	inserts atomic.Uint64
+}
+
+// Kind returns "bloom", "cm" or "hll".
+func (sk *Sketch) Kind() string { return sk.kind }
+
+// Inserts returns how many keys this sketch has absorbed since it was
+// created or loaded.
+func (sk *Sketch) Inserts() uint64 { return sk.inserts.Load() }
+
+// Shards returns the shard count.
+func (sk *Sketch) Shards() int {
+	switch sk.kind {
+	case "bloom":
+		return sk.bloom.Shards()
+	case "cm":
+		return sk.cm.Shards()
+	default:
+		return sk.hll.Shards()
+	}
+}
+
+// MemoryBits returns the structure's total footprint.
+func (sk *Sketch) MemoryBits() int {
+	switch sk.kind {
+	case "bloom":
+		return sk.bloom.MemoryBits()
+	case "cm":
+		return sk.cm.MemoryBits()
+	default:
+		return sk.hll.MemoryBits()
+	}
+}
+
+// Insert records key as the next item of the sketch's stream.
+func (sk *Sketch) Insert(key uint64) {
+	sk.inserts.Add(1)
+	switch sk.kind {
+	case "bloom":
+		sk.bloom.Insert(key)
+	case "cm":
+		sk.cm.Insert(key)
+	default:
+		sk.hll.Insert(key)
+	}
+}
+
+// Query answers the per-key question the sketch supports: membership
+// (0/1) for bloom, windowed frequency for cm.
+func (sk *Sketch) Query(key uint64) (int64, error) {
+	switch sk.kind {
+	case "bloom":
+		if sk.bloom.Query(key) {
+			return 1, nil
+		}
+		return 0, nil
+	case "cm":
+		return int64(sk.cm.Frequency(key)), nil
+	default:
+		return 0, fmt.Errorf("hll answers SKETCH.CARD, not SKETCH.QUERY")
+	}
+}
+
+// Cardinality answers the windowed distinct-count estimate (hll only).
+func (sk *Sketch) Cardinality() (float64, error) {
+	if sk.kind != "hll" {
+		return 0, fmt.Errorf("%s does not estimate cardinality; use hll", sk.kind)
+	}
+	return sk.hll.Cardinality(), nil
+}
+
+// MarshalBinary snapshots the sketch in the library's sharded format.
+func (sk *Sketch) MarshalBinary() ([]byte, error) {
+	switch sk.kind {
+	case "bloom":
+		return sk.bloom.MarshalBinary()
+	case "cm":
+		return sk.cm.MarshalBinary()
+	default:
+		return sk.hll.MarshalBinary()
+	}
+}
+
+// UnmarshalSketch restores a sketch from a sharded snapshot; the
+// snapshot is self-describing, so no kind argument is needed.
+func UnmarshalSketch(data []byte) (*Sketch, error) {
+	kind, err := she.ShardedSnapshotKind(data)
+	if err != nil {
+		return nil, err
+	}
+	sk := &Sketch{kind: kind}
+	switch kind {
+	case "bloom":
+		sk.bloom, err = she.UnmarshalShardedBloomFilter(data)
+	case "cm":
+		sk.cm, err = she.UnmarshalShardedCountMin(data)
+	default:
+		sk.hll, err = she.UnmarshalShardedHyperLogLog(data)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return sk, nil
+}
+
+// NewSketch builds a sketch of the given kind from SKETCH.CREATE
+// parameters; kv is consumed, and leftover (unknown) parameters are an
+// error.
+func NewSketch(kind string, kv map[string]string) (*Sketch, error) {
+	take := func(key string, def uint64) (uint64, error) {
+		v, ok := kv[key]
+		if !ok {
+			return def, nil
+		}
+		delete(kv, key)
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil || n == 0 {
+			return 0, fmt.Errorf("bad %s=%q: want positive integer", key, v)
+		}
+		return n, nil
+	}
+	var firstErr error
+	num := func(key string, def uint64) uint64 {
+		n, err := take(key, def)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		return n
+	}
+	window := num("window", DefaultWindow)
+	shards := num("shards", DefaultShards)
+	seed := num("seed", DefaultSeed)
+	hashes := num("hashes", 0)
+	var alpha float64
+	if v, ok := kv["alpha"]; ok {
+		delete(kv, "alpha")
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 {
+			return nil, fmt.Errorf("bad alpha=%q: want non-negative float", v)
+		}
+		alpha = f
+	}
+	opts := she.Options{Window: window, Alpha: alpha, Seed: seed, Hashes: int(hashes)}
+
+	sk := &Sketch{kind: strings.ToLower(kind)}
+	var err error
+	switch sk.kind {
+	case "bloom":
+		sk.bloom, err = she.NewShardedBloomFilter(int(num("bits", DefaultBits)), int(shards), opts)
+	case "cm":
+		sk.cm, err = she.NewShardedCountMin(int(num("counters", DefaultCounters)), int(shards), opts)
+	case "hll":
+		sk.hll, err = she.NewShardedHyperLogLog(int(num("registers", DefaultRegisters)), int(shards), opts)
+	default:
+		return nil, fmt.Errorf("unknown sketch kind %q (want bloom, cm or hll)", kind)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(kv) > 0 {
+		unknown := make([]string, 0, len(kv))
+		for k := range kv {
+			unknown = append(unknown, k)
+		}
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("unknown parameters for %s: %s", sk.kind, strings.Join(unknown, ", "))
+	}
+	return sk, nil
+}
+
+// Registry is the server's name → sketch map. The registry lock only
+// guards the map; sketch operations synchronize per shard, so lookups
+// never serialize traffic.
+type Registry struct {
+	mu       sync.RWMutex
+	sketches map[string]*Sketch
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{sketches: make(map[string]*Sketch)}
+}
+
+// Create builds and registers a new sketch; it errors if name is
+// taken. The (possibly large) arrays are allocated outside the lock.
+func (r *Registry) Create(name, kind string, kv map[string]string) error {
+	r.mu.RLock()
+	_, exists := r.sketches[name]
+	r.mu.RUnlock()
+	if exists {
+		return fmt.Errorf("sketch %q already exists", name)
+	}
+	sk, err := NewSketch(kind, kv)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.sketches[name]; exists {
+		return fmt.Errorf("sketch %q already exists", name)
+	}
+	r.sketches[name] = sk
+	return nil
+}
+
+// Get returns the named sketch.
+func (r *Registry) Get(name string) (*Sketch, error) {
+	r.mu.RLock()
+	sk := r.sketches[name]
+	r.mu.RUnlock()
+	if sk == nil {
+		return nil, fmt.Errorf("no such sketch %q", name)
+	}
+	return sk, nil
+}
+
+// Put registers sk under name, replacing any existing sketch
+// (SKETCH.LOAD semantics).
+func (r *Registry) Put(name string, sk *Sketch) {
+	r.mu.Lock()
+	r.sketches[name] = sk
+	r.mu.Unlock()
+}
+
+// Drop removes the named sketch.
+func (r *Registry) Drop(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.sketches[name]; !ok {
+		return fmt.Errorf("no such sketch %q", name)
+	}
+	delete(r.sketches, name)
+	return nil
+}
+
+// Names returns the registered names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.sketches))
+	for name := range r.sketches {
+		names = append(names, name)
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of registered sketches.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.sketches)
+}

@@ -1,0 +1,275 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"she/internal/metrics"
+)
+
+// snapshotExt is the autosave file extension; the base name is the
+// sketch name.
+const snapshotExt = ".she"
+
+// Config configures a Server.
+type Config struct {
+	// Listen is the TCP address for the sketch protocol, e.g. ":6380"
+	// or "127.0.0.1:0".
+	Listen string
+	// DebugListen optionally enables an HTTP listener serving JSON
+	// counters at /debug/vars ("" = disabled).
+	DebugListen string
+	// AutosaveDir optionally names a directory of snapshots: every
+	// *.she file in it is loaded at Start, and every sketch is saved
+	// back at Shutdown.
+	AutosaveDir string
+}
+
+// Server hosts a registry of named sketches behind a TCP listener, one
+// goroutine per connection.
+type Server struct {
+	cfg      Config
+	reg      *Registry
+	counters *metrics.CounterSet
+	start    time.Time
+
+	ln        net.Listener
+	debugLn   net.Listener
+	debugSrv  *http.Server
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+// New returns an unstarted server.
+func New(cfg Config) *Server {
+	return &Server{
+		cfg:      cfg,
+		reg:      NewRegistry(),
+		counters: metrics.NewCounterSet(),
+		done:     make(chan struct{}),
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// Registry exposes the sketch registry (tests, embedders).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Counters exposes the operational counters.
+func (s *Server) Counters() *metrics.CounterSet { return s.counters }
+
+// Start binds the listeners, restores autosaved sketches, and begins
+// serving in background goroutines. It returns once the addresses are
+// bound, so tests can dial Addr() immediately.
+func (s *Server) Start() error {
+	if s.cfg.AutosaveDir != "" {
+		if err := s.loadAutosaves(); err != nil {
+			return err
+		}
+	}
+	ln, err := net.Listen("tcp", s.cfg.Listen)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	s.ln = ln
+	s.start = time.Now()
+	if s.cfg.DebugListen != "" {
+		dln, err := net.Listen("tcp", s.cfg.DebugListen)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("server: debug listener: %w", err)
+		}
+		s.debugLn = dln
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/vars", s.debugVars)
+		s.debugSrv = &http.Server{Handler: mux}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.debugSrv.Serve(dln)
+		}()
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound protocol address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// DebugAddr returns the bound debug address, or nil if disabled.
+func (s *Server) DebugAddr() net.Addr {
+	if s.debugLn == nil {
+		return nil
+	}
+	return s.debugLn.Addr()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed (shutdown) or fatal accept error
+		}
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) trackConn(c net.Conn, add bool) {
+	s.mu.Lock()
+	if add {
+		s.conns[c] = struct{}{}
+	} else {
+		delete(s.conns, c)
+	}
+	s.mu.Unlock()
+}
+
+// Shutdown drains the server gracefully: stop accepting, let in-flight
+// commands finish, then close the connections. If ctx expires first
+// the remaining connections are closed hard. With an autosave
+// directory configured, every sketch is snapshotted on the way down.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closeOnce.Do(func() { close(s.done) })
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	if s.debugSrv != nil {
+		s.debugSrv.Shutdown(ctx)
+	}
+	// Unblock connections parked in a read; their loops notice s.done
+	// after answering whatever was in flight.
+	s.mu.Lock()
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+	}
+	if s.cfg.AutosaveDir != "" {
+		if serr := s.saveAutosaves(); err == nil {
+			err = serr
+		}
+	}
+	return err
+}
+
+// loadAutosaves restores every *.she snapshot in the autosave dir,
+// named by file base name. A missing directory is created, not an
+// error, so first start works.
+func (s *Server) loadAutosaves() error {
+	dir := s.cfg.AutosaveDir
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("server: autosave dir: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("server: autosave dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), snapshotExt) {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), snapshotExt)
+		if !ValidName(name) {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return fmt.Errorf("server: autosave %s: %w", e.Name(), err)
+		}
+		sk, err := UnmarshalSketch(data)
+		if err != nil {
+			return fmt.Errorf("server: autosave %s: %w", e.Name(), err)
+		}
+		s.reg.Put(name, sk)
+	}
+	return nil
+}
+
+// saveAutosaves snapshots every sketch into the autosave dir.
+func (s *Server) saveAutosaves() error {
+	var firstErr error
+	for _, name := range s.reg.Names() {
+		sk, err := s.reg.Get(name)
+		if err != nil {
+			continue
+		}
+		data, err := sk.MarshalBinary()
+		if err == nil {
+			err = os.WriteFile(filepath.Join(s.cfg.AutosaveDir, name+snapshotExt), data, 0o644)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("server: autosave %s: %w", name, err)
+		}
+	}
+	return firstErr
+}
+
+// debugVars serves the operational counters as JSON — an
+// expvar-flavored snapshot of uptime, command rate, every counter, and
+// per-sketch stats.
+func (s *Server) debugVars(w http.ResponseWriter, _ *http.Request) {
+	type sketchInfo struct {
+		Kind       string `json:"kind"`
+		Shards     int    `json:"shards"`
+		Inserts    uint64 `json:"inserts"`
+		MemoryBits int    `json:"memory_bits"`
+	}
+	uptime := time.Since(s.start).Seconds()
+	out := struct {
+		UptimeSeconds  float64               `json:"uptime_seconds"`
+		CommandsPerSec float64               `json:"commands_per_sec"`
+		Counters       map[string]int64      `json:"counters"`
+		Sketches       map[string]sketchInfo `json:"sketches"`
+	}{
+		UptimeSeconds: uptime,
+		Counters:      s.counters.Snapshot(),
+		Sketches:      make(map[string]sketchInfo),
+	}
+	if uptime > 0 {
+		out.CommandsPerSec = float64(out.Counters["commands_total"]) / uptime
+	}
+	for _, name := range s.reg.Names() {
+		sk, err := s.reg.Get(name)
+		if err != nil {
+			continue
+		}
+		out.Sketches[name] = sketchInfo{
+			Kind:       sk.Kind(),
+			Shards:     sk.Shards(),
+			Inserts:    sk.Inserts(),
+			MemoryBits: sk.MemoryBits(),
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}

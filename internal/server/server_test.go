@@ -1,0 +1,442 @@
+package server_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"she/internal/server"
+)
+
+// startServer boots a server on a free loopback port and tears it down
+// with the test.
+func startServer(t *testing.T, cfg server.Config) *server.Server {
+	t.Helper()
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	s := server.New(cfg)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s
+}
+
+// client is a test protocol client: one command out, one reply line
+// back.
+type client struct {
+	t    *testing.T
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dial(t *testing.T, addr string) *client {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &client{t: t, conn: conn, r: bufio.NewReader(conn)}
+}
+
+func (c *client) send(format string, args ...any) {
+	c.t.Helper()
+	if _, err := fmt.Fprintf(c.conn, format+"\n", args...); err != nil {
+		c.t.Fatalf("send: %v", err)
+	}
+}
+
+func (c *client) recv() string {
+	c.t.Helper()
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		c.t.Fatalf("recv: %v (got %q)", err, line)
+	}
+	return strings.TrimRight(line, "\r\n")
+}
+
+// cmd sends one command and returns its one-line reply.
+func (c *client) cmd(format string, args ...any) string {
+	c.t.Helper()
+	c.send(format, args...)
+	return c.recv()
+}
+
+// array sends one command and returns the starred-array payload lines.
+func (c *client) array(format string, args ...any) []string {
+	c.t.Helper()
+	head := c.cmd(format, args...)
+	var n int
+	if _, err := fmt.Sscanf(head, "*%d", &n); err != nil {
+		c.t.Fatalf("want array header, got %q", head)
+	}
+	lines := make([]string, n)
+	for i := range lines {
+		lines[i] = strings.TrimPrefix(c.recv(), "+")
+	}
+	return lines
+}
+
+func TestPingInfoList(t *testing.T) {
+	s := startServer(t, server.Config{})
+	c := dial(t, s.Addr().String())
+	if got := c.cmd("PING"); got != "+PONG" {
+		t.Fatalf("PING = %q", got)
+	}
+	if got := c.cmd("ping"); got != "+PONG" {
+		t.Fatalf("lower-case ping = %q", got)
+	}
+	if got := c.cmd("SKETCH.CREATE flows bloom bits=65536 window=4096 shards=4"); got != "+OK" {
+		t.Fatalf("CREATE = %q", got)
+	}
+	info := c.array("INFO")
+	joined := strings.Join(info, "\n")
+	for _, want := range []string{"uptime_seconds=", "sketches=1", "commands_total=", "connections_active="} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("INFO missing %q:\n%s", want, joined)
+		}
+	}
+	list := c.array("SKETCH.LIST")
+	if len(list) != 1 || !strings.HasPrefix(list[0], "flows kind=bloom shards=4") {
+		t.Fatalf("LIST = %v", list)
+	}
+}
+
+func TestInsertQueryAllKinds(t *testing.T) {
+	s := startServer(t, server.Config{})
+	c := dial(t, s.Addr().String())
+
+	// bloom: inserted keys answer :1, fresh keys :0 (filter is large
+	// enough that false positives are essentially impossible here).
+	c.cmd("SKETCH.CREATE b bloom bits=1048576 window=65536 shards=4")
+	if got := c.cmd("SKETCH.INSERT b alice bob 42"); got != ":3" {
+		t.Fatalf("INSERT = %q", got)
+	}
+	for key, want := range map[string]string{"alice": ":1", "bob": ":1", "42": ":1", "carol": ":0"} {
+		if got := c.cmd("SKETCH.QUERY b %s", key); got != want {
+			t.Errorf("QUERY b %s = %q, want %q", key, got, want)
+		}
+	}
+
+	// cm: frequency never underestimates within the window.
+	c.cmd("SKETCH.CREATE f cm counters=65536 window=65536 shards=4")
+	for i := 0; i < 10; i++ {
+		c.cmd("SKETCH.INSERT f hot")
+	}
+	var freq int
+	if _, err := fmt.Sscanf(c.cmd("SKETCH.QUERY f hot"), ":%d", &freq); err != nil || freq < 10 {
+		t.Fatalf("QUERY f hot = %d, want >= 10", freq)
+	}
+
+	// hll: cardinality lands near the true distinct count.
+	c.cmd("SKETCH.CREATE d hll registers=4096 window=65536 shards=4")
+	for i := 0; i < 5000; i += 100 { // batch inserts, 100 keys per command
+		keys := make([]string, 100)
+		for j := range keys {
+			keys[j] = fmt.Sprint(i + j)
+		}
+		c.cmd("SKETCH.INSERT d " + strings.Join(keys, " "))
+	}
+	var card float64
+	if _, err := fmt.Sscanf(c.cmd("SKETCH.CARD d"), "+%f", &card); err != nil {
+		t.Fatal(err)
+	}
+	if card < 3500 || card > 6500 {
+		t.Fatalf("CARD d = %.1f, want ≈5000", card)
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	s := startServer(t, server.Config{})
+	c := dial(t, s.Addr().String())
+	c.cmd("SKETCH.CREATE h hll registers=4096 window=65536")
+	for _, tt := range []struct{ cmd, wantSub string }{
+		{"NOPE", "unknown command"},
+		{"SKETCH.CREATE", "want name kind"},
+		{"SKETCH.CREATE bad/name bloom", "invalid sketch name"},
+		{"SKETCH.CREATE x whatever", "unknown sketch kind"},
+		{"SKETCH.CREATE x bloom bits", "expected param=value"},
+		{"SKETCH.CREATE h hll", "already exists"},
+		{"SKETCH.INSERT missing k", "no such sketch"},
+		{"SKETCH.QUERY missing k", "no such sketch"},
+		{"SKETCH.QUERY h k", "SKETCH.CARD"},
+		{"SKETCH.CARD missing", "no such sketch"},
+		{"SKETCH.INSERT h", "want name key"},
+		{"SKETCH.DROP missing", "no such sketch"},
+		{"SKETCH.SAVE h", "want name path"},
+		{"SKETCH.LOAD x /nonexistent/path.she", "no such file"},
+	} {
+		got := c.cmd(tt.cmd)
+		if !strings.HasPrefix(got, "-ERR") || !strings.Contains(got, tt.wantSub) {
+			t.Errorf("%q -> %q, want -ERR containing %q", tt.cmd, got, tt.wantSub)
+		}
+	}
+	// The connection survives all of that.
+	if got := c.cmd("PING"); got != "+PONG" {
+		t.Fatalf("PING after errors = %q", got)
+	}
+	// CARD on a non-hll sketch errors.
+	c.cmd("SKETCH.CREATE bb bloom bits=65536 window=4096")
+	if got := c.cmd("SKETCH.CARD bb"); !strings.HasPrefix(got, "-ERR") {
+		t.Fatalf("CARD on bloom = %q", got)
+	}
+}
+
+func TestAbruptDisconnectAndOversizedLine(t *testing.T) {
+	s := startServer(t, server.Config{})
+
+	// Half a command, then slam the connection shut.
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.WriteString(conn, "SKETCH.INSERT partial")
+	conn.Close()
+
+	// A line the reader can never terminate: error reply, then close.
+	c := dial(t, s.Addr().String())
+	huge := strings.Repeat("a", server.MaxLineBytes+2)
+	if _, err := io.WriteString(c.conn, huge); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := c.r.ReadString('\n')
+	if err != nil || !strings.Contains(reply, "line too long") {
+		t.Fatalf("oversized line reply = %q, %v", reply, err)
+	}
+	// EOF or ECONNRESET both prove the server closed the connection
+	// (reset happens when our unread trailing bytes were discarded).
+	if _, err := c.r.ReadString('\n'); err == nil {
+		t.Fatal("connection should close after oversized line")
+	}
+
+	// The server is still healthy for everyone else.
+	c2 := dial(t, s.Addr().String())
+	if got := c2.cmd("PING"); got != "+PONG" {
+		t.Fatalf("PING after abuse = %q", got)
+	}
+}
+
+// TestConcurrentClients is the multi-client integration test: 8
+// goroutines hammer one sharded sketch through separate connections;
+// run under -race this is the server's data-race check.
+func TestConcurrentClients(t *testing.T) {
+	s := startServer(t, server.Config{})
+	admin := dial(t, s.Addr().String())
+	if got := admin.cmd("SKETCH.CREATE shared cm counters=262144 window=1048576 shards=8"); got != "+OK" {
+		t.Fatalf("CREATE = %q", got)
+	}
+
+	const clients, repeats = 8, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", s.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			do := func(format string, args ...any) (string, error) {
+				if _, err := fmt.Fprintf(conn, format+"\n", args...); err != nil {
+					return "", err
+				}
+				line, err := r.ReadString('\n')
+				return strings.TrimRight(line, "\n"), err
+			}
+			key := fmt.Sprintf("client%d", g)
+			for i := 0; i < repeats; i++ {
+				if got, err := do("SKETCH.INSERT shared %s", key); err != nil || got != ":1" {
+					errs <- fmt.Errorf("client %d: INSERT = %q, %v", g, got, err)
+					return
+				}
+			}
+			got, err := do("SKETCH.QUERY shared %s", key)
+			if err != nil {
+				errs <- err
+				return
+			}
+			var freq int
+			if _, err := fmt.Sscanf(got, ":%d", &freq); err != nil || freq < repeats {
+				errs <- fmt.Errorf("client %d: frequency %q, want >= %d", g, got, repeats)
+				return
+			}
+			errs <- nil
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+	list := admin.array("SKETCH.LIST")
+	if len(list) != 1 || !strings.Contains(list[0], fmt.Sprintf("inserts=%d", clients*repeats)) {
+		t.Fatalf("LIST after concurrent inserts = %v, want inserts=%d", list, clients*repeats)
+	}
+}
+
+// TestSaveLoadRoundTrip checks the acceptance criterion: a sketch
+// saved over the wire restores with identical query answers.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := startServer(t, server.Config{})
+	c := dial(t, s.Addr().String())
+	c.cmd("SKETCH.CREATE orig cm counters=65536 window=65536 shards=4")
+	for i := 0; i < 500; i++ {
+		c.cmd("SKETCH.INSERT orig key%d", i%50)
+	}
+	path := filepath.Join(t.TempDir(), "orig.she")
+	if got := c.cmd("SKETCH.SAVE orig %s", path); got != "+OK" {
+		t.Fatalf("SAVE = %q", got)
+	}
+	if got := c.cmd("SKETCH.LOAD copy %s", path); got != "+OK" {
+		t.Fatalf("LOAD = %q", got)
+	}
+	for i := 0; i < 80; i++ {
+		orig := c.cmd("SKETCH.QUERY orig key%d", i)
+		copy := c.cmd("SKETCH.QUERY copy key%d", i)
+		if orig != copy {
+			t.Fatalf("key%d: original answers %q, restored copy answers %q", i, orig, copy)
+		}
+	}
+	// Same round trip for a bloom filter.
+	c.cmd("SKETCH.CREATE bf bloom bits=262144 window=16384 shards=4")
+	c.cmd("SKETCH.INSERT bf alice bob carol")
+	bfPath := filepath.Join(t.TempDir(), "bf.she")
+	c.cmd("SKETCH.SAVE bf %s", bfPath)
+	c.cmd("SKETCH.LOAD bf2 %s", bfPath)
+	for _, key := range []string{"alice", "bob", "carol", "dave", "99"} {
+		if a, b := c.cmd("SKETCH.QUERY bf %s", key), c.cmd("SKETCH.QUERY bf2 %s", key); a != b {
+			t.Fatalf("bloom key %s: %q vs %q", key, a, b)
+		}
+	}
+	if got := c.cmd("SKETCH.DROP copy"); got != "+OK" {
+		t.Fatalf("DROP = %q", got)
+	}
+}
+
+func TestAutosaveAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	s1 := server.New(server.Config{Listen: "127.0.0.1:0", AutosaveDir: dir})
+	if err := s1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	c := dial(t, s1.Addr().String())
+	c.cmd("SKETCH.CREATE persisted bloom bits=262144 window=16384 shards=4")
+	c.cmd("SKETCH.INSERT persisted alice bob")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	s2 := startServer(t, server.Config{AutosaveDir: dir})
+	c2 := dial(t, s2.Addr().String())
+	for key, want := range map[string]string{"alice": ":1", "bob": ":1", "carol": ":0"} {
+		if got := c2.cmd("SKETCH.QUERY persisted %s", key); got != want {
+			t.Errorf("after restart, QUERY persisted %s = %q, want %q", key, got, want)
+		}
+	}
+}
+
+func TestGracefulShutdownClosesClients(t *testing.T) {
+	s := server.New(server.Config{Listen: "127.0.0.1:0"})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Prove the connection is live before shutdown.
+	fmt.Fprintf(conn, "PING\n")
+	r := bufio.NewReader(conn)
+	if line, _ := r.ReadString('\n'); line != "+PONG\n" {
+		t.Fatalf("PING = %q", line)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := r.ReadString('\n'); err != io.EOF {
+		t.Fatalf("idle connection should see EOF after shutdown, got %v", err)
+	}
+	// New connections are refused.
+	if c2, err := net.Dial("tcp", s.Addr().String()); err == nil {
+		c2.Close()
+		t.Fatal("dial succeeded after shutdown")
+	}
+}
+
+func TestQuitAndPipelining(t *testing.T) {
+	s := startServer(t, server.Config{})
+	c := dial(t, s.Addr().String())
+	// One write carrying a whole pipeline; replies come back in order.
+	io.WriteString(c.conn, "PING\nSKETCH.CREATE p bloom bits=65536 window=4096\nSKETCH.INSERT p k\nSKETCH.QUERY p k\nQUIT\n")
+	for i, want := range []string{"+PONG", "+OK", ":1", ":1", "+OK"} {
+		if got := c.recv(); got != want {
+			t.Fatalf("pipeline reply %d = %q, want %q", i, got, want)
+		}
+	}
+	if _, err := c.r.ReadString('\n'); err != io.EOF {
+		t.Fatalf("QUIT should close the connection, got %v", err)
+	}
+}
+
+func TestDebugVars(t *testing.T) {
+	s := startServer(t, server.Config{DebugListen: "127.0.0.1:0"})
+	c := dial(t, s.Addr().String())
+	c.cmd("SKETCH.CREATE observed hll registers=4096 window=65536 shards=4")
+	c.cmd("SKETCH.INSERT observed a b c")
+
+	resp, err := http.Get("http://" + s.DebugAddr().String() + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var vars struct {
+		UptimeSeconds float64          `json:"uptime_seconds"`
+		Counters      map[string]int64 `json:"counters"`
+		Sketches      map[string]struct {
+			Kind    string `json:"kind"`
+			Shards  int    `json:"shards"`
+			Inserts uint64 `json:"inserts"`
+		} `json:"sketches"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars.Counters["commands_total"] < 2 || vars.Counters["connections_total"] < 1 {
+		t.Fatalf("counters = %v", vars.Counters)
+	}
+	sk, ok := vars.Sketches["observed"]
+	if !ok || sk.Kind != "hll" || sk.Shards != 4 || sk.Inserts != 3 {
+		t.Fatalf("sketches = %+v", vars.Sketches)
+	}
+}
