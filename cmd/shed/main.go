@@ -6,7 +6,7 @@
 //
 // Quick start:
 //
-//	shed -listen :6380 -debug :6390 -autosave /var/lib/shed &
+//	shed -debug 127.0.0.1:6390 -autosave /var/lib/shed &
 //	printf 'SKETCH.CREATE flows bloom bits=1048576 window=65536 shards=8
 //	SKETCH.INSERT flows alice
 //	SKETCH.QUERY flows alice
@@ -16,6 +16,14 @@
 //	:1
 //	:1
 //	:0
+//
+// The protocol has no authentication, so shed listens on loopback
+// (127.0.0.1:6380) by default; exposing it to other hosts is an
+// explicit opt-in via -listen, and should sit behind a firewall or a
+// trusted network. SKETCH.SAVE/LOAD never accept client paths — they
+// name files inside the -snapshots directory (or the -autosave
+// directory if -snapshots is unset) and are refused when neither is
+// configured.
 //
 // Counters are served at http://localhost:6390/debug/vars. SIGINT or
 // SIGTERM shuts down gracefully: in-flight commands finish, and with
@@ -36,19 +44,27 @@ import (
 )
 
 func main() {
-	listen := flag.String("listen", ":6380", "TCP address for the sketch protocol")
+	listen := flag.String("listen", "127.0.0.1:6380", "TCP address for the sketch protocol (no auth — exposing beyond loopback is an explicit opt-in)")
 	debug := flag.String("debug", "", "HTTP address for /debug/vars counters (empty = disabled)")
 	autosave := flag.String("autosave", "", "snapshot directory: loaded at startup, saved at shutdown (empty = disabled)")
+	snapshots := flag.String("snapshots", "", "directory for SKETCH.SAVE/LOAD files (empty = use -autosave dir; both empty = commands disabled)")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
+	idle := flag.Duration("idle-timeout", 5*time.Minute, "close connections idle for this long (0 = never)")
+	writeTimeout := flag.Duration("write-timeout", 10*time.Second, "per-flush reply write deadline (0 = none)")
+	maxConns := flag.Int("max-conns", 1024, "maximum concurrent client connections (0 = unlimited)")
 	flag.Parse()
 
 	log.SetPrefix("shed: ")
 	log.SetFlags(0)
 
 	srv := server.New(server.Config{
-		Listen:      *listen,
-		DebugListen: *debug,
-		AutosaveDir: *autosave,
+		Listen:       *listen,
+		DebugListen:  *debug,
+		AutosaveDir:  *autosave,
+		SnapshotDir:  *snapshots,
+		IdleTimeout:  *idle,
+		WriteTimeout: *writeTimeout,
+		MaxConns:     *maxConns,
 	})
 	if err := srv.Start(); err != nil {
 		log.Fatal(err)

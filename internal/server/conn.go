@@ -33,6 +33,7 @@ func readLine(r *bufio.Reader) (string, error) {
 func (s *Server) handleConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
+	defer s.numConns.Add(-1)
 	s.trackConn(conn, true)
 	defer s.trackConn(conn, false)
 	s.counters.Counter("connections_total").Inc()
@@ -40,17 +41,21 @@ func (s *Server) handleConn(conn net.Conn) {
 	active.Inc()
 	defer active.Add(-1)
 
-	// If shutdown began between Accept and here, unblock the first read.
-	select {
-	case <-s.done:
-		conn.SetReadDeadline(time.Now())
-	default:
-	}
-
 	r := bufio.NewReaderSize(conn, MaxLineBytes)
 	w := bufio.NewWriterSize(conn, 32*1024)
-	defer w.Flush()
+	defer s.flush(conn, w)
 	for {
+		if d := s.cfg.IdleTimeout; d > 0 {
+			conn.SetReadDeadline(time.Now().Add(d))
+		}
+		// Check done after arming the deadline, not before: Shutdown
+		// closes done and then sets an immediate deadline, so either
+		// this select sees the close or the read below unblocks.
+		select {
+		case <-s.done:
+			return
+		default:
+		}
 		line, err := readLine(r)
 		if err != nil {
 			if errors.Is(err, errLineTooLong) {
@@ -72,18 +77,21 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 		}
 		if r.Buffered() == 0 {
-			if err := w.Flush(); err != nil {
+			if err := s.flush(conn, w); err != nil {
 				return
 			}
 		}
-		select {
-		case <-s.done:
-			// Graceful drain: the command that was in flight has been
-			// answered; stop reading new ones.
-			return
-		default:
-		}
 	}
+}
+
+// flush writes buffered replies under the configured write deadline, so
+// a client that stops reading cannot park this goroutine in a blocked
+// write forever.
+func (s *Server) flush(conn net.Conn, w *bufio.Writer) error {
+	if d := s.cfg.WriteTimeout; d > 0 {
+		conn.SetWriteDeadline(time.Now().Add(d))
+	}
+	return w.Flush()
 }
 
 // execute runs one command and writes its reply; it reports whether
@@ -213,11 +221,24 @@ func (s *Server) cmdCard(cmd Command, w *bufio.Writer) error {
 	return nil
 }
 
+// snapshotFile picks the snapshot file name for SAVE/LOAD: the second
+// argument when given, otherwise the sketch name itself.
+func snapshotFile(cmd Command) string {
+	if len(cmd.Args) == 2 {
+		return cmd.Args[1]
+	}
+	return cmd.Args[0]
+}
+
 func (s *Server) cmdSave(cmd Command, w *bufio.Writer) error {
-	if err := wantArgs(cmd, 2, false, "name path"); err != nil {
-		return err
+	if len(cmd.Args) < 1 || len(cmd.Args) > 2 {
+		return fmt.Errorf("%s: want name [file]", cmd.Name)
 	}
 	sk, err := s.reg.Get(cmd.Args[0])
+	if err != nil {
+		return err
+	}
+	path, err := s.snapshotPath(snapshotFile(cmd))
 	if err != nil {
 		return err
 	}
@@ -225,7 +246,7 @@ func (s *Server) cmdSave(cmd Command, w *bufio.Writer) error {
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(cmd.Args[1], data, 0o644); err != nil {
+	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return err
 	}
 	s.counters.Counter("snapshots_saved").Inc()
@@ -234,14 +255,18 @@ func (s *Server) cmdSave(cmd Command, w *bufio.Writer) error {
 }
 
 func (s *Server) cmdLoad(cmd Command, w *bufio.Writer) error {
-	if err := wantArgs(cmd, 2, false, "name path"); err != nil {
-		return err
+	if len(cmd.Args) < 1 || len(cmd.Args) > 2 {
+		return fmt.Errorf("%s: want name [file]", cmd.Name)
 	}
 	name := cmd.Args[0]
 	if !ValidName(name) {
 		return fmt.Errorf("invalid sketch name %q", name)
 	}
-	data, err := os.ReadFile(cmd.Args[1])
+	path, err := s.snapshotPath(snapshotFile(cmd))
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}

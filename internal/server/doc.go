@@ -36,7 +36,9 @@
 //	        hll    cardinality   registers=N  (default 4096)
 //	    Common parameters: window=N (default 65536), shards=P (default
 //	    8), seed=N (default 1), alpha=F and hashes=K (0 = per-structure
-//	    defaults). Errors if the name is taken.
+//	    defaults). Errors if the name is taken. Size parameters are
+//	    capped (MaxBits, MaxCounters, MaxRegisters, MaxShards, ...) so
+//	    one CREATE cannot allocate unbounded memory.
 //	SKETCH.INSERT <name> <key> [key ...]
 //	    Insert keys; replies :n with the number inserted.
 //	SKETCH.QUERY <name> <key>
@@ -44,11 +46,18 @@
 //	    frequency estimate :n.
 //	SKETCH.CARD <name>
 //	    hll: windowed distinct-count estimate, +<float>.
-//	SKETCH.SAVE <name> <path>
-//	    Write a snapshot of the sketch to a server-side file.
-//	SKETCH.LOAD <name> <path>
-//	    Create or replace <name> from a snapshot file (the snapshot is
-//	    self-describing, so no kind argument).
+//	SKETCH.SAVE <name> [file]
+//	    Write a snapshot of the sketch into the server's snapshot
+//	    directory as <file>.she (default file: the sketch name). The
+//	    file argument is a bare name in the sketch-name alphabet —
+//	    never a path — and the command is refused when the server has
+//	    no snapshot directory configured.
+//	SKETCH.LOAD <name> [file]
+//	    Create or replace <name> from <file>.she in the snapshot
+//	    directory (the snapshot is self-describing, so no kind
+//	    argument). Same file-name rules as SKETCH.SAVE. The snapshot
+//	    carries the insert counter, so SKETCH.LIST keeps counting
+//	    across a save/load cycle.
 //	SKETCH.DROP <name>
 //	    Remove a sketch.
 //	SKETCH.LIST
@@ -70,9 +79,15 @@
 //
 // The server runs one goroutine per connection; pipelining works —
 // replies are written in request order and flushed when the input
-// buffer drains. An optional debug HTTP listener serves JSON counters
-// at /debug/vars (uptime, commands/sec, per-sketch inserts). Shutdown
-// is graceful: the listener closes, in-flight commands finish, and with
-// an autosave directory configured every sketch is snapshotted on the
-// way down and restored on the next start.
+// buffer drains. The protocol is unauthenticated, so deployments keep
+// the listener on loopback (the shed default) unless the network is
+// trusted. Config.IdleTimeout reaps connections that go quiet,
+// Config.WriteTimeout bounds each reply flush, and Config.MaxConns
+// caps concurrent clients (excess dials get -ERR and are closed) — so
+// slowloris-style clients cannot pin goroutines forever. An optional
+// debug HTTP listener serves JSON counters at /debug/vars (uptime,
+// commands/sec, per-sketch inserts). Shutdown is graceful: the
+// listener closes, in-flight commands finish, and with an autosave
+// directory configured every sketch is snapshotted on the way down and
+// restored on the next start.
 package server

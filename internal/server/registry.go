@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"strconv"
@@ -19,6 +20,20 @@ const (
 	DefaultWindow    = 1 << 16
 	DefaultShards    = 8
 	DefaultSeed      = 1
+)
+
+// Upper bounds on client-supplied SKETCH.CREATE parameters. Sizes are
+// totals across shards; the caps keep a single CREATE from allocating
+// unbounded memory on behalf of an unauthenticated client, and keep
+// every size well inside int range so nothing wraps negative on
+// conversion.
+const (
+	MaxBits      = 1 << 30 // 128 MiB of filter bits
+	MaxCounters  = 1 << 26
+	MaxRegisters = 1 << 24
+	MaxWindow    = 1 << 32
+	MaxShards    = 1 << 12
+	MaxHashes    = 64
 )
 
 // Sketch is one named sketch hosted by the server: a sharded
@@ -101,21 +116,50 @@ func (sk *Sketch) Cardinality() (float64, error) {
 	return sk.hll.Cardinality(), nil
 }
 
-// MarshalBinary snapshots the sketch in the library's sharded format.
+// Server snapshot envelope: the library's sharded snapshot prefixed
+// with the server-level insert counter, so SKETCH.LIST and /debug/vars
+// keep counting across SKETCH.SAVE/LOAD and autosave restarts.
+// Layout: magic "SHED", version byte, uint64 inserts (little-endian),
+// then the sharded payload.
+const (
+	envelopeMagic   = "SHED"
+	envelopeVersion = 1
+	envelopeLen     = 4 + 1 + 8
+)
+
+// MarshalBinary snapshots the sketch: the server envelope (insert
+// counter) wrapping the library's sharded format.
 func (sk *Sketch) MarshalBinary() ([]byte, error) {
+	var payload []byte
+	var err error
 	switch sk.kind {
 	case "bloom":
-		return sk.bloom.MarshalBinary()
+		payload, err = sk.bloom.MarshalBinary()
 	case "cm":
-		return sk.cm.MarshalBinary()
+		payload, err = sk.cm.MarshalBinary()
 	default:
-		return sk.hll.MarshalBinary()
+		payload, err = sk.hll.MarshalBinary()
 	}
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, envelopeLen+len(payload))
+	buf = append(buf, envelopeMagic...)
+	buf = append(buf, envelopeVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, sk.Inserts())
+	return append(buf, payload...), nil
 }
 
-// UnmarshalSketch restores a sketch from a sharded snapshot; the
-// snapshot is self-describing, so no kind argument is needed.
+// UnmarshalSketch restores a sketch from a snapshot; the snapshot is
+// self-describing, so no kind argument is needed. Bare library
+// snapshots (she.Sharded*.MarshalBinary output, no server envelope)
+// also load; their insert counter starts at zero.
 func UnmarshalSketch(data []byte) (*Sketch, error) {
+	var inserts uint64
+	if len(data) >= envelopeLen && string(data[:4]) == envelopeMagic && data[4] == envelopeVersion {
+		inserts = binary.LittleEndian.Uint64(data[5:])
+		data = data[envelopeLen:]
+	}
 	kind, err := she.ShardedSnapshotKind(data)
 	if err != nil {
 		return nil, err
@@ -132,6 +176,7 @@ func UnmarshalSketch(data []byte) (*Sketch, error) {
 	if err != nil {
 		return nil, err
 	}
+	sk.inserts.Store(inserts)
 	return sk, nil
 }
 
@@ -139,7 +184,7 @@ func UnmarshalSketch(data []byte) (*Sketch, error) {
 // parameters; kv is consumed, and leftover (unknown) parameters are an
 // error.
 func NewSketch(kind string, kv map[string]string) (*Sketch, error) {
-	take := func(key string, def uint64) (uint64, error) {
+	take := func(key string, def, max uint64) (uint64, error) {
 		v, ok := kv[key]
 		if !ok {
 			return def, nil
@@ -149,20 +194,23 @@ func NewSketch(kind string, kv map[string]string) (*Sketch, error) {
 		if err != nil || n == 0 {
 			return 0, fmt.Errorf("bad %s=%q: want positive integer", key, v)
 		}
+		if n > max {
+			return 0, fmt.Errorf("%s=%d exceeds maximum %d", key, n, max)
+		}
 		return n, nil
 	}
 	var firstErr error
-	num := func(key string, def uint64) uint64 {
-		n, err := take(key, def)
+	num := func(key string, def, max uint64) uint64 {
+		n, err := take(key, def, max)
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}
 		return n
 	}
-	window := num("window", DefaultWindow)
-	shards := num("shards", DefaultShards)
-	seed := num("seed", DefaultSeed)
-	hashes := num("hashes", 0)
+	window := num("window", DefaultWindow, MaxWindow)
+	shards := num("shards", DefaultShards, MaxShards)
+	seed := num("seed", DefaultSeed, ^uint64(0))
+	hashes := num("hashes", 0, MaxHashes)
 	var alpha float64
 	if v, ok := kv["alpha"]; ok {
 		delete(kv, "alpha")
@@ -178,11 +226,11 @@ func NewSketch(kind string, kv map[string]string) (*Sketch, error) {
 	var err error
 	switch sk.kind {
 	case "bloom":
-		sk.bloom, err = she.NewShardedBloomFilter(int(num("bits", DefaultBits)), int(shards), opts)
+		sk.bloom, err = she.NewShardedBloomFilter(int(num("bits", DefaultBits, MaxBits)), int(shards), opts)
 	case "cm":
-		sk.cm, err = she.NewShardedCountMin(int(num("counters", DefaultCounters)), int(shards), opts)
+		sk.cm, err = she.NewShardedCountMin(int(num("counters", DefaultCounters, MaxCounters)), int(shards), opts)
 	case "hll":
-		sk.hll, err = she.NewShardedHyperLogLog(int(num("registers", DefaultRegisters)), int(shards), opts)
+		sk.hll, err = she.NewShardedHyperLogLog(int(num("registers", DefaultRegisters, MaxRegisters)), int(shards), opts)
 	default:
 		return nil, fmt.Errorf("unknown sketch kind %q (want bloom, cm or hll)", kind)
 	}

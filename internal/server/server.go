@@ -4,12 +4,14 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"she/internal/metrics"
@@ -31,6 +33,21 @@ type Config struct {
 	// *.she file in it is loaded at Start, and every sketch is saved
 	// back at Shutdown.
 	AutosaveDir string
+	// SnapshotDir optionally names the directory SKETCH.SAVE writes to
+	// and SKETCH.LOAD reads from. Clients supply bare file names (same
+	// alphabet as sketch names), never paths. Empty falls back to
+	// AutosaveDir; with both empty the commands are refused.
+	SnapshotDir string
+	// IdleTimeout closes a connection that sends no command for this
+	// long (0 = no limit).
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each flush of buffered replies, so a client
+	// that stops reading cannot park its goroutine in a blocked write
+	// (0 = no limit).
+	WriteTimeout time.Duration
+	// MaxConns caps concurrent client connections; excess dials get an
+	// -ERR reply and are closed immediately (0 = no limit).
+	MaxConns int
 }
 
 // Server hosts a registry of named sketches behind a TCP listener, one
@@ -47,6 +64,7 @@ type Server struct {
 	done      chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
+	numConns  atomic.Int64
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -76,6 +94,11 @@ func (s *Server) Start() error {
 	if s.cfg.AutosaveDir != "" {
 		if err := s.loadAutosaves(); err != nil {
 			return err
+		}
+	}
+	if s.cfg.SnapshotDir != "" {
+		if err := os.MkdirAll(s.cfg.SnapshotDir, 0o755); err != nil {
+			return fmt.Errorf("server: snapshot dir: %w", err)
 		}
 	}
 	ln, err := net.Listen("tcp", s.cfg.Listen)
@@ -123,9 +146,37 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed (shutdown) or fatal accept error
 		}
+		if n := s.numConns.Add(1); s.cfg.MaxConns > 0 && n > int64(s.cfg.MaxConns) {
+			s.numConns.Add(-1)
+			s.counters.Counter("connections_rejected").Inc()
+			conn.SetWriteDeadline(time.Now().Add(time.Second))
+			io.WriteString(conn, "-ERR too many connections\n")
+			conn.Close()
+			continue
+		}
 		s.wg.Add(1)
 		go s.handleConn(conn)
 	}
+}
+
+// snapshotPath resolves a client-supplied snapshot file name inside the
+// configured snapshot directory. Clients never supply paths: the name
+// must pass ValidName (no separators, no ".."), the server appends the
+// .she extension, and the commands are refused outright when no
+// directory is configured — an unauthenticated peer must not reach
+// arbitrary files.
+func (s *Server) snapshotPath(file string) (string, error) {
+	dir := s.cfg.SnapshotDir
+	if dir == "" {
+		dir = s.cfg.AutosaveDir
+	}
+	if dir == "" {
+		return "", fmt.Errorf("no snapshot directory configured; SKETCH.SAVE/LOAD are disabled")
+	}
+	if !ValidName(file) {
+		return "", fmt.Errorf("invalid snapshot file name %q (bare name, no path)", file)
+	}
+	return filepath.Join(dir, file+snapshotExt), nil
 }
 
 func (s *Server) trackConn(c net.Conn, add bool) {

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -178,8 +179,14 @@ func TestProtocolErrors(t *testing.T) {
 		{"SKETCH.CARD missing", "no such sketch"},
 		{"SKETCH.INSERT h", "want name key"},
 		{"SKETCH.DROP missing", "no such sketch"},
-		{"SKETCH.SAVE h", "want name path"},
-		{"SKETCH.LOAD x /nonexistent/path.she", "no such file"},
+		{"SKETCH.SAVE", "want name [file]"},
+		{"SKETCH.SAVE h x y", "want name [file]"},
+		{"SKETCH.SAVE h", "no snapshot directory"},
+		{"SKETCH.LOAD x", "no snapshot directory"},
+		{"SKETCH.CREATE big bloom bits=1099511627776", "exceeds maximum"},
+		{"SKETCH.CREATE big cm counters=18446744073709551615", "exceeds maximum"},
+		{"SKETCH.CREATE big hll registers=99999999999 shards=4", "exceeds maximum"},
+		{"SKETCH.CREATE big bloom shards=1048576", "exceeds maximum"},
 	} {
 		got := c.cmd(tt.cmd)
 		if !strings.HasPrefix(got, "-ERR") || !strings.Contains(got, tt.wantSub) {
@@ -296,19 +303,24 @@ func TestConcurrentClients(t *testing.T) {
 }
 
 // TestSaveLoadRoundTrip checks the acceptance criterion: a sketch
-// saved over the wire restores with identical query answers.
+// saved over the wire restores with identical query answers. Snapshots
+// live in the server's snapshot directory under client-chosen bare
+// names — clients never supply paths.
 func TestSaveLoadRoundTrip(t *testing.T) {
-	s := startServer(t, server.Config{})
+	dir := t.TempDir()
+	s := startServer(t, server.Config{SnapshotDir: dir})
 	c := dial(t, s.Addr().String())
 	c.cmd("SKETCH.CREATE orig cm counters=65536 window=65536 shards=4")
 	for i := 0; i < 500; i++ {
 		c.cmd("SKETCH.INSERT orig key%d", i%50)
 	}
-	path := filepath.Join(t.TempDir(), "orig.she")
-	if got := c.cmd("SKETCH.SAVE orig %s", path); got != "+OK" {
+	if got := c.cmd("SKETCH.SAVE orig"); got != "+OK" {
 		t.Fatalf("SAVE = %q", got)
 	}
-	if got := c.cmd("SKETCH.LOAD copy %s", path); got != "+OK" {
+	if _, err := os.Stat(filepath.Join(dir, "orig.she")); err != nil {
+		t.Fatalf("snapshot not in snapshot dir: %v", err)
+	}
+	if got := c.cmd("SKETCH.LOAD copy orig"); got != "+OK" {
 		t.Fatalf("LOAD = %q", got)
 	}
 	for i := 0; i < 80; i++ {
@@ -318,12 +330,17 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 			t.Fatalf("key%d: original answers %q, restored copy answers %q", i, orig, copy)
 		}
 	}
-	// Same round trip for a bloom filter.
+	// The insert counter survives the round trip.
+	for _, line := range c.array("SKETCH.LIST") {
+		if strings.HasPrefix(line, "copy ") && !strings.Contains(line, "inserts=500") {
+			t.Fatalf("restored copy lost its insert counter: %q", line)
+		}
+	}
+	// Same round trip for a bloom filter, with an explicit file name.
 	c.cmd("SKETCH.CREATE bf bloom bits=262144 window=16384 shards=4")
 	c.cmd("SKETCH.INSERT bf alice bob carol")
-	bfPath := filepath.Join(t.TempDir(), "bf.she")
-	c.cmd("SKETCH.SAVE bf %s", bfPath)
-	c.cmd("SKETCH.LOAD bf2 %s", bfPath)
+	c.cmd("SKETCH.SAVE bf bfsnap")
+	c.cmd("SKETCH.LOAD bf2 bfsnap")
 	for _, key := range []string{"alice", "bob", "carol", "dave", "99"} {
 		if a, b := c.cmd("SKETCH.QUERY bf %s", key), c.cmd("SKETCH.QUERY bf2 %s", key); a != b {
 			t.Fatalf("bloom key %s: %q vs %q", key, a, b)
@@ -331,6 +348,32 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 	if got := c.cmd("SKETCH.DROP copy"); got != "+OK" {
 		t.Fatalf("DROP = %q", got)
+	}
+}
+
+// TestSaveLoadConfinement proves the REVIEW.md fix: SAVE/LOAD reject
+// anything that is not a bare file name, so clients cannot read or
+// write arbitrary server paths.
+func TestSaveLoadConfinement(t *testing.T) {
+	dir := t.TempDir()
+	s := startServer(t, server.Config{SnapshotDir: dir})
+	c := dial(t, s.Addr().String())
+	c.cmd("SKETCH.CREATE sk bloom bits=65536 window=4096")
+	for _, tt := range []struct{ cmd, wantSub string }{
+		{"SKETCH.SAVE sk ../evil", "invalid snapshot file"},
+		{"SKETCH.SAVE sk /etc/cron.d/evil", "invalid snapshot file"},
+		{"SKETCH.SAVE sk ..", "invalid snapshot file"},
+		{"SKETCH.LOAD x /etc/passwd", "invalid snapshot file"},
+		{"SKETCH.LOAD x ../../etc/passwd", "invalid snapshot file"},
+		{"SKETCH.LOAD x missing", "no such file"},
+	} {
+		got := c.cmd(tt.cmd)
+		if !strings.HasPrefix(got, "-ERR") || !strings.Contains(got, tt.wantSub) {
+			t.Errorf("%q -> %q, want -ERR containing %q", tt.cmd, got, tt.wantSub)
+		}
+	}
+	if entries, err := os.ReadDir(dir); err != nil || len(entries) != 0 {
+		t.Fatalf("snapshot dir polluted: %v, %v", entries, err)
 	}
 }
 
@@ -356,6 +399,65 @@ func TestAutosaveAcrossRestart(t *testing.T) {
 		if got := c2.cmd("SKETCH.QUERY persisted %s", key); got != want {
 			t.Errorf("after restart, QUERY persisted %s = %q, want %q", key, got, want)
 		}
+	}
+	// The insert counter survives the restart too.
+	list := c2.array("SKETCH.LIST")
+	if len(list) != 1 || !strings.Contains(list[0], "inserts=2") {
+		t.Fatalf("LIST after restart = %v, want inserts=2", list)
+	}
+}
+
+// TestMaxConns: connections beyond the cap are rejected with an -ERR
+// line, and closing one frees a slot.
+func TestMaxConns(t *testing.T) {
+	s := startServer(t, server.Config{MaxConns: 2})
+	c1 := dial(t, s.Addr().String())
+	c2 := dial(t, s.Addr().String())
+	if got := c1.cmd("PING"); got != "+PONG" {
+		t.Fatalf("c1 PING = %q", got)
+	}
+	if got := c2.cmd("PING"); got != "+PONG" {
+		t.Fatalf("c2 PING = %q", got)
+	}
+	c3 := dial(t, s.Addr().String())
+	if got := c3.recv(); !strings.Contains(got, "too many connections") {
+		t.Fatalf("third connection got %q, want rejection", got)
+	}
+	if _, err := c3.r.ReadString('\n'); err == nil {
+		t.Fatal("rejected connection should be closed")
+	}
+	// Freeing a slot lets a new client in (the handler releases the
+	// slot asynchronously after the close, so poll briefly).
+	c1.conn.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := net.Dial("tcp", s.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(conn, "PING\n")
+		line, _ := bufio.NewReader(conn).ReadString('\n')
+		conn.Close()
+		if line == "+PONG\n" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never freed; last reply %q", line)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestIdleTimeout: a connection that goes quiet is reaped.
+func TestIdleTimeout(t *testing.T) {
+	s := startServer(t, server.Config{IdleTimeout: 100 * time.Millisecond})
+	c := dial(t, s.Addr().String())
+	if got := c.cmd("PING"); got != "+PONG" {
+		t.Fatalf("PING = %q", got)
+	}
+	c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.r.ReadString('\n'); err != io.EOF {
+		t.Fatalf("idle connection should see EOF, got %v", err)
 	}
 }
 
