@@ -28,7 +28,11 @@
 // Counters are served at http://localhost:6390/debug/vars. SIGINT or
 // SIGTERM shuts down gracefully: in-flight commands finish, and with
 // -autosave set every sketch is snapshotted and restored on the next
-// start. See internal/server for the full protocol reference.
+// start. -autosave is best-effort; -wal DIR enables crash-safe
+// durability instead: mutations are fsynced to a write-ahead log
+// before they are acknowledged and replayed over the latest checkpoint
+// at startup, so even kill -9 loses no acknowledged write. See
+// internal/server for the full protocol and durability reference.
 package main
 
 import (
@@ -48,6 +52,8 @@ func main() {
 	debug := flag.String("debug", "", "HTTP address for /debug/vars counters (empty = disabled)")
 	autosave := flag.String("autosave", "", "snapshot directory: loaded at startup, saved at shutdown (empty = disabled)")
 	snapshots := flag.String("snapshots", "", "directory for SKETCH.SAVE/LOAD files (empty = use -autosave dir; both empty = commands disabled)")
+	walDir := flag.String("wal", "", "write-ahead log directory: every acknowledged mutation is fsynced before the reply, so kill -9 loses nothing (empty = disabled; supersedes -autosave)")
+	checkpointBytes := flag.Int64("wal-checkpoint-bytes", server.DefaultCheckpointBytes, "WAL size that triggers a snapshot-then-truncate checkpoint")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
 	idle := flag.Duration("idle-timeout", 5*time.Minute, "close connections idle for this long (0 = never)")
 	writeTimeout := flag.Duration("write-timeout", 10*time.Second, "per-flush reply write deadline (0 = none)")
@@ -57,14 +63,19 @@ func main() {
 	log.SetPrefix("shed: ")
 	log.SetFlags(0)
 
+	if *walDir != "" && *autosave != "" {
+		log.Printf("warning: -wal supersedes -autosave; %s will be neither loaded nor written", *autosave)
+	}
 	srv := server.New(server.Config{
-		Listen:       *listen,
-		DebugListen:  *debug,
-		AutosaveDir:  *autosave,
-		SnapshotDir:  *snapshots,
-		IdleTimeout:  *idle,
-		WriteTimeout: *writeTimeout,
-		MaxConns:     *maxConns,
+		Listen:          *listen,
+		DebugListen:     *debug,
+		AutosaveDir:     *autosave,
+		SnapshotDir:     *snapshots,
+		IdleTimeout:     *idle,
+		WriteTimeout:    *writeTimeout,
+		MaxConns:        *maxConns,
+		WALDir:          *walDir,
+		CheckpointBytes: *checkpointBytes,
 	})
 	if err := srv.Start(); err != nil {
 		log.Fatal(err)
@@ -73,7 +84,10 @@ func main() {
 	if a := srv.DebugAddr(); a != nil {
 		log.Printf("debug vars on http://%s/debug/vars", a)
 	}
-	if *autosave != "" {
+	switch {
+	case *walDir != "":
+		log.Printf("wal in %s (%d sketches recovered)", *walDir, srv.Registry().Len())
+	case *autosave != "":
 		log.Printf("autosave to %s (%d sketches restored)", *autosave, srv.Registry().Len())
 	}
 

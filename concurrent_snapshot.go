@@ -23,6 +23,12 @@ import (
 // shard-sequential (concurrent writers may land between shards). A
 // restored structure routes every key to the same shard and answers
 // every per-key query exactly as the original would.
+//
+// This format carries no checksum of its own: it trusts its bytes, and
+// a bit flip in a length field could misalign every later shard.
+// Durable consumers must wrap it in an integrity envelope — shed seals
+// every snapshot file with internal/wal's CRC32C envelope (wal.Seal)
+// and verifies it before these bytes are ever parsed.
 
 const shardedMagic = "SHES"
 

@@ -25,6 +25,11 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Value returns the current value.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
+// Set stores v, replacing the current value. For gauge-style counters
+// that track a level rather than a running total (e.g. WAL bytes
+// awaiting the next checkpoint).
+func (c *Counter) Set(v int64) { c.v.Store(v) }
+
 // CounterSet is a collection of named counters. Looking a counter up
 // takes the set's lock; holding the returned *Counter and updating it
 // directly is lock-free, so hot paths should cache the pointer.

@@ -5,11 +5,18 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
+
+	"she/internal/wal"
 )
 
-var errLineTooLong = errors.New("line too long")
+var (
+	errLineTooLong  = errors.New("line too long")
+	errCommitFailed = errors.New("previous commit failed")
+)
 
 // readLine returns the next request line. Lines longer than the
 // reader's buffer (MaxLineBytes) are unrecoverable — the reader cannot
@@ -43,7 +50,21 @@ func (s *Server) handleConn(conn net.Conn) {
 
 	r := bufio.NewReaderSize(conn, MaxLineBytes)
 	w := bufio.NewWriterSize(conn, 32*1024)
-	defer s.flush(conn, w)
+	// A failed commit is terminal for the connection: the error line has
+	// been sent, so the deferred flush of any leftover replies must not
+	// run again.
+	commitFailed := false
+	commit := func() error {
+		if commitFailed {
+			return errCommitFailed
+		}
+		if err := s.commit(conn, w); err != nil {
+			commitFailed = true
+			return err
+		}
+		return nil
+	}
+	defer commit()
 	for {
 		if d := s.cfg.IdleTimeout; d > 0 {
 			conn.SetReadDeadline(time.Now().Add(d))
@@ -72,16 +93,51 @@ func (s *Server) handleConn(conn net.Conn) {
 			s.counters.Counter("errors_total").Inc()
 			writeError(w, err.Error())
 		default:
-			if quit := s.execute(cmd, w); quit {
+			if quit := s.safeExecute(cmd, w); quit {
 				return
 			}
+			s.maybeCheckpoint()
 		}
 		if r.Buffered() == 0 {
-			if err := s.flush(conn, w); err != nil {
+			if err := commit(); err != nil {
 				return
 			}
 		}
 	}
+}
+
+// safeExecute runs one command, containing a panic to this connection:
+// the client gets an -ERR and a closed connection, the daemon and its
+// other connections keep serving. Deferred unlocks in the command path
+// run during the unwind, so no lock is leaked.
+func (s *Server) safeExecute(cmd Command, w *bufio.Writer) (quit bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.counters.Counter("panics_recovered").Inc()
+			writeError(w, fmt.Sprintf("internal error: %v", p))
+			quit = true
+		}
+	}()
+	return s.execute(cmd, w)
+}
+
+// commit makes the batch durable, then releases its replies. With a
+// WAL, a buffered acknowledgement must not reach the client before the
+// record it acknowledges reaches the disk; if the sync fails, the
+// buffered replies are discarded — nothing unacknowledged was promised
+// — and the client gets one direct error line before the connection
+// closes. The log failure is sticky, so the server fails every later
+// batch the same way (fail-stop) rather than guess at durability.
+func (s *Server) commit(conn net.Conn, w *bufio.Writer) error {
+	if s.wal != nil {
+		if err := s.wal.Sync(); err != nil {
+			s.counters.Counter("wal_errors").Inc()
+			conn.SetWriteDeadline(time.Now().Add(time.Second))
+			fmt.Fprintf(conn, "-ERR wal sync failed: %v\n", err)
+			return err
+		}
+	}
+	return s.flush(conn, w)
 }
 
 // flush writes buffered replies under the configured write deadline, so
@@ -94,10 +150,20 @@ func (s *Server) flush(conn net.Conn, w *bufio.Writer) error {
 	return w.Flush()
 }
 
+// testPanic, when set by a test before the server starts, is called
+// with each command so the per-connection panic containment can be
+// exercised without shipping a crash-on-demand wire command.
+var testPanic func(Command)
+
 // execute runs one command and writes its reply; it reports whether
-// the connection should close (QUIT).
+// the connection should close (QUIT). State-changing commands go
+// through mutate, which pairs their apply+log atomically against
+// checkpoints.
 func (s *Server) execute(cmd Command, w *bufio.Writer) (quit bool) {
 	s.counters.Counter("commands_total").Inc()
+	if testPanic != nil {
+		testPanic(cmd)
+	}
 	var err error
 	switch cmd.Name {
 	case "PING":
@@ -110,11 +176,11 @@ func (s *Server) execute(cmd Command, w *bufio.Writer) (quit bool) {
 	case "SKETCH.LIST":
 		s.writeList(w)
 	case "SKETCH.CREATE":
-		err = s.cmdCreate(cmd, w)
+		err = s.mutate(func() error { return s.cmdCreate(cmd, w) })
 	case "SKETCH.DROP":
-		err = s.cmdDrop(cmd, w)
+		err = s.mutate(func() error { return s.cmdDrop(cmd, w) })
 	case "SKETCH.INSERT":
-		err = s.cmdInsert(cmd, w)
+		err = s.mutate(func() error { return s.cmdInsert(cmd, w) })
 	case "SKETCH.QUERY":
 		err = s.cmdQuery(cmd, w)
 	case "SKETCH.CARD":
@@ -157,6 +223,11 @@ func (s *Server) cmdCreate(cmd Command, w *bufio.Writer) error {
 	if err := s.reg.Create(name, cmd.Args[1], kv); err != nil {
 		return err
 	}
+	// The record keeps the original parameter tokens, so replay builds
+	// an identical sketch through the same constructor.
+	if err := s.walAppend("SKETCH.CREATE " + strings.Join(cmd.Args, " ")); err != nil {
+		return err
+	}
 	writeSimple(w, "OK")
 	return nil
 }
@@ -166,6 +237,9 @@ func (s *Server) cmdDrop(cmd Command, w *bufio.Writer) error {
 		return err
 	}
 	if err := s.reg.Drop(cmd.Args[0]); err != nil {
+		return err
+	}
+	if err := s.walAppend("SKETCH.DROP " + cmd.Args[0]); err != nil {
 		return err
 	}
 	writeSimple(w, "OK")
@@ -181,8 +255,27 @@ func (s *Server) cmdInsert(cmd Command, w *bufio.Writer) error {
 		return err
 	}
 	keys := cmd.Args[1:]
-	for _, tok := range keys {
-		sk.Insert(ParseKey(tok))
+	if s.wal != nil {
+		// Log the parsed uint64 keys in decimal: ParseKey maps a
+		// decimal token back to itself, so replay is exact without
+		// depending on how the original token hashed.
+		var sb strings.Builder
+		sb.Grow(16 + len(cmd.Args[0]) + 21*len(keys))
+		sb.WriteString("SKETCH.INSERT ")
+		sb.WriteString(cmd.Args[0])
+		for _, tok := range keys {
+			k := ParseKey(tok)
+			sk.Insert(k)
+			sb.WriteByte(' ')
+			sb.WriteString(strconv.FormatUint(k, 10))
+		}
+		if err := s.walAppend(sb.String()); err != nil {
+			return err
+		}
+	} else {
+		for _, tok := range keys {
+			sk.Insert(ParseKey(tok))
+		}
 	}
 	s.counters.Counter("inserts_total").Add(int64(len(keys)))
 	writeInt(w, int64(len(keys)))
@@ -242,11 +335,9 @@ func (s *Server) cmdSave(cmd Command, w *bufio.Writer) error {
 	if err != nil {
 		return err
 	}
-	data, err := sk.MarshalBinary()
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	// Sealed + atomic: a concurrent crash leaves either the previous
+	// file or the new one, and a later load verifies the checksum.
+	if err := writeSketchFile(s.fs, path, sk); err != nil {
 		return err
 	}
 	s.counters.Counter("snapshots_saved").Inc()
@@ -266,15 +357,34 @@ func (s *Server) cmdLoad(cmd Command, w *bufio.Writer) error {
 	if err != nil {
 		return err
 	}
-	data, err := os.ReadFile(path)
+	data, err := s.fs.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	sk, err := UnmarshalSketch(data)
+	sk, err := parseSnapshot(data)
 	if err != nil {
+		// Damaged bytes must never be retried into a sketch: park the
+		// file and tell the client why.
+		s.counters.Counter("snapshots_quarantined").Inc()
+		if q, qerr := wal.Quarantine(s.fs, path); qerr == nil {
+			return fmt.Errorf("%v (quarantined to %s)", err, filepath.Base(q))
+		}
 		return err
 	}
-	s.reg.Put(name, sk)
+	if s.wal == nil {
+		s.reg.Put(name, sk)
+	} else {
+		// A load replaces whole-sketch state, which the record log
+		// cannot express; checkpoint before acknowledging so the
+		// loaded state is durable and replay stays consistent.
+		s.chkMu.Lock()
+		s.reg.Put(name, sk)
+		err := s.checkpointLocked(true)
+		s.chkMu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
 	s.counters.Counter("snapshots_loaded").Inc()
 	writeSimple(w, "OK")
 	return nil

@@ -89,5 +89,41 @@
 // commands/sec, per-sketch inserts). Shutdown is graceful: the
 // listener closes, in-flight commands finish, and with an autosave
 // directory configured every sketch is snapshotted on the way down and
-// restored on the next start.
+// restored on the next start. A panic inside one command is contained
+// to its connection: the client gets -ERR internal error and a closed
+// socket, the daemon keeps serving (counter panics_recovered).
+//
+// # Durability
+//
+// Two tiers. AutosaveDir is best-effort: sketches load at Start and
+// save at graceful Shutdown, so kill -9 loses everything since the
+// last save. WALDir (shed -wal) is crash-safe: every applied mutation
+// (SKETCH.CREATE/INSERT/DROP) is appended to a write-ahead log in
+// internal/wal format, and a batch's replies are flushed only after
+// the log is fsynced — an acknowledged write is on disk, period. At
+// Start the server loads the latest checkpoint snapshot generation
+// and replays the log on top of it; SIGKILL at any instant loses
+// nothing acknowledged. Once the log exceeds Config.CheckpointBytes a
+// checkpoint snapshots every sketch into a fresh generation directory
+// and truncates the log (SKETCH.LOAD, which the record log cannot
+// express, forces one before acking). When WALDir is set it supersedes
+// AutosaveDir entirely.
+//
+// Every snapshot file the server writes — WAL checkpoints, autosaves,
+// SKETCH.SAVE — is sealed in a checksummed envelope (wal.Seal: magic,
+// version, CRC32C, length) and replaced atomically (write tmp, fsync,
+// rename, fsync dir), so a torn or bit-flipped file is detected on
+// load, never restored. A damaged snapshot is quarantined to
+// <file>.she.corrupt and counted (snapshots_quarantined); the rest of
+// the directory still loads. Unsealed snapshots from before the
+// durability layer load as legacy files.
+//
+// If an fsync of the log itself fails, durability of appended records
+// becomes unprovable, so the server fails stop: the failing batch's
+// acknowledgements are withheld (the client gets one -ERR wal sync
+// failed line and a closed connection) and the log error is sticky —
+// every later mutation and commit fails until an operator restarts the
+// process. All of this is exercised by fault-injection tests that
+// crash a simulated filesystem (internal/failfs) at every single
+// mutating operation and assert no acknowledged write is ever lost.
 package server

@@ -1,0 +1,441 @@
+package server
+
+// Durability tests live inside the package: they reach the registry,
+// the snapshot codec, the testPanic hook, and Abort — the simulated
+// kill -9 — none of which are wire-visible.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"she/internal/failfs"
+	"she/internal/wal"
+)
+
+// dconn is a minimal synchronous client: one command, one reply line.
+type dconn struct {
+	t    *testing.T
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dialServer(t *testing.T, s *Server) *dconn {
+	t.Helper()
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &dconn{t: t, conn: conn, r: bufio.NewReader(conn)}
+}
+
+// try sends one command and returns the reply; ok=false means the
+// connection died before a reply line arrived (never an ack).
+func (c *dconn) try(cmd string) (string, bool) {
+	c.conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := fmt.Fprintf(c.conn, "%s\n", cmd); err != nil {
+		return "", false
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", false
+	}
+	return strings.TrimSpace(line), true
+}
+
+func (c *dconn) must(cmd, want string) {
+	c.t.Helper()
+	reply, ok := c.try(cmd)
+	if !ok || reply != want {
+		c.t.Fatalf("%s = %q (ok=%v), want %q", cmd, reply, ok, want)
+	}
+}
+
+func startWAL(t *testing.T, dir string, fsys failfs.FS, chkBytes int64) *Server {
+	t.Helper()
+	s := New(Config{Listen: "127.0.0.1:0", WALDir: dir, CheckpointBytes: chkBytes, FS: fsys})
+	if err := s.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	return s
+}
+
+// TestWALSurvivesAbort: every acknowledged mutation survives an abrupt
+// kill (Abort — no drain, no shutdown checkpoint) purely via the log.
+func TestWALSurvivesAbort(t *testing.T) {
+	dir := t.TempDir()
+	s1 := startWAL(t, dir, nil, 0)
+	c := dialServer(t, s1)
+	c.must("SKETCH.CREATE flows cm counters=1024 window=65536 shards=2", "+OK")
+	c.must("SKETCH.CREATE seen bloom bits=4096 window=65536 shards=2", "+OK")
+	for i := 0; i < 200; i++ {
+		c.must(fmt.Sprintf("SKETCH.INSERT flows %d", 5000+i), ":1")
+	}
+	c.must("SKETCH.INSERT seen 42 43 44", ":3")
+	c.must("SKETCH.DROP seen", "+OK")
+	s1.Abort()
+
+	s2 := startWAL(t, dir, nil, 0)
+	defer s2.Abort()
+	if _, err := s2.Registry().Get("seen"); err == nil {
+		t.Fatal("acked DROP was lost: sketch still present after recovery")
+	}
+	sk, err := s2.Registry().Get("flows")
+	if err != nil {
+		t.Fatalf("acked sketch missing after recovery: %v", err)
+	}
+	if n := sk.Inserts(); n != 200 {
+		t.Fatalf("recovered insert counter = %d, want 200", n)
+	}
+	for i := 0; i < 200; i++ {
+		if v, _ := sk.Query(uint64(5000 + i)); v < 1 {
+			t.Fatalf("acked key %d lost after recovery", 5000+i)
+		}
+	}
+	if got := s2.Counters().Counter("wal_replayed_records").Value(); got == 0 {
+		t.Fatal("expected replayed records after an abort, got 0")
+	}
+}
+
+// walCrashScript drives a fixed command script over TCP against a
+// server whose filesystem is fsys. It returns which mutations were
+// acknowledged; a vanished connection or error reply stops the script
+// (the filesystem crashed underneath the server).
+func walCrashScript(t *testing.T, fsys failfs.FS, dir string) (createAcked bool, acked []uint64) {
+	t.Helper()
+	s := New(Config{Listen: "127.0.0.1:0", WALDir: dir, CheckpointBytes: 256, FS: fsys})
+	if err := s.Start(); err != nil {
+		return false, nil // crashed during recovery/startup
+	}
+	defer s.Abort()
+	c := dialServer(t, s)
+	if reply, ok := c.try("SKETCH.CREATE flows cm counters=512 window=65536 shards=1"); !ok || reply != "+OK" {
+		return false, nil
+	}
+	for i := 0; i < 12; i++ {
+		key := uint64(1000 + i)
+		if reply, ok := c.try(fmt.Sprintf("SKETCH.INSERT flows %d", key)); !ok || reply != ":1" {
+			return true, acked
+		}
+		acked = append(acked, key)
+	}
+	return true, acked
+}
+
+// TestWALCrashAtEveryFSOperation is the end-to-end fault-injection
+// test: the whole server runs on a failfs.Fault, the filesystem
+// crashes at every single mutating operation in turn — mid WAL append,
+// mid fsync, mid checkpoint rename, everywhere — and after each crash
+// a fresh server recovering from the surviving directory must hold
+// every acknowledged write.
+func TestWALCrashAtEveryFSOperation(t *testing.T) {
+	probe := failfs.NewFault(failfs.OS{})
+	createAcked, acked := walCrashScript(t, probe, t.TempDir())
+	if !createAcked || len(acked) != 12 {
+		t.Fatalf("probe run incomplete: create=%v acked=%d", createAcked, len(acked))
+	}
+	total := probe.Steps()
+	if total < 40 {
+		t.Fatalf("suspiciously few fault points: %d", total)
+	}
+
+	for k := int64(1); k <= total; k++ {
+		dir := t.TempDir()
+		fault := failfs.NewFault(failfs.OS{})
+		fault.CrashAt(k)
+		createAcked, acked := walCrashScript(t, fault, dir)
+		if !fault.Crashed() {
+			t.Fatalf("crash at step %d never fired", k)
+		}
+
+		// Restart on the real filesystem: the crashed process is gone,
+		// only the directory survives.
+		s := New(Config{Listen: "127.0.0.1:0", WALDir: dir})
+		if err := s.Start(); err != nil {
+			t.Fatalf("crash at step %d: recovery failed: %v", k, err)
+		}
+		sk, err := s.Registry().Get("flows")
+		if createAcked && err != nil {
+			t.Fatalf("crash at step %d: acked sketch missing: %v", k, err)
+		}
+		if !createAcked && len(acked) > 0 {
+			t.Fatalf("crash at step %d: inserts acked without an acked create", k)
+		}
+		for _, key := range acked {
+			if v, _ := sk.Query(key); v < 1 {
+				t.Fatalf("crash at step %d: acked key %d lost", k, key)
+			}
+		}
+		if sk != nil {
+			// At most one in-flight insert can exceed the acked set: the
+			// script stops at the first unacknowledged command.
+			if n := sk.Inserts(); n < uint64(len(acked)) || n > uint64(len(acked))+1 {
+				t.Fatalf("crash at step %d: recovered %d inserts, acked %d", k, n, len(acked))
+			}
+		}
+		s.Abort()
+	}
+}
+
+// TestSnapshotCorruptEveryOffset flips bits at every byte offset of a
+// sealed snapshot — and truncates it at every length — and asserts the
+// loader always fails cleanly: no panic, no silently loaded sketch.
+func TestSnapshotCorruptEveryOffset(t *testing.T) {
+	sk, err := NewSketch("cm", map[string]string{"counters": "64", "window": "128", "shards": "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		sk.Insert(uint64(i))
+	}
+	payload, err := sk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed := wal.Seal(payload)
+	if _, err := parseSnapshot(sealed); err != nil {
+		t.Fatalf("pristine snapshot failed to load: %v", err)
+	}
+	for off := 0; off < len(sealed); off++ {
+		for _, bit := range []byte{0x01, 0x80} {
+			mut := append([]byte(nil), sealed...)
+			mut[off] ^= bit
+			if got, err := parseSnapshot(mut); err == nil {
+				t.Fatalf("bit %#02x flipped at offset %d loaded silently as a %s sketch", bit, off, got.Kind())
+			}
+		}
+	}
+	for n := 0; n < len(sealed); n++ {
+		if _, err := parseSnapshot(sealed[:n]); err == nil {
+			t.Fatalf("snapshot truncated to %d bytes loaded silently", n)
+		}
+	}
+}
+
+// TestAutosaveQuarantine: one corrupt file in the autosave directory is
+// quarantined to *.corrupt and counted; the healthy files — sealed or
+// legacy unsealed — still load and the server still starts.
+func TestAutosaveQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(counters string) *Sketch {
+		sk, err := NewSketch("cm", map[string]string{"counters": counters, "window": "128", "shards": "1"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sk.Insert(7)
+		return sk
+	}
+	if err := writeSketchFile(failfs.OS{}, filepath.Join(dir, "good.she"), mk("64")); err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := mk("64").MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "old.she"), legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := wal.Seal(legacy)
+	bad[len(bad)-1] ^= 0x40
+	if err := os.WriteFile(filepath.Join(dir, "bad.she"), bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "junk.she"), []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(Config{Listen: "127.0.0.1:0", AutosaveDir: dir})
+	if err := s.Start(); err != nil {
+		t.Fatalf("a corrupt autosave file must not prevent startup: %v", err)
+	}
+	defer s.Abort()
+	for _, name := range []string{"good", "old"} {
+		if _, err := s.Registry().Get(name); err != nil {
+			t.Fatalf("healthy snapshot %q not loaded: %v", name, err)
+		}
+	}
+	for _, name := range []string{"bad", "junk"} {
+		if _, err := s.Registry().Get(name); err == nil {
+			t.Fatalf("corrupt snapshot %q was loaded", name)
+		}
+		if _, err := os.Stat(filepath.Join(dir, name+".she.corrupt")); err != nil {
+			t.Fatalf("quarantine file for %q: %v", name, err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, name+".she")); err == nil {
+			t.Fatalf("corrupt original %q.she left in place", name)
+		}
+	}
+	if got := s.Counters().Counter("snapshots_quarantined").Value(); got != 2 {
+		t.Fatalf("snapshots_quarantined = %d, want 2", got)
+	}
+}
+
+// TestPanicRecoveredPerConnection: a panic inside command execution
+// costs that client its connection (after an -ERR) but leaves the
+// daemon and other connections serving.
+func TestPanicRecoveredPerConnection(t *testing.T) {
+	testPanic = func(cmd Command) {
+		if cmd.Name == "SKETCH.CARD" && len(cmd.Args) == 1 && cmd.Args[0] == "panic-trigger" {
+			panic("injected test panic")
+		}
+	}
+	defer func() { testPanic = nil }()
+
+	s := New(Config{Listen: "127.0.0.1:0"})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Abort()
+	c1 := dialServer(t, s)
+	c1.must("PING", "+PONG")
+	c1.must("SKETCH.CARD panic-trigger", "-ERR internal error: injected test panic")
+	if _, ok := c1.try("PING"); ok {
+		t.Fatal("connection stayed open after a recovered panic")
+	}
+	c2 := dialServer(t, s)
+	c2.must("PING", "+PONG")
+	if got := s.Counters().Counter("panics_recovered").Value(); got != 1 {
+		t.Fatalf("panics_recovered = %d, want 1", got)
+	}
+}
+
+// TestWALSyncFailureFailStop: an fsync error on the log withholds the
+// batch's acknowledgements — the client gets a direct error and a
+// closed connection — and the failure is sticky, so later batches fail
+// the same way instead of pretending durability.
+func TestWALSyncFailureFailStop(t *testing.T) {
+	fault := failfs.NewFault(failfs.OS{})
+	s := startWAL(t, t.TempDir(), fault, 0)
+	defer s.Abort()
+
+	c1 := dialServer(t, s)
+	c1.must("SKETCH.CREATE d bloom bits=1024 window=1024 shards=1", "+OK")
+	fault.FailSyncs(1)
+	reply, ok := c1.try("SKETCH.INSERT d 7")
+	if !ok || !strings.HasPrefix(reply, "-ERR wal sync failed") {
+		t.Fatalf("insert across failed fsync = %q (ok=%v), want withheld ack + error", reply, ok)
+	}
+	if _, ok := c1.try("PING"); ok {
+		t.Fatal("connection survived a failed commit")
+	}
+
+	c2 := dialServer(t, s)
+	reply, ok = c2.try("SKETCH.INSERT d 8")
+	if !ok || !strings.HasPrefix(reply, "-ERR") {
+		t.Fatalf("mutation after sticky log failure = %q (ok=%v), want error", reply, ok)
+	}
+	if got := s.Counters().Counter("wal_errors").Value(); got < 2 {
+		t.Fatalf("wal_errors = %d, want >= 2", got)
+	}
+}
+
+// TestShutdownCheckpointTruncatesLog: a graceful shutdown checkpoints,
+// so the next start recovers from snapshots alone — zero records to
+// replay and a single (fresh) segment on disk.
+func TestShutdownCheckpointTruncatesLog(t *testing.T) {
+	dir := t.TempDir()
+	s1 := startWAL(t, dir, nil, 4096)
+	c := dialServer(t, s1)
+	c.must("SKETCH.CREATE flows cm counters=1024 window=65536 shards=2", "+OK")
+	for i := 0; i < 300; i++ {
+		c.must(fmt.Sprintf("SKETCH.INSERT flows %d", i), ":1")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if got := s1.Counters().Counter("checkpoints").Value(); got == 0 {
+		t.Fatal("no checkpoint ran despite CheckpointBytes=4096 and shutdown")
+	}
+
+	segs := 0
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".seg") {
+			segs++
+		}
+	}
+	if segs != 1 {
+		t.Fatalf("%d segments on disk after shutdown checkpoint, want 1", segs)
+	}
+
+	s2 := startWAL(t, dir, nil, 4096)
+	defer s2.Abort()
+	if got := s2.Counters().Counter("wal_replayed_records").Value(); got != 0 {
+		t.Fatalf("replayed %d records after graceful shutdown, want 0", got)
+	}
+	sk, err := s2.Registry().Get("flows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := sk.Inserts(); n != 300 {
+		t.Fatalf("recovered insert counter = %d, want 300", n)
+	}
+	for i := 0; i < 300; i++ {
+		if v, _ := sk.Query(uint64(i)); v < 1 {
+			t.Fatalf("key %d lost across graceful restart", i)
+		}
+	}
+}
+
+// BenchmarkServerInsertWAL is BenchmarkServerInsert with durability on:
+// same pipelining client, every batch commits through a WAL fsync.
+func BenchmarkServerInsertWAL(b *testing.B) {
+	s := New(Config{Listen: "127.0.0.1:0", WALDir: b.TempDir()})
+	if err := s.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReaderSize(conn, 64*1024)
+	w := bufio.NewWriterSize(conn, 64*1024)
+	fmt.Fprintf(w, "SKETCH.CREATE bench bloom bits=1048576 window=1048576 shards=8\n")
+	w.Flush()
+	if reply, err := r.ReadString('\n'); err != nil || reply != "+OK\n" {
+		b.Fatalf("CREATE = %q, %v", reply, err)
+	}
+
+	const batch = 256
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		n := batch
+		if rem := b.N - done; rem < n {
+			n = rem
+		}
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(w, "SKETCH.INSERT bench %d\n", done+i)
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			reply, err := r.ReadString('\n')
+			if err != nil || !strings.HasPrefix(reply, ":") {
+				b.Fatalf("reply = %q, %v", reply, err)
+			}
+		}
+		done += n
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "inserts/sec")
+}

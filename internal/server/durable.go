@@ -1,0 +1,269 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"she/internal/failfs"
+	"she/internal/wal"
+)
+
+// DefaultCheckpointBytes is the WAL size that triggers a
+// snapshot-then-truncate checkpoint when Config.CheckpointBytes is
+// zero.
+const DefaultCheckpointBytes = 8 << 20
+
+// recoverWAL restores durable state at startup: load the manifest's
+// snapshot generation, replay the log records on top of it, and — if
+// anything was replayed or damaged files were found — checkpoint right
+// away so the recovered state is durable again without them.
+func (s *Server) recoverWAL() error {
+	var segBytes int64
+	if s.cfg.CheckpointBytes > 0 {
+		// Keep a handful of segments per checkpoint interval so
+		// rotation is exercised and cleanup stays incremental.
+		segBytes = (s.cfg.CheckpointBytes + 3) / 4
+	}
+	l, rec, err := wal.Open(s.cfg.WALDir, wal.Options{FS: s.fs, SegmentBytes: segBytes})
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	if rec.SnapDir != "" {
+		if err := s.loadSnapshotDir(rec.SnapDir); err != nil {
+			l.Close()
+			return err
+		}
+	}
+	var replayed, skipped int64
+	for _, r := range rec.Records {
+		if err := s.applyRecord(r); err != nil {
+			skipped++
+			log.Printf("server: wal replay: skipping record: %v", err)
+		} else {
+			replayed++
+		}
+	}
+	s.wal = l
+	s.counters.Counter("wal_replayed_records").Add(replayed)
+	s.counters.Counter("wal_replay_skipped").Add(skipped)
+	s.counters.Counter("wal_torn_bytes").Add(rec.TornBytes)
+	s.counters.Counter("wal_segments_quarantined").Add(int64(len(rec.CorruptSegments) + len(rec.OrphanedSegments)))
+	if rec.TornBytes > 0 {
+		log.Printf("server: wal: truncated %d-byte torn tail (crash mid-append; bytes were never acknowledged)", rec.TornBytes)
+	}
+	for _, seg := range rec.CorruptSegments {
+		log.Printf("server: wal: segment %s failed CRC; quarantining as %s.corrupt", seg, seg)
+	}
+	if len(rec.Records) > 0 || rec.Damaged() {
+		if err := s.checkpoint(true); err != nil {
+			return fmt.Errorf("server: post-recovery checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+// applyRecord re-applies one logged mutation during replay. Records
+// are protocol-shaped lines, so replay shares the wire parser; INSERT
+// keys were logged as decimal uint64s, which ParseKey maps back to
+// themselves. Semantic conflicts (a record for a sketch missing after
+// a quarantined-segment gap) are returned for the caller to count and
+// log — one bad record must not abort recovery of the rest.
+func (s *Server) applyRecord(rec []byte) error {
+	cmd, err := ParseCommand(string(rec))
+	if err != nil {
+		return fmt.Errorf("record %.60q: %w", rec, err)
+	}
+	switch cmd.Name {
+	case "SKETCH.CREATE":
+		if len(cmd.Args) < 2 {
+			return fmt.Errorf("short CREATE record %.60q", rec)
+		}
+		kv, err := ParseKV(cmd.Args[2:])
+		if err != nil {
+			return err
+		}
+		sk, err := NewSketch(cmd.Args[1], kv)
+		if err != nil {
+			return err
+		}
+		// The log is authoritative about state at this position, so a
+		// CREATE replaces any sketch already registered under the name.
+		s.reg.Put(cmd.Args[0], sk)
+		return nil
+	case "SKETCH.INSERT":
+		if len(cmd.Args) < 2 {
+			return fmt.Errorf("short INSERT record %.60q", rec)
+		}
+		sk, err := s.reg.Get(cmd.Args[0])
+		if err != nil {
+			return err
+		}
+		for _, tok := range cmd.Args[1:] {
+			sk.Insert(ParseKey(tok))
+		}
+		return nil
+	case "SKETCH.DROP":
+		if len(cmd.Args) != 1 {
+			return fmt.Errorf("short DROP record %.60q", rec)
+		}
+		return s.reg.Drop(cmd.Args[0])
+	}
+	return fmt.Errorf("unexpected record command %q", cmd.Name)
+}
+
+// walAppend logs one applied mutation. The record is only durable —
+// and the client only acknowledged — after the commit-time Sync; see
+// Server.commit.
+func (s *Server) walAppend(line string) error {
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.wal.Append([]byte(line)); err != nil {
+		s.counters.Counter("wal_errors").Inc()
+		return err
+	}
+	s.counters.Counter("wal_records").Inc()
+	s.counters.Counter("wal_bytes").Set(s.wal.BytesSinceCheckpoint())
+	return nil
+}
+
+// mutate runs a state-changing handler under the shared side of the
+// checkpoint lock, so a checkpoint observes either none or all of the
+// handler's apply-then-log pair and the snapshot it writes is
+// consistent with the log position it truncates to.
+func (s *Server) mutate(fn func() error) error {
+	if s.wal == nil {
+		return fn()
+	}
+	s.chkMu.RLock()
+	defer s.chkMu.RUnlock()
+	return fn()
+}
+
+// maybeCheckpoint checkpoints when the log has outgrown the
+// configured bound. Called from connection loops with no locks held.
+func (s *Server) maybeCheckpoint() {
+	if s.wal == nil {
+		return
+	}
+	if err := s.checkpoint(false); err != nil {
+		log.Printf("server: checkpoint: %v", err)
+	}
+}
+
+// checkpoint takes the checkpoint lock and snapshots; force skips the
+// size threshold (shutdown, post-recovery, SKETCH.LOAD).
+func (s *Server) checkpoint(force bool) error {
+	if !force && s.wal.BytesSinceCheckpoint() < s.checkpointLimit() {
+		return nil
+	}
+	s.chkMu.Lock()
+	defer s.chkMu.Unlock()
+	return s.checkpointLocked(force)
+}
+
+func (s *Server) checkpointLimit() int64 {
+	if s.cfg.CheckpointBytes > 0 {
+		return s.cfg.CheckpointBytes
+	}
+	return DefaultCheckpointBytes
+}
+
+// checkpointLocked writes every sketch into a fresh WAL snapshot
+// generation and truncates the log. Caller holds chkMu exclusively,
+// so no mutation can slip between the snapshot and the new log floor.
+func (s *Server) checkpointLocked(force bool) error {
+	if !force && s.wal.BytesSinceCheckpoint() < s.checkpointLimit() {
+		return nil // another connection checkpointed while we waited
+	}
+	err := s.wal.Checkpoint(func(dir string, fsys failfs.FS) error {
+		sketches := s.reg.Snapshot()
+		names := make([]string, 0, len(sketches))
+		for name := range sketches {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if err := writeSketchFile(fsys, filepath.Join(dir, name+snapshotExt), sketches[name]); err != nil {
+				return fmt.Errorf("snapshot %s: %w", name, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		s.counters.Counter("checkpoint_errors").Inc()
+		return err
+	}
+	s.counters.Counter("checkpoints").Inc()
+	s.counters.Counter("wal_bytes").Set(s.wal.BytesSinceCheckpoint())
+	return nil
+}
+
+// writeSketchFile atomically replaces path with a sealed (checksummed)
+// snapshot of sk.
+func writeSketchFile(fsys failfs.FS, path string, sk *Sketch) error {
+	data, err := sk.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	return wal.WriteFileAtomic(fsys, path, wal.Seal(data), 0o644)
+}
+
+// parseSnapshot decodes snapshot file bytes: sealed envelopes are
+// verified (CRC32C over the payload); bytes without the envelope are
+// accepted as a legacy pre-durability snapshot for back-compat.
+func parseSnapshot(data []byte) (*Sketch, error) {
+	payload, err := wal.Unseal(data)
+	if errors.Is(err, wal.ErrNoEnvelope) {
+		payload = data
+	} else if err != nil {
+		return nil, err
+	}
+	return UnmarshalSketch(payload)
+}
+
+// loadSnapshotDir restores every *.she snapshot in dir into the
+// registry. One unreadable or corrupt file is quarantined to
+// <file>.corrupt and logged; it never aborts the rest of the
+// directory and never silently succeeds.
+func (s *Server) loadSnapshotDir(dir string) error {
+	entries, err := s.fs.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("server: snapshot dir %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), snapshotExt) {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), snapshotExt)
+		if !ValidName(name) {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		sk, err := s.loadSketchFile(path)
+		if err != nil {
+			where := "in place"
+			if q, qerr := wal.Quarantine(s.fs, path); qerr == nil {
+				where = "quarantined to " + filepath.Base(q)
+			}
+			log.Printf("server: snapshot %s unusable (%s): %v", path, where, err)
+			s.counters.Counter("snapshots_quarantined").Inc()
+			continue
+		}
+		s.reg.Put(name, sk)
+	}
+	return nil
+}
+
+// loadSketchFile reads and decodes one snapshot file.
+func (s *Server) loadSketchFile(path string) (*Sketch, error) {
+	data, err := s.fs.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return parseSnapshot(data)
+}

@@ -316,6 +316,21 @@ func (r *Registry) Drop(name string) error {
 	return nil
 }
 
+// Snapshot returns the current name → sketch mapping as one
+// consistent copy taken under a single lock acquisition, so snapshot
+// writers (checkpoints, autosave) see a set that existed at one
+// instant instead of racing Names against Get while sketches are
+// created and dropped.
+func (r *Registry) Snapshot() map[string]*Sketch {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]*Sketch, len(r.sketches))
+	for name, sk := range r.sketches {
+		out[name] = sk
+	}
+	return out
+}
+
 // Names returns the registered names in sorted order.
 func (r *Registry) Names() []string {
 	r.mu.RLock()

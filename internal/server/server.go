@@ -7,14 +7,14 @@ import (
 	"io"
 	"net"
 	"net/http"
-	"os"
 	"path/filepath"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"she/internal/failfs"
 	"she/internal/metrics"
+	"she/internal/wal"
 )
 
 // snapshotExt is the autosave file extension; the base name is the
@@ -48,6 +48,18 @@ type Config struct {
 	// MaxConns caps concurrent client connections; excess dials get an
 	// -ERR reply and are closed immediately (0 = no limit).
 	MaxConns int
+	// WALDir enables crash-safe durability: applied mutations are
+	// appended to a write-ahead log in this directory and replayed over
+	// the latest checkpoint snapshot at startup, so a kill -9 loses no
+	// acknowledged write. When set it supersedes AutosaveDir as the
+	// durability mechanism (AutosaveDir is neither loaded nor written).
+	WALDir string
+	// CheckpointBytes bounds the WAL: once the log exceeds this size a
+	// snapshot-then-truncate checkpoint runs (0 = DefaultCheckpointBytes).
+	CheckpointBytes int64
+	// FS is the filesystem used for snapshots and the WAL; nil means
+	// the real one. Fault-injection tests substitute failfs.Fault.
+	FS failfs.FS
 }
 
 // Server hosts a registry of named sketches behind a TCP listener, one
@@ -68,16 +80,29 @@ type Server struct {
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
+
+	fs  failfs.FS
+	wal *wal.Log
+	// chkMu orders mutations against checkpoints: every state-changing
+	// command holds it shared around its apply-then-log pair, and a
+	// checkpoint holds it exclusively, so the snapshot it writes is
+	// exactly the state at the log position it truncates to.
+	chkMu sync.RWMutex
 }
 
 // New returns an unstarted server.
 func New(cfg Config) *Server {
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = failfs.OS{}
+	}
 	return &Server{
 		cfg:      cfg,
 		reg:      NewRegistry(),
 		counters: metrics.NewCounterSet(),
 		done:     make(chan struct{}),
 		conns:    make(map[net.Conn]struct{}),
+		fs:       fsys,
 	}
 }
 
@@ -91,13 +116,17 @@ func (s *Server) Counters() *metrics.CounterSet { return s.counters }
 // serving in background goroutines. It returns once the addresses are
 // bound, so tests can dial Addr() immediately.
 func (s *Server) Start() error {
-	if s.cfg.AutosaveDir != "" {
+	if s.cfg.WALDir != "" {
+		if err := s.recoverWAL(); err != nil {
+			return err
+		}
+	} else if s.cfg.AutosaveDir != "" {
 		if err := s.loadAutosaves(); err != nil {
 			return err
 		}
 	}
 	if s.cfg.SnapshotDir != "" {
-		if err := os.MkdirAll(s.cfg.SnapshotDir, 0o755); err != nil {
+		if err := s.fs.MkdirAll(s.cfg.SnapshotDir, 0o755); err != nil {
 			return fmt.Errorf("server: snapshot dir: %w", err)
 		}
 	}
@@ -225,7 +254,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 		s.mu.Unlock()
 	}
-	if s.cfg.AutosaveDir != "" {
+	if s.wal != nil {
+		// Final checkpoint: restart recovers from snapshots alone.
+		if cerr := s.checkpoint(true); err == nil {
+			err = cerr
+		}
+		if cerr := s.wal.Close(); err == nil {
+			err = cerr
+		}
+	} else if s.cfg.AutosaveDir != "" {
 		if serr := s.saveAutosaves(); err == nil {
 			err = serr
 		}
@@ -233,51 +270,46 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// loadAutosaves restores every *.she snapshot in the autosave dir,
-// named by file base name. A missing directory is created, not an
-// error, so first start works.
-func (s *Server) loadAutosaves() error {
-	dir := s.cfg.AutosaveDir
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("server: autosave dir: %w", err)
+// Abort tears the server down immediately — listeners and connections
+// close, no drain, no checkpoint, no autosave — simulating a crash
+// (kill -9) for durability tests. Only state already made durable by
+// commit-time WAL syncs or past checkpoints survives, which is
+// exactly the guarantee the tests assert.
+func (s *Server) Abort() {
+	s.closeOnce.Do(func() { close(s.done) })
+	if s.ln != nil {
+		s.ln.Close()
 	}
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return fmt.Errorf("server: autosave dir: %w", err)
+	if s.debugSrv != nil {
+		s.debugSrv.Close()
 	}
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), snapshotExt) {
-			continue
-		}
-		name := strings.TrimSuffix(e.Name(), snapshotExt)
-		if !ValidName(name) {
-			continue
-		}
-		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
-		if err != nil {
-			return fmt.Errorf("server: autosave %s: %w", e.Name(), err)
-		}
-		sk, err := UnmarshalSketch(data)
-		if err != nil {
-			return fmt.Errorf("server: autosave %s: %w", e.Name(), err)
-		}
-		s.reg.Put(name, sk)
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
 	}
-	return nil
+	s.mu.Unlock()
+	s.wg.Wait()
 }
 
-// saveAutosaves snapshots every sketch into the autosave dir.
+// loadAutosaves restores every *.she snapshot in the autosave dir,
+// named by file base name. A missing directory is created, not an
+// error, so first start works; a corrupt file is quarantined, not
+// fatal.
+func (s *Server) loadAutosaves() error {
+	dir := s.cfg.AutosaveDir
+	if err := s.fs.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("server: autosave dir: %w", err)
+	}
+	return s.loadSnapshotDir(dir)
+}
+
+// saveAutosaves snapshots every sketch into the autosave dir, each
+// file sealed (checksummed) and replaced atomically so a crash
+// mid-save can never leave a torn snapshot behind.
 func (s *Server) saveAutosaves() error {
 	var firstErr error
-	for _, name := range s.reg.Names() {
-		sk, err := s.reg.Get(name)
-		if err != nil {
-			continue
-		}
-		data, err := sk.MarshalBinary()
-		if err == nil {
-			err = os.WriteFile(filepath.Join(s.cfg.AutosaveDir, name+snapshotExt), data, 0o644)
-		}
+	for name, sk := range s.reg.Snapshot() {
+		err := writeSketchFile(s.fs, filepath.Join(s.cfg.AutosaveDir, name+snapshotExt), sk)
 		if err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("server: autosave %s: %w", name, err)
 		}
