@@ -38,18 +38,19 @@ package main
 import (
 	"context"
 	"flag"
-	"log"
+	"fmt"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	obslog "she/internal/obs/log"
 	"she/internal/server"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:6380", "TCP address for the sketch protocol (no auth — exposing beyond loopback is an explicit opt-in)")
-	debug := flag.String("debug", "", "HTTP address for /debug/vars counters (empty = disabled)")
+	debug := flag.String("debug", "", "HTTP address for /debug/vars, /metrics and (with -pprof) /debug/pprof (empty = disabled)")
 	autosave := flag.String("autosave", "", "snapshot directory: loaded at startup, saved at shutdown (empty = disabled)")
 	snapshots := flag.String("snapshots", "", "directory for SKETCH.SAVE/LOAD files (empty = use -autosave dir; both empty = commands disabled)")
 	walDir := flag.String("wal", "", "write-ahead log directory: every acknowledged mutation is fsynced before the reply, so kill -9 loses nothing (empty = disabled; supersedes -autosave)")
@@ -58,13 +59,29 @@ func main() {
 	idle := flag.Duration("idle-timeout", 5*time.Minute, "close connections idle for this long (0 = never)")
 	writeTimeout := flag.Duration("write-timeout", 10*time.Second, "per-flush reply write deadline (0 = none)")
 	maxConns := flag.Int("max-conns", 1024, "maximum concurrent client connections (0 = unlimited)")
+	slowMs := flag.Int64("slow-ms", 0, "log commands taking at least this many milliseconds to the SLOWLOG ring (0 = disabled)")
+	slowlogSize := flag.Int("slowlog-size", 128, "slow-query ring capacity")
+	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof on the -debug listener")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	flag.Parse()
 
-	log.SetPrefix("shed: ")
-	log.SetFlags(0)
+	level, err := obslog.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shed: %v\n", err)
+		os.Exit(2)
+	}
+	logger := obslog.New(os.Stderr, level).With("app", "shed")
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		os.Exit(1)
+	}
 
 	if *walDir != "" && *autosave != "" {
-		log.Printf("warning: -wal supersedes -autosave; %s will be neither loaded nor written", *autosave)
+		logger.Warn("-wal supersedes -autosave; autosave dir will be neither loaded nor written",
+			"autosave", *autosave)
+	}
+	if *enablePprof && *debug == "" {
+		logger.Warn("-pprof has no effect without -debug")
 	}
 	srv := server.New(server.Config{
 		Listen:          *listen,
@@ -76,28 +93,35 @@ func main() {
 		MaxConns:        *maxConns,
 		WALDir:          *walDir,
 		CheckpointBytes: *checkpointBytes,
+		SlowThreshold:   time.Duration(*slowMs) * time.Millisecond,
+		SlowLogSize:     *slowlogSize,
+		EnablePprof:     *enablePprof,
+		Logger:          logger,
 	})
 	if err := srv.Start(); err != nil {
-		log.Fatal(err)
+		fatal("start failed", err)
 	}
-	log.Printf("listening on %s", srv.Addr())
+	logger.Info("listening", "addr", srv.Addr().String())
 	if a := srv.DebugAddr(); a != nil {
-		log.Printf("debug vars on http://%s/debug/vars", a)
+		logger.Info("debug endpoints up",
+			"vars", "http://"+a.String()+"/debug/vars",
+			"metrics", "http://"+a.String()+"/metrics",
+			"pprof", *enablePprof)
 	}
 	switch {
 	case *walDir != "":
-		log.Printf("wal in %s (%d sketches recovered)", *walDir, srv.Registry().Len())
+		logger.Info("wal enabled", "dir", *walDir, "sketches_recovered", srv.Registry().Len())
 	case *autosave != "":
-		log.Printf("autosave to %s (%d sketches restored)", *autosave, srv.Registry().Len())
+		logger.Info("autosave enabled", "dir", *autosave, "sketches_restored", srv.Registry().Len())
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Printf("shutting down (drain %s)", *drain)
+	logger.Info("shutting down", "drain", drain.String())
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Fatalf("shutdown: %v", err)
+		fatal("shutdown failed", err)
 	}
 }

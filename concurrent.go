@@ -99,6 +99,17 @@ func (s *ShardedBloomFilter) MemoryBits() int {
 // Shards returns the shard count.
 func (s *ShardedBloomFilter) Shards() int { return len(s.shards) }
 
+// Stats aggregates the shards' window state (counts summed, cycle
+// position averaged); safe for concurrent use.
+func (s *ShardedBloomFilter) Stats() SketchStats {
+	return aggregateStats(len(s.shards), func(i int) SketchStats {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		return sh.bf.Stats()
+	})
+}
+
 // ShardedCountMin is a concurrency-safe sliding-window Count-Min
 // sketch: P shards, each holding counters/P counters and a window of
 // Window/P items.
@@ -171,6 +182,17 @@ func (s *ShardedCountMin) MemoryBits() int {
 
 // Shards returns the shard count.
 func (s *ShardedCountMin) Shards() int { return len(s.shards) }
+
+// Stats aggregates the shards' window state (counts summed, cycle
+// position averaged); safe for concurrent use.
+func (s *ShardedCountMin) Stats() SketchStats {
+	return aggregateStats(len(s.shards), func(i int) SketchStats {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		return sh.cm.Stats()
+	})
+}
 
 // ShardedHyperLogLog is a concurrency-safe sliding-window cardinality
 // estimator: keys are partitioned across P shard estimators and the
@@ -247,3 +269,14 @@ func (s *ShardedHyperLogLog) MemoryBits() int {
 
 // Shards returns the shard count.
 func (s *ShardedHyperLogLog) Shards() int { return len(s.shards) }
+
+// Stats aggregates the shards' window state (counts summed, cycle
+// position averaged); safe for concurrent use.
+func (s *ShardedHyperLogLog) Stats() SketchStats {
+	return aggregateStats(len(s.shards), func(i int) SketchStats {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		return sh.h.Stats()
+	})
+}

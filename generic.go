@@ -112,3 +112,8 @@ func (s *Sketch) FoldAll(fn func(CellView)) int {
 
 // MemoryBits returns the sketch's memory footprint in bits.
 func (s *Sketch) MemoryBits() int { return s.inner.MemoryBits() }
+
+// Stats snapshots the sketch's window state: fill, cleaning-cycle
+// position and young/perfect/aged cell counts. Cells holding the CSM's
+// ResetValue count as unfilled.
+func (s *Sketch) Stats() SketchStats { return fromCore(s.inner.Stats()) }

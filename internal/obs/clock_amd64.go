@@ -1,0 +1,49 @@
+//go:build amd64
+
+package obs
+
+// rdtsc reads the CPU timestamp counter (implemented in clock_amd64.s).
+// Non-serializing: it can drift a few nanoseconds across out-of-order
+// execution, which is far below a latency histogram's bucket width.
+func rdtsc() int64
+
+var (
+	tscBase      int64
+	tscNsPerTick float64
+	tscOK        bool
+)
+
+// init calibrates the TSC against the runtime's monotonic clock over a
+// ~200µs busy window. With invariant TSC (every x86 made this decade,
+// bare metal or KVM) the ratio is constant; if the environment reports
+// nonsense (TSC not advancing, absurd frequency) tscOK stays false and
+// Nanotime falls back to runtime nanotime.
+func init() {
+	n0 := nanotime()
+	t0 := rdtsc()
+	for nanotime()-n0 < 200_000 {
+	}
+	n1 := nanotime()
+	t1 := rdtsc()
+	if t1 <= t0 || n1 <= n0 {
+		return
+	}
+	tscNsPerTick = float64(n1-n0) / float64(t1-t0)
+	tscBase = t1
+	// Plausible CPU frequencies only: 10 MHz to 100 GHz.
+	tscOK = tscNsPerTick > 0.01 && tscNsPerTick < 100
+}
+
+// Nanotime returns a monotonic clock reading in nanoseconds, as fast as
+// the platform allows: a raw RDTSC scaled by the calibrated tick ratio
+// (~3× cheaper than time.Now, which reads both wall and monotonic
+// clocks). Only differences are meaningful; the zero point is
+// arbitrary. The float conversion keeps differences exact to one tick
+// for ~50 days of uptime and within ~100 ns forever after — noise-level
+// for histogram use.
+func Nanotime() int64 {
+	if tscOK {
+		return int64(float64(rdtsc()-tscBase) * tscNsPerTick)
+	}
+	return nanotime()
+}

@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package obs
+
+// Nanotime returns the monotonic clock in nanoseconds. Only differences
+// are meaningful; the zero point is arbitrary (process start). On
+// non-amd64 platforms this is the runtime's nanotime; amd64 gets a
+// cheaper TSC-based reading (see clock_amd64.go).
+func Nanotime() int64 { return nanotime() }

@@ -1,0 +1,167 @@
+// Package log is a small structured, leveled logger for shed. One
+// line per event, logfmt-shaped (`ts=... level=... msg=... key=value`),
+// so output greps cleanly and ingests into any log pipeline without a
+// parser. Import it as obslog where the standard library's log is also
+// in scope.
+package log
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities.
+type Level int8
+
+// Levels, least to most severe.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the level's lowercase name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return fmt.Sprintf("level(%d)", int(l))
+}
+
+// ParseLevel maps a level name (case-insensitive) to its Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// Logger writes leveled, structured lines to one writer. Methods are
+// safe for concurrent use (one mutex around each write, shared with
+// every derived With-logger so lines never interleave) and safe on a
+// nil receiver, which discards — so optional logging needs no nil
+// checks at call sites.
+type Logger struct {
+	mu     *sync.Mutex
+	w      io.Writer
+	min    Level
+	fields string // pre-rendered " key=value" pairs bound by With
+	now    func() time.Time
+}
+
+// New returns a logger writing events at or above min to w.
+func New(w io.Writer, min Level) *Logger {
+	return &Logger{mu: &sync.Mutex{}, w: w, min: min, now: time.Now}
+}
+
+// With returns a logger that appends the given key/value pairs to
+// every line it writes. The child shares the parent's writer, level
+// and mutex.
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	var b strings.Builder
+	appendPairs(&b, kv)
+	return &Logger{mu: l.mu, w: l.w, min: l.min, fields: l.fields + b.String(), now: l.now}
+}
+
+// Enabled reports whether events at lv would be written.
+func (l *Logger) Enabled(lv Level) bool { return l != nil && lv >= l.min }
+
+// Debug logs at LevelDebug. kv is alternating key/value pairs.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(lv Level, msg string, kv []any) {
+	if !l.Enabled(lv) {
+		return
+	}
+	var b strings.Builder
+	b.Grow(64 + len(msg) + len(l.fields))
+	b.WriteString("ts=")
+	b.WriteString(l.now().UTC().Format("2006-01-02T15:04:05.000Z"))
+	b.WriteString(" level=")
+	b.WriteString(lv.String())
+	b.WriteString(" msg=")
+	b.WriteString(quote(msg))
+	b.WriteString(l.fields)
+	appendPairs(&b, kv)
+	b.WriteByte('\n')
+	l.mu.Lock()
+	io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+// appendPairs renders alternating key/value pairs as " key=value". A
+// trailing key without a value is rendered with the value "(MISSING)"
+// rather than dropped, so the mistake is visible in the output.
+func appendPairs(b *strings.Builder, kv []any) {
+	for i := 0; i < len(kv); i += 2 {
+		key, ok := kv[i].(string)
+		if !ok {
+			key = fmt.Sprint(kv[i])
+		}
+		b.WriteByte(' ')
+		b.WriteString(key)
+		b.WriteByte('=')
+		if i+1 < len(kv) {
+			b.WriteString(quote(render(kv[i+1])))
+		} else {
+			b.WriteString("(MISSING)")
+		}
+	}
+}
+
+func render(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case error:
+		return x.Error()
+	case fmt.Stringer:
+		return x.String()
+	}
+	return fmt.Sprint(v)
+}
+
+// quote wraps a value in quotes only when logfmt needs it — spaces,
+// quotes or control characters — keeping the common case clean.
+func quote(s string) string {
+	if s == "" {
+		return `""`
+	}
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c <= ' ' || c == '"' || c == '=' || c == 0x7f {
+			return strconv.Quote(s)
+		}
+	}
+	return s
+}

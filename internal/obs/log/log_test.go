@@ -1,0 +1,139 @@
+package log
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixed() *Logger {
+	l := New(&strings.Builder{}, LevelDebug)
+	l.now = func() time.Time { return time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC) }
+	return l
+}
+
+func output(l *Logger) string { return l.w.(*strings.Builder).String() }
+
+func TestLoggerFormat(t *testing.T) {
+	l := fixed()
+	l.Info("listening", "addr", "127.0.0.1:6380", "conns", 3)
+	want := `ts=2026-08-06T12:00:00.000Z level=info msg=listening addr=127.0.0.1:6380 conns=3` + "\n"
+	if got := output(l); got != want {
+		t.Fatalf("got  %q\nwant %q", got, want)
+	}
+}
+
+func TestLoggerQuoting(t *testing.T) {
+	l := fixed()
+	l.Warn("wal replay", "err", errors.New(`bad record "x" found`), "empty", "")
+	got := output(l)
+	if !strings.Contains(got, `msg="wal replay"`) {
+		t.Errorf("msg not quoted: %q", got)
+	}
+	if !strings.Contains(got, `err="bad record \"x\" found"`) {
+		t.Errorf("error value not quoted: %q", got)
+	}
+	if !strings.Contains(got, `empty=""`) {
+		t.Errorf("empty value not quoted: %q", got)
+	}
+}
+
+func TestLoggerLevelFilter(t *testing.T) {
+	var b strings.Builder
+	l := New(&b, LevelWarn)
+	l.Debug("d")
+	l.Info("i")
+	l.Warn("w")
+	l.Error("e")
+	got := b.String()
+	if strings.Contains(got, "level=debug") || strings.Contains(got, "level=info") {
+		t.Fatalf("filtered levels leaked: %q", got)
+	}
+	if !strings.Contains(got, "level=warn") || !strings.Contains(got, "level=error") {
+		t.Fatalf("missing levels: %q", got)
+	}
+	if l.Enabled(LevelInfo) || !l.Enabled(LevelError) {
+		t.Fatal("Enabled wrong")
+	}
+}
+
+func TestLoggerWith(t *testing.T) {
+	l := fixed()
+	child := l.With("conn", 7)
+	child.Info("read", "bytes", 128)
+	got := output(l)
+	if !strings.Contains(got, " conn=7 bytes=128") {
+		t.Fatalf("bound fields missing: %q", got)
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var l *Logger
+	l.Info("nothing happens") // must not panic
+	if l.With("k", "v") != nil {
+		t.Fatal("nil With should stay nil")
+	}
+	if l.Enabled(LevelError) {
+		t.Fatal("nil logger claims enabled")
+	}
+}
+
+func TestLoggerOddPairs(t *testing.T) {
+	l := fixed()
+	l.Info("oops", "key")
+	if !strings.Contains(output(l), "key=(MISSING)") {
+		t.Fatalf("dangling key not marked: %q", output(l))
+	}
+}
+
+func TestLoggerConcurrent(t *testing.T) {
+	var b strings.Builder
+	l := New(&safeWriter{b: &b}, LevelInfo)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Info("tick", "i", i)
+			}
+		}()
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 800 {
+		t.Fatalf("lines = %d, want 800", len(lines))
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "ts=") || !strings.Contains(line, "msg=tick") {
+			t.Fatalf("interleaved line %q", line)
+		}
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{"debug": LevelDebug, "INFO": LevelInfo, "warning": LevelWarn, "Error": LevelError} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel accepted junk")
+	}
+}
+
+// safeWriter serializes writes; the logger's own mutex already does,
+// but strings.Builder is not safe for the race detector to see raw.
+type safeWriter struct {
+	mu sync.Mutex
+	b  *strings.Builder
+}
+
+func (w *safeWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}

@@ -1,0 +1,15 @@
+package obs
+
+import (
+	_ "unsafe" // for go:linkname
+)
+
+// nanotime is the runtime's raw monotonic clock. A time.Now() call
+// reads both the wall clock and the monotonic clock; command paths that
+// only ever need a duration can skip the wall read and halve the
+// per-observation clock cost. runtime.nanotime is on the runtime's
+// sanctioned linkname list (the same pull half the ecosystem's timing
+// libraries use), so this builds under the Go ≥1.23 linkname hardening.
+//
+//go:linkname nanotime runtime.nanotime
+func nanotime() int64

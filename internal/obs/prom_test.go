@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sampleLine matches one exposition sample: name, optional labels,
+// a float value (including +Inf/NaN forms Go's 'g' never emits here).
+var sampleLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? -?[0-9].*$`)
+
+// ValidateExposition asserts every line of a Prometheus text payload
+// is either a comment or a well-formed sample. Shared with the server
+// tests via the obs test package would be circular, so the server
+// duplicates the regexp check loosely.
+func validateExposition(t *testing.T, text string) {
+	t.Helper()
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if !strings.HasPrefix(line, "# TYPE ") && !strings.HasPrefix(line, "# HELP ") {
+				t.Errorf("bad comment line %q", line)
+			}
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Errorf("bad sample line %q", line)
+		}
+	}
+}
+
+func TestPromGaugeCounterUntyped(t *testing.T) {
+	var b strings.Builder
+	p := NewPromWriter(&b)
+	p.Gauge("she_up", "", 1)
+	p.Counter("she_ops_total", `verb="PING"`, 42)
+	p.Counter("she_ops_total", `verb="INFO"`, 7) // TYPE emitted once
+	p.Untyped("she_wal_bytes", "", 1024)
+	out := b.String()
+	validateExposition(t, out)
+	if strings.Count(out, "# TYPE she_ops_total counter") != 1 {
+		t.Fatalf("TYPE line not deduplicated:\n%s", out)
+	}
+	for _, want := range []string{
+		"she_up 1\n",
+		`she_ops_total{verb="PING"} 42` + "\n",
+		"she_wal_bytes 1024\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromHistogram(t *testing.T) {
+	var h Histogram
+	h.Observe(1 * time.Microsecond)
+	h.Observe(3 * time.Microsecond)
+	h.Observe(2 * time.Millisecond)
+	var b strings.Builder
+	p := NewPromWriter(&b)
+	p.Histogram("she_command_seconds", `verb="SKETCH.INSERT"`, h.Snapshot())
+	out := b.String()
+	validateExposition(t, out)
+	if !strings.Contains(out, "# TYPE she_command_seconds histogram") {
+		t.Fatalf("missing TYPE:\n%s", out)
+	}
+	if !strings.Contains(out, `she_command_seconds_bucket{verb="SKETCH.INSERT",le="+Inf"} 3`) {
+		t.Fatalf("missing +Inf bucket:\n%s", out)
+	}
+	if !strings.Contains(out, `she_command_seconds_count{verb="SKETCH.INSERT"} 3`) {
+		t.Fatalf("missing _count:\n%s", out)
+	}
+	// Cumulative bucket counts must be non-decreasing.
+	prev := -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, "_bucket{") {
+			continue
+		}
+		v, err := strconv.Atoi(line[strings.LastIndex(line, " ")+1:])
+		if err != nil || v < prev {
+			t.Fatalf("non-cumulative bucket line %q (prev %d)", line, prev)
+		}
+		prev = v
+	}
+}
+
+func TestPromEmptyHistogram(t *testing.T) {
+	var b strings.Builder
+	NewPromWriter(&b).Histogram("she_idle_seconds", "", HistSnapshot{})
+	out := b.String()
+	validateExposition(t, out)
+	if !strings.Contains(out, `she_idle_seconds_bucket{le="+Inf"} 0`) {
+		t.Fatalf("empty histogram exposition:\n%s", out)
+	}
+}
+
+func TestEscapeAndSanitize(t *testing.T) {
+	if got := EscapeLabel(`a"b\c` + "\n"); got != `a\"b\\c\n` {
+		t.Fatalf("EscapeLabel = %q", got)
+	}
+	if got := SanitizeName("she_cmd-SKETCH.INSERT"); got != "she_cmd_SKETCH_INSERT" {
+		t.Fatalf("SanitizeName = %q", got)
+	}
+}

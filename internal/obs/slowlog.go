@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowEntry is one logged slow command.
+type SlowEntry struct {
+	// ID numbers entries monotonically from server start; it survives
+	// ring eviction, so a client can detect entries it missed.
+	ID uint64
+	// Time is when the command finished.
+	Time time.Time
+	// Duration is how long the command took to execute.
+	Duration time.Duration
+	// Command is the command line (verb plus arguments, possibly
+	// truncated by the recorder).
+	Command string
+}
+
+// SlowLog is a fixed-capacity ring of the most recent slow commands.
+// It sits off the hot path — only commands that already blew a latency
+// threshold reach it — so a plain mutex is fine. A nil *SlowLog
+// ignores records and reports itself empty.
+type SlowLog struct {
+	mu   sync.Mutex
+	ring []SlowEntry
+	n    int    // entries currently held, ≤ len(ring)
+	next int    // ring index of the next write
+	id   uint64 // next entry ID
+}
+
+// NewSlowLog returns a ring holding up to capacity entries (minimum 1).
+func NewSlowLog(capacity int) *SlowLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SlowLog{ring: make([]SlowEntry, capacity)}
+}
+
+// Record appends one slow command, evicting the oldest entry when full.
+func (l *SlowLog) Record(command string, d time.Duration, at time.Time) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.ring[l.next] = SlowEntry{ID: l.id, Time: at, Duration: d, Command: command}
+	l.id++
+	l.next = (l.next + 1) % len(l.ring)
+	if l.n < len(l.ring) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// Entries returns the held entries, newest first.
+func (l *SlowLog) Entries() []SlowEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowEntry, 0, l.n)
+	for i := 1; i <= l.n; i++ {
+		out = append(out, l.ring[(l.next-i+len(l.ring))%len(l.ring)])
+	}
+	return out
+}
+
+// Len returns the number of held entries.
+func (l *SlowLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// Reset discards every held entry. IDs keep counting, so entries
+// recorded after a reset are distinguishable from re-reads.
+func (l *SlowLog) Reset() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.n, l.next = 0, 0
+	l.mu.Unlock()
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSlowLogRingEviction(t *testing.T) {
+	l := NewSlowLog(3)
+	base := time.Unix(1000, 0)
+	for i := 0; i < 5; i++ {
+		l.Record(fmt.Sprintf("CMD %d", i), time.Duration(i)*time.Millisecond, base.Add(time.Duration(i)*time.Second))
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len())
+	}
+	got := l.Entries()
+	if len(got) != 3 {
+		t.Fatalf("Entries = %d", len(got))
+	}
+	// Newest first; the two oldest were evicted.
+	for i, want := range []uint64{4, 3, 2} {
+		if got[i].ID != want {
+			t.Errorf("entry %d ID = %d, want %d", i, got[i].ID, want)
+		}
+		if got[i].Command != fmt.Sprintf("CMD %d", want) {
+			t.Errorf("entry %d command = %q", i, got[i].Command)
+		}
+	}
+}
+
+func TestSlowLogResetKeepsIDs(t *testing.T) {
+	l := NewSlowLog(8)
+	l.Record("A", time.Millisecond, time.Unix(0, 0))
+	l.Record("B", time.Millisecond, time.Unix(0, 0))
+	l.Reset()
+	if l.Len() != 0 || len(l.Entries()) != 0 {
+		t.Fatalf("after reset: Len=%d Entries=%d", l.Len(), len(l.Entries()))
+	}
+	l.Record("C", time.Millisecond, time.Unix(0, 0))
+	if e := l.Entries(); len(e) != 1 || e[0].ID != 2 {
+		t.Fatalf("post-reset entries = %+v, want single ID 2", e)
+	}
+}
+
+func TestSlowLogNilSafe(t *testing.T) {
+	var l *SlowLog
+	l.Record("X", time.Second, time.Now())
+	if l.Len() != 0 || l.Entries() != nil {
+		t.Fatal("nil slowlog not empty")
+	}
+	l.Reset()
+}
+
+func TestSlowLogMinCapacity(t *testing.T) {
+	l := NewSlowLog(0)
+	l.Record("A", 1, time.Unix(0, 0))
+	l.Record("B", 2, time.Unix(0, 0))
+	e := l.Entries()
+	if len(e) != 1 || e[0].Command != "B" {
+		t.Fatalf("entries = %+v, want only newest", e)
+	}
+}

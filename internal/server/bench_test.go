@@ -12,11 +12,16 @@ import (
 	"she/internal/server"
 )
 
-// BenchmarkServerInsert measures end-to-end server-side inserts/sec
-// over loopback with a pipelining client (one flush per batch) — the
-// baseline later networking PRs are measured against.
-func BenchmarkServerInsert(b *testing.B) {
-	s := server.New(server.Config{Listen: "127.0.0.1:0"})
+// benchServerInsert measures end-to-end server-side inserts/sec over
+// loopback with a pipelining client (one flush per batch) — the
+// baseline later networking PRs are measured against. Shared by the
+// histograms-on and histograms-off variants, whose delta is the
+// observability overhead budget (< 5%, asserted by
+// scripts/benchsmoke.sh).
+func benchServerInsert(b *testing.B, cfg server.Config) {
+	cfg.Listen = "127.0.0.1:0"
+	cfg.Logger = quiet()
+	s := server.New(cfg)
 	if err := s.Start(); err != nil {
 		b.Fatal(err)
 	}
@@ -62,4 +67,16 @@ func BenchmarkServerInsert(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "inserts/sec")
+}
+
+// BenchmarkServerInsert runs with the default observability on: every
+// command is clocked into its verb's latency histogram.
+func BenchmarkServerInsert(b *testing.B) {
+	benchServerInsert(b, server.Config{})
+}
+
+// BenchmarkServerInsertNoObs disables histograms (and with no slow
+// threshold, all clock reads on the command path).
+func BenchmarkServerInsertNoObs(b *testing.B) {
+	benchServerInsert(b, server.Config{DisableHistograms: true})
 }

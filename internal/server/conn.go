@@ -10,6 +10,8 @@ import (
 	"strings"
 	"time"
 
+	"she/internal/obs"
+	obslog "she/internal/obs/log"
 	"she/internal/wal"
 )
 
@@ -50,6 +52,17 @@ func (s *Server) handleConn(conn net.Conn) {
 
 	r := bufio.NewReaderSize(conn, MaxLineBytes)
 	w := bufio.NewWriterSize(conn, 32*1024)
+	timed := s.verbHist != nil || s.cfg.SlowThreshold > 0
+	// Per-connection latency accumulators: observations land in
+	// single-writer LocalHists and merge into the shared per-verb
+	// histograms at batch drain points (and on close), so the steady
+	// state pays no LOCK-prefixed atomics per command. A /metrics scrape
+	// lags by at most the batch in flight.
+	var lats *connLats
+	if s.verbHist != nil {
+		lats = &connLats{verbs: make([]*obs.LocalHist, len(commandVerbs))}
+		defer lats.flush(s)
+	}
 	// A failed commit is terminal for the connection: the error line has
 	// been sent, so the deferred flush of any leftover replies must not
 	// run again.
@@ -65,6 +78,12 @@ func (s *Server) handleConn(conn net.Conn) {
 		return nil
 	}
 	defer commit()
+	// startNs chains timestamps across a pipelined batch: when the next
+	// command is already buffered, the end reading of this command is
+	// the start reading of the next, so the steady state costs one clock
+	// read per command instead of two. Zero means "take a fresh reading
+	// after the next readLine".
+	var startNs int64
 	for {
 		if d := s.cfg.IdleTimeout; d > 0 {
 			conn.SetReadDeadline(time.Now().Add(d))
@@ -89,21 +108,110 @@ func (s *Server) handleConn(conn net.Conn) {
 		switch {
 		case errors.Is(err, ErrEmpty):
 			// Blank line: no reply.
+			startNs = 0
 		case err != nil:
 			s.counters.Counter("errors_total").Inc()
 			writeError(w, err.Error())
+			startNs = 0
 		default:
-			if quit := s.safeExecute(cmd, w); quit {
+			// Clock reads are skipped entirely when nothing consumes
+			// them (histograms disabled and no slow threshold), and use
+			// the monotonic-only obs.Nanotime rather than time.Now():
+			// full wall+mono reads are real money on a sub-microsecond
+			// command path. Fresh readings land after readLine, so a
+			// measured duration covers execute (plus, for chained
+			// pipelined commands, the buffered read and parse) but never
+			// time spent blocked waiting for input.
+			if timed && startNs == 0 {
+				startNs = obs.Nanotime()
+			}
+			quit := s.safeExecute(cmd, w)
+			if timed {
+				endNs := obs.Nanotime()
+				s.observe(lats, cmd, time.Duration(endNs-startNs))
+				if r.Buffered() > 0 {
+					startNs = endNs
+				} else {
+					startNs = 0
+				}
+			}
+			if quit {
 				return
 			}
 			s.maybeCheckpoint()
 		}
 		if r.Buffered() == 0 {
+			lats.flush(s)
 			if err := commit(); err != nil {
 				return
 			}
 		}
 	}
+}
+
+// connLats is one connection's latency accumulators, one LocalHist per
+// verb actually used, allocated lazily. Owned by the connection
+// goroutine; only flush touches shared state.
+type connLats struct {
+	verbs   []*obs.LocalHist
+	pending int
+}
+
+// flush merges every accumulator into the shared per-verb histograms.
+// Nil-safe, so the histograms-disabled path can call it unconditionally.
+func (c *connLats) flush(s *Server) {
+	if c == nil || c.pending == 0 {
+		return
+	}
+	for i, l := range c.verbs {
+		if l != nil {
+			l.Flush(s.verbHist[i])
+		}
+	}
+	c.pending = 0
+}
+
+// observe feeds one completed command into the latency accumulator for
+// its verb (unknown names share the OTHER bucket) and, past the
+// configured threshold, into the slow-query log. The slow-query check
+// sees every command's exact duration; only the histogram merge is
+// deferred.
+func (s *Server) observe(lats *connLats, cmd Command, d time.Duration) {
+	if lats != nil { // nil when histograms are disabled but SlowThreshold isn't
+		i := verbIndex(cmd.Name)
+		l := lats.verbs[i]
+		if l == nil {
+			l = &obs.LocalHist{}
+			lats.verbs[i] = l
+		}
+		l.Observe(d)
+		// A client that pipelines forever without draining never hits the
+		// batch-end flush, so cap the unflushed backlog here.
+		if lats.pending++; lats.pending >= obs.FlushLimit {
+			lats.flush(s)
+		}
+	}
+	if t := s.cfg.SlowThreshold; t > 0 && d >= t {
+		s.slow.Record(renderCommand(cmd), d, time.Now())
+		s.counters.Counter("slow_commands_total").Inc()
+		if s.logger.Enabled(obslog.LevelWarn) {
+			s.logger.Warn("slow command", "verb", cmd.Name, "duration", d.String())
+		}
+	}
+}
+
+// renderCommand reconstructs a command line for the slow-query log,
+// bounded so a 128-key INSERT doesn't bloat the ring.
+func renderCommand(cmd Command) string {
+	const maxLen = 256
+	line := cmd.Name
+	if len(cmd.Args) > 0 {
+		line += " " + strings.Join(cmd.Args, " ")
+	}
+	if len(line) > maxLen {
+		line = line[:maxLen] + "..."
+	}
+	return line
 }
 
 // safeExecute runs one command, containing a panic to this connection:
@@ -173,8 +281,12 @@ func (s *Server) execute(cmd Command, w *bufio.Writer) (quit bool) {
 		return true
 	case "INFO":
 		s.writeInfo(w)
+	case "SLOWLOG":
+		err = s.cmdSlowlog(cmd, w)
 	case "SKETCH.LIST":
 		s.writeList(w)
+	case "SKETCH.STATS":
+		err = s.cmdStats(cmd, w)
 	case "SKETCH.CREATE":
 		err = s.mutate(func() error { return s.cmdCreate(cmd, w) })
 	case "SKETCH.DROP":
@@ -390,6 +502,97 @@ func (s *Server) cmdLoad(cmd Command, w *bufio.Writer) error {
 	return nil
 }
 
+// cmdSlowlog serves the slow-query ring: SLOWLOG [GET [n] | LEN |
+// RESET]. Bare SLOWLOG means GET. Entries come back newest-first, one
+// key=value line each; times are RFC 3339 with millisecond precision.
+func (s *Server) cmdSlowlog(cmd Command, w *bufio.Writer) error {
+	sub := "GET"
+	if len(cmd.Args) > 0 {
+		sub = strings.ToUpper(cmd.Args[0])
+	}
+	switch sub {
+	case "GET":
+		n := -1
+		if len(cmd.Args) > 1 {
+			v, err := strconv.Atoi(cmd.Args[1])
+			if err != nil || v < 0 {
+				return fmt.Errorf("SLOWLOG GET: bad count %q", cmd.Args[1])
+			}
+			n = v
+		}
+		if len(cmd.Args) > 2 {
+			return fmt.Errorf("SLOWLOG GET: want at most one count argument")
+		}
+		entries := s.slow.Entries()
+		if n >= 0 && n < len(entries) {
+			entries = entries[:n]
+		}
+		lines := make([]string, len(entries))
+		for i, e := range entries {
+			lines[i] = fmt.Sprintf("id=%d time=%s duration_us=%d command=%q",
+				e.ID, e.Time.UTC().Format("2006-01-02T15:04:05.000Z"),
+				e.Duration.Microseconds(), e.Command)
+		}
+		writeArray(w, lines)
+	case "LEN":
+		writeInt(w, int64(s.slow.Len()))
+	case "RESET":
+		s.slow.Reset()
+		writeSimple(w, "OK")
+	default:
+		return fmt.Errorf("SLOWLOG: unknown subcommand %q (want GET, LEN or RESET)", cmd.Args[0])
+	}
+	return nil
+}
+
+// cmdStats serves SHE-aware sketch introspection: SKETCH.STATS <name>
+// returns one key=value line per field; SKETCH.STATS * returns one
+// summary line per sketch. The numbers come from a read-only Stats
+// snapshot — no lazy cleaning runs — so fill and age-class counts are
+// approximate between cleanings (stale cells a query would clean on
+// contact are still counted).
+func (s *Server) cmdStats(cmd Command, w *bufio.Writer) error {
+	if err := wantArgs(cmd, 1, false, "name|*"); err != nil {
+		return err
+	}
+	if cmd.Args[0] == "*" {
+		infos := s.reg.List()
+		lines := make([]string, len(infos))
+		for i, in := range infos {
+			v := statsView(in)
+			lines[i] = fmt.Sprintf("%s kind=%s shards=%d window=%d inserts=%d fill_ratio=%.4f cycle_position=%.4f young=%d perfect=%d aged=%d",
+				in.Name, v.Kind, v.Shards, v.Window, v.Inserts,
+				v.FillRatio, v.CyclePosition, v.Young, v.Perfect, v.Aged)
+		}
+		writeArray(w, lines)
+		return nil
+	}
+	sk, err := s.reg.Get(cmd.Args[0])
+	if err != nil {
+		return err
+	}
+	v := statsView(SketchInfo{
+		Name: cmd.Args[0], Kind: sk.Kind(),
+		Inserts: sk.Inserts(), MemoryBits: sk.MemoryBits(), Sketch: sk,
+	})
+	writeArray(w, []string{
+		"kind=" + v.Kind,
+		fmt.Sprintf("shards=%d", v.Shards),
+		fmt.Sprintf("window=%d", v.Window),
+		fmt.Sprintf("tcycle=%d", v.Tcycle),
+		fmt.Sprintf("inserts=%d", v.Inserts),
+		fmt.Sprintf("memory_bits=%d", v.MemoryBits),
+		fmt.Sprintf("cells=%d", v.Cells),
+		fmt.Sprintf("filled_cells=%d", v.Filled),
+		fmt.Sprintf("fill_ratio=%.4f", v.FillRatio),
+		fmt.Sprintf("cycle_position=%.4f", v.CyclePosition),
+		fmt.Sprintf("young_cells=%d", v.Young),
+		fmt.Sprintf("perfect_cells=%d", v.Perfect),
+		fmt.Sprintf("aged_cells=%d", v.Aged),
+	})
+	return nil
+}
+
 func (s *Server) writeInfo(w *bufio.Writer) {
 	uptime := time.Since(s.start).Seconds()
 	lines := []string{
@@ -407,14 +610,11 @@ func (s *Server) writeInfo(w *bufio.Writer) {
 }
 
 func (s *Server) writeList(w *bufio.Writer) {
-	var lines []string
-	for _, name := range s.reg.Names() {
-		sk, err := s.reg.Get(name)
-		if err != nil {
-			continue // dropped between Names and Get
-		}
-		lines = append(lines, fmt.Sprintf("%s kind=%s shards=%d inserts=%d memory_kb=%.1f",
-			name, sk.Kind(), sk.Shards(), sk.Inserts(), float64(sk.MemoryBits())/8192))
+	infos := s.reg.List()
+	lines := make([]string, len(infos))
+	for i, in := range infos {
+		lines[i] = fmt.Sprintf("%s kind=%s shards=%d window=%d inserts=%d memory_kb=%.1f",
+			in.Name, in.Kind, in.Shards, in.Window, in.Inserts, float64(in.MemoryBits)/8192)
 	}
 	writeArray(w, lines)
 }

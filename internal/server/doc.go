@@ -61,8 +61,25 @@
 //	SKETCH.DROP <name>
 //	    Remove a sketch.
 //	SKETCH.LIST
-//	    One +line per sketch: name kind=... shards=... inserts=...
-//	    memory_kb=...
+//	    One +line per sketch: name kind=... shards=... window=...
+//	    inserts=... memory_kb=...
+//	SKETCH.STATS <name>|*
+//	    SHE-aware introspection. With a name, one +key=value line per
+//	    field: kind, shards, window, tcycle, inserts, memory_bits,
+//	    cells, filled_cells, fill_ratio, cycle_position (fraction of
+//	    the current Tcycle = (1+alpha)*N timestamp cycle elapsed),
+//	    young_cells (age < N), perfect_cells (age == N) and aged_cells
+//	    (age > N) — the paper's cell-age classes. With *, one summary
+//	    line per sketch. The numbers come from a read-only snapshot (no
+//	    lazy cleaning runs), so fill and age-class counts are
+//	    approximate between cleanings: stale cells a query would clean
+//	    on contact are still counted.
+//	SLOWLOG [GET [n] | LEN | RESET]
+//	    The slow-query ring (armed by Config.SlowThreshold / shed
+//	    -slow-ms; empty otherwise). GET returns up to n entries newest
+//	    first, one +id=... time=... duration_us=... command="..." line
+//	    each; LEN replies :n; RESET clears the ring (+OK) without
+//	    reusing IDs.
 //
 // Example session (nc localhost 6380):
 //
@@ -84,14 +101,42 @@
 // trusted. Config.IdleTimeout reaps connections that go quiet,
 // Config.WriteTimeout bounds each reply flush, and Config.MaxConns
 // caps concurrent clients (excess dials get -ERR and are closed) — so
-// slowloris-style clients cannot pin goroutines forever. An optional
-// debug HTTP listener serves JSON counters at /debug/vars (uptime,
-// commands/sec, per-sketch inserts). Shutdown is graceful: the
+// slowloris-style clients cannot pin goroutines forever. Shutdown is
+// graceful: the
 // listener closes, in-flight commands finish, and with an autosave
 // directory configured every sketch is snapshotted on the way down and
 // restored on the next start. A panic inside one command is contained
 // to its connection: the client gets -ERR internal error and a closed
 // socket, the daemon keeps serving (counter panics_recovered).
+//
+// # Observability
+//
+// The optional debug HTTP listener (Config.DebugListen / shed -debug)
+// serves three surfaces:
+//
+//	/metrics       Prometheus text exposition (format 0.0.4): the
+//	               operational counters, a she_command_seconds latency
+//	               histogram per command verb, she_wal_fsync_seconds
+//	               and she_wal_checkpoint_seconds, per-sketch SHE
+//	               gauges (she_sketch_fill_ratio,
+//	               she_sketch_cycle_position, she_sketch_young_cells /
+//	               _perfect_cells / _aged_cells, ...) and a few Go
+//	               runtime numbers.
+//	/debug/vars    The same counters and per-sketch basics as JSON.
+//	/debug/pprof/  Go profiling endpoints, only with Config.EnablePprof
+//	               (shed -pprof) — profiling can stall the process, so
+//	               it is an explicit opt-in even on loopback.
+//
+// Command timing is engineered to be effectively free: a TSC-based
+// monotonic clock (internal/obs), timestamps chained across pipelined
+// batches (one clock read per command in the steady state), and
+// per-connection single-writer accumulators that merge into the shared
+// histograms only at batch drain points. The comparative benchmark
+// (scripts/benchsmoke.sh) holds the insert path's instrumentation cost
+// under 5%; Config.DisableHistograms turns timing off entirely.
+// Commands at or above Config.SlowThreshold additionally land in the
+// slow-query ring served by SLOWLOG. Structured logs (logfmt) go to
+// the configured obslog logger.
 //
 // # Durability
 //

@@ -3,7 +3,6 @@ package server
 import (
 	"errors"
 	"fmt"
-	"log"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -28,7 +27,12 @@ func (s *Server) recoverWAL() error {
 		// rotation is exercised and cleanup stays incremental.
 		segBytes = (s.cfg.CheckpointBytes + 3) / 4
 	}
-	l, rec, err := wal.Open(s.cfg.WALDir, wal.Options{FS: s.fs, SegmentBytes: segBytes})
+	l, rec, err := wal.Open(s.cfg.WALDir, wal.Options{
+		FS:                s.fs,
+		SegmentBytes:      segBytes,
+		SyncLatency:       s.walSyncHist,
+		CheckpointLatency: s.walChkHist,
+	})
 	if err != nil {
 		return fmt.Errorf("server: %w", err)
 	}
@@ -42,7 +46,7 @@ func (s *Server) recoverWAL() error {
 	for _, r := range rec.Records {
 		if err := s.applyRecord(r); err != nil {
 			skipped++
-			log.Printf("server: wal replay: skipping record: %v", err)
+			s.logger.Warn("wal replay: skipping record", "err", err)
 		} else {
 			replayed++
 		}
@@ -53,10 +57,12 @@ func (s *Server) recoverWAL() error {
 	s.counters.Counter("wal_torn_bytes").Add(rec.TornBytes)
 	s.counters.Counter("wal_segments_quarantined").Add(int64(len(rec.CorruptSegments) + len(rec.OrphanedSegments)))
 	if rec.TornBytes > 0 {
-		log.Printf("server: wal: truncated %d-byte torn tail (crash mid-append; bytes were never acknowledged)", rec.TornBytes)
+		s.logger.Warn("wal: truncated torn tail (crash mid-append; bytes were never acknowledged)",
+			"torn_bytes", rec.TornBytes)
 	}
 	for _, seg := range rec.CorruptSegments {
-		log.Printf("server: wal: segment %s failed CRC; quarantining as %s.corrupt", seg, seg)
+		s.logger.Warn("wal: segment failed CRC; quarantining",
+			"segment", seg, "quarantine", seg+".corrupt")
 	}
 	if len(rec.Records) > 0 || rec.Damaged() {
 		if err := s.checkpoint(true); err != nil {
@@ -151,7 +157,7 @@ func (s *Server) maybeCheckpoint() {
 		return
 	}
 	if err := s.checkpoint(false); err != nil {
-		log.Printf("server: checkpoint: %v", err)
+		s.logger.Error("checkpoint failed", "err", err)
 	}
 }
 
@@ -250,7 +256,7 @@ func (s *Server) loadSnapshotDir(dir string) error {
 			if q, qerr := wal.Quarantine(s.fs, path); qerr == nil {
 				where = "quarantined to " + filepath.Base(q)
 			}
-			log.Printf("server: snapshot %s unusable (%s): %v", path, where, err)
+			s.logger.Warn("snapshot unusable", "path", path, "disposition", where, "err", err)
 			s.counters.Counter("snapshots_quarantined").Inc()
 			continue
 		}

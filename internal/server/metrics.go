@@ -1,0 +1,125 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"she/internal/obs"
+)
+
+// metricsHandler serves Prometheus text exposition (format version
+// 0.0.4) on the debug listener: operational counters, per-verb command
+// latency histograms, WAL fsync/checkpoint histograms, per-sketch SHE
+// gauges and a few Go runtime numbers. The body is rendered into a
+// buffer first, so a slow scrape holds no server locks while draining.
+func (s *Server) metricsHandler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var buf bytes.Buffer
+	p := obs.NewPromWriter(&buf)
+
+	p.Gauge("she_uptime_seconds", "", time.Since(s.start).Seconds())
+
+	// Operational counters, one family each. Untyped, not counter: a
+	// metrics.Counter doubles as a gauge (connections_active, wal_bytes
+	// go down), and claiming "counter" for those would be a lie.
+	snap := s.counters.Snapshot()
+	for _, name := range s.counters.Names() {
+		p.Untyped("she_"+obs.SanitizeName(name), "", float64(snap[name]))
+	}
+
+	if s.verbHist != nil {
+		// Every known verb appears, active or not, so dashboards can
+		// query a stable series set from the first scrape.
+		for i, verb := range commandVerbs {
+			labels := fmt.Sprintf("verb=%q", obs.EscapeLabel(verb))
+			p.Histogram("she_command_seconds", labels, s.verbHist[i].Snapshot())
+		}
+		p.Histogram("she_wal_fsync_seconds", "", s.walSyncHist.Snapshot())
+		p.Histogram("she_wal_checkpoint_seconds", "", s.walChkHist.Snapshot())
+	}
+
+	// Per-sketch SHE introspection gauges. One Stats snapshot per
+	// sketch, reused across families; families stay contiguous (all
+	// series of a family under one # TYPE line), hence the loop per
+	// family rather than per sketch.
+	infos := s.reg.List()
+	stats := make([]struct {
+		labels string
+		st     sketchStatsView
+	}, len(infos))
+	for i, in := range infos {
+		stats[i].labels = fmt.Sprintf("sketch=%q", obs.EscapeLabel(in.Name))
+		stats[i].st = statsView(in)
+	}
+	families := []struct {
+		name  string
+		value func(sketchStatsView) float64
+	}{
+		{"she_sketch_shards", func(v sketchStatsView) float64 { return float64(v.Shards) }},
+		{"she_sketch_window", func(v sketchStatsView) float64 { return float64(v.Window) }},
+		{"she_sketch_inserts", func(v sketchStatsView) float64 { return float64(v.Inserts) }},
+		{"she_sketch_memory_bits", func(v sketchStatsView) float64 { return float64(v.MemoryBits) }},
+		{"she_sketch_fill_ratio", func(v sketchStatsView) float64 { return v.FillRatio }},
+		{"she_sketch_cycle_position", func(v sketchStatsView) float64 { return v.CyclePosition }},
+		{"she_sketch_young_cells", func(v sketchStatsView) float64 { return float64(v.Young) }},
+		{"she_sketch_perfect_cells", func(v sketchStatsView) float64 { return float64(v.Perfect) }},
+		{"she_sketch_aged_cells", func(v sketchStatsView) float64 { return float64(v.Aged) }},
+	}
+	for _, fam := range families {
+		for _, row := range stats {
+			p.Gauge(fam.name, row.labels, fam.value(row.st))
+		}
+	}
+
+	p.Gauge("go_goroutines", "", float64(runtime.NumGoroutine()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	p.Gauge("go_memstats_alloc_bytes", "", float64(ms.Alloc))
+	p.Gauge("go_memstats_sys_bytes", "", float64(ms.Sys))
+
+	w.Write(buf.Bytes())
+}
+
+// sketchStatsView is the flattened per-sketch numbers /metrics and
+// SKETCH.STATS share.
+type sketchStatsView struct {
+	Kind          string
+	Shards        int
+	Window        uint64
+	Tcycle        uint64
+	Inserts       uint64
+	MemoryBits    int
+	Cells         int
+	Filled        int
+	FillRatio     float64
+	CyclePosition float64
+	Young         int
+	Perfect       int
+	Aged          int
+}
+
+// statsView snapshots one sketch's SHE state. The Stats call is
+// read-only (no lazy cleaning runs), so between cleanings the fill and
+// age-class numbers include cells a query would clean on contact —
+// approximate by design.
+func statsView(in SketchInfo) sketchStatsView {
+	st := in.Sketch.Stats()
+	return sketchStatsView{
+		Kind:          in.Kind,
+		Shards:        st.Shards,
+		Window:        st.Window,
+		Tcycle:        st.Tcycle,
+		Inserts:       in.Inserts,
+		MemoryBits:    in.MemoryBits,
+		Cells:         st.Cells,
+		Filled:        st.Filled,
+		FillRatio:     st.FillRatio(),
+		CyclePosition: st.CyclePosition,
+		Young:         st.Young,
+		Perfect:       st.Perfect,
+		Aged:          st.Aged,
+	}
+}

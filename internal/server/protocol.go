@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"she/internal/cli"
@@ -101,7 +102,13 @@ func writeSimple(w io.Writer, s string) { fmt.Fprintf(w, "+%s\n", s) }
 
 func writeInt(w io.Writer, v int64) { fmt.Fprintf(w, ":%d\n", v) }
 
-func writeFloat(w io.Writer, v float64) { fmt.Fprintf(w, "+%.1f\n", v) }
+// writeFloat uses the shortest exact decimal ('g', precision -1), not a
+// fixed %.1f: a cardinality estimate of 1234567.9 must not come back as
+// a truncated lie, and small fractions (fill ratios) must not collapse
+// to 0.0.
+func writeFloat(w io.Writer, v float64) {
+	fmt.Fprintf(w, "+%s\n", strconv.FormatFloat(v, 'g', -1, 64))
+}
 
 func writeError(w io.Writer, msg string) {
 	msg = strings.Map(func(r rune) rune {

@@ -6,6 +6,41 @@ import (
 	"testing"
 )
 
+// TestWriteFloat pins the reply encoding: shortest exact decimal, never
+// a truncating %.1f. A cardinality of 1234567.9 must survive the wire,
+// and a fill ratio of 0.0001 must not collapse to 0.0.
+func TestWriteFloat(t *testing.T) {
+	tests := []struct {
+		v    float64
+		want string
+	}{
+		{0, "+0\n"},
+		{1, "+1\n"},
+		{1.5, "+1.5\n"},
+		{0.0001, "+0.0001\n"},
+		{4986.2300419, "+4986.2300419\n"},
+		{1234567.9, "+1.2345679e+06\n"},
+		{-2.25, "+-2.25\n"},
+	}
+	for _, tt := range tests {
+		var sb strings.Builder
+		writeFloat(&sb, tt.v)
+		if sb.String() != tt.want {
+			t.Errorf("writeFloat(%v) = %q, want %q", tt.v, sb.String(), tt.want)
+		}
+	}
+}
+
+func TestRenderCommand(t *testing.T) {
+	if got := renderCommand(Command{Name: "PING"}); got != "PING" {
+		t.Fatalf("renderCommand = %q", got)
+	}
+	got := renderCommand(Command{Name: "SKETCH.INSERT", Args: []string{"x", strings.Repeat("k", 500)}})
+	if len(got) != 256+len("...") || !strings.HasSuffix(got, "...") {
+		t.Fatalf("long command not truncated: len=%d", len(got))
+	}
+}
+
 func TestParseCommand(t *testing.T) {
 	tests := []struct {
 		name    string
@@ -129,6 +164,29 @@ func TestNewSketchParams(t *testing.T) {
 		}
 		if _, err := NewSketch(bad.kind, kv); err == nil {
 			t.Errorf("NewSketch(%q, %v) accepted", bad.kind, bad.kv)
+		}
+	}
+}
+
+// TestVerbIndex pins the switch-based verb dispatch to the
+// commandVerbs table it must mirror: every verb maps to its own
+// position, and unknown names land on the trailing OTHER slot.
+func TestVerbIndex(t *testing.T) {
+	for i, verb := range commandVerbs {
+		if verb == "OTHER" {
+			continue
+		}
+		if got := verbIndex(verb); got != i {
+			t.Errorf("verbIndex(%q) = %d, want %d", verb, got, i)
+		}
+	}
+	other := len(commandVerbs) - 1
+	if commandVerbs[other] != "OTHER" {
+		t.Fatalf("commandVerbs must end with OTHER, got %q", commandVerbs[other])
+	}
+	for _, name := range []string{"OTHER", "NOPE", "", "SKETCH.EXPLODE"} {
+		if got := verbIndex(name); got != other {
+			t.Errorf("verbIndex(%q) = %d, want OTHER slot %d", name, got, other)
 		}
 	}
 }

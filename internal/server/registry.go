@@ -79,6 +79,21 @@ func (sk *Sketch) MemoryBits() int {
 	}
 }
 
+// Stats snapshots the structure's SHE window state — fill, cleaning
+// cycle position, young/perfect/aged cell counts — aggregated across
+// shards. Read-only: it never triggers cleaning, so the numbers are
+// approximate between cleanings (see she.SketchStats).
+func (sk *Sketch) Stats() she.SketchStats {
+	switch sk.kind {
+	case "bloom":
+		return sk.bloom.Stats()
+	case "cm":
+		return sk.cm.Stats()
+	default:
+		return sk.hll.Stats()
+	}
+}
+
 // Insert records key as the next item of the sketch's stream.
 func (sk *Sketch) Insert(key uint64) {
 	sk.inserts.Add(1)
@@ -327,6 +342,46 @@ func (r *Registry) Snapshot() map[string]*Sketch {
 	out := make(map[string]*Sketch, len(r.sketches))
 	for name, sk := range r.sketches {
 		out[name] = sk
+	}
+	return out
+}
+
+// SketchInfo is one row of Registry.List: a sketch's identity and the
+// cheap descriptive numbers every listing surface (SKETCH.LIST,
+// SKETCH.STATS *, /metrics, /debug/vars) agrees on.
+type SketchInfo struct {
+	Name       string
+	Kind       string
+	Shards     int
+	Window     uint64
+	Inserts    uint64
+	MemoryBits int
+	Sketch     *Sketch
+}
+
+// List returns a consistent, name-sorted listing of the registered
+// sketches. The set is captured under one lock acquisition (no
+// Names-then-Get race with concurrent CREATE/DROP); the per-sketch
+// numbers are read afterwards, outside the registry lock.
+func (r *Registry) List() []SketchInfo {
+	sketches := r.Snapshot()
+	names := make([]string, 0, len(sketches))
+	for name := range sketches {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]SketchInfo, 0, len(names))
+	for _, name := range names {
+		sk := sketches[name]
+		out = append(out, SketchInfo{
+			Name:       name,
+			Kind:       sk.Kind(),
+			Shards:     sk.Shards(),
+			Window:     sk.Stats().Window,
+			Inserts:    sk.Inserts(),
+			MemoryBits: sk.MemoryBits(),
+			Sketch:     sk,
+		})
 	}
 	return out
 }

@@ -7,6 +7,8 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -14,6 +16,8 @@ import (
 
 	"she/internal/failfs"
 	"she/internal/metrics"
+	"she/internal/obs"
+	obslog "she/internal/obs/log"
 	"she/internal/wal"
 )
 
@@ -60,7 +64,29 @@ type Config struct {
 	// FS is the filesystem used for snapshots and the WAL; nil means
 	// the real one. Fault-injection tests substitute failfs.Fault.
 	FS failfs.FS
+	// SlowThreshold sends any command that takes at least this long to
+	// the slow-query log (SLOWLOG command) and the slow_commands_total
+	// counter (0 = slow-query logging disabled).
+	SlowThreshold time.Duration
+	// SlowLogSize caps the slow-query ring buffer (0 = 128 entries).
+	SlowLogSize int
+	// EnablePprof registers the net/http/pprof handlers on the debug
+	// listener (requires DebugListen). Off by default: profiling
+	// endpoints can stall the process and belong behind an explicit
+	// opt-in even on a loopback-only listener.
+	EnablePprof bool
+	// DisableHistograms turns off per-command and WAL latency
+	// histograms (and their clock reads). The comparative benchmark
+	// measures exactly this switch; production servers leave it off.
+	DisableHistograms bool
+	// Logger receives the server's structured log lines; nil means
+	// stderr at Info level.
+	Logger *obslog.Logger
 }
+
+// defaultSlowLogSize is the slow-query ring capacity when
+// Config.SlowLogSize is zero.
+const defaultSlowLogSize = 128
 
 // Server hosts a registry of named sketches behind a TCP listener, one
 // goroutine per connection.
@@ -69,6 +95,18 @@ type Server struct {
 	reg      *Registry
 	counters *metrics.CounterSet
 	start    time.Time
+
+	// verbHist holds one latency histogram per known command verb (plus
+	// the "OTHER" catchall), indexed by verbIndex. Built once in New and
+	// read-only afterwards, so the hot path indexes and records without
+	// locks; nil when Config.DisableHistograms is set.
+	verbHist []*obs.Histogram
+	// walSyncHist and walChkHist time WAL fsyncs and checkpoints; nil
+	// without a WAL or with histograms disabled.
+	walSyncHist *obs.Histogram
+	walChkHist  *obs.Histogram
+	slow        *obs.SlowLog
+	logger      *obslog.Logger
 
 	ln        net.Listener
 	debugLn   net.Listener
@@ -90,20 +128,87 @@ type Server struct {
 	chkMu sync.RWMutex
 }
 
+// commandVerbs lists every wire command the server answers, plus the
+// OTHER catchall for unknown names. It drives both histogram
+// preallocation (New) and the stable ordering of /metrics series; its
+// positions must match verbIndex.
+var commandVerbs = []string{
+	"PING", "QUIT", "INFO", "SLOWLOG",
+	"SKETCH.LIST", "SKETCH.CREATE", "SKETCH.DROP", "SKETCH.INSERT",
+	"SKETCH.QUERY", "SKETCH.CARD", "SKETCH.STATS", "SKETCH.SAVE", "SKETCH.LOAD",
+	"OTHER",
+}
+
+// verbIndex maps a command verb to its commandVerbs position, unknown
+// names to the trailing OTHER slot. A string switch compiles to a
+// length-then-content dispatch, measurably cheaper than a map lookup on
+// the per-command path; TestVerbIndex pins it against commandVerbs.
+func verbIndex(name string) int {
+	switch name {
+	case "PING":
+		return 0
+	case "QUIT":
+		return 1
+	case "INFO":
+		return 2
+	case "SLOWLOG":
+		return 3
+	case "SKETCH.LIST":
+		return 4
+	case "SKETCH.CREATE":
+		return 5
+	case "SKETCH.DROP":
+		return 6
+	case "SKETCH.INSERT":
+		return 7
+	case "SKETCH.QUERY":
+		return 8
+	case "SKETCH.CARD":
+		return 9
+	case "SKETCH.STATS":
+		return 10
+	case "SKETCH.SAVE":
+		return 11
+	case "SKETCH.LOAD":
+		return 12
+	default:
+		return 13 // OTHER
+	}
+}
+
 // New returns an unstarted server.
 func New(cfg Config) *Server {
 	fsys := cfg.FS
 	if fsys == nil {
 		fsys = failfs.OS{}
 	}
-	return &Server{
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obslog.New(os.Stderr, obslog.LevelInfo)
+	}
+	size := cfg.SlowLogSize
+	if size <= 0 {
+		size = defaultSlowLogSize
+	}
+	s := &Server{
 		cfg:      cfg,
 		reg:      NewRegistry(),
 		counters: metrics.NewCounterSet(),
 		done:     make(chan struct{}),
 		conns:    make(map[net.Conn]struct{}),
 		fs:       fsys,
+		slow:     obs.NewSlowLog(size),
+		logger:   logger.With("component", "server"),
 	}
+	if !cfg.DisableHistograms {
+		s.verbHist = make([]*obs.Histogram, len(commandVerbs))
+		for i := range s.verbHist {
+			s.verbHist[i] = &obs.Histogram{}
+		}
+		s.walSyncHist = &obs.Histogram{}
+		s.walChkHist = &obs.Histogram{}
+	}
+	return s
 }
 
 // Registry exposes the sketch registry (tests, embedders).
@@ -145,6 +250,17 @@ func (s *Server) Start() error {
 		s.debugLn = dln
 		mux := http.NewServeMux()
 		mux.HandleFunc("/debug/vars", s.debugVars)
+		mux.HandleFunc("/metrics", s.metricsHandler)
+		if s.cfg.EnablePprof {
+			// Registered explicitly on this mux rather than importing
+			// net/http/pprof for its DefaultServeMux side effect, so the
+			// profiler rides the debug listener only when asked to.
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
 		s.debugSrv = &http.Server{Handler: mux}
 		s.wg.Add(1)
 		go func() {
@@ -319,8 +435,12 @@ func (s *Server) saveAutosaves() error {
 
 // debugVars serves the operational counters as JSON — an
 // expvar-flavored snapshot of uptime, command rate, every counter, and
-// per-sketch stats.
+// per-sketch stats. The Content-Type header is set before any body
+// byte (headers are frozen at the first Write), and the sketch listing
+// comes from one consistent Registry.List capture, so a concurrent
+// CREATE/DROP can't make the response contradict itself.
 func (s *Server) debugVars(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
 	type sketchInfo struct {
 		Kind       string `json:"kind"`
 		Shards     int    `json:"shards"`
@@ -341,18 +461,13 @@ func (s *Server) debugVars(w http.ResponseWriter, _ *http.Request) {
 	if uptime > 0 {
 		out.CommandsPerSec = float64(out.Counters["commands_total"]) / uptime
 	}
-	for _, name := range s.reg.Names() {
-		sk, err := s.reg.Get(name)
-		if err != nil {
-			continue
-		}
-		out.Sketches[name] = sketchInfo{
-			Kind:       sk.Kind(),
-			Shards:     sk.Shards(),
-			Inserts:    sk.Inserts(),
-			MemoryBits: sk.MemoryBits(),
+	for _, in := range s.reg.List() {
+		out.Sketches[in.Name] = sketchInfo{
+			Kind:       in.Kind,
+			Shards:     in.Shards,
+			Inserts:    in.Inserts,
+			MemoryBits: in.MemoryBits,
 		}
 	}
-	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(out)
 }

@@ -11,8 +11,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"she/internal/failfs"
+	"she/internal/obs"
 )
 
 const (
@@ -41,6 +43,15 @@ type Options struct {
 	FS failfs.FS
 	// SegmentBytes is the rotation threshold (0 = DefaultSegmentBytes).
 	SegmentBytes int64
+	// SyncLatency, when non-nil, records the duration of every fsync of
+	// the active segment (Sync, plus the seal-sync inside rotation).
+	// Fsync is where group-commit latency lives, so this is the
+	// histogram to watch for ack-latency regressions.
+	SyncLatency *obs.Histogram
+	// CheckpointLatency, when non-nil, records the duration of each
+	// successful Checkpoint (snapshot write + manifest publish +
+	// cleanup).
+	CheckpointLatency *obs.Histogram
 }
 
 // Recovery describes what Open found on disk. The caller loads the
@@ -92,6 +103,8 @@ type Log struct {
 	fs       failfs.FS
 	dir      string
 	segBytes int64
+	syncLat  *obs.Histogram // nil-safe: Observe on nil is a no-op
+	chkLat   *obs.Histogram
 
 	mu          sync.Mutex
 	f           failfs.File
@@ -236,6 +249,8 @@ scan:
 		fs:       fsys,
 		dir:      dir,
 		segBytes: segBytes,
+		syncLat:  opts.SyncLatency,
+		chkLat:   opts.CheckpointLatency,
 		active:   next,
 		since:    since,
 		gen:      gen,
@@ -328,11 +343,20 @@ func (l *Log) Append(payload []byte) error {
 	return nil
 }
 
+// syncActiveLocked fsyncs the active segment, feeding the latency
+// histogram when one is wired.
+func (l *Log) syncActiveLocked() error {
+	start := time.Now()
+	err := l.f.Sync()
+	l.syncLat.Observe(time.Since(start))
+	return err
+}
+
 // rotateLocked seals the active segment (sync + close) and starts the
 // next one.
 func (l *Log) rotateLocked() error {
 	if l.dirty {
-		if err := l.f.Sync(); err != nil {
+		if err := l.syncActiveLocked(); err != nil {
 			return fmt.Errorf("wal: sync before rotate: %w", err)
 		}
 		l.dirty = false
@@ -367,7 +391,7 @@ func (l *Log) Sync() error {
 	if !l.dirty {
 		return nil
 	}
-	if err := l.f.Sync(); err != nil {
+	if err := l.syncActiveLocked(); err != nil {
 		l.failed = fmt.Errorf("wal: sync: %w", err)
 		return l.failed
 	}
@@ -417,6 +441,7 @@ func (l *Log) Checkpoint(writeSnaps func(dir string, fsys failfs.FS) error) erro
 	if l.f == nil {
 		return ErrClosed
 	}
+	start := time.Now()
 	if err := l.rotateLocked(); err != nil {
 		l.failed = err
 		return err
@@ -442,6 +467,7 @@ func (l *Log) Checkpoint(writeSnaps func(dir string, fsys failfs.FS) error) erro
 	l.gen, l.floor = newGen, newFloor
 	l.since = l.activeBytes
 	l.cleanupLocked()
+	l.chkLat.Observe(time.Since(start))
 	return nil
 }
 

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# benchsmoke.sh — comparative observability-overhead benchmark.
+#
+# Runs BenchmarkServerInsert (histograms on, the default) and
+# BenchmarkServerInsertNoObs (histograms off) as PAIRS back-to-back
+# pairs — interleaved so slow machine drift (thermal, VM neighbors)
+# hits both variants equally — and takes the median per-pair overhead.
+# Writes BENCH_PR3.json with the median figures. With a real BENCHTIME
+# (e.g. 2s) it fails when the insert path pays more than
+# MAX_OVERHEAD_PCT for its histograms; with BENCHTIME=1x (the CI smoke
+# default) it runs one pair only and just checks that both benchmarks
+# run, since a single iteration measures nothing.
+#
+# Usage: BENCHTIME=2s scripts/benchsmoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1x}"
+MAX_OVERHEAD_PCT="${MAX_OVERHEAD_PCT:-5}"
+OUT="${OUT:-BENCH_PR3.json}"
+PAIRS="${PAIRS:-3}"
+if [ "$BENCHTIME" = "1x" ]; then
+  PAIRS=1
+fi
+
+run_bench() { # name -> inserts/sec
+  go test -run='^$' -bench="^$1\$" -benchtime="$BENCHTIME" ./internal/server |
+    awk '/inserts\/sec/ { for (i = 1; i < NF; i++) if ($(i+1) == "inserts/sec") print $i }'
+}
+
+obs_runs=()
+noobs_runs=()
+overheads=()
+for ((p = 1; p <= PAIRS; p++)); do
+  obs=$(run_bench BenchmarkServerInsert)
+  noobs=$(run_bench BenchmarkServerInsertNoObs)
+  if [ -z "$obs" ] || [ -z "$noobs" ]; then
+    echo "benchsmoke: benchmark produced no inserts/sec metric" >&2
+    exit 1
+  fi
+  overhead=$(awk -v a="$obs" -v b="$noobs" 'BEGIN { printf "%.2f", (b - a) / b * 100 }')
+  echo "benchsmoke: pair $p/$PAIRS obs=$obs noobs=$noobs overhead=${overhead}%"
+  obs_runs+=("$obs")
+  noobs_runs+=("$noobs")
+  overheads+=("$overhead")
+done
+
+median() { printf '%s\n' "$@" | sort -g | awk '{ v[NR] = $1 } END { print v[int((NR + 1) / 2)] }'; }
+obs_med=$(median "${obs_runs[@]}")
+noobs_med=$(median "${noobs_runs[@]}")
+overhead_med=$(median "${overheads[@]}")
+
+cat > "$OUT" <<EOF
+{
+  "benchmark": "BenchmarkServerInsert",
+  "benchtime": "$BENCHTIME",
+  "pairs": $PAIRS,
+  "obs_enabled_inserts_per_sec": $obs_med,
+  "obs_disabled_inserts_per_sec": $noobs_med,
+  "overhead_pct_per_pair": [$(IFS=,; echo "${overheads[*]}")],
+  "overhead_pct": $overhead_med
+}
+EOF
+echo "benchsmoke: median obs=$obs_med inserts/sec, noobs=$noobs_med inserts/sec, overhead=${overhead_med}% (wrote $OUT)"
+
+if [ "$BENCHTIME" = "1x" ]; then
+  echo "benchsmoke: BENCHTIME=1x smoke run; skipping the ${MAX_OVERHEAD_PCT}% overhead assertion"
+  exit 0
+fi
+awk -v o="$overhead_med" -v max="$MAX_OVERHEAD_PCT" 'BEGIN { exit !(o <= max) }' || {
+  echo "benchsmoke: observability overhead ${overhead_med}% exceeds ${MAX_OVERHEAD_PCT}%" >&2
+  exit 1
+}

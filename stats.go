@@ -1,0 +1,105 @@
+package she
+
+import "she/internal/core"
+
+// SketchStats is a read-only snapshot of a sliding-window structure's
+// runtime state: how full the cell array is, where the virtual
+// cleaning process sits in its Tcycle = (1+α)·N sweep, and how the
+// cells distribute across the paper's young / perfect / aged age
+// classes. For a sharded structure the counts are summed across shards
+// and CyclePosition is the shard average.
+//
+// Stats never advances the structure — no lazy cleaning runs — so
+// between cleanings the Filled count includes stale cells a query
+// would clean on contact: the numbers are approximate by design, per
+// the paper's lazy-cleaning analysis.
+type SketchStats struct {
+	// Window is the window size N in ticks (total across shards).
+	Window uint64
+	// Tcycle is the cleaning-cycle length (total across shards, so
+	// Tcycle ≈ (1+α)·Window holds at the aggregate level too).
+	Tcycle uint64
+	// Ticks is how many items the structure has absorbed (sum across
+	// shards).
+	Ticks uint64
+	// Shards is the shard count (1 for unsharded structures).
+	Shards int
+	// Cells is the total cell count M.
+	Cells int
+	// Filled counts cells holding a non-reset value, stale ones
+	// included.
+	Filled int
+	// Young, Perfect and Aged count cells by age class: age < N sees
+	// only part of the window, age == N covers it exactly (a fleeting
+	// state — one tick per group per cycle), age > N also remembers
+	// pre-window items. They partition Cells.
+	Young, Perfect, Aged int
+	// CyclePosition is the cleaning sweep position (t mod Tcycle) as a
+	// fraction of the cycle in [0, 1); for sharded structures, the mean
+	// over shards.
+	CyclePosition float64
+}
+
+// FillRatio returns Filled/Cells (0 for an empty geometry).
+func (s SketchStats) FillRatio() float64 {
+	if s.Cells == 0 {
+		return 0
+	}
+	return float64(s.Filled) / float64(s.Cells)
+}
+
+// fromCore lifts one unsharded structure's stats.
+func fromCore(st core.SketchStats) SketchStats {
+	out := SketchStats{
+		Window: st.N,
+		Tcycle: st.Tcycle,
+		Ticks:  st.Tick,
+		Shards: 1,
+		Cells:  st.Cells,
+		Filled: st.Filled,
+		Young:  st.Young, Perfect: st.Perfect, Aged: st.Aged,
+	}
+	if st.Tcycle > 0 {
+		out.CyclePosition = float64(st.CyclePos) / float64(st.Tcycle)
+	}
+	return out
+}
+
+// aggregateStats merges per-shard stats: counts sum, the cycle
+// position averages.
+func aggregateStats(n int, statOf func(i int) SketchStats) SketchStats {
+	var agg SketchStats
+	posSum := 0.0
+	for i := 0; i < n; i++ {
+		st := statOf(i)
+		agg.Window += st.Window
+		agg.Tcycle += st.Tcycle
+		agg.Ticks += st.Ticks
+		agg.Cells += st.Cells
+		agg.Filled += st.Filled
+		agg.Young += st.Young
+		agg.Perfect += st.Perfect
+		agg.Aged += st.Aged
+		posSum += st.CyclePosition
+	}
+	agg.Shards = n
+	if n > 0 {
+		agg.CyclePosition = posSum / float64(n)
+	}
+	return agg
+}
+
+// Stats snapshots the filter's window state.
+func (f *BloomFilter) Stats() SketchStats { return fromCore(f.inner.Stats()) }
+
+// Stats snapshots the bitmap's window state.
+func (b *Bitmap) Stats() SketchStats { return fromCore(b.inner.Stats()) }
+
+// Stats snapshots the estimator's window state.
+func (h *HyperLogLog) Stats() SketchStats { return fromCore(h.inner.Stats()) }
+
+// Stats snapshots the sketch's window state.
+func (c *CountMin) Stats() SketchStats { return fromCore(c.inner.Stats()) }
+
+// Stats snapshots the sketch's window state.
+func (c *CountMinCU) Stats() SketchStats { return fromCore(c.inner.Stats()) }

@@ -1,0 +1,122 @@
+package she
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBloomFilterStats(t *testing.T) {
+	f, err := NewBloomFilter(1<<14, Options{Window: 1024, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 600; i++ {
+		f.Insert(uint64(i))
+	}
+	st := f.Stats()
+	if st.Window != 1024 || st.Shards != 1 || st.Ticks != 600 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Cells != 1<<14 || st.Filled == 0 {
+		t.Fatalf("fill = %+v", st)
+	}
+	if st.Young+st.Perfect+st.Aged != st.Cells {
+		t.Fatalf("age classes don't partition cells: %+v", st)
+	}
+	if st.CyclePosition < 0 || st.CyclePosition >= 1 {
+		t.Fatalf("CyclePosition = %v, want [0,1)", st.CyclePosition)
+	}
+	if r := st.FillRatio(); r <= 0 || r > 1 {
+		t.Fatalf("FillRatio = %v", r)
+	}
+}
+
+func TestShardedStatsAggregate(t *testing.T) {
+	const shards = 8
+	s, err := NewShardedBloomFilter(1<<16, shards, Options{Window: 65536, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		s.Insert(uint64(i))
+	}
+	st := s.Stats()
+	if st.Shards != shards {
+		t.Fatalf("Shards = %d", st.Shards)
+	}
+	// Shard windows are Window/P each; with P | Window the totals are
+	// exact, and Tcycle scales with them ((1+α)·Window aggregate).
+	if st.Window != 65536 {
+		t.Fatalf("Window = %d, want 65536", st.Window)
+	}
+	if st.Ticks != 5000 {
+		t.Fatalf("Ticks = %d, want 5000", st.Ticks)
+	}
+	if st.Cells != 1<<16 || st.Filled == 0 {
+		t.Fatalf("cells = %+v", st)
+	}
+	if st.Young+st.Perfect+st.Aged != st.Cells {
+		t.Fatalf("age classes don't partition cells: %+v", st)
+	}
+	if st.Tcycle <= st.Window {
+		t.Fatalf("aggregate Tcycle = %d not > Window %d", st.Tcycle, st.Window)
+	}
+	if st.CyclePosition < 0 || st.CyclePosition >= 1 {
+		t.Fatalf("CyclePosition = %v", st.CyclePosition)
+	}
+}
+
+func TestShardedStatsConcurrent(t *testing.T) {
+	s, err := NewShardedCountMin(1<<12, 4, Options{Window: 4096, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				s.Insert(uint64(g*2000 + i))
+			}
+		}(g)
+	}
+	for i := 0; i < 50; i++ {
+		st := s.Stats() // must not race with inserts
+		if st.Young+st.Perfect+st.Aged != st.Cells {
+			t.Fatalf("age classes don't partition cells: %+v", st)
+		}
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Ticks != 8000 {
+		t.Fatalf("Ticks = %d, want 8000", st.Ticks)
+	}
+}
+
+func TestHLLAndGenericSketchStats(t *testing.T) {
+	h, err := NewHyperLogLog(512, Options{Window: 8192, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		h.Insert(uint64(i))
+	}
+	if st := h.Stats(); st.Cells != 512 || st.Filled == 0 {
+		t.Fatalf("hll stats = %+v", st)
+	}
+
+	sk, err := NewSketch(CSM{
+		Cells:    256,
+		CellBits: 8,
+		K:        2,
+		Update:   func(_, y uint64) uint64 { return y + 1 },
+		Side:     OneSided,
+	}, Options{Window: 128, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk.Insert(1)
+	if st := sk.Stats(); st.Filled == 0 || st.Ticks != 1 {
+		t.Fatalf("generic sketch stats = %+v", st)
+	}
+}
