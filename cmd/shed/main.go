@@ -61,6 +61,8 @@ func main() {
 	maxConns := flag.Int("max-conns", 1024, "maximum concurrent client connections (0 = unlimited)")
 	slowMs := flag.Int64("slow-ms", 0, "log commands taking at least this many milliseconds to the SLOWLOG ring (0 = disabled)")
 	slowlogSize := flag.Int("slowlog-size", 128, "slow-query ring capacity")
+	auditSample := flag.Float64("audit-sample", 0, "online accuracy auditing: shadow this fraction of keys in an exact window and export she_audit_* error metrics (0 = disabled; try 0.001)")
+	auditMaxKeys := flag.Int("audit-max-keys", 0, "cap on distinct shadowed keys per audited sketch (0 = default 65536)")
 	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof on the -debug listener")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	flag.Parse()
@@ -76,6 +78,10 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *auditSample < 0 || *auditSample > 1 {
+		fmt.Fprintf(os.Stderr, "shed: -audit-sample %g out of range [0,1]\n", *auditSample)
+		os.Exit(2)
+	}
 	if *walDir != "" && *autosave != "" {
 		logger.Warn("-wal supersedes -autosave; autosave dir will be neither loaded nor written",
 			"autosave", *autosave)
@@ -95,6 +101,8 @@ func main() {
 		CheckpointBytes: *checkpointBytes,
 		SlowThreshold:   time.Duration(*slowMs) * time.Millisecond,
 		SlowLogSize:     *slowlogSize,
+		AuditSample:     *auditSample,
+		AuditMaxKeys:    *auditMaxKeys,
 		EnablePprof:     *enablePprof,
 		Logger:          logger,
 	})
@@ -113,6 +121,9 @@ func main() {
 		logger.Info("wal enabled", "dir", *walDir, "sketches_recovered", srv.Registry().Len())
 	case *autosave != "":
 		logger.Info("autosave enabled", "dir", *autosave, "sketches_restored", srv.Registry().Len())
+	}
+	if *auditSample > 0 {
+		logger.Info("accuracy auditing enabled", "sample", *auditSample, "max_keys", *auditMaxKeys)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -24,11 +24,20 @@ func NewWindow(n int) *Window {
 }
 
 // Push appends key, evicting the oldest entry once the window is full.
-func (w *Window) Push(key uint64) {
+func (w *Window) Push(key uint64) { w.PushEvicted(key) }
+
+// PushEvicted appends key like Push and reports the key whose last
+// in-window occurrence was evicted to make room, if any. A key whose
+// older copies remain in the window — or that is the key being pushed —
+// has not left the window and is not reported.
+func (w *Window) PushEvicted(key uint64) (gone uint64, ok bool) {
 	if w.size == len(w.ring) {
 		old := w.ring[w.head]
 		if c := w.counts[old]; c <= 1 {
 			delete(w.counts, old)
+			if old != key {
+				gone, ok = old, true
+			}
 		} else {
 			w.counts[old] = c - 1
 		}
@@ -41,6 +50,15 @@ func (w *Window) Push(key uint64) {
 	if w.head == len(w.ring) {
 		w.head = 0
 	}
+	return gone, ok
+}
+
+// Reset empties the window for reuse without reallocating the ring or
+// the count map, so a long-lived shadow window (see internal/audit) can
+// be cleared in place.
+func (w *Window) Reset() {
+	w.head, w.size = 0, 0
+	clear(w.counts)
 }
 
 // Contains reports whether key occurs in the window.

@@ -62,6 +62,90 @@ func TestWindowMatchesNaiveModel(t *testing.T) {
 	}
 }
 
+// pushEvicted applies one push to the model and returns the key that
+// left the window entirely, mirroring Window.PushEvicted semantics.
+func (w *naiveWindow) pushEvicted(k uint64) (uint64, bool) {
+	var old uint64
+	evicted := false
+	if len(w.items) == w.n {
+		old = w.items[0]
+		evicted = true
+	}
+	w.push(k)
+	if evicted && w.freq(old) == 0 {
+		return old, true
+	}
+	return 0, false
+}
+
+// TestWindowPropertyModel drives Window through randomized
+// push/evict/reset sequences — including the auditor's
+// reuse-after-Reset pattern — and checks every observable against the
+// brute-force slice model after each step.
+func TestWindowPropertyModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(48)
+		alphabet := uint64(1 + rng.Intn(24))
+		w := NewWindow(n)
+		ref := &naiveWindow{n: n}
+		for i := 0; i < 2000; i++ {
+			switch {
+			case rng.Intn(200) == 0:
+				w.Reset()
+				ref.items = ref.items[:0]
+			default:
+				k := uint64(rng.Intn(int(alphabet)))
+				gone, ok := w.PushEvicted(k)
+				wantGone, wantOK := ref.pushEvicted(k)
+				if ok != wantOK || (ok && gone != wantGone) {
+					t.Fatalf("trial %d step %d: PushEvicted(%d) = (%d,%v), want (%d,%v)",
+						trial, i, k, gone, ok, wantGone, wantOK)
+				}
+			}
+			if got, want := w.Len(), len(ref.items); got != want {
+				t.Fatalf("trial %d step %d: Len=%d, want %d", trial, i, got, want)
+			}
+			if got, want := w.Cardinality(), ref.card(); got != want {
+				t.Fatalf("trial %d step %d: Cardinality=%d, want %d", trial, i, got, want)
+			}
+			if got := w.Cap(); got != n {
+				t.Fatalf("trial %d step %d: Cap=%d, want %d", trial, i, got, n)
+			}
+			probe := uint64(rng.Intn(int(alphabet)))
+			if got, want := w.Frequency(probe), ref.freq(probe); got != want {
+				t.Fatalf("trial %d step %d: Frequency(%d)=%d, want %d", trial, i, probe, got, want)
+			}
+			if got, want := w.Contains(probe), ref.freq(probe) > 0; got != want {
+				t.Fatalf("trial %d step %d: Contains(%d)=%v, want %v", trial, i, probe, got, want)
+			}
+		}
+	}
+}
+
+// TestWindowResetReuse pins the reuse contract: after Reset the window
+// behaves exactly like a fresh one, with no reallocation of the ring.
+func TestWindowResetReuse(t *testing.T) {
+	w := NewWindow(4)
+	for _, k := range []uint64{1, 2, 3, 4, 5} {
+		w.Push(k)
+	}
+	w.Reset()
+	if w.Len() != 0 || w.Cardinality() != 0 || w.Contains(3) {
+		t.Fatalf("after Reset: Len=%d Cardinality=%d", w.Len(), w.Cardinality())
+	}
+	if w.Cap() != 4 {
+		t.Fatalf("Reset changed capacity to %d", w.Cap())
+	}
+	// Refill past capacity: eviction order restarts from scratch.
+	for _, k := range []uint64{7, 8, 9, 10, 11} {
+		w.Push(k)
+	}
+	if w.Contains(7) || !w.Contains(8) || w.Len() != 4 {
+		t.Fatal("eviction order wrong after Reset reuse")
+	}
+}
+
 func TestWindowPartialFill(t *testing.T) {
 	w := NewWindow(100)
 	for k := uint64(0); k < 10; k++ {

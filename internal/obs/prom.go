@@ -86,6 +86,37 @@ func (p *PromWriter) Histogram(name, labels string, s HistSnapshot) {
 	fmt.Fprintf(p.w, "%s_count%s %d\n", name, braced(labels), s.Count)
 }
 
+// HistogramEdges writes one histogram series set whose bucket edges
+// are supplied by the caller — for dimensionless quantities such as
+// relative error, where the nanosecond-based Histogram edges make no
+// sense. counts[i] holds the observations in (edges[i-1], edges[i]];
+// counts[len(edges)] is the overflow bucket. Empty trailing buckets
+// are elided like Histogram; the +Inf bucket always appears.
+func (p *PromWriter) HistogramEdges(name, labels string, edges []float64, counts []uint64, sum float64) {
+	p.typeLine(name, "histogram")
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum, total uint64
+	for _, n := range counts {
+		total += n
+	}
+	for i, n := range counts {
+		if i >= len(edges) {
+			break // overflow bucket is covered by +Inf
+		}
+		if n == 0 {
+			continue
+		}
+		cum += n
+		fmt.Fprintf(p.w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, formatVal(edges[i]), cum)
+	}
+	fmt.Fprintf(p.w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, total)
+	fmt.Fprintf(p.w, "%s_sum%s %s\n", name, braced(labels), formatVal(sum))
+	fmt.Fprintf(p.w, "%s_count%s %d\n", name, braced(labels), total)
+}
+
 func braced(labels string) string {
 	if labels == "" {
 		return ""

@@ -87,6 +87,45 @@ func TestPromHistogram(t *testing.T) {
 	}
 }
 
+// TestPromHistogramEdges pins the caller-supplied-edges histogram:
+// cumulative buckets over the given (dimensionless) edges, elided
+// zeros, overflow folded into +Inf only.
+func TestPromHistogramEdges(t *testing.T) {
+	edges := []float64{0.01, 0.1, 1}
+	counts := []uint64{2, 0, 3, 1} // last = overflow
+	var b strings.Builder
+	p := NewPromWriter(&b)
+	p.HistogramEdges("she_audit_rel_err", `sketch="m"`, edges, counts, 4.5)
+	out := b.String()
+	validateExposition(t, out)
+	for _, want := range []string{
+		"# TYPE she_audit_rel_err histogram",
+		`she_audit_rel_err_bucket{sketch="m",le="0.01"} 2`,
+		`she_audit_rel_err_bucket{sketch="m",le="1"} 5`,
+		`she_audit_rel_err_bucket{sketch="m",le="+Inf"} 6`,
+		`she_audit_rel_err_sum{sketch="m"} 4.5`,
+		`she_audit_rel_err_count{sketch="m"} 6`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// The empty 0.1 bucket is elided.
+	if strings.Contains(out, `le="0.1"`) {
+		t.Errorf("empty bucket not elided:\n%s", out)
+	}
+}
+
+func TestPromHistogramEdgesEmpty(t *testing.T) {
+	var b strings.Builder
+	NewPromWriter(&b).HistogramEdges("she_audit_rel_err", "", []float64{1}, []uint64{0, 0}, 0)
+	out := b.String()
+	validateExposition(t, out)
+	if !strings.Contains(out, `she_audit_rel_err_bucket{le="+Inf"} 0`) {
+		t.Fatalf("empty edges histogram exposition:\n%s", out)
+	}
+}
+
 func TestPromEmptyHistogram(t *testing.T) {
 	var b strings.Builder
 	NewPromWriter(&b).Histogram("she_idle_seconds", "", HistSnapshot{})

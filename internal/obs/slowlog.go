@@ -17,6 +17,10 @@ type SlowEntry struct {
 	// Command is the command line (verb plus arguments, possibly
 	// truncated by the recorder).
 	Command string
+	// RemoteAddr is the client connection the command arrived on
+	// (host:port), so slow commands are attributable to a client; ""
+	// when the recorder has no connection (tests, embedders).
+	RemoteAddr string
 }
 
 // SlowLog is a fixed-capacity ring of the most recent slow commands.
@@ -39,13 +43,14 @@ func NewSlowLog(capacity int) *SlowLog {
 	return &SlowLog{ring: make([]SlowEntry, capacity)}
 }
 
-// Record appends one slow command, evicting the oldest entry when full.
-func (l *SlowLog) Record(command string, d time.Duration, at time.Time) {
+// Record appends one slow command, evicting the oldest entry when
+// full. addr is the client's remote address ("" when unknown).
+func (l *SlowLog) Record(command string, d time.Duration, at time.Time, addr string) {
 	if l == nil {
 		return
 	}
 	l.mu.Lock()
-	l.ring[l.next] = SlowEntry{ID: l.id, Time: at, Duration: d, Command: command}
+	l.ring[l.next] = SlowEntry{ID: l.id, Time: at, Duration: d, Command: command, RemoteAddr: addr}
 	l.id++
 	l.next = (l.next + 1) % len(l.ring)
 	if l.n < len(l.ring) {

@@ -80,3 +80,12 @@ func BenchmarkServerInsert(b *testing.B) {
 func BenchmarkServerInsertNoObs(b *testing.B) {
 	benchServerInsert(b, server.Config{DisableHistograms: true})
 }
+
+// BenchmarkServerInsertAudit turns the accuracy auditor on at the
+// production-recommended 1/1024 sampling. scripts/benchsmoke.sh gates
+// its delta against BenchmarkServerInsert at < 5%: the insert path
+// pays one hash-and-compare per key, and the shadow window only on
+// the ~1/1024 sampled keys.
+func BenchmarkServerInsertAudit(b *testing.B) {
+	benchServerInsert(b, server.Config{AuditSample: 1.0 / 1024})
+}

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"she/internal/audit"
 	"she/internal/obs"
 	obslog "she/internal/obs/log"
 	"she/internal/wal"
@@ -52,6 +53,9 @@ func (s *Server) handleConn(conn net.Conn) {
 
 	r := bufio.NewReaderSize(conn, MaxLineBytes)
 	w := bufio.NewWriterSize(conn, 32*1024)
+	// Rendered once: the slow-query log attributes entries to this
+	// client, and RemoteAddr() allocates on every call.
+	remoteAddr := conn.RemoteAddr().String()
 	timed := s.verbHist != nil || s.cfg.SlowThreshold > 0
 	// Per-connection latency accumulators: observations land in
 	// single-writer LocalHists and merge into the shared per-verb
@@ -128,7 +132,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			quit := s.safeExecute(cmd, w)
 			if timed {
 				endNs := obs.Nanotime()
-				s.observe(lats, cmd, time.Duration(endNs-startNs))
+				s.observe(lats, cmd, time.Duration(endNs-startNs), remoteAddr)
 				if r.Buffered() > 0 {
 					startNs = endNs
 				} else {
@@ -173,10 +177,10 @@ func (c *connLats) flush(s *Server) {
 
 // observe feeds one completed command into the latency accumulator for
 // its verb (unknown names share the OTHER bucket) and, past the
-// configured threshold, into the slow-query log. The slow-query check
-// sees every command's exact duration; only the histogram merge is
-// deferred.
-func (s *Server) observe(lats *connLats, cmd Command, d time.Duration) {
+// configured threshold, into the slow-query log with the client's
+// remote address. The slow-query check sees every command's exact
+// duration; only the histogram merge is deferred.
+func (s *Server) observe(lats *connLats, cmd Command, d time.Duration, addr string) {
 	if lats != nil { // nil when histograms are disabled but SlowThreshold isn't
 		i := verbIndex(cmd.Name)
 		l := lats.verbs[i]
@@ -192,7 +196,7 @@ func (s *Server) observe(lats *connLats, cmd Command, d time.Duration) {
 		}
 	}
 	if t := s.cfg.SlowThreshold; t > 0 && d >= t {
-		s.slow.Record(renderCommand(cmd), d, time.Now())
+		s.slow.Record(renderCommand(cmd), d, time.Now(), addr)
 		s.counters.Counter("slow_commands_total").Inc()
 		if s.logger.Enabled(obslog.LevelWarn) {
 			s.logger.Warn("slow command", "verb", cmd.Name, "duration", d.String())
@@ -287,6 +291,8 @@ func (s *Server) execute(cmd Command, w *bufio.Writer) (quit bool) {
 		s.writeList(w)
 	case "SKETCH.STATS":
 		err = s.cmdStats(cmd, w)
+	case "SKETCH.AUDIT":
+		err = s.cmdAudit(cmd, w)
 	case "SKETCH.CREATE":
 		err = s.mutate(func() error { return s.cmdCreate(cmd, w) })
 	case "SKETCH.DROP":
@@ -529,9 +535,9 @@ func (s *Server) cmdSlowlog(cmd Command, w *bufio.Writer) error {
 		}
 		lines := make([]string, len(entries))
 		for i, e := range entries {
-			lines[i] = fmt.Sprintf("id=%d time=%s duration_us=%d command=%q",
+			lines[i] = fmt.Sprintf("id=%d time=%s duration_us=%d addr=%s command=%q",
 				e.ID, e.Time.UTC().Format("2006-01-02T15:04:05.000Z"),
-				e.Duration.Microseconds(), e.Command)
+				e.Duration.Microseconds(), e.RemoteAddr, e.Command)
 		}
 		writeArray(w, lines)
 	case "LEN":
@@ -591,6 +597,112 @@ func (s *Server) cmdStats(cmd Command, w *bufio.Writer) error {
 		fmt.Sprintf("aged_cells=%d", v.Aged),
 	})
 	return nil
+}
+
+// cmdAudit serves the online accuracy auditor: SKETCH.AUDIT <name>
+// returns one key=value line per field (enabled=false when auditing is
+// off), SKETCH.AUDIT <name> RESET restarts the measurement in place,
+// and SKETCH.AUDIT * returns one summary line per audited sketch. The
+// phase_are/phase_obs lines are the error-vs-cleaning-cycle-phase
+// profile: 16 comma-separated buckets spanning one Tcycle sweep.
+func (s *Server) cmdAudit(cmd Command, w *bufio.Writer) error {
+	if len(cmd.Args) < 1 || len(cmd.Args) > 2 {
+		return fmt.Errorf("%s: want name|* [RESET]", cmd.Name)
+	}
+	if cmd.Args[0] == "*" {
+		if len(cmd.Args) > 1 {
+			return fmt.Errorf("%s: RESET takes a sketch name, not *", cmd.Name)
+		}
+		var lines []string
+		for _, in := range s.reg.List() {
+			a := in.Sketch.Audit()
+			if a == nil {
+				continue
+			}
+			lines = append(lines, auditSummary(in.Name, a.Snapshot()))
+		}
+		writeArray(w, lines)
+		return nil
+	}
+	sk, err := s.reg.Get(cmd.Args[0])
+	if err != nil {
+		return err
+	}
+	a := sk.Audit()
+	if len(cmd.Args) == 2 {
+		if !strings.EqualFold(cmd.Args[1], "RESET") {
+			return fmt.Errorf("%s: unknown subcommand %q (want RESET)", cmd.Name, cmd.Args[1])
+		}
+		if a == nil {
+			return fmt.Errorf("%s: auditing is disabled (start shed with -audit-sample)", cmd.Name)
+		}
+		a.Reset()
+		writeSimple(w, "OK")
+		return nil
+	}
+	if a == nil {
+		writeArray(w, []string{"enabled=false"})
+		return nil
+	}
+	st := a.Snapshot()
+	lines := []string{
+		"enabled=true",
+		"kind=" + st.Kind.String(),
+		fmt.Sprintf("sample_prob=%g", st.SampleProb),
+		fmt.Sprintf("shadow_len=%d", st.ShadowLen),
+		fmt.Sprintf("shadow_cap=%d", st.ShadowCap),
+		fmt.Sprintf("shadow_keys=%d", st.ShadowKeys),
+		fmt.Sprintf("coverage=%g", st.Coverage),
+		fmt.Sprintf("observations=%d", st.Observations),
+	}
+	switch st.Kind {
+	case audit.Frequency:
+		lines = append(lines,
+			fmt.Sprintf("err_samples=%d", st.ErrSamples),
+			fmt.Sprintf("are=%g", st.ARE()),
+			fmt.Sprintf("aae=%g", st.AAE()),
+			fmt.Sprintf("last_rel_err=%g", st.LastRelErr))
+	case audit.Membership:
+		lines = append(lines,
+			fmt.Sprintf("present_probes=%d", st.PresentProbes),
+			fmt.Sprintf("false_negatives=%d", st.FalseNegatives),
+			fmt.Sprintf("fn_rate=%g", st.FNRate()),
+			fmt.Sprintf("absent_probes=%d", st.AbsentProbes),
+			fmt.Sprintf("false_positives=%d", st.FalsePositives),
+			fmt.Sprintf("fp_rate=%g", st.FPRate()))
+	case audit.Cardinality:
+		lines = append(lines,
+			fmt.Sprintf("card_checks=%d", st.CardChecks),
+			fmt.Sprintf("are=%g", st.ARE()),
+			fmt.Sprintf("last_card_est=%g", st.LastCardEst),
+			fmt.Sprintf("last_card_truth=%g", st.LastCardTruth))
+	}
+	are := make([]string, len(st.Phase))
+	obs := make([]string, len(st.Phase))
+	for i, b := range st.Phase {
+		are[i] = strconv.FormatFloat(b.Mean(), 'g', 6, 64)
+		obs[i] = strconv.FormatUint(b.Observations, 10)
+	}
+	lines = append(lines,
+		"phase_are="+strings.Join(are, ","),
+		"phase_obs="+strings.Join(obs, ","))
+	writeArray(w, lines)
+	return nil
+}
+
+// auditSummary renders one SKETCH.AUDIT * row with the fields that
+// matter for the sketch's kind.
+func auditSummary(name string, st audit.Stats) string {
+	head := fmt.Sprintf("%s kind=%s sample_prob=%g observations=%d shadow_keys=%d",
+		name, st.Kind, st.SampleProb, st.Observations, st.ShadowKeys)
+	switch st.Kind {
+	case audit.Frequency:
+		return head + fmt.Sprintf(" are=%g aae=%g", st.ARE(), st.AAE())
+	case audit.Membership:
+		return head + fmt.Sprintf(" fp_rate=%g fn_rate=%g", st.FPRate(), st.FNRate())
+	default:
+		return head + fmt.Sprintf(" card_checks=%d are=%g", st.CardChecks, st.ARE())
+	}
 }
 
 func (s *Server) writeInfo(w *bufio.Writer) {

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"time"
 
+	"she/internal/audit"
 	"she/internal/obs"
 )
 
@@ -74,6 +75,8 @@ func (s *Server) metricsHandler(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 
+	s.writeAuditMetrics(p, infos)
+
 	p.Gauge("go_goroutines", "", float64(runtime.NumGoroutine()))
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
@@ -81,6 +84,97 @@ func (s *Server) metricsHandler(w http.ResponseWriter, _ *http.Request) {
 	p.Gauge("go_memstats_sys_bytes", "", float64(ms.Sys))
 
 	w.Write(buf.Bytes())
+}
+
+// writeAuditMetrics renders the she_audit_* families: per-audited-
+// sketch shadow geometry, streaming error summaries, the relative-
+// error histogram, and the 16-bucket error-vs-cleaning-cycle-phase
+// profile. One auditor Snapshot per sketch, reused across families so
+// every family's series stay contiguous under its # TYPE line;
+// kind-specific families (freq ARE, membership FP rate, cardinality
+// error) emit series only for sketches of that kind.
+func (s *Server) writeAuditMetrics(p *obs.PromWriter, infos []SketchInfo) {
+	type auditRow struct {
+		labels string
+		st     audit.Stats
+	}
+	var rows []auditRow
+	for _, in := range infos {
+		if a := in.Sketch.Audit(); a != nil {
+			rows = append(rows, auditRow{
+				labels: fmt.Sprintf("sketch=%q", obs.EscapeLabel(in.Name)),
+				st:     a.Snapshot(),
+			})
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	gauges := []struct {
+		name  string
+		kind  audit.Kind // -1 = every kind
+		value func(audit.Stats) float64
+	}{
+		{"she_audit_sample_prob", -1, func(st audit.Stats) float64 { return st.SampleProb }},
+		{"she_audit_shadow_len", -1, func(st audit.Stats) float64 { return float64(st.ShadowLen) }},
+		{"she_audit_shadow_cap", -1, func(st audit.Stats) float64 { return float64(st.ShadowCap) }},
+		{"she_audit_shadow_keys", -1, func(st audit.Stats) float64 { return float64(st.ShadowKeys) }},
+		{"she_audit_coverage", -1, func(st audit.Stats) float64 { return st.Coverage }},
+		{"she_audit_freq_are", audit.Frequency, audit.Stats.ARE},
+		{"she_audit_freq_aae", audit.Frequency, audit.Stats.AAE},
+		{"she_audit_false_positive_rate", audit.Membership, audit.Stats.FPRate},
+		{"she_audit_false_negative_rate", audit.Membership, audit.Stats.FNRate},
+		{"she_audit_card_rel_err", audit.Cardinality, audit.Stats.ARE},
+		{"she_audit_card_last_est", audit.Cardinality, func(st audit.Stats) float64 { return st.LastCardEst }},
+		{"she_audit_card_last_truth", audit.Cardinality, func(st audit.Stats) float64 { return st.LastCardTruth }},
+	}
+	for _, fam := range gauges {
+		for _, row := range rows {
+			if fam.kind >= 0 && row.st.Kind != fam.kind {
+				continue
+			}
+			p.Gauge(fam.name, row.labels, fam.value(row.st))
+		}
+	}
+	counters := []struct {
+		name  string
+		kind  audit.Kind
+		value func(audit.Stats) uint64
+	}{
+		{"she_audit_observations_total", -1, func(st audit.Stats) uint64 { return st.Observations }},
+		{"she_audit_err_samples_total", -1, func(st audit.Stats) uint64 { return st.ErrSamples }},
+		{"she_audit_present_probes_total", audit.Membership, func(st audit.Stats) uint64 { return st.PresentProbes }},
+		{"she_audit_false_negatives_total", audit.Membership, func(st audit.Stats) uint64 { return st.FalseNegatives }},
+		{"she_audit_absent_probes_total", audit.Membership, func(st audit.Stats) uint64 { return st.AbsentProbes }},
+		{"she_audit_false_positives_total", audit.Membership, func(st audit.Stats) uint64 { return st.FalsePositives }},
+		{"she_audit_card_checks_total", audit.Cardinality, func(st audit.Stats) uint64 { return st.CardChecks }},
+	}
+	for _, fam := range counters {
+		for _, row := range rows {
+			if fam.kind >= 0 && row.st.Kind != fam.kind {
+				continue
+			}
+			p.Counter(fam.name, row.labels, float64(fam.value(row.st)))
+		}
+	}
+	for _, row := range rows {
+		p.HistogramEdges("she_audit_rel_err", row.labels,
+			audit.ErrEdges[:], row.st.ErrHist.Counts[:], row.st.ErrHist.Sum)
+	}
+	// Phase profile: mean error and sample count per cleaning-cycle
+	// phase bucket, phase = ⌊CyclePos/Tcycle · 16⌋.
+	for _, row := range rows {
+		for i, b := range row.st.Phase {
+			p.Gauge("she_audit_phase_err",
+				fmt.Sprintf("%s,phase=\"%d\"", row.labels, i), b.Mean())
+		}
+	}
+	for _, row := range rows {
+		for i, b := range row.st.Phase {
+			p.Gauge("she_audit_phase_observations",
+				fmt.Sprintf("%s,phase=\"%d\"", row.labels, i), float64(b.Observations))
+		}
+	}
 }
 
 // sketchStatsView is the flattened per-sketch numbers /metrics and

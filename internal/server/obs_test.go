@@ -37,14 +37,20 @@ func TestSlowlogCommand(t *testing.T) {
 		t.Fatalf("SLOWLOG LEN = %d (err %v), want >= 2", n, err)
 	}
 
-	entryRe := regexp.MustCompile(`^id=\d+ time=\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z duration_us=\d+ command=".+"$`)
+	entryRe := regexp.MustCompile(`^id=\d+ time=\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z duration_us=\d+ addr=\S+ command=".+"$`)
 	entries := c.array("SLOWLOG GET")
 	if len(entries) < 2 {
 		t.Fatalf("SLOWLOG GET = %v", entries)
 	}
+	// Every entry carries the client address of the connection that ran
+	// the command — here, this test's own connection.
+	localAddr := "addr=" + c.conn.LocalAddr().String()
 	for _, e := range entries {
 		if !entryRe.MatchString(e) {
 			t.Errorf("malformed slowlog entry %q", e)
+		}
+		if !strings.Contains(e, localAddr+" ") {
+			t.Errorf("slowlog entry %q missing client %s", e, localAddr)
 		}
 	}
 	// Newest-first: the INSERT (logged after the CREATE) leads.
@@ -246,8 +252,8 @@ func TestMetricsEndpoint(t *testing.T) {
 	// series, and the SHE introspection gauges.
 	for _, verb := range []string{"PING", "QUIT", "INFO", "SLOWLOG",
 		"SKETCH.LIST", "SKETCH.CREATE", "SKETCH.DROP", "SKETCH.INSERT",
-		"SKETCH.QUERY", "SKETCH.CARD", "SKETCH.STATS", "SKETCH.SAVE",
-		"SKETCH.LOAD", "OTHER"} {
+		"SKETCH.QUERY", "SKETCH.CARD", "SKETCH.STATS", "SKETCH.AUDIT",
+		"SKETCH.SAVE", "SKETCH.LOAD", "OTHER"} {
 		want := fmt.Sprintf(`she_command_seconds_bucket{verb=%q`, verb)
 		if !strings.Contains(body, want) {
 			t.Errorf("no bucket series for verb %s", verb)

@@ -155,7 +155,7 @@ func TestNewSketchParams(t *testing.T) {
 		{"bloom", map[string]string{"alpha": "-1"}},
 		{"bloom", map[string]string{"registers": "64"}}, // hll param on bloom
 		{"cm", map[string]string{"nope": "1"}},
-		{"topk", nil}, // unsupported kind
+		{"topk", nil},                                            // unsupported kind
 		{"hll", map[string]string{"window": "2", "shards": "8"}}, // window < shards
 	} {
 		kv := map[string]string{}

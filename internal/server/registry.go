@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"she"
+	"she/internal/audit"
 )
 
 // Default SKETCH.CREATE parameters.
@@ -46,6 +47,11 @@ type Sketch struct {
 	cm      *she.ShardedCountMin
 	hll     *she.ShardedHyperLogLog
 	inserts atomic.Uint64
+	// aud, when non-nil, audits this sketch's answers against a
+	// hash-sampled exact shadow (see internal/audit). Attached before
+	// the sketch is published to the registry map, so the insert path
+	// reads it without atomics: one nil check when auditing is off.
+	aud *audit.Auditor
 }
 
 // Kind returns "bloom", "cm" or "hll".
@@ -94,9 +100,12 @@ func (sk *Sketch) Stats() she.SketchStats {
 	}
 }
 
-// Insert records key as the next item of the sketch's stream.
+// Insert records key as the next item of the sketch's stream. With an
+// auditor attached, the freshly absorbed answer is compared against
+// the sampled exact shadow (one hash per insert, shadow work only for
+// the sampled fraction); without one, the audit hook is a nil check.
 func (sk *Sketch) Insert(key uint64) {
-	sk.inserts.Add(1)
+	n := sk.inserts.Add(1)
 	switch sk.kind {
 	case "bloom":
 		sk.bloom.Insert(key)
@@ -105,6 +114,34 @@ func (sk *Sketch) Insert(key uint64) {
 	default:
 		sk.hll.Insert(key)
 	}
+	if a := sk.aud; a != nil {
+		a.Observe(key, n)
+	}
+}
+
+// Audit returns the attached accuracy auditor, nil when auditing is
+// off.
+func (sk *Sketch) Audit() *audit.Auditor { return sk.aud }
+
+// attachAudit builds and attaches an auditor sized from the sketch's
+// aggregate stats. Must run before the sketch is published to the
+// registry (Insert reads sk.aud without synchronization).
+func (sk *Sketch) attachAudit(cfg audit.Config) {
+	st := sk.Stats()
+	probes := audit.Probes{}
+	var kind audit.Kind
+	switch sk.kind {
+	case "cm":
+		kind = audit.Frequency
+		probes.Frequency = sk.cm.Frequency
+	case "bloom":
+		kind = audit.Membership
+		probes.Contains = sk.bloom.Query
+	default:
+		kind = audit.Cardinality
+		probes.Cardinality = sk.hll.Cardinality
+	}
+	sk.aud = audit.New(kind, cfg, st.Window, st.Tcycle, st.Shards, probes)
 }
 
 // Query answers the per-key question the sketch supports: membership
@@ -272,11 +309,16 @@ func NewSketch(kind string, kv map[string]string) (*Sketch, error) {
 type Registry struct {
 	mu       sync.RWMutex
 	sketches map[string]*Sketch
+	// audit, when SampleProb > 0, is attached to every sketch that
+	// enters the registry — CREATE, LOAD, autosave restore and WAL
+	// replay alike — so the shadow warms up alongside the sketch.
+	audit audit.Config
 }
 
-// NewRegistry returns an empty registry.
-func NewRegistry() *Registry {
-	return &Registry{sketches: make(map[string]*Sketch)}
+// NewRegistry returns an empty registry; auditCfg.SampleProb <= 0
+// leaves every sketch unaudited.
+func NewRegistry(auditCfg audit.Config) *Registry {
+	return &Registry{sketches: make(map[string]*Sketch), audit: auditCfg}
 }
 
 // Create builds and registers a new sketch; it errors if name is
@@ -291,6 +333,9 @@ func (r *Registry) Create(name, kind string, kv map[string]string) error {
 	sk, err := NewSketch(kind, kv)
 	if err != nil {
 		return err
+	}
+	if r.audit.SampleProb > 0 {
+		sk.attachAudit(r.audit)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -313,8 +358,13 @@ func (r *Registry) Get(name string) (*Sketch, error) {
 }
 
 // Put registers sk under name, replacing any existing sketch
-// (SKETCH.LOAD semantics).
+// (SKETCH.LOAD semantics). A loaded sketch starts with an empty audit
+// shadow: its window content predates the auditor, so error samples
+// are skewed until the shadow spans a full window again.
 func (r *Registry) Put(name string, sk *Sketch) {
+	if r.audit.SampleProb > 0 && sk.aud == nil {
+		sk.attachAudit(r.audit)
+	}
 	r.mu.Lock()
 	r.sketches[name] = sk
 	r.mu.Unlock()

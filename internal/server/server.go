@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"she/internal/audit"
 	"she/internal/failfs"
 	"she/internal/metrics"
 	"she/internal/obs"
@@ -75,6 +76,20 @@ type Config struct {
 	// endpoints can stall the process and belong behind an explicit
 	// opt-in even on a loopback-only listener.
 	EnablePprof bool
+	// AuditSample enables online accuracy auditing: every sketch gets
+	// a deterministic hash-sampled exact shadow (keys with
+	// hash(key) < AuditSample·2^64 are audited), and live answers are
+	// continuously compared against shadow truth — frequency ARE/AAE,
+	// membership false positives/negatives, cardinality relative error
+	// — bucketed by cleaning-cycle phase. Served by SKETCH.AUDIT and
+	// the she_audit_* metric families. 0 disables auditing; the insert
+	// path then pays a single nil check.
+	AuditSample float64
+	// AuditMaxKeys caps each auditor's shadow window capacity (its
+	// memory bound) regardless of AuditSample·window; 0 =
+	// audit.DefaultMaxKeys. When the cap binds, the shadow spans a
+	// shorter effective window (reported as audit coverage < 1).
+	AuditMaxKeys int
 	// DisableHistograms turns off per-command and WAL latency
 	// histograms (and their clock reads). The comparative benchmark
 	// measures exactly this switch; production servers leave it off.
@@ -135,7 +150,8 @@ type Server struct {
 var commandVerbs = []string{
 	"PING", "QUIT", "INFO", "SLOWLOG",
 	"SKETCH.LIST", "SKETCH.CREATE", "SKETCH.DROP", "SKETCH.INSERT",
-	"SKETCH.QUERY", "SKETCH.CARD", "SKETCH.STATS", "SKETCH.SAVE", "SKETCH.LOAD",
+	"SKETCH.QUERY", "SKETCH.CARD", "SKETCH.STATS", "SKETCH.AUDIT",
+	"SKETCH.SAVE", "SKETCH.LOAD",
 	"OTHER",
 }
 
@@ -167,14 +183,22 @@ func verbIndex(name string) int {
 		return 9
 	case "SKETCH.STATS":
 		return 10
-	case "SKETCH.SAVE":
+	case "SKETCH.AUDIT":
 		return 11
-	case "SKETCH.LOAD":
+	case "SKETCH.SAVE":
 		return 12
+	case "SKETCH.LOAD":
+		return 13
 	default:
-		return 13 // OTHER
+		return 14 // OTHER
 	}
 }
+
+// auditSeed salts the audit sampling hash, fixed so the audited key
+// set is stable across restarts and WAL replay (replayed inserts
+// rebuild the same shadow) while staying uncorrelated with the
+// sketches' own seeded hash functions.
+const auditSeed = 0x5ead0a5d17e55eed
 
 // New returns an unstarted server.
 func New(cfg Config) *Server {
@@ -191,8 +215,12 @@ func New(cfg Config) *Server {
 		size = defaultSlowLogSize
 	}
 	s := &Server{
-		cfg:      cfg,
-		reg:      NewRegistry(),
+		cfg: cfg,
+		reg: NewRegistry(audit.Config{
+			SampleProb: cfg.AuditSample,
+			MaxKeys:    cfg.AuditMaxKeys,
+			Seed:       auditSeed,
+		}),
 		counters: metrics.NewCounterSet(),
 		done:     make(chan struct{}),
 		conns:    make(map[net.Conn]struct{}),

@@ -1,15 +1,23 @@
 #!/usr/bin/env bash
-# benchsmoke.sh — comparative observability-overhead benchmark.
+# benchsmoke.sh — comparative overhead benchmarks for the insert path.
 #
-# Runs BenchmarkServerInsert (histograms on, the default) and
-# BenchmarkServerInsertNoObs (histograms off) as PAIRS back-to-back
-# pairs — interleaved so slow machine drift (thermal, VM neighbors)
-# hits both variants equally — and takes the median per-pair overhead.
-# Writes BENCH_PR3.json with the median figures. With a real BENCHTIME
-# (e.g. 2s) it fails when the insert path pays more than
-# MAX_OVERHEAD_PCT for its histograms; with BENCHTIME=1x (the CI smoke
-# default) it runs one pair only and just checks that both benchmarks
-# run, since a single iteration measures nothing.
+# Two comparisons, each run as back-to-back interleaved PAIRS so slow
+# machine drift (thermal, VM neighbors) hits both variants equally,
+# with the median per-pair overhead reported:
+#
+#   obs:   BenchmarkServerInsert (histograms on, the default) vs
+#          BenchmarkServerInsertNoObs — what the latency histograms
+#          cost (PR 3's budget).
+#   audit: BenchmarkServerInsertAudit (accuracy auditor sampling at
+#          1/1024) vs BenchmarkServerInsert — what online accuracy
+#          auditing costs on top of the default config (PR 5's
+#          budget).
+#
+# Writes $OUT (default BENCH_PR5.json) with the median figures. With a
+# real BENCHTIME (e.g. 2s) it fails when either overhead exceeds
+# MAX_OVERHEAD_PCT; with BENCHTIME=1x (the CI smoke default) it runs
+# one pair only and just checks that the benchmarks run, since a
+# single iteration measures nothing.
 #
 # Usage: BENCHTIME=2s scripts/benchsmoke.sh
 set -euo pipefail
@@ -17,7 +25,7 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1x}"
 MAX_OVERHEAD_PCT="${MAX_OVERHEAD_PCT:-5}"
-OUT="${OUT:-BENCH_PR3.json}"
+OUT="${OUT:-BENCH_PR5.json}"
 PAIRS="${PAIRS:-3}"
 if [ "$BENCHTIME" = "1x" ]; then
   PAIRS=1
@@ -28,46 +36,69 @@ run_bench() { # name -> inserts/sec
     awk '/inserts\/sec/ { for (i = 1; i < NF; i++) if ($(i+1) == "inserts/sec") print $i }'
 }
 
-obs_runs=()
-noobs_runs=()
-overheads=()
-for ((p = 1; p <= PAIRS; p++)); do
-  obs=$(run_bench BenchmarkServerInsert)
-  noobs=$(run_bench BenchmarkServerInsertNoObs)
-  if [ -z "$obs" ] || [ -z "$noobs" ]; then
-    echo "benchsmoke: benchmark produced no inserts/sec metric" >&2
-    exit 1
-  fi
-  overhead=$(awk -v a="$obs" -v b="$noobs" 'BEGIN { printf "%.2f", (b - a) / b * 100 }')
-  echo "benchsmoke: pair $p/$PAIRS obs=$obs noobs=$noobs overhead=${overhead}%"
-  obs_runs+=("$obs")
-  noobs_runs+=("$noobs")
-  overheads+=("$overhead")
-done
-
 median() { printf '%s\n' "$@" | sort -g | awk '{ v[NR] = $1 } END { print v[int((NR + 1) / 2)] }'; }
-obs_med=$(median "${obs_runs[@]}")
-noobs_med=$(median "${noobs_runs[@]}")
-overhead_med=$(median "${overheads[@]}")
+
+# compare LABEL VARIANT_BENCH BASELINE_BENCH: interleaved pairs, then
+# sets ${label}_variant_med, ${label}_base_med, ${label}_overhead_med
+# and ${label}_overheads (comma-separated per-pair list).
+compare() {
+  local label="$1" variant="$2" baseline="$3"
+  local variant_runs=() base_runs=() overheads=()
+  for ((p = 1; p <= PAIRS; p++)); do
+    local base var
+    base=$(run_bench "$baseline")
+    var=$(run_bench "$variant")
+    if [ -z "$base" ] || [ -z "$var" ]; then
+      echo "benchsmoke: $label benchmark produced no inserts/sec metric" >&2
+      exit 1
+    fi
+    local overhead
+    overhead=$(awk -v a="$var" -v b="$base" 'BEGIN { printf "%.2f", (b - a) / b * 100 }')
+    echo "benchsmoke: $label pair $p/$PAIRS variant=$var baseline=$base overhead=${overhead}%"
+    variant_runs+=("$var")
+    base_runs+=("$base")
+    overheads+=("$overhead")
+  done
+  printf -v "${label}_variant_med" '%s' "$(median "${variant_runs[@]}")"
+  printf -v "${label}_base_med" '%s' "$(median "${base_runs[@]}")"
+  printf -v "${label}_overhead_med" '%s' "$(median "${overheads[@]}")"
+  printf -v "${label}_overheads" '%s' "$(IFS=,; echo "${overheads[*]}")"
+}
+
+compare obs BenchmarkServerInsert BenchmarkServerInsertNoObs
+compare audit BenchmarkServerInsertAudit BenchmarkServerInsert
 
 cat > "$OUT" <<EOF
 {
-  "benchmark": "BenchmarkServerInsert",
   "benchtime": "$BENCHTIME",
   "pairs": $PAIRS,
-  "obs_enabled_inserts_per_sec": $obs_med,
-  "obs_disabled_inserts_per_sec": $noobs_med,
-  "overhead_pct_per_pair": [$(IFS=,; echo "${overheads[*]}")],
-  "overhead_pct": $overhead_med
+  "obs": {
+    "benchmark": "BenchmarkServerInsert vs BenchmarkServerInsertNoObs",
+    "obs_enabled_inserts_per_sec": $obs_variant_med,
+    "obs_disabled_inserts_per_sec": $obs_base_med,
+    "overhead_pct_per_pair": [$obs_overheads],
+    "overhead_pct": $obs_overhead_med
+  },
+  "audit": {
+    "benchmark": "BenchmarkServerInsertAudit vs BenchmarkServerInsert",
+    "audit_sample": 0.0009765625,
+    "audit_enabled_inserts_per_sec": $audit_variant_med,
+    "audit_disabled_inserts_per_sec": $audit_base_med,
+    "overhead_pct_per_pair": [$audit_overheads],
+    "overhead_pct": $audit_overhead_med
+  }
 }
 EOF
-echo "benchsmoke: median obs=$obs_med inserts/sec, noobs=$noobs_med inserts/sec, overhead=${overhead_med}% (wrote $OUT)"
+echo "benchsmoke: obs overhead=${obs_overhead_med}% audit overhead=${audit_overhead_med}% (wrote $OUT)"
 
 if [ "$BENCHTIME" = "1x" ]; then
-  echo "benchsmoke: BENCHTIME=1x smoke run; skipping the ${MAX_OVERHEAD_PCT}% overhead assertion"
+  echo "benchsmoke: BENCHTIME=1x smoke run; skipping the ${MAX_OVERHEAD_PCT}% overhead assertions"
   exit 0
 fi
-awk -v o="$overhead_med" -v max="$MAX_OVERHEAD_PCT" 'BEGIN { exit !(o <= max) }' || {
-  echo "benchsmoke: observability overhead ${overhead_med}% exceeds ${MAX_OVERHEAD_PCT}%" >&2
-  exit 1
-}
+for label in obs audit; do
+  med_var="${label}_overhead_med"
+  awk -v o="${!med_var}" -v max="$MAX_OVERHEAD_PCT" 'BEGIN { exit !(o <= max) }' || {
+    echo "benchsmoke: $label overhead ${!med_var}% exceeds ${MAX_OVERHEAD_PCT}%" >&2
+    exit 1
+  }
+done
