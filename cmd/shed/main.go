@@ -54,6 +54,9 @@ func main() {
 	autosave := flag.String("autosave", "", "snapshot directory: loaded at startup, saved at shutdown (empty = disabled)")
 	snapshots := flag.String("snapshots", "", "directory for SKETCH.SAVE/LOAD files (empty = use -autosave dir; both empty = commands disabled)")
 	walDir := flag.String("wal", "", "write-ahead log directory: every acknowledged mutation is fsynced before the reply, so kill -9 loses nothing (empty = disabled; supersedes -autosave)")
+	replicaOf := flag.String("replicaof", "", "start as a read-only replica of this primary (host:port); requires -wal. Promote at runtime with REPLICAOF NO ONE")
+	syncReplicas := flag.Int("sync-replicas", 0, "semi-synchronous commits: acknowledge mutations only after this many replicas applied and fsynced them (0 = asynchronous replication)")
+	syncReplicaTimeout := flag.Duration("sync-replica-timeout", 2*time.Second, "fail a semi-synchronous commit that gathers too few replica acks in this long")
 	checkpointBytes := flag.Int64("wal-checkpoint-bytes", server.DefaultCheckpointBytes, "WAL size that triggers a snapshot-then-truncate checkpoint")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
 	idle := flag.Duration("idle-timeout", 5*time.Minute, "close connections idle for this long (0 = never)")
@@ -86,25 +89,36 @@ func main() {
 		logger.Warn("-wal supersedes -autosave; autosave dir will be neither loaded nor written",
 			"autosave", *autosave)
 	}
+	if *replicaOf != "" && *walDir == "" {
+		fmt.Fprintln(os.Stderr, "shed: -replicaof requires -wal (a replica's acks promise local durability)")
+		os.Exit(2)
+	}
+	if *syncReplicas > 0 && *walDir == "" {
+		fmt.Fprintln(os.Stderr, "shed: -sync-replicas requires -wal (replication streams the write-ahead log)")
+		os.Exit(2)
+	}
 	if *enablePprof && *debug == "" {
 		logger.Warn("-pprof has no effect without -debug")
 	}
 	srv := server.New(server.Config{
-		Listen:          *listen,
-		DebugListen:     *debug,
-		AutosaveDir:     *autosave,
-		SnapshotDir:     *snapshots,
-		IdleTimeout:     *idle,
-		WriteTimeout:    *writeTimeout,
-		MaxConns:        *maxConns,
-		WALDir:          *walDir,
-		CheckpointBytes: *checkpointBytes,
-		SlowThreshold:   time.Duration(*slowMs) * time.Millisecond,
-		SlowLogSize:     *slowlogSize,
-		AuditSample:     *auditSample,
-		AuditMaxKeys:    *auditMaxKeys,
-		EnablePprof:     *enablePprof,
-		Logger:          logger,
+		Listen:             *listen,
+		DebugListen:        *debug,
+		AutosaveDir:        *autosave,
+		SnapshotDir:        *snapshots,
+		IdleTimeout:        *idle,
+		WriteTimeout:       *writeTimeout,
+		MaxConns:           *maxConns,
+		WALDir:             *walDir,
+		CheckpointBytes:    *checkpointBytes,
+		ReplicaOf:          *replicaOf,
+		SyncReplicas:       *syncReplicas,
+		SyncReplicaTimeout: *syncReplicaTimeout,
+		SlowThreshold:      time.Duration(*slowMs) * time.Millisecond,
+		SlowLogSize:        *slowlogSize,
+		AuditSample:        *auditSample,
+		AuditMaxKeys:       *auditMaxKeys,
+		EnablePprof:        *enablePprof,
+		Logger:             logger,
 	})
 	if err := srv.Start(); err != nil {
 		fatal("start failed", err)
@@ -121,6 +135,12 @@ func main() {
 		logger.Info("wal enabled", "dir", *walDir, "sketches_recovered", srv.Registry().Len())
 	case *autosave != "":
 		logger.Info("autosave enabled", "dir", *autosave, "sketches_restored", srv.Registry().Len())
+	}
+	if *replicaOf != "" {
+		logger.Info("replica mode", "primary", *replicaOf)
+	}
+	if *syncReplicas > 0 {
+		logger.Info("semi-synchronous commits", "replicas", *syncReplicas, "timeout", syncReplicaTimeout.String())
 	}
 	if *auditSample > 0 {
 		logger.Info("accuracy auditing enabled", "sample", *auditSample, "max_keys", *auditMaxKeys)

@@ -37,6 +37,12 @@ type FS interface {
 	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
 	// ReadFile returns the full contents of name.
 	ReadFile(name string) ([]byte, error)
+	// ReadFileAt returns up to n bytes of name starting at off. Fewer
+	// bytes than n (with a nil error) means the file ends before
+	// off+n; an offset at or past the end returns an empty slice. The
+	// WAL tail reader uses it to stream a segment's new bytes to
+	// replicas without re-reading the whole file on every poll.
+	ReadFileAt(name string, off, n int64) ([]byte, error)
 	// ReadDir lists the directory, sorted by name.
 	ReadDir(name string) ([]fs.DirEntry, error)
 	// MkdirAll creates the directory and any missing parents.
@@ -61,7 +67,22 @@ func (OS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
 	return os.OpenFile(name, flag, perm)
 }
 
-func (OS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// ReadFileAt reads the byte range [off, off+n) of name, short at EOF.
+func (OS) ReadFileAt(name string, off, n int64) ([]byte, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, n)
+	m, err := f.ReadAt(buf, off)
+	if err == io.EOF {
+		err = nil
+	}
+	return buf[:m], err
+}
 func (OS) ReadDir(name string) ([]fs.DirEntry, error)   { return os.ReadDir(name) }
 func (OS) MkdirAll(name string, perm fs.FileMode) error { return os.MkdirAll(name, perm) }
 func (OS) Rename(oldname, newname string) error         { return os.Rename(oldname, newname) }

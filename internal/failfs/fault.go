@@ -148,6 +148,13 @@ func (f *Fault) ReadFile(name string) ([]byte, error) {
 	return f.inner.ReadFile(name)
 }
 
+func (f *Fault) ReadFileAt(name string, off, n int64) ([]byte, error) {
+	if err := f.dead(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFileAt(name, off, n)
+}
+
 func (f *Fault) ReadDir(name string) ([]fs.DirEntry, error) {
 	if err := f.dead(); err != nil {
 		return nil, err

@@ -1,0 +1,59 @@
+// Package repl is shed's primary/follower replication subsystem: the
+// WAL becomes the replication log, followers become cheap read views.
+//
+// # Topology
+//
+// One primary accepts mutations; any number of followers connect to it
+// over the ordinary wire protocol, bootstrap from a sealed SHSN
+// snapshot generation (a full sync), and then tail the primary's live
+// WAL, applying each record through the same ParseCommand replay path
+// crash recovery uses. Followers serve queries, SKETCH.STATS and
+// SKETCH.AUDIT read-only and refuse mutations; sketch answers are
+// approximate by contract, so replica staleness is just extra sliding-
+// window slack (a follower lagging by L inserts answers as a primary
+// whose window closed L inserts ago — see the server docs).
+//
+// # Protocol
+//
+// The handshake rides the normal command protocol:
+//
+//	PING                          → +PONG
+//	REPLCONF LISTENING-PORT <p>   → +OK          (advisory, for ROLE output)
+//	PSYNC ?                       → +FULLRESYNC <gen> <seg> <off> <nfiles>
+//	PSYNC <gen> <seg> <off>       → +CONTINUE <gen> <seg> <off>
+//	                                (or +FULLRESYNC … when the cursor is gone)
+//
+// A replication cursor is the triple (gen, seg, off): the snapshot
+// generation bootstrapped from, a WAL segment sequence number, and a
+// byte offset at a record-frame boundary inside it. Segment sequences
+// are globally monotonic, so (seg, off) totally orders positions; gen
+// is carried for observability.
+//
+// After +FULLRESYNC the primary sends nfiles sealed snapshot files —
+//
+//	SNAP <name> <size>\n<size raw bytes>\n … ENDSNAP\n
+//
+// — and then, as after +CONTINUE, the connection becomes a dedicated
+// replication channel:
+//
+//	primary → follower:  REC <gen> <seg> <off> <len>\n<len raw bytes>\n
+//	                     PING\n                       (idle heartbeat)
+//	follower → primary:  REPLACK <gen> <seg> <off> <recs> <bytes>\n
+//
+// Each REC carries the cursor position immediately *after* the record,
+// so the follower always knows where to resume. The primary streams
+// only fsync-durable bytes (the WAL tail reader is bounded by the
+// synced watermark), so a follower can never hold state the primary
+// would lose in a crash. A follower acknowledges only after applying —
+// and, when it runs its own WAL, fsyncing — a batch, which is what
+// makes the primary's semi-synchronous commit (Config.SyncReplicas)
+// a real zero-acked-loss guarantee across failover.
+//
+// # Failover
+//
+// REPLICAOF NO ONE promotes a follower: replication stops and the node
+// starts accepting mutations at its current position. REPLICAOF <host>
+// <port> points a node at a (new) primary; it full-syncs and discards
+// local state. Promotion is operator-driven (or driven by an external
+// watchdog); the subsystem deliberately ships no consensus layer.
+package repl

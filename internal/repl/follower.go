@@ -1,0 +1,411 @@
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"she/internal/wal"
+)
+
+// Target is what a follower applies the replicated stream to — the
+// server's registry + local durability, behind a small seam so the
+// follower loop can be unit-tested without a server.
+type Target interface {
+	// BeginFullSync discards all local state ahead of a snapshot
+	// transfer.
+	BeginFullSync() error
+	// SnapshotFile ingests one sealed snapshot file from the primary.
+	SnapshotFile(name string, data []byte) error
+	// EndFullSync finishes the bootstrap; start is the cursor the
+	// stream resumes from (everything below it is in the snapshot).
+	EndFullSync(start wal.Cursor) error
+	// Apply replays one WAL record (the same bytes the primary's
+	// crash recovery would replay).
+	Apply(payload []byte) error
+	// Commit makes everything applied so far locally durable (fsync);
+	// cursor is the position the durable prefix reaches. The follower
+	// acknowledges only after Commit returns.
+	Commit(cursor wal.Cursor) error
+}
+
+// FollowerConfig parameterises a replication client.
+type FollowerConfig struct {
+	// PrimaryAddr is the host:port of the primary's wire listener.
+	PrimaryAddr string
+	// ListenPort is this node's own client port, reported via
+	// REPLCONF LISTENING-PORT for the primary's ROLE output.
+	ListenPort int
+	// DialTimeout bounds connection establishment. Default 5s.
+	DialTimeout time.Duration
+	// ReadTimeout bounds the wait for stream traffic; the primary
+	// heartbeats idle channels, so expiry means the link is dead.
+	// Default 30s.
+	ReadTimeout time.Duration
+	// RetryInterval is the pause between reconnection attempts.
+	// Default 1s.
+	RetryInterval time.Duration
+	// Logf, when set, receives follower lifecycle messages.
+	Logf func(format string, args ...any)
+}
+
+// FollowerStatus is a point-in-time view of the replication client,
+// for ROLE output and metrics.
+type FollowerStatus struct {
+	PrimaryAddr  string
+	Connected    bool
+	FullSyncs    uint64 // completed snapshot bootstraps
+	Reconnects   uint64 // dial attempts after the first
+	Cursor       wal.Cursor
+	AppliedRecs  uint64 // session totals reported in REPLACK
+	AppliedBytes uint64
+	LastRecord   time.Time // when the last REC arrived (zero before any)
+}
+
+// Follower is the replication client: it dials the primary, performs
+// the PSYNC handshake, bootstraps from a snapshot when needed, and
+// applies the record stream to its Target until stopped.
+type Follower struct {
+	cfg    FollowerConfig
+	target Target
+
+	mu      sync.Mutex
+	conn    net.Conn
+	stopped bool
+	status  FollowerStatus
+	stop    chan struct{} // closed by Stop: interrupts retry sleeps
+	done    chan struct{} // closed when Run returns
+}
+
+// NewFollower builds a follower; Run starts it.
+func NewFollower(cfg FollowerConfig, target Target) *Follower {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = 30 * time.Second
+	}
+	if cfg.RetryInterval <= 0 {
+		cfg.RetryInterval = time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Follower{
+		cfg:    cfg,
+		target: target,
+		status: FollowerStatus{PrimaryAddr: cfg.PrimaryAddr},
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// Run drives the replication loop until Stop: dial, handshake, stream,
+// and on any error reconnect after RetryInterval. It blocks; start it
+// in a goroutine.
+func (f *Follower) Run() {
+	defer close(f.done)
+	first := true
+	for {
+		f.mu.Lock()
+		if f.stopped {
+			f.mu.Unlock()
+			return
+		}
+		if !first {
+			f.status.Reconnects++
+		}
+		f.mu.Unlock()
+
+		if !first {
+			select {
+			case <-time.After(f.cfg.RetryInterval):
+			case <-f.stop:
+				return
+			}
+			f.mu.Lock()
+			if f.stopped {
+				f.mu.Unlock()
+				return
+			}
+			f.mu.Unlock()
+		}
+		first = false
+
+		err := f.session()
+		if err != nil && !f.isStopped() {
+			f.cfg.Logf("repl follower: session ended: %v", err)
+		}
+		if f.isStopped() {
+			return
+		}
+	}
+}
+
+// Stop terminates the follower: the current connection is closed and
+// Run returns. Safe to call more than once.
+func (f *Follower) Stop() {
+	f.mu.Lock()
+	if f.stopped {
+		f.mu.Unlock()
+		return
+	}
+	f.stopped = true
+	conn := f.conn
+	close(f.stop)
+	f.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	<-f.done
+}
+
+// Status snapshots the follower's state.
+func (f *Follower) Status() FollowerStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.status
+}
+
+func (f *Follower) isStopped() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stopped
+}
+
+// session runs one connection lifetime: handshake, optional full sync,
+// then the streaming loop. Any returned error tears the connection
+// down; Run reconnects.
+func (f *Follower) session() error {
+	conn, err := net.DialTimeout("tcp", f.cfg.PrimaryAddr, f.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if f.stopped {
+		f.mu.Unlock()
+		conn.Close()
+		return nil
+	}
+	f.conn = conn
+	f.mu.Unlock()
+	defer func() {
+		conn.Close()
+		f.mu.Lock()
+		f.conn = nil
+		f.status.Connected = false
+		f.mu.Unlock()
+	}()
+
+	r := bufio.NewReaderSize(conn, 1<<16)
+	w := bufio.NewWriterSize(conn, 1<<16)
+
+	expect := func(send, wantPrefix string) (string, error) {
+		conn.SetDeadline(time.Now().Add(f.cfg.ReadTimeout))
+		if _, err := w.WriteString(send + "\n"); err != nil {
+			return "", err
+		}
+		if err := w.Flush(); err != nil {
+			return "", err
+		}
+		line, err := readLine(r)
+		if err != nil {
+			return "", err
+		}
+		if !strings.HasPrefix(line, wantPrefix) {
+			return "", fmt.Errorf("repl: sent %q, got %q (want %s…)", send, line, wantPrefix)
+		}
+		return line, nil
+	}
+
+	if _, err := expect("PING", "+PONG"); err != nil {
+		return err
+	}
+	if _, err := expect(fmt.Sprintf("REPLCONF LISTENING-PORT %d", f.cfg.ListenPort), "+OK"); err != nil {
+		return err
+	}
+
+	f.mu.Lock()
+	cur := f.status.Cursor
+	f.mu.Unlock()
+	psync := "PSYNC ?"
+	if !cur.IsZero() {
+		psync = fmt.Sprintf("PSYNC %d %d %d", cur.Gen, cur.Seg, cur.Off)
+	}
+	conn.SetDeadline(time.Now().Add(f.cfg.ReadTimeout))
+	if _, err := w.WriteString(psync + "\n"); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	line, err := readLine(r)
+	if err != nil {
+		return err
+	}
+	fields := strings.Fields(line)
+	switch {
+	case len(fields) == 5 && fields[0] == "+FULLRESYNC":
+		start, err := ParseCursor(fields[1], fields[2], fields[3])
+		if err != nil {
+			return err
+		}
+		nfiles, err := strconv.Atoi(fields[4])
+		if err != nil || nfiles < 0 {
+			return fmt.Errorf("repl: bad FULLRESYNC file count %q", fields[4])
+		}
+		if err := f.fullSync(conn, r, start, nfiles); err != nil {
+			return err
+		}
+		cur = start
+	case len(fields) == 4 && fields[0] == "+CONTINUE":
+		c, err := ParseCursor(fields[1], fields[2], fields[3])
+		if err != nil {
+			return err
+		}
+		cur = c
+	default:
+		return fmt.Errorf("repl: unexpected PSYNC reply %q", line)
+	}
+
+	f.mu.Lock()
+	f.status.Connected = true
+	f.status.Cursor = cur
+	f.mu.Unlock()
+	f.cfg.Logf("repl follower: streaming from %s at cursor %s", f.cfg.PrimaryAddr, cur)
+
+	return f.stream(conn, r, w, cur)
+}
+
+// fullSync ingests the snapshot file transfer that follows +FULLRESYNC.
+func (f *Follower) fullSync(conn net.Conn, r *bufio.Reader, start wal.Cursor, nfiles int) error {
+	f.cfg.Logf("repl follower: full sync from %s: %d files, start cursor %s", f.cfg.PrimaryAddr, nfiles, start)
+	if err := f.target.BeginFullSync(); err != nil {
+		return err
+	}
+	for i := 0; i < nfiles; i++ {
+		conn.SetDeadline(time.Now().Add(f.cfg.ReadTimeout))
+		line, err := readLine(r)
+		if err != nil {
+			return err
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 || fields[0] != verbSnap {
+			return fmt.Errorf("repl: expected SNAP, got %q", line)
+		}
+		size, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return fmt.Errorf("repl: bad SNAP size %q", fields[2])
+		}
+		data, err := readBlob(r, size, MaxSnapshotFileBytes)
+		if err != nil {
+			return err
+		}
+		if err := f.target.SnapshotFile(fields[1], data); err != nil {
+			return err
+		}
+	}
+	conn.SetDeadline(time.Now().Add(f.cfg.ReadTimeout))
+	line, err := readLine(r)
+	if err != nil {
+		return err
+	}
+	if line != verbEndSnap {
+		return fmt.Errorf("repl: expected ENDSNAP, got %q", line)
+	}
+	if err := f.target.EndFullSync(start); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.status.FullSyncs++
+	f.mu.Unlock()
+	return nil
+}
+
+// stream applies REC frames until the connection dies. Records are
+// committed (and acknowledged) at batch boundaries: whenever the read
+// buffer drains, everything applied since the last ack is fsynced via
+// Target.Commit and a REPLACK goes out. An Apply error is fatal to the
+// replica's coherence — the cursor resets to zero so the next session
+// full-resyncs.
+func (f *Follower) stream(conn net.Conn, r *bufio.Reader, w *bufio.Writer, cur wal.Cursor) error {
+	pending := 0 // applied since last commit+ack
+	commit := func() error {
+		if pending == 0 {
+			return nil
+		}
+		if err := f.target.Commit(cur); err != nil {
+			return err
+		}
+		pending = 0
+		f.mu.Lock()
+		f.status.Cursor = cur
+		recs, bytes := f.status.AppliedRecs, f.status.AppliedBytes
+		f.mu.Unlock()
+		if err := WriteAck(w, cur, recs, bytes); err != nil {
+			return err
+		}
+		return w.Flush()
+	}
+
+	for {
+		conn.SetDeadline(time.Now().Add(f.cfg.ReadTimeout))
+		line, err := readLine(r)
+		if err != nil {
+			cerr := commit()
+			if cerr != nil {
+				return cerr
+			}
+			return err
+		}
+		fields := strings.Fields(line)
+		switch {
+		case len(fields) == 1 && fields[0] == verbPing:
+			// Heartbeat; also a natural batch boundary.
+			if err := commit(); err != nil {
+				return err
+			}
+		case len(fields) == 5 && fields[0] == verbRec:
+			end, err := ParseCursor(fields[1], fields[2], fields[3])
+			if err != nil {
+				return err
+			}
+			size, err := strconv.ParseInt(fields[4], 10, 64)
+			if err != nil {
+				return fmt.Errorf("repl: bad REC length %q", fields[4])
+			}
+			payload, err := readBlob(r, size, wal.MaxRecordBytes)
+			if err != nil {
+				return err
+			}
+			if err := f.target.Apply(payload); err != nil {
+				// The replica may now diverge from the primary; only a
+				// fresh bootstrap restores coherence.
+				f.mu.Lock()
+				f.status.Cursor = wal.Cursor{}
+				f.mu.Unlock()
+				return fmt.Errorf("repl: apply failed (will full resync): %w", err)
+			}
+			cur = end
+			pending++
+			f.mu.Lock()
+			f.status.AppliedRecs++
+			f.status.AppliedBytes += uint64(len(payload))
+			f.status.LastRecord = time.Now()
+			f.mu.Unlock()
+			// Commit when the pipe drains (no more buffered input) or
+			// the batch grows large.
+			if r.Buffered() == 0 || pending >= 1024 {
+				if err := commit(); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("repl: unexpected stream line %q", line)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"she/internal/wal"
+)
+
+// Wire vocabulary of the replication channel. Kept as raw line
+// constants so both ends and the tests spell them identically.
+const (
+	verbRec     = "REC"
+	verbPing    = "PING"
+	verbAck     = "REPLACK"
+	verbSnap    = "SNAP"
+	verbEndSnap = "ENDSNAP"
+)
+
+// MaxSnapshotFileBytes caps a single streamed snapshot file. The
+// server's SKETCH.CREATE size caps bound any legitimate sketch far
+// below this; anything larger is a corrupt or hostile length field.
+const MaxSnapshotFileBytes = 1 << 30
+
+// ParseCursor reads a (gen, seg, off) triple from three decimal
+// tokens.
+func ParseCursor(gen, seg, off string) (wal.Cursor, error) {
+	g, err1 := strconv.ParseUint(gen, 10, 64)
+	s, err2 := strconv.ParseUint(seg, 10, 64)
+	o, err3 := strconv.ParseInt(off, 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil || o < 0 {
+		return wal.Cursor{}, fmt.Errorf("repl: bad cursor %q %q %q", gen, seg, off)
+	}
+	return wal.Cursor{Gen: g, Seg: s, Off: o}, nil
+}
+
+// WriteRecord frames one replicated WAL record: the cursor is the
+// position immediately after the record in the primary's log.
+func WriteRecord(w *bufio.Writer, end wal.Cursor, payload []byte) error {
+	if _, err := fmt.Fprintf(w, "%s %d %d %d %d\n", verbRec, end.Gen, end.Seg, end.Off, len(payload)); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	return w.WriteByte('\n')
+}
+
+// WriteAck frames a follower acknowledgement: everything up to cursor
+// is applied (and locally durable when the follower runs a WAL); recs
+// and bytes are session-cumulative applied totals, which let the
+// primary compute record-level lag without a shared record numbering.
+func WriteAck(w *bufio.Writer, c wal.Cursor, recs, bytes uint64) error {
+	_, err := fmt.Fprintf(w, "%s %d %d %d %d %d\n", verbAck, c.Gen, c.Seg, c.Off, recs, bytes)
+	return err
+}
+
+// WriteSnapshotFile frames one full-sync snapshot file.
+func WriteSnapshotFile(w *bufio.Writer, name string, data []byte) error {
+	if _, err := fmt.Fprintf(w, "%s %s %d\n", verbSnap, name, len(data)); err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	return w.WriteByte('\n')
+}
+
+// readLine returns one LF-terminated line without its terminator.
+func readLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// readBlob reads a length-delimited binary body plus its trailing
+// newline.
+func readBlob(r *bufio.Reader, n int64, max int64) ([]byte, error) {
+	if n < 0 || n > max {
+		return nil, fmt.Errorf("repl: blob length %d out of range", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	if b, err := r.ReadByte(); err != nil {
+		return nil, err
+	} else if b != '\n' {
+		return nil, fmt.Errorf("repl: blob not newline-terminated (got 0x%02x)", b)
+	}
+	return buf, nil
+}

@@ -1,0 +1,484 @@
+package repl
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"she/internal/wal"
+)
+
+// memTarget records everything a follower applies; memState is the
+// lock-free copy its snapshot method hands to assertions.
+type memState struct {
+	wiped     int
+	files     map[string][]byte
+	start     wal.Cursor
+	applied   []string
+	committed wal.Cursor
+	commits   int
+}
+
+type memTarget struct {
+	mu sync.Mutex
+	memState
+	applyErr error
+}
+
+func newMemTarget() *memTarget {
+	return &memTarget{memState: memState{files: make(map[string][]byte)}}
+}
+
+func (m *memTarget) BeginFullSync() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.wiped++
+	m.files = make(map[string][]byte)
+	m.applied = nil
+	return nil
+}
+
+func (m *memTarget) SnapshotFile(name string, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[name] = data
+	return nil
+}
+
+func (m *memTarget) EndFullSync(start wal.Cursor) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.start = start
+	return nil
+}
+
+func (m *memTarget) Apply(payload []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.applyErr != nil {
+		return m.applyErr
+	}
+	m.applied = append(m.applied, string(payload))
+	return nil
+}
+
+func (m *memTarget) Commit(c wal.Cursor) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.committed = c
+	m.commits++
+	return nil
+}
+
+func (m *memTarget) snapshot() memState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cp := m.memState
+	cp.files = make(map[string][]byte, len(m.files))
+	cp.applied = append([]string(nil), m.applied...)
+	for k, v := range m.files {
+		cp.files[k] = v
+	}
+	return cp
+}
+
+// fakePrimary accepts one replication connection and runs script on it.
+type fakePrimary struct {
+	ln   net.Listener
+	errc chan error
+}
+
+func startFakePrimary(t *testing.T, script func(r *bufio.Reader, w *bufio.Writer) error) *fakePrimary {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &fakePrimary{ln: ln, errc: make(chan error, 1)}
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			p.errc <- err
+			return
+		}
+		defer conn.Close()
+		conn.SetDeadline(time.Now().Add(10 * time.Second))
+		p.errc <- script(bufio.NewReader(conn), bufio.NewWriter(conn))
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return p
+}
+
+// handshake consumes PING / REPLCONF / PSYNC and returns the PSYNC args.
+func handshake(r *bufio.Reader, w *bufio.Writer) ([]string, error) {
+	line, err := readLine(r)
+	if err != nil || line != "PING" {
+		return nil, fmt.Errorf("want PING, got %q err %v", line, err)
+	}
+	w.WriteString("+PONG\n")
+	w.Flush()
+	line, err = readLine(r)
+	if err != nil || !strings.HasPrefix(line, "REPLCONF LISTENING-PORT ") {
+		return nil, fmt.Errorf("want REPLCONF, got %q err %v", line, err)
+	}
+	w.WriteString("+OK\n")
+	w.Flush()
+	line, err = readLine(r)
+	if err != nil || !strings.HasPrefix(line, "PSYNC ") {
+		return nil, fmt.Errorf("want PSYNC, got %q err %v", line, err)
+	}
+	return strings.Fields(line)[1:], nil
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestFollowerFullSyncAndStream: a zero-cursor follower handshakes,
+// ingests the snapshot files, applies the streamed records, and acks
+// the final cursor.
+func TestFollowerFullSyncAndStream(t *testing.T) {
+	start := wal.Cursor{Gen: 3, Seg: 7, Off: 0}
+	rec1End := wal.Cursor{Gen: 3, Seg: 7, Off: 40}
+	rec2End := wal.Cursor{Gen: 3, Seg: 7, Off: 80}
+	ackc := make(chan string, 8)
+
+	p := startFakePrimary(t, func(r *bufio.Reader, w *bufio.Writer) error {
+		args, err := handshake(r, w)
+		if err != nil {
+			return err
+		}
+		if len(args) != 1 || args[0] != "?" {
+			return fmt.Errorf("want PSYNC ?, got args %v", args)
+		}
+		fmt.Fprintf(w, "+FULLRESYNC %d %d %d 2\n", start.Gen, start.Seg, start.Off)
+		WriteSnapshotFile(w, "pageviews.shsn", []byte("sketch-bytes-1"))
+		WriteSnapshotFile(w, "uniques.shsn", []byte("sketch-bytes-2"))
+		w.WriteString("ENDSNAP\n")
+		w.Flush()
+		WriteRecord(w, rec1End, []byte("I pageviews 1 2"))
+		WriteRecord(w, rec2End, []byte("I pageviews 3 4"))
+		w.Flush()
+		for i := 0; i < 2; i++ {
+			line, err := readLine(r)
+			if err != nil {
+				return nil // follower may batch into one ack
+			}
+			ackc <- line
+		}
+		return nil
+	})
+
+	tgt := newMemTarget()
+	f := NewFollower(FollowerConfig{
+		PrimaryAddr:   p.ln.Addr().String(),
+		ListenPort:    1234,
+		RetryInterval: 10 * time.Millisecond,
+	}, tgt)
+	go f.Run()
+	defer f.Stop()
+
+	waitFor(t, "records applied", func() bool { return len(tgt.snapshot().applied) == 2 })
+	got := tgt.snapshot()
+	if got.wiped != 1 {
+		t.Fatalf("BeginFullSync calls = %d, want 1", got.wiped)
+	}
+	if string(got.files["pageviews.shsn"]) != "sketch-bytes-1" || string(got.files["uniques.shsn"]) != "sketch-bytes-2" {
+		t.Fatalf("snapshot files = %v", got.files)
+	}
+	if got.start != start {
+		t.Fatalf("EndFullSync start = %v, want %v", got.start, start)
+	}
+	if got.applied[0] != "I pageviews 1 2" || got.applied[1] != "I pageviews 3 4" {
+		t.Fatalf("applied = %q", got.applied)
+	}
+	waitFor(t, "commit at rec2", func() bool { return tgt.snapshot().committed == rec2End })
+
+	ack := <-ackc
+	fields := strings.Fields(ack)
+	if fields[0] != "REPLACK" {
+		t.Fatalf("ack = %q", ack)
+	}
+	c, err := ParseCursor(fields[1], fields[2], fields[3])
+	if err != nil || c.Before(rec1End) {
+		t.Fatalf("ack cursor = %v (err %v), want >= %v", c, err, rec1End)
+	}
+
+	st := f.Status()
+	if !st.Connected || st.FullSyncs != 1 || st.AppliedRecs != 2 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+// TestFollowerContinue: a follower with a cursor asks to continue and
+// is streamed from there with no snapshot transfer.
+func TestFollowerContinue(t *testing.T) {
+	cur := wal.Cursor{Gen: 2, Seg: 5, Off: 100}
+	end := wal.Cursor{Gen: 2, Seg: 5, Off: 140}
+
+	p := startFakePrimary(t, func(r *bufio.Reader, w *bufio.Writer) error {
+		args, err := handshake(r, w)
+		if err != nil {
+			return err
+		}
+		if len(args) != 3 || args[0] != "2" || args[1] != "5" || args[2] != "100" {
+			return fmt.Errorf("PSYNC args = %v", args)
+		}
+		fmt.Fprintf(w, "+CONTINUE %d %d %d\n", cur.Gen, cur.Seg, cur.Off)
+		WriteRecord(w, end, []byte("I s 9 1"))
+		w.Flush()
+		readLine(r) // drain the ack
+		return nil
+	})
+
+	tgt := newMemTarget()
+	f := NewFollower(FollowerConfig{
+		PrimaryAddr:   p.ln.Addr().String(),
+		RetryInterval: 10 * time.Millisecond,
+	}, tgt)
+	// Seed the cursor as a previous session would have left it.
+	f.status.Cursor = cur
+	go f.Run()
+	defer f.Stop()
+
+	waitFor(t, "record applied", func() bool { return len(tgt.snapshot().applied) == 1 })
+	got := tgt.snapshot()
+	if got.wiped != 0 {
+		t.Fatalf("unexpected full sync (wiped=%d)", got.wiped)
+	}
+	if got.applied[0] != "I s 9 1" {
+		t.Fatalf("applied = %q", got.applied)
+	}
+	if err := <-p.errc; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFollowerApplyErrorForcesResync: an apply failure zeroes the
+// cursor, so the next session asks for a full resync.
+func TestFollowerApplyErrorForcesResync(t *testing.T) {
+	cur := wal.Cursor{Gen: 1, Seg: 2, Off: 0}
+	psyncs := make(chan string, 4)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				conn.SetDeadline(time.Now().Add(10 * time.Second))
+				r, w := bufio.NewReader(conn), bufio.NewWriter(conn)
+				args, err := handshake(r, w)
+				if err != nil {
+					return
+				}
+				psyncs <- strings.Join(args, " ")
+				if args[0] == "?" {
+					// Hold the second session open with no traffic.
+					fmt.Fprintf(w, "+FULLRESYNC 1 2 0 0\nENDSNAP\n")
+					w.Flush()
+					readLine(r)
+					return
+				}
+				fmt.Fprintf(w, "+CONTINUE %d %d %d\n", cur.Gen, cur.Seg, cur.Off)
+				WriteRecord(w, wal.Cursor{Gen: 1, Seg: 2, Off: 40}, []byte("bad-record"))
+				w.Flush()
+				readLine(r)
+			}(conn)
+		}
+	}()
+
+	tgt := newMemTarget()
+	tgt.applyErr = errors.New("replay rejected")
+	f := NewFollower(FollowerConfig{
+		PrimaryAddr:   ln.Addr().String(),
+		RetryInterval: 10 * time.Millisecond,
+	}, tgt)
+	f.status.Cursor = cur
+	go f.Run()
+	defer f.Stop()
+
+	if got := <-psyncs; got != "1 2 0" {
+		t.Fatalf("first PSYNC args = %q, want cursor continue", got)
+	}
+	if got := <-psyncs; got != "?" {
+		t.Fatalf("second PSYNC args = %q, want ? (full resync after apply error)", got)
+	}
+}
+
+// TestFollowerReconnects: a dropped connection is retried.
+func TestFollowerReconnects(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	dials := make(chan struct{}, 16)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			dials <- struct{}{}
+			conn.Close() // immediate drop
+		}
+	}()
+
+	f := NewFollower(FollowerConfig{
+		PrimaryAddr:   ln.Addr().String(),
+		RetryInterval: 5 * time.Millisecond,
+	}, newMemTarget())
+	go f.Run()
+	defer f.Stop()
+
+	for i := 0; i < 3; i++ {
+		select {
+		case <-dials:
+		case <-time.After(5 * time.Second):
+			t.Fatal("follower stopped redialing")
+		}
+	}
+	waitFor(t, "reconnect counter", func() bool { return f.Status().Reconnects >= 2 })
+}
+
+// TestTrackerWaitAck: the semi-sync barrier releases on a sufficient
+// ack, times out without one, and unblocks on shutdown.
+func TestTrackerWaitAck(t *testing.T) {
+	tr := NewTracker()
+	done := make(chan struct{})
+	pos := wal.Cursor{Gen: 1, Seg: 3, Off: 200}
+
+	// No replicas: immediate timeout.
+	if err := tr.WaitAck(pos, 1, 20*time.Millisecond, done); !errors.Is(err, ErrAckTimeout) {
+		t.Fatalf("WaitAck with no replicas = %v, want ErrAckTimeout", err)
+	}
+	// n=0 never blocks.
+	if err := tr.WaitAck(pos, 0, 0, done); err != nil {
+		t.Fatalf("WaitAck(n=0) = %v", err)
+	}
+
+	r := tr.Register("replica-1", wal.Cursor{Gen: 1, Seg: 3, Off: 0}, false)
+	defer r.Close()
+	errc := make(chan error, 1)
+	go func() { errc <- tr.WaitAck(pos, 1, 5*time.Second, done) }()
+	time.Sleep(10 * time.Millisecond)
+	r.Ack(wal.Cursor{Gen: 1, Seg: 3, Off: 100}, 1, 100) // not enough
+	select {
+	case err := <-errc:
+		t.Fatalf("WaitAck released early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	r.Ack(pos, 2, 300)
+	if err := <-errc; err != nil {
+		t.Fatalf("WaitAck after ack = %v", err)
+	}
+
+	// Ack beyond the position also satisfies the wait.
+	if err := tr.WaitAck(wal.Cursor{Gen: 1, Seg: 3, Off: 150}, 1, time.Second, done); err != nil {
+		t.Fatalf("WaitAck below acked position = %v", err)
+	}
+
+	// Shutdown unblocks a stuck waiter.
+	go func() { errc <- tr.WaitAck(wal.Cursor{Gen: 1, Seg: 9, Off: 0}, 1, time.Minute, done) }()
+	time.Sleep(10 * time.Millisecond)
+	close(done)
+	if err := <-errc; !errors.Is(err, ErrAckTimeout) {
+		t.Fatalf("WaitAck on shutdown = %v, want ErrAckTimeout", err)
+	}
+}
+
+// TestTrackerAccounting: MinAckSeg, Infos, lag math.
+func TestTrackerAccounting(t *testing.T) {
+	tr := NewTracker()
+	if _, ok := tr.MinAckSeg(); ok {
+		t.Fatal("MinAckSeg ok with no replicas")
+	}
+	a := tr.Register("a", wal.Cursor{Gen: 1, Seg: 4, Off: 0}, true)
+	b := tr.Register("b", wal.Cursor{Gen: 1, Seg: 9, Off: 50}, false)
+	if tr.Count() != 2 {
+		t.Fatalf("Count = %d", tr.Count())
+	}
+	if seg, ok := tr.MinAckSeg(); !ok || seg != 4 {
+		t.Fatalf("MinAckSeg = %d %v, want 4 true", seg, ok)
+	}
+	a.NoteSent(10, 500)
+	a.Ack(wal.Cursor{Gen: 1, Seg: 5, Off: 0}, 7, 350)
+	if seg, _ := tr.MinAckSeg(); seg != 5 {
+		t.Fatalf("MinAckSeg after ack = %d, want 5", seg)
+	}
+	var ai ReplicaInfo
+	for _, in := range tr.Infos() {
+		if in.ID == "a" {
+			ai = in
+		}
+	}
+	if ai.UnackedRecords() != 3 {
+		t.Fatalf("UnackedRecords = %d, want 3", ai.UnackedRecords())
+	}
+	if !ai.FullSync {
+		t.Fatal("FullSync flag lost")
+	}
+	a.Close()
+	if seg, _ := tr.MinAckSeg(); seg != 9 {
+		t.Fatalf("MinAckSeg after close = %d, want 9", seg)
+	}
+	b.Close()
+	if tr.Count() != 0 {
+		t.Fatalf("Count after closes = %d", tr.Count())
+	}
+}
+
+// TestProtoRoundTrip: framing helpers agree with themselves.
+func TestProtoRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	w := bufio.NewWriter(&sb)
+	end := wal.Cursor{Gen: 9, Seg: 8, Off: 7}
+	if err := WriteRecord(w, end, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	r := bufio.NewReader(strings.NewReader(sb.String()))
+	line, err := readLine(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 5 || fields[0] != "REC" {
+		t.Fatalf("line = %q", line)
+	}
+	c, err := ParseCursor(fields[1], fields[2], fields[3])
+	if err != nil || c != end {
+		t.Fatalf("cursor = %v err %v", c, err)
+	}
+	body, err := readBlob(r, 7, 100)
+	if err != nil || string(body) != "payload" {
+		t.Fatalf("blob = %q err %v", body, err)
+	}
+	if _, err := readBlob(bufio.NewReader(strings.NewReader("xx")), 5, 3); err == nil {
+		t.Fatal("oversized blob accepted")
+	}
+	if _, err := ParseCursor("1", "2", "-3"); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+}

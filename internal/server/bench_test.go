@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -88,4 +89,156 @@ func BenchmarkServerInsertNoObs(b *testing.B) {
 // the ~1/1024 sampled keys.
 func BenchmarkServerInsertAudit(b *testing.B) {
 	benchServerInsert(b, server.Config{AuditSample: 1.0 / 1024})
+}
+
+// benchSaturateConns is the connection count for the saturation
+// variants: enough concurrent pipelining clients to keep every batch
+// drain busy (group commit on the WAL variants), small enough not to
+// thrash a 2-core CI runner.
+const benchSaturateConns = 8
+
+// benchServerInsertSaturate drives the server with several concurrent
+// pipelining connections, b.N inserts split across them — the
+// multi-connection saturation figure, as opposed to the single-
+// connection benchmarks above. withReplica additionally attaches a
+// live follower (its own WAL dir, async replication), so the primary
+// streams every record it fsyncs; scripts/benchsmoke.sh gates that
+// delta as the replication overhead budget.
+func benchServerInsertSaturate(b *testing.B, cfg server.Config, withReplica bool) {
+	cfg.Listen = "127.0.0.1:0"
+	cfg.Logger = quiet()
+	s := server.New(cfg)
+	if err := s.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	// Create the sketch before the replica connects so the full sync
+	// carries it; a streamed CREATE would race the polling below.
+	setup, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sr := bufio.NewReader(setup)
+	fmt.Fprintf(setup, "SKETCH.CREATE bench bloom bits=1048576 window=1048576 shards=8\n")
+	if reply, err := sr.ReadString('\n'); err != nil || reply != "+OK\n" {
+		b.Fatalf("CREATE = %q, %v", reply, err)
+	}
+	setup.Close()
+
+	if withReplica {
+		rep := server.New(server.Config{
+			Listen:    "127.0.0.1:0",
+			Logger:    quiet(),
+			WALDir:    b.TempDir(),
+			ReplicaOf: s.Addr().String(),
+		})
+		if err := rep.Start(); err != nil {
+			b.Fatal(err)
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			rep.Shutdown(ctx)
+		}()
+		// Wait until the follower has full-synced (it serves the
+		// sketch) so the timed region measures steady-state streaming,
+		// not the bootstrap.
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			rc, err := net.Dial("tcp", rep.Addr().String())
+			if err == nil {
+				fmt.Fprintf(rc, "SKETCH.QUERY bench probe\n")
+				reply, _ := bufio.NewReader(rc).ReadString('\n')
+				rc.Close()
+				if strings.HasPrefix(reply, ":") {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				b.Fatal("follower did not sync within 10s")
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	conns := make([]net.Conn, benchSaturateConns)
+	for i := range conns {
+		c, err := net.Dial("tcp", s.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		conns[i] = c
+	}
+
+	const batch = 256
+	errs := make(chan error, len(conns))
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for i, c := range conns {
+		n := b.N / len(conns)
+		if i < b.N%len(conns) {
+			n++
+		}
+		wg.Add(1)
+		go func(id, n int, c net.Conn) {
+			defer wg.Done()
+			r := bufio.NewReaderSize(c, 64*1024)
+			w := bufio.NewWriterSize(c, 64*1024)
+			for done := 0; done < n; {
+				k := batch
+				if rem := n - done; rem < k {
+					k = rem
+				}
+				for j := 0; j < k; j++ {
+					fmt.Fprintf(w, "SKETCH.INSERT bench w%d-%d\n", id, done+j)
+				}
+				if err := w.Flush(); err != nil {
+					errs <- err
+					return
+				}
+				for j := 0; j < k; j++ {
+					reply, err := r.ReadString('\n')
+					if err != nil || !strings.HasPrefix(reply, ":") {
+						errs <- fmt.Errorf("reply = %q, %v", reply, err)
+						return
+					}
+				}
+				done += k
+			}
+		}(i, n, c)
+	}
+	wg.Wait()
+	b.StopTimer()
+	close(errs)
+	for err := range errs {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "inserts/sec")
+}
+
+// BenchmarkServerInsertSaturate is the multi-connection saturation
+// figure with the default config: 8 pipelining connections, no WAL.
+func BenchmarkServerInsertSaturate(b *testing.B) {
+	benchServerInsertSaturate(b, server.Config{}, false)
+}
+
+// BenchmarkServerInsertSaturateWAL adds the durable WAL — the
+// baseline a streaming primary is measured against (group commit
+// across the 8 connections).
+func BenchmarkServerInsertSaturateWAL(b *testing.B) {
+	benchServerInsertSaturate(b, server.Config{WALDir: b.TempDir()}, false)
+}
+
+// BenchmarkServerInsertSaturateRepl is SaturateWAL plus one attached
+// follower tailing the WAL (asynchronous replication). The delta vs
+// SaturateWAL is what streaming costs the primary's insert path;
+// scripts/benchsmoke.sh gates it.
+func BenchmarkServerInsertSaturateRepl(b *testing.B) {
+	benchServerInsertSaturate(b, server.Config{WALDir: b.TempDir()}, true)
 }

@@ -69,13 +69,20 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 	// A failed commit is terminal for the connection: the error line has
 	// been sent, so the deferred flush of any leftover replies must not
-	// run again.
+	// run again. wrote tracks whether the current batch contains
+	// mutations, so the semi-synchronous replica wait never blocks a
+	// read-only batch; replListenPort is the port a replica advertised
+	// via REPLCONF, for ROLE output.
 	commitFailed := false
+	wrote := false
+	replListenPort := ""
 	commit := func() error {
 		if commitFailed {
 			return errCommitFailed
 		}
-		if err := s.commit(conn, w); err != nil {
+		err := s.commit(conn, w, wrote)
+		wrote = false
+		if err != nil {
 			commitFailed = true
 			return err
 		}
@@ -117,6 +124,21 @@ func (s *Server) handleConn(conn net.Conn) {
 			s.counters.Counter("errors_total").Inc()
 			writeError(w, err.Error())
 			startNs = 0
+		case err == nil && cmd.Name == "PSYNC":
+			// The connection becomes a replication channel: flush any
+			// pending replies, then hand it over for good.
+			s.counters.Counter("commands_total").Inc()
+			lats.flush(s)
+			if commit() != nil {
+				return
+			}
+			s.servePSYNC(conn, r, w, cmd, replListenPort)
+			return
+		case err == nil && cmd.Name == "REPLCONF":
+			s.counters.Counter("commands_total").Inc()
+			replListenPort = replconfPort(cmd, replListenPort)
+			writeSimple(w, "OK")
+			startNs = 0
 		default:
 			// Clock reads are skipped entirely when nothing consumes
 			// them (histograms disabled and no slow threshold), and use
@@ -130,6 +152,9 @@ func (s *Server) handleConn(conn net.Conn) {
 				startNs = obs.Nanotime()
 			}
 			quit := s.safeExecute(cmd, w)
+			if isMutation(cmd.Name) {
+				wrote = true
+			}
 			if timed {
 				endNs := obs.Nanotime()
 				s.observe(lats, cmd, time.Duration(endNs-startNs), remoteAddr)
@@ -240,7 +265,13 @@ func (s *Server) safeExecute(cmd Command, w *bufio.Writer) (quit bool) {
 // — and the client gets one direct error line before the connection
 // closes. The log failure is sticky, so the server fails every later
 // batch the same way (fail-stop) rather than guess at durability.
-func (s *Server) commit(conn net.Conn, w *bufio.Writer) error {
+//
+// With Config.SyncReplicas set, a batch containing mutations (wrote)
+// additionally waits for that many replicas to acknowledge the
+// durable position before the replies go out — the semi-synchronous
+// half of the zero-acked-loss failover guarantee. Read-only batches
+// never wait.
+func (s *Server) commit(conn net.Conn, w *bufio.Writer, wrote bool) error {
 	if s.wal != nil {
 		if err := s.wal.Sync(); err != nil {
 			s.counters.Counter("wal_errors").Inc()
@@ -248,8 +279,28 @@ func (s *Server) commit(conn net.Conn, w *bufio.Writer) error {
 			fmt.Fprintf(conn, "-ERR wal sync failed: %v\n", err)
 			return err
 		}
+		if wrote && s.cfg.SyncReplicas > 0 {
+			pos := s.wal.Position()
+			if err := s.tracker.WaitAck(pos, s.cfg.SyncReplicas, s.syncReplicaTimeout(), s.done); err != nil {
+				s.counters.Counter("repl_sync_timeouts").Inc()
+				conn.SetWriteDeadline(time.Now().Add(time.Second))
+				fmt.Fprintf(conn, "-ERR %v\n", err)
+				return err
+			}
+		}
 	}
 	return s.flush(conn, w)
+}
+
+// isMutation reports whether a verb changes sketch state — the verbs
+// the replica write gate refuses and the semi-synchronous commit
+// waits on.
+func isMutation(name string) bool {
+	switch name {
+	case "SKETCH.CREATE", "SKETCH.DROP", "SKETCH.INSERT", "SKETCH.LOAD":
+		return true
+	}
+	return false
 }
 
 // flush writes buffered replies under the configured write deadline, so
@@ -285,6 +336,10 @@ func (s *Server) execute(cmd Command, w *bufio.Writer) (quit bool) {
 		return true
 	case "INFO":
 		s.writeInfo(w)
+	case "ROLE":
+		s.cmdRole(w)
+	case "REPLICAOF":
+		err = s.cmdReplicaof(cmd, w)
 	case "SLOWLOG":
 		err = s.cmdSlowlog(cmd, w)
 	case "SKETCH.LIST":
@@ -294,11 +349,17 @@ func (s *Server) execute(cmd Command, w *bufio.Writer) (quit bool) {
 	case "SKETCH.AUDIT":
 		err = s.cmdAudit(cmd, w)
 	case "SKETCH.CREATE":
-		err = s.mutate(func() error { return s.cmdCreate(cmd, w) })
+		if err = s.writeGate(); err == nil {
+			err = s.mutate(func() error { return s.cmdCreate(cmd, w) })
+		}
 	case "SKETCH.DROP":
-		err = s.mutate(func() error { return s.cmdDrop(cmd, w) })
+		if err = s.writeGate(); err == nil {
+			err = s.mutate(func() error { return s.cmdDrop(cmd, w) })
+		}
 	case "SKETCH.INSERT":
-		err = s.mutate(func() error { return s.cmdInsert(cmd, w) })
+		if err = s.writeGate(); err == nil {
+			err = s.mutate(func() error { return s.cmdInsert(cmd, w) })
+		}
 	case "SKETCH.QUERY":
 		err = s.cmdQuery(cmd, w)
 	case "SKETCH.CARD":
@@ -306,7 +367,9 @@ func (s *Server) execute(cmd Command, w *bufio.Writer) (quit bool) {
 	case "SKETCH.SAVE":
 		err = s.cmdSave(cmd, w)
 	case "SKETCH.LOAD":
-		err = s.cmdLoad(cmd, w)
+		if err = s.writeGate(); err == nil {
+			err = s.cmdLoad(cmd, w)
+		}
 	default:
 		err = fmt.Errorf("unknown command %q", cmd.Name)
 	}
@@ -707,9 +770,15 @@ func auditSummary(name string, st audit.Stats) string {
 
 func (s *Server) writeInfo(w *bufio.Writer) {
 	uptime := time.Since(s.start).Seconds()
+	role := "primary"
+	if s.primaryAddr() != "" {
+		role = "replica"
+	}
 	lines := []string{
 		fmt.Sprintf("uptime_seconds=%.1f", uptime),
+		"role=" + role,
 		fmt.Sprintf("sketches=%d", s.reg.Len()),
+		fmt.Sprintf("connected_replicas=%d", s.tracker.Count()),
 	}
 	if uptime > 0 {
 		cps := float64(s.counters.Counter("commands_total").Value()) / uptime

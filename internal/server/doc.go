@@ -24,9 +24,22 @@
 //
 //	PING
 //	    Liveness probe; replies +PONG.
+//	ROLE
+//	    Replication role. On a primary, an array: one
+//	    "role=primary replicas=n" line, then one line per attached
+//	    replica (addr, acked cursor, lag in records, ms since last
+//	    ack, full_sync). On a follower: role=replica, primary=,
+//	    connected=, cursor=gen/seg/off, full_syncs=, reconnects=,
+//	    applied_records=.
+//	REPLICAOF <host> <port> | REPLICAOF NO ONE
+//	    Reconfigure replication at runtime. host port (re)points this
+//	    server at a primary and starts syncing (requires a WAL). NO
+//	    ONE promotes a follower to a writable primary (a no-op on a
+//	    primary). Replies +OK.
 //	INFO
 //	    Server counters (uptime, connections, commands, errors, ...),
-//	    one +name=value line per counter.
+//	    one +name=value line per counter, plus role= and
+//	    connected_replicas= lines.
 //	QUIT
 //	    Replies +OK and closes the connection.
 //	SKETCH.CREATE <name> <kind> [param=value ...]
@@ -182,6 +195,20 @@
 //	she_audit_phase_err,                     gauge    mean error and sample
 //	she_audit_phase_observations                      count per 1/16th of
 //	{sketch,phase}                                    the cleaning cycle
+//	she_repl_is_replica,                     gauge    role (1 = follower)
+//	she_repl_connected_replicas                       and attached replicas
+//	she_repl_lag_bytes/_records,             gauge    primary-side lag per
+//	she_repl_ack_age_seconds{replica}                 replica: unacked WAL
+//	                                                  behind the durable
+//	                                                  tip, ack staleness
+//	she_repl_follower_connected/             gauge    follower-side link
+//	_full_syncs/_reconnects/                          state; staleness is
+//	_applied_records/_staleness_seconds               the added window slack
+//	she_repl_full_syncs,                     untyped  replication counters:
+//	she_repl_partial_syncs,                           bootstraps vs cursor
+//	she_repl_promotions,                              catch-ups served,
+//	she_repl_sync_timeouts,                           promotions, semi-sync
+//	she_repl_applied_records                          timeouts, applies
 //	go_goroutines, go_memstats_*             gauge    Go runtime
 //
 // Command timing is engineered to be effectively free: a TSC-based
@@ -254,4 +281,61 @@
 // process. All of this is exercised by fault-injection tests that
 // crash a simulated filesystem (internal/failfs) at every single
 // mutating operation and assert no acknowledged write is ever lost.
+//
+// # Replication
+//
+// Config.ReplicaOf (shed -replicaof host:port) starts the server as a
+// read-only follower of a primary; both sides need a WAL, which
+// doubles as the replication log. The subsystem lives in
+// internal/repl; the wire exchange, on an ordinary client connection:
+//
+//	follower                          primary
+//	PING                       ->     +PONG
+//	REPLCONF LISTENING-PORT p  ->     +OK
+//	PSYNC ?                    ->     +FULLRESYNC <gen> <seg> <off> <n>
+//	                                  SNAP <name> <size>\n<bytes>\n  (xn)
+//	                                  ENDSNAP
+//	  ... or, with a cursor ...
+//	PSYNC <gen> <seg> <off>    ->     +CONTINUE <gen> <seg> <off>
+//	                                  REC <gen> <seg> <off> <len>\n<payload>\n ...
+//	                                  PING                            (1s heartbeat)
+//	REPLACK <gen> <seg> <off> <recs> <bytes>   (follower, after apply+fsync)
+//
+// The replication cursor (gen, seg, off) is a position in the
+// primary's log: checkpoint generation, WAL segment sequence number,
+// byte offset after the last applied record. A PSYNC cursor whose
+// segments were checkpointed away gets +FULLRESYNC instead of
+// +CONTINUE; while a replica is attached, checkpoints retain every
+// segment at or after its acked cursor, so lag grows the log rather
+// than forcing resyncs. The primary streams only fsynced bytes (a
+// replica never holds a write the primary could lose in a crash), and
+// a follower acks only after applying the record through the crash-
+// recovery replay path and fsyncing it to its own WAL — so a
+// follower's acked state survives its own kill -9, recoverable by
+// restarting without -replicaof. A follower restart deliberately
+// full-syncs: a persisted-but-stale cursor would double-apply
+// non-idempotent inserts, and an ahead-of-disk one would skip records.
+//
+// Followers serve reads (QUERY/CARD/STATS/AUDIT/SLOWLOG/INFO/ROLE)
+// and refuse mutations with -ERR READONLY. A follower's answers are
+// the primary's as of she_repl_follower_staleness_seconds ago —
+// bounded staleness, i.e. the sliding window shifted by the lag — and
+// the accuracy auditor (Config.AuditSample) runs unchanged on the
+// replicated stream, so replica-side error is measured, not assumed.
+//
+// Replication is asynchronous by default. Config.SyncReplicas > 0
+// (shed -sync-replicas) makes commits semi-synchronous: a batch
+// containing mutations is acknowledged only after that many replicas
+// have acked the batch's WAL position; if too few do within
+// Config.SyncReplicaTimeout (default 2s) the batch fails with -ERR
+// (counter repl_sync_timeouts) instead of overstating replication.
+// Read-only batches never wait.
+//
+// Failover is operator-driven — there is deliberately no consensus
+// layer. REPLICAOF NO ONE promotes a follower in place (counter
+// repl_promotions); REPLICAOF host port repoints any server at a new
+// primary. With -sync-replicas 1, promotion after a primary crash
+// loses zero acknowledged writes; the replication integration tests
+// and scripts/replsmoke.sh both kill a primary mid-stream and prove
+// it. Chained replication (a PSYNC against a follower) is refused.
 package server

@@ -186,6 +186,14 @@ func (s *Server) checkpointLocked(force bool) error {
 	if !force && s.wal.BytesSinceCheckpoint() < s.checkpointLimit() {
 		return nil // another connection checkpointed while we waited
 	}
+	// Keep every segment an attached replica still needs: truncation
+	// below a replica's acknowledged position would force it into a
+	// full resync mid-stream.
+	if seg, ok := s.tracker.MinAckSeg(); ok {
+		s.wal.SetRetain(seg)
+	} else {
+		s.wal.SetRetain(^uint64(0))
+	}
 	err := s.wal.Checkpoint(func(dir string, fsys failfs.FS) error {
 		sketches := s.reg.Snapshot()
 		names := make([]string, 0, len(sketches))

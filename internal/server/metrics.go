@@ -76,6 +76,7 @@ func (s *Server) metricsHandler(w http.ResponseWriter, _ *http.Request) {
 	}
 
 	s.writeAuditMetrics(p, infos)
+	s.writeReplMetrics(p)
 
 	p.Gauge("go_goroutines", "", float64(runtime.NumGoroutine()))
 	var ms runtime.MemStats

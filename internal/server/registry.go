@@ -370,6 +370,14 @@ func (r *Registry) Put(name string, sk *Sketch) {
 	r.mu.Unlock()
 }
 
+// Reset drops every sketch (a replica wiping local state ahead of a
+// full sync).
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	r.sketches = make(map[string]*Sketch)
+	r.mu.Unlock()
+}
+
 // Drop removes the named sketch.
 func (r *Registry) Drop(name string) error {
 	r.mu.Lock()

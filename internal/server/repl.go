@@ -1,0 +1,537 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"she/internal/obs"
+	"she/internal/repl"
+	"she/internal/wal"
+)
+
+// Replication: the server side of internal/repl. A primary serves
+// PSYNC — full sync from the latest checkpoint generation, then a live
+// tail of the WAL — and tracks replica acknowledgements; a replica
+// runs a repl.Follower that applies the stream through the same
+// replay path crash recovery uses, refuses client mutations, and can
+// be promoted with REPLICAOF NO ONE. See internal/repl for the
+// protocol and guarantees.
+
+// replPingInterval is the primary's idle-channel heartbeat: it keeps
+// the follower's read deadline fed and gives it a batch boundary to
+// commit + acknowledge at even when no records flow.
+const replPingInterval = time.Second
+
+// replReadBudget bounds one ReadFrom batch streamed to a replica.
+const replReadBudget = 256 << 10
+
+// defaultSyncReplicaTimeout bounds the semi-synchronous commit wait
+// when Config.SyncReplicaTimeout is zero.
+const defaultSyncReplicaTimeout = 2 * time.Second
+
+func (s *Server) syncReplicaTimeout() time.Duration {
+	if s.cfg.SyncReplicaTimeout > 0 {
+		return s.cfg.SyncReplicaTimeout
+	}
+	return defaultSyncReplicaTimeout
+}
+
+// primaryAddr returns the address this node replicates from, "" when
+// it is a primary.
+func (s *Server) primaryAddr() string {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	return s.replPrimary
+}
+
+// currentFollower returns the running replication client, nil on a
+// primary.
+func (s *Server) currentFollower() *repl.Follower {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	return s.follower
+}
+
+// writeGate refuses client mutations on a replica. The replication
+// apply path does not pass through here — it is the one writer a
+// replica allows.
+func (s *Server) writeGate() error {
+	if addr := s.primaryAddr(); addr != "" {
+		return fmt.Errorf("READONLY replica of %s; mutations go to the primary", addr)
+	}
+	return nil
+}
+
+// startReplication begins replicating from addr: any current follower
+// stops, local state is handed to the follower's full-sync/catch-up
+// logic, and mutations are refused until promotion.
+func (s *Server) startReplication(addr string) error {
+	if s.wal == nil {
+		return fmt.Errorf("REPLICAOF requires a WAL (-wal): a replica's acks promise local durability")
+	}
+	s.replMu.Lock()
+	old := s.follower
+	s.replPrimary = addr
+	f := repl.NewFollower(repl.FollowerConfig{
+		PrimaryAddr: addr,
+		ListenPort:  listenPort(s.ln),
+		Logf: func(format string, args ...any) {
+			s.logger.Info(fmt.Sprintf(format, args...))
+		},
+	}, replTarget{s})
+	s.follower = f
+	s.replMu.Unlock()
+	if old != nil {
+		old.Stop()
+	}
+	go f.Run()
+	s.logger.Info("replicating", "primary", addr)
+	return nil
+}
+
+// promote turns a replica back into a primary (REPLICAOF NO ONE):
+// replication stops and the node accepts mutations at its current
+// position. A no-op on a node that is already primary.
+func (s *Server) promote() {
+	s.replMu.Lock()
+	old := s.follower
+	wasReplica := s.replPrimary != ""
+	s.follower = nil
+	s.replPrimary = ""
+	s.replMu.Unlock()
+	if old != nil {
+		old.Stop()
+	}
+	if wasReplica {
+		s.counters.Counter("repl_promotions").Inc()
+		s.logger.Info("promoted to primary")
+	}
+}
+
+// listenPort extracts the local listener's port for REPLCONF, 0 when
+// unknown.
+func listenPort(ln net.Listener) int {
+	if ln == nil {
+		return 0
+	}
+	if a, ok := ln.Addr().(*net.TCPAddr); ok {
+		return a.Port
+	}
+	return 0
+}
+
+// cmdReplicaof handles REPLICAOF <host> <port> | NO ONE.
+func (s *Server) cmdReplicaof(cmd Command, w *bufio.Writer) error {
+	if err := wantArgs(cmd, 2, false, "host port | NO ONE"); err != nil {
+		return err
+	}
+	if strings.EqualFold(cmd.Args[0], "NO") && strings.EqualFold(cmd.Args[1], "ONE") {
+		s.promote()
+		writeSimple(w, "OK")
+		return nil
+	}
+	if err := s.startReplication(net.JoinHostPort(cmd.Args[0], cmd.Args[1])); err != nil {
+		return err
+	}
+	writeSimple(w, "OK")
+	return nil
+}
+
+// cmdRole serves ROLE: one line of role identity, then detail lines —
+// per-replica ack state on a primary, link state on a replica.
+func (s *Server) cmdRole(w *bufio.Writer) {
+	if f := s.currentFollower(); f != nil {
+		st := f.Status()
+		lines := []string{
+			"role=replica",
+			"primary=" + st.PrimaryAddr,
+			fmt.Sprintf("connected=%v", st.Connected),
+			fmt.Sprintf("cursor=%d/%d/%d", st.Cursor.Gen, st.Cursor.Seg, st.Cursor.Off),
+			fmt.Sprintf("full_syncs=%d", st.FullSyncs),
+			fmt.Sprintf("reconnects=%d", st.Reconnects),
+			fmt.Sprintf("applied_records=%d", st.AppliedRecs),
+		}
+		writeArray(w, lines)
+		return
+	}
+	infos := s.tracker.Infos()
+	lines := make([]string, 0, 1+len(infos))
+	lines = append(lines, fmt.Sprintf("role=primary replicas=%d", len(infos)))
+	for _, in := range infos {
+		lines = append(lines, fmt.Sprintf(
+			"replica addr=%s ack=%d/%d/%d lag_records=%d last_ack_ms=%d full_sync=%v",
+			in.ID, in.Ack.Gen, in.Ack.Seg, in.Ack.Off,
+			in.UnackedRecords(), time.Since(in.LastAck).Milliseconds(), in.FullSync))
+	}
+	writeArray(w, lines)
+}
+
+// replconfPort handles REPLCONF, returning the (possibly updated)
+// advertised listening port. Unknown options are accepted and ignored
+// so the handshake stays forward-compatible.
+func replconfPort(cmd Command, current string) string {
+	if len(cmd.Args) == 2 && strings.EqualFold(cmd.Args[0], "LISTENING-PORT") {
+		return cmd.Args[1]
+	}
+	return current
+}
+
+// servePSYNC turns a client connection into a replication channel; it
+// owns the connection until the replica disconnects or the server
+// stops. Called from handleConn, which still holds the connection's
+// bookkeeping defers.
+func (s *Server) servePSYNC(conn net.Conn, r *bufio.Reader, w *bufio.Writer, cmd Command, listenPort string) {
+	fail := func(msg string) {
+		writeError(w, msg)
+		s.flush(conn, w)
+	}
+	if s.wal == nil {
+		fail("PSYNC requires a WAL (-wal) on the primary")
+		return
+	}
+	if s.primaryAddr() != "" {
+		fail("this node is a replica; chained replication is not supported")
+		return
+	}
+	var cursor wal.Cursor
+	if !(len(cmd.Args) == 1 && cmd.Args[0] == "?") {
+		if len(cmd.Args) != 3 {
+			fail("PSYNC: want ? or gen seg off")
+			return
+		}
+		c, err := repl.ParseCursor(cmd.Args[0], cmd.Args[1], cmd.Args[2])
+		if err != nil {
+			fail(err.Error())
+			return
+		}
+		cursor = c
+	}
+
+	id := conn.RemoteAddr().String()
+	if listenPort != "" {
+		if host, _, err := net.SplitHostPort(id); err == nil {
+			id = net.JoinHostPort(host, listenPort)
+		}
+	}
+
+	// The replication channel manages its own deadlines from here on.
+	conn.SetReadDeadline(time.Time{})
+
+	rep, err := s.attachReplica(w, id, cursor)
+	if err != nil {
+		s.logger.Warn("psync refused", "replica", id, "err", err)
+		fail(err.Error())
+		return
+	}
+	defer rep.Close()
+	if err := s.flush(conn, w); err != nil {
+		return
+	}
+	s.logger.Info("replica attached", "replica", id, "cursor", rep.AckedCursor().String())
+	err = s.streamToReplica(conn, r, w, rep)
+	if err != nil && !s.isDone() {
+		s.logger.Warn("replica detached", "replica", id, "err", err)
+	} else {
+		s.logger.Info("replica detached", "replica", id)
+	}
+}
+
+// attachReplica decides CONTINUE vs FULLRESYNC, writes the reply (and
+// any snapshot transfer) into w, and registers the replica with the
+// tracker. Registration happens under the shared checkpoint lock that
+// validated the cursor (or pinned the snapshot generation), so a
+// concurrent checkpoint cannot truncate the position before the
+// tracker's retention floor protects it.
+func (s *Server) attachReplica(w *bufio.Writer, id string, cursor wal.Cursor) (*repl.Replica, error) {
+	if !cursor.IsZero() {
+		s.chkMu.RLock()
+		_, _, err := s.wal.ReadFrom(cursor, 1)
+		var rep *repl.Replica
+		if err == nil {
+			rep = s.tracker.Register(id, cursor, false)
+		}
+		s.chkMu.RUnlock()
+		if err == nil {
+			s.counters.Counter("repl_partial_syncs").Inc()
+			fmt.Fprintf(w, "+CONTINUE %s\n", cursor)
+			return rep, nil
+		}
+		if err != wal.ErrCursorGone {
+			return nil, err
+		}
+		// The cursor's segments are gone (checkpointed away): fall
+		// through to a full resync.
+	}
+
+	// Fresh checkpoint, so the snapshot the replica bootstraps from is
+	// the current state and the tail it must then replay is minimal.
+	if err := s.checkpoint(true); err != nil {
+		return nil, fmt.Errorf("checkpoint for full sync: %v", err)
+	}
+	type snapFile struct {
+		name string
+		data []byte
+	}
+	var files []snapFile
+	s.chkMu.RLock()
+	_, dir, start, ok := s.wal.SnapshotInfo()
+	var rep *repl.Replica
+	var err error
+	if !ok {
+		err = fmt.Errorf("no snapshot generation after checkpoint")
+	} else {
+		entries, derr := s.fs.ReadDir(dir)
+		if derr != nil {
+			err = derr
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), snapshotExt) {
+				continue
+			}
+			data, rerr := s.fs.ReadFile(filepath.Join(dir, e.Name()))
+			if rerr != nil {
+				err = rerr
+				break
+			}
+			files = append(files, snapFile{strings.TrimSuffix(e.Name(), snapshotExt), data})
+		}
+		if err == nil {
+			rep = s.tracker.Register(id, start, true)
+		}
+	}
+	s.chkMu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	s.counters.Counter("repl_full_syncs").Inc()
+	fmt.Fprintf(w, "+FULLRESYNC %s %d\n", start, len(files))
+	for _, f := range files {
+		if err := repl.WriteSnapshotFile(w, f.name, f.data); err != nil {
+			rep.Close()
+			return nil, err
+		}
+	}
+	w.WriteString("ENDSNAP\n")
+	return rep, nil
+}
+
+// streamToReplica tails the WAL into the connection until it dies or
+// the server stops. A concurrent goroutine consumes the follower's
+// REPLACK lines into the tracker; it exits when the connection closes.
+func (s *Server) streamToReplica(conn net.Conn, r *bufio.Reader, w *bufio.Writer, rep *repl.Replica) error {
+	ackErr := make(chan error, 1)
+	go func() {
+		for {
+			line, err := readReplLine(r)
+			if err != nil {
+				ackErr <- err
+				return
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 6 || fields[0] != "REPLACK" {
+				ackErr <- fmt.Errorf("bad ack line %q", line)
+				return
+			}
+			c, err := repl.ParseCursor(fields[1], fields[2], fields[3])
+			if err != nil {
+				ackErr <- err
+				return
+			}
+			recs, err1 := parseUint(fields[4])
+			bytes, err2 := parseUint(fields[5])
+			if err1 != nil || err2 != nil {
+				ackErr <- fmt.Errorf("bad ack counts %q", line)
+				return
+			}
+			rep.Ack(c, recs, bytes)
+		}
+	}()
+
+	cursor := rep.AckedCursor()
+	ticker := time.NewTicker(replPingInterval)
+	defer ticker.Stop()
+	for {
+		// Grab the notify channel before reading: a sync landing between
+		// the read and the wait closes this same channel, so no durable
+		// byte waits for the next heartbeat.
+		notify := s.wal.SyncNotify()
+		recs, next, err := s.wal.ReadFrom(cursor, replReadBudget)
+		if err != nil {
+			return err
+		}
+		if len(recs) > 0 {
+			var payloadBytes uint64
+			for _, rec := range recs {
+				if err := repl.WriteRecord(w, rec.End, rec.Payload); err != nil {
+					return err
+				}
+				payloadBytes += uint64(len(rec.Payload))
+			}
+			if err := s.flush(conn, w); err != nil {
+				return err
+			}
+			rep.NoteSent(uint64(len(recs)), payloadBytes)
+			cursor = next
+			continue // drain the backlog before sleeping
+		}
+		cursor = next
+		select {
+		case <-notify:
+		case <-ticker.C:
+			if _, err := w.WriteString("PING\n"); err != nil {
+				return err
+			}
+			if err := s.flush(conn, w); err != nil {
+				return err
+			}
+		case err := <-ackErr:
+			return err
+		case <-s.done:
+			return nil
+		}
+	}
+}
+
+// readReplLine reads one LF-terminated ack line from the replication
+// channel.
+func readReplLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+func parseUint(s string) (uint64, error) {
+	var v uint64
+	_, err := fmt.Sscanf(s, "%d", &v)
+	return v, err
+}
+
+func (s *Server) isDone() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// replTarget adapts the server to repl.Target: the follower applies
+// the replicated stream through the same registry mutations and local
+// WAL appends a client command would make, so a replica is itself
+// crash-safe — after a crash with the primary also gone, restarting
+// it without -replicaof recovers every acknowledged record from its
+// own log.
+type replTarget struct{ s *Server }
+
+// BeginFullSync wipes local state: the registry empties and a forced
+// checkpoint truncates the local WAL to an empty generation, so
+// nothing stale survives alongside the incoming snapshot.
+func (t replTarget) BeginFullSync() error {
+	s := t.s
+	s.chkMu.Lock()
+	defer s.chkMu.Unlock()
+	s.reg.Reset()
+	return s.checkpointLocked(true)
+}
+
+// SnapshotFile loads one streamed snapshot into the registry.
+func (t replTarget) SnapshotFile(name string, data []byte) error {
+	if !ValidName(name) {
+		return fmt.Errorf("invalid snapshot name %q", name)
+	}
+	sk, err := parseSnapshot(data)
+	if err != nil {
+		return fmt.Errorf("snapshot %s: %v", name, err)
+	}
+	t.s.reg.Put(name, sk)
+	return nil
+}
+
+// EndFullSync checkpoints the bootstrapped state, so the replica's own
+// recovery starts from the transferred snapshot rather than an empty
+// log.
+func (t replTarget) EndFullSync(start wal.Cursor) error {
+	s := t.s
+	s.chkMu.Lock()
+	defer s.chkMu.Unlock()
+	return s.checkpointLocked(true)
+}
+
+// Apply replays one record exactly as crash recovery would, and logs
+// it to the replica's own WAL under the shared checkpoint lock — the
+// same apply-then-log pairing a client mutation gets.
+func (t replTarget) Apply(payload []byte) error {
+	s := t.s
+	err := s.mutate(func() error {
+		if err := s.applyRecord(payload); err != nil {
+			return err
+		}
+		return s.walAppend(string(payload))
+	})
+	if err == nil {
+		s.counters.Counter("repl_applied_records").Inc()
+	}
+	return err
+}
+
+// Commit fsyncs the replica's WAL; only then does the follower
+// acknowledge, which is what lets the primary's semi-synchronous
+// commit treat an ack as "survives the replica crashing too".
+func (t replTarget) Commit(cursor wal.Cursor) error {
+	if err := t.s.wal.Sync(); err != nil {
+		return err
+	}
+	t.s.maybeCheckpoint()
+	return nil
+}
+
+// writeReplMetrics renders the she_repl_* families: role, per-replica
+// lag (records, bytes, seconds since last ack) on a primary, link
+// state and staleness on a replica. Counter-shaped repl series
+// (repl_full_syncs, repl_partial_syncs, repl_promotions,
+// repl_applied_records, repl_sync_timeouts) ride the ordinary counter
+// export.
+func (s *Server) writeReplMetrics(p *obs.PromWriter) {
+	isReplica := 0.0
+	if s.primaryAddr() != "" {
+		isReplica = 1
+	}
+	p.Gauge("she_repl_is_replica", "", isReplica)
+	p.Gauge("she_repl_connected_replicas", "", float64(s.tracker.Count()))
+	if s.wal != nil {
+		tip := s.wal.Position()
+		infos := s.tracker.Infos()
+		for _, in := range infos {
+			labels := fmt.Sprintf("replica=%q", obs.EscapeLabel(in.ID))
+			p.Gauge("she_repl_lag_bytes", labels, float64(s.wal.DistanceBytes(in.Ack, tip)))
+		}
+		for _, in := range infos {
+			labels := fmt.Sprintf("replica=%q", obs.EscapeLabel(in.ID))
+			p.Gauge("she_repl_lag_records", labels, float64(in.UnackedRecords()))
+		}
+		for _, in := range infos {
+			labels := fmt.Sprintf("replica=%q", obs.EscapeLabel(in.ID))
+			p.Gauge("she_repl_ack_age_seconds", labels, time.Since(in.LastAck).Seconds())
+		}
+	}
+	if f := s.currentFollower(); f != nil {
+		st := f.Status()
+		connected := 0.0
+		if st.Connected {
+			connected = 1
+		}
+		p.Gauge("she_repl_follower_connected", "", connected)
+		p.Gauge("she_repl_follower_full_syncs", "", float64(st.FullSyncs))
+		p.Gauge("she_repl_follower_reconnects", "", float64(st.Reconnects))
+		p.Gauge("she_repl_follower_applied_records", "", float64(st.AppliedRecs))
+		if !st.LastRecord.IsZero() {
+			p.Gauge("she_repl_follower_staleness_seconds", "", time.Since(st.LastRecord).Seconds())
+		}
+	}
+}

@@ -1,0 +1,365 @@
+package server_test
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"she/internal/server"
+)
+
+// waitUntil polls cond for up to 10s — replication is asynchronous, so
+// assertions about follower state need a settle loop.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// queryInt sends a command expecting an :N reply and returns N, or -1
+// for any other reply (missing sketch while a full sync is in flight).
+func queryInt(c *client, format string, args ...any) int64 {
+	reply := c.cmd(format, args...)
+	if !strings.HasPrefix(reply, ":") {
+		return -1
+	}
+	v, err := strconv.ParseInt(reply[1:], 10, 64)
+	if err != nil {
+		return -1
+	}
+	return v
+}
+
+func splitAddr(t *testing.T, addr string) (host, port string) {
+	t.Helper()
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return host, port
+}
+
+func scrape(t *testing.T, s *server.Server) string {
+	t.Helper()
+	resp, err := http.Get("http://" + s.DebugAddr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestReplicationEndToEnd covers the whole follower lifecycle: full
+// sync from a snapshot of pre-existing state, live tailing of new
+// records, read-only command gating, ROLE on both ends, and the
+// she_repl_* metric families.
+func TestReplicationEndToEnd(t *testing.T) {
+	primary := startServer(t, server.Config{
+		WALDir:      t.TempDir(),
+		DebugListen: "127.0.0.1:0",
+	})
+	pc := dial(t, primary.Addr().String())
+
+	// State created before the follower exists must arrive via the
+	// snapshot transfer, not the record stream.
+	pc.cmd("SKETCH.CREATE flows cm counters=65536 window=65536 shards=4")
+	for i := 0; i < 50; i++ {
+		pc.cmd("SKETCH.INSERT flows presync-%d", i)
+	}
+
+	follower := startServer(t, server.Config{
+		WALDir:      t.TempDir(),
+		DebugListen: "127.0.0.1:0",
+		ReplicaOf:   primary.Addr().String(),
+	})
+	fc := dial(t, follower.Addr().String())
+	waitUntil(t, "full sync", func() bool {
+		return queryInt(fc, "SKETCH.QUERY flows presync-49") >= 1
+	})
+
+	// State created after the attach arrives via the live tail.
+	pc.cmd("SKETCH.INSERT flows streamed-key")
+	pc.cmd("SKETCH.CREATE users hll registers=4096 window=65536 shards=4")
+	pc.cmd("SKETCH.INSERT users u1 u2 u3")
+	waitUntil(t, "streamed records", func() bool {
+		return queryInt(fc, "SKETCH.QUERY flows streamed-key") >= 1
+	})
+	waitUntil(t, "streamed CREATE", func() bool {
+		return strings.HasPrefix(fc.cmd("SKETCH.CARD users"), "+")
+	})
+
+	// The follower serves reads but refuses every mutation.
+	if got := fc.cmd("SKETCH.QUERY flows presync-0"); !strings.HasPrefix(got, ":") {
+		t.Fatalf("follower QUERY = %q", got)
+	}
+	stats := fc.array("SKETCH.STATS flows")
+	if !strings.Contains(strings.Join(stats, "\n"), "kind=cm") {
+		t.Fatalf("follower STATS = %v", stats)
+	}
+	for _, cmd := range []string{
+		"SKETCH.INSERT flows x",
+		"SKETCH.CREATE nope bloom",
+		"SKETCH.DROP flows",
+	} {
+		got := fc.cmd(cmd)
+		if !strings.HasPrefix(got, "-ERR READONLY") {
+			t.Fatalf("%s on follower = %q, want READONLY refusal", cmd, got)
+		}
+	}
+
+	// ROLE reflects the topology from both sides.
+	pRole := pc.array("ROLE")
+	if len(pRole) < 2 || pRole[0] != "role=primary replicas=1" {
+		t.Fatalf("primary ROLE = %v", pRole)
+	}
+	fRole := fc.array("ROLE")
+	joined := strings.Join(fRole, "\n")
+	if fRole[0] != "role=replica" || !strings.Contains(joined, "connected=true") ||
+		!strings.Contains(joined, "full_syncs=1") {
+		t.Fatalf("follower ROLE = %v", fRole)
+	}
+
+	// INFO agrees.
+	if info := strings.Join(fc.array("INFO"), "\n"); !strings.Contains(info, "role=replica") {
+		t.Fatalf("follower INFO missing role=replica:\n%s", info)
+	}
+
+	// Metric families on both ends.
+	pm := scrape(t, primary)
+	for _, want := range []string{
+		"she_repl_is_replica 0",
+		"she_repl_connected_replicas 1",
+		"she_repl_lag_bytes{replica=",
+		"she_repl_lag_records{replica=",
+		"she_repl_ack_age_seconds{replica=",
+		"she_repl_full_syncs 1",
+	} {
+		if !strings.Contains(pm, want) {
+			t.Errorf("primary /metrics missing %q", want)
+		}
+	}
+	fm := scrape(t, follower)
+	for _, want := range []string{
+		"she_repl_is_replica 1",
+		"she_repl_follower_connected 1",
+		"she_repl_follower_full_syncs 1",
+		"she_repl_follower_applied_records",
+	} {
+		if !strings.Contains(fm, want) {
+			t.Errorf("follower /metrics missing %q", want)
+		}
+	}
+}
+
+// TestReplicationFailover is the core durability claim: with
+// semi-synchronous commits, crash the primary mid-stream, promote the
+// follower, and every insert the client was ever acked for is still
+// answerable — and the follower's online audit confirms the answers
+// are accurate, not just present.
+func TestReplicationFailover(t *testing.T) {
+	primary := server.New(server.Config{
+		Listen:       "127.0.0.1:0",
+		WALDir:       t.TempDir(),
+		SyncReplicas: 1,
+	})
+	if err := primary.Start(); err != nil {
+		t.Fatal(err)
+	}
+	aborted := false
+	defer func() {
+		if !aborted {
+			primary.Abort()
+		}
+	}()
+
+	follower := startServer(t, server.Config{
+		WALDir:      t.TempDir(),
+		ReplicaOf:   primary.Addr().String(),
+		AuditSample: 1, // exact shadow: post-failover answers are checkable
+	})
+	fc := dial(t, follower.Addr().String())
+	waitUntil(t, "replica attach", func() bool {
+		return strings.Contains(strings.Join(fc.array("ROLE"), "\n"), "connected=true")
+	})
+
+	// Every one of these commands is acknowledged only after the
+	// follower applied and fsynced it (SyncReplicas: 1), so all of
+	// them must survive the primary's death.
+	pc := dial(t, primary.Addr().String())
+	if got := pc.cmd("SKETCH.CREATE flows cm counters=65536 window=1048576 shards=4"); got != "+OK" {
+		t.Fatalf("CREATE under semi-sync = %q", got)
+	}
+	const acked = 200
+	for i := 0; i < acked; i++ {
+		if got := pc.cmd("SKETCH.INSERT flows key-%d", i); got != ":1" {
+			t.Fatalf("INSERT key-%d = %q", i, got)
+		}
+	}
+
+	// Crash the primary: no drain, no checkpoint, connections die.
+	primary.Abort()
+	aborted = true
+
+	// Promote the follower; it starts taking writes at its position.
+	if got := fc.cmd("REPLICAOF NO ONE"); got != "+OK" {
+		t.Fatalf("promotion = %q", got)
+	}
+	role := fc.array("ROLE")
+	if !strings.HasPrefix(role[0], "role=primary") {
+		t.Fatalf("post-promotion ROLE = %v", role)
+	}
+
+	// Zero acked-write loss: cm never undercounts within the window,
+	// so every acked key must answer at least 1.
+	for i := 0; i < acked; i++ {
+		if v := queryInt(fc, "SKETCH.QUERY flows key-%d", i); v < 1 {
+			t.Fatalf("acked insert key-%d lost after failover (count %d)", i, v)
+		}
+	}
+
+	// The promoted node accepts mutations again.
+	if got := fc.cmd("SKETCH.INSERT flows post-promotion"); got != ":1" {
+		t.Fatalf("INSERT after promotion = %q", got)
+	}
+	if v := queryInt(fc, "SKETCH.QUERY flows post-promotion"); v < 1 {
+		t.Fatalf("post-promotion insert missing (count %d)", v)
+	}
+
+	// The audit shadow was built from the replicated stream; its ARE
+	// confirms the promoted node's answers match exact truth within
+	// the usual sketch error budget.
+	audit := strings.Join(fc.array("SKETCH.AUDIT flows"), "\n")
+	if !strings.Contains(audit, "enabled=true") {
+		t.Fatalf("follower audit not running:\n%s", audit)
+	}
+	var are float64
+	for _, line := range strings.Split(audit, "\n") {
+		if strings.HasPrefix(line, "are=") {
+			fmt.Sscanf(line, "are=%g", &are)
+		}
+	}
+	if are > 0.05 {
+		t.Fatalf("post-failover audit ARE %g exceeds budget 0.05:\n%s", are, audit)
+	}
+}
+
+// TestReplicationSemiSyncTimeout: with SyncReplicas and no replica
+// attached, a mutation must fail rather than be acknowledged with an
+// unprovable replication claim.
+func TestReplicationSemiSyncTimeout(t *testing.T) {
+	primary := startServer(t, server.Config{
+		WALDir:             t.TempDir(),
+		SyncReplicas:       1,
+		SyncReplicaTimeout: 100 * time.Millisecond,
+	})
+	pc := dial(t, primary.Addr().String())
+	got := pc.cmd("SKETCH.CREATE flows cm counters=4096")
+	if !strings.HasPrefix(got, "-ERR") || !strings.Contains(got, "replica") {
+		t.Fatalf("semi-sync commit with no replicas = %q, want replica-ack error", got)
+	}
+}
+
+// TestReplicationResyncAfterPrimaryRestart: a primary restart
+// checkpoints away the log the follower's cursor points into, so
+// re-pointing the follower at the reborn primary must fall back to a
+// clean full resync and converge again.
+func TestReplicationResyncAfterPrimaryRestart(t *testing.T) {
+	walDir := t.TempDir()
+	primary1 := server.New(server.Config{Listen: "127.0.0.1:0", WALDir: walDir})
+	if err := primary1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	pc := dial(t, primary1.Addr().String())
+	pc.cmd("SKETCH.CREATE flows cm counters=65536 window=65536")
+	pc.cmd("SKETCH.INSERT flows before-restart")
+
+	follower := startServer(t, server.Config{
+		WALDir:    t.TempDir(),
+		ReplicaOf: primary1.Addr().String(),
+	})
+	fc := dial(t, follower.Addr().String())
+	waitUntil(t, "initial sync", func() bool {
+		return queryInt(fc, "SKETCH.QUERY flows before-restart") >= 1
+	})
+
+	// Graceful restart on the same WAL: the shutdown checkpoint
+	// truncates the log, so the follower's old cursor is gone.
+	primary1.Abort()
+	primary2 := startServer(t, server.Config{Listen: "127.0.0.1:0", WALDir: walDir})
+	p2c := dial(t, primary2.Addr().String())
+	p2c.cmd("SKETCH.INSERT flows after-restart")
+
+	host, port := splitAddr(t, primary2.Addr().String())
+	if got := fc.cmd("REPLICAOF %s %s", host, port); got != "+OK" {
+		t.Fatalf("REPLICAOF = %q", got)
+	}
+	waitUntil(t, "resync from reborn primary", func() bool {
+		return queryInt(fc, "SKETCH.QUERY flows after-restart") >= 1 &&
+			queryInt(fc, "SKETCH.QUERY flows before-restart") >= 1
+	})
+	role := strings.Join(fc.array("ROLE"), "\n")
+	if !strings.Contains(role, "full_syncs=1") && !strings.Contains(role, "full_syncs=2") {
+		t.Fatalf("follower ROLE after resync = %s", role)
+	}
+}
+
+// TestPsyncRefusals: PSYNC is refused without a WAL and on a replica
+// (no chained replication), with an error, not a hang.
+func TestPsyncRefusals(t *testing.T) {
+	noWal := startServer(t, server.Config{})
+	c := dial(t, noWal.Addr().String())
+	if got := c.cmd("PSYNC ?"); !strings.HasPrefix(got, "-ERR") || !strings.Contains(got, "WAL") {
+		t.Fatalf("PSYNC without WAL = %q", got)
+	}
+
+	primary := startServer(t, server.Config{WALDir: t.TempDir()})
+	follower := startServer(t, server.Config{
+		WALDir:    t.TempDir(),
+		ReplicaOf: primary.Addr().String(),
+	})
+	fc := dial(t, follower.Addr().String())
+	waitUntil(t, "replica connected", func() bool {
+		return strings.Contains(strings.Join(fc.array("ROLE"), "\n"), "connected=true")
+	})
+	if got := fc.cmd("PSYNC ?"); !strings.HasPrefix(got, "-ERR") || !strings.Contains(got, "chained") {
+		t.Fatalf("PSYNC on replica = %q", got)
+	}
+	// A refused PSYNC closes the connection (the verb hands the whole
+	// connection over), so each probe needs a fresh dial.
+	fc2 := dial(t, follower.Addr().String())
+	if got := fc2.cmd("PSYNC 1 2"); !strings.HasPrefix(got, "-ERR") {
+		t.Fatalf("malformed PSYNC = %q", got)
+	}
+}
+
+// TestReplicaofValidation: REPLICAOF needs a WAL, and bad argument
+// shapes error cleanly.
+func TestReplicaofValidation(t *testing.T) {
+	s := startServer(t, server.Config{})
+	c := dial(t, s.Addr().String())
+	if got := c.cmd("REPLICAOF 127.0.0.1 1"); !strings.HasPrefix(got, "-ERR") || !strings.Contains(got, "WAL") {
+		t.Fatalf("REPLICAOF without WAL = %q", got)
+	}
+	if got := c.cmd("REPLICAOF just-one-arg"); !strings.HasPrefix(got, "-ERR") {
+		t.Fatalf("short REPLICAOF = %q", got)
+	}
+	// NO ONE on a primary is a harmless no-op.
+	if got := c.cmd("REPLICAOF NO ONE"); got != "+OK" {
+		t.Fatalf("REPLICAOF NO ONE on primary = %q", got)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"she/internal/metrics"
 	"she/internal/obs"
 	obslog "she/internal/obs/log"
+	"she/internal/repl"
 	"she/internal/wal"
 )
 
@@ -94,6 +95,22 @@ type Config struct {
 	// histograms (and their clock reads). The comparative benchmark
 	// measures exactly this switch; production servers leave it off.
 	DisableHistograms bool
+	// ReplicaOf starts the server as a replica of the given primary
+	// address ("host:port"): it full-syncs from the primary's latest
+	// checkpoint, tails its WAL, serves reads, and refuses client
+	// mutations until REPLICAOF NO ONE promotes it. Requires WALDir —
+	// a replica's acknowledgements promise local durability.
+	ReplicaOf string
+	// SyncReplicas makes commits semi-synchronous on a primary: a
+	// batch containing mutations is acknowledged to the client only
+	// after this many replicas confirm they applied and fsynced it
+	// (0 = asynchronous replication). With it, promoting an acked
+	// replica after a primary crash loses no acknowledged write.
+	SyncReplicas int
+	// SyncReplicaTimeout bounds the semi-synchronous wait; on expiry
+	// the batch fails (it is durable locally but its replication is
+	// unproven, so the client is told, fail-stop style). 0 = 2s.
+	SyncReplicaTimeout time.Duration
 	// Logger receives the server's structured log lines; nil means
 	// stderr at Info level.
 	Logger *obslog.Logger
@@ -134,6 +151,17 @@ type Server struct {
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
 
+	// tracker registers attached replicas and their acknowledged
+	// positions; always non-nil, empty on a node with no replicas.
+	tracker *repl.Tracker
+	// replMu guards the node's replication role: replPrimary is the
+	// address this node replicates from ("" = primary) and follower is
+	// the running replication client (nil = primary). REPLICAOF
+	// rewrites both at runtime.
+	replMu      sync.Mutex
+	replPrimary string
+	follower    *repl.Follower
+
 	fs  failfs.FS
 	wal *wal.Log
 	// chkMu orders mutations against checkpoints: every state-changing
@@ -152,6 +180,7 @@ var commandVerbs = []string{
 	"SKETCH.LIST", "SKETCH.CREATE", "SKETCH.DROP", "SKETCH.INSERT",
 	"SKETCH.QUERY", "SKETCH.CARD", "SKETCH.STATS", "SKETCH.AUDIT",
 	"SKETCH.SAVE", "SKETCH.LOAD",
+	"ROLE", "REPLICAOF", "REPLCONF", "PSYNC",
 	"OTHER",
 }
 
@@ -189,8 +218,16 @@ func verbIndex(name string) int {
 		return 12
 	case "SKETCH.LOAD":
 		return 13
+	case "ROLE":
+		return 14
+	case "REPLICAOF":
+		return 15
+	case "REPLCONF":
+		return 16
+	case "PSYNC":
+		return 17
 	default:
-		return 14 // OTHER
+		return 18 // OTHER
 	}
 }
 
@@ -222,6 +259,7 @@ func New(cfg Config) *Server {
 			Seed:       auditSeed,
 		}),
 		counters: metrics.NewCounterSet(),
+		tracker:  repl.NewTracker(),
 		done:     make(chan struct{}),
 		conns:    make(map[net.Conn]struct{}),
 		fs:       fsys,
@@ -298,6 +336,12 @@ func (s *Server) Start() error {
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
+	if s.cfg.ReplicaOf != "" {
+		if err := s.startReplication(s.cfg.ReplicaOf); err != nil {
+			s.Abort()
+			return fmt.Errorf("server: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -368,6 +412,9 @@ func (s *Server) trackConn(c net.Conn, add bool) {
 // directory configured, every sketch is snapshotted on the way down.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.closeOnce.Do(func() { close(s.done) })
+	if f := s.currentFollower(); f != nil {
+		f.Stop()
+	}
 	if s.ln != nil {
 		s.ln.Close()
 	}
@@ -421,6 +468,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // exactly the guarantee the tests assert.
 func (s *Server) Abort() {
 	s.closeOnce.Do(func() { close(s.done) })
+	if f := s.currentFollower(); f != nil {
+		f.Stop()
+	}
 	if s.ln != nil {
 		s.ln.Close()
 	}

@@ -1,0 +1,221 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+)
+
+// Replication tail reading.
+//
+// A Cursor names a position in the record stream as (generation,
+// segment, byte offset): Gen is the snapshot generation the reader
+// bootstrapped from (informational — segment sequences are globally
+// monotonic, so ordering needs only Seg and Off), Seg is a segment
+// sequence number, and Off is a byte offset at a record-frame boundary
+// inside that segment. ReadFrom serves validated records from a cursor
+// forward, bounded by the durable watermark: a byte appended but not
+// yet fsynced — by definition never acknowledged to any client — can
+// never reach a replica, so a replica can never be *ahead* of what the
+// primary would recover after a crash.
+
+// Cursor is a replication stream position. The zero Cursor means
+// "nothing received yet" and always triggers a full resync.
+type Cursor struct {
+	Gen uint64
+	Seg uint64
+	Off int64
+}
+
+// IsZero reports the "no position" cursor.
+func (c Cursor) IsZero() bool { return c == Cursor{} }
+
+// Before orders cursors by stream position (Gen is informational).
+func (c Cursor) Before(o Cursor) bool {
+	return c.Seg < o.Seg || (c.Seg == o.Seg && c.Off < o.Off)
+}
+
+// String renders the cursor the way the wire protocol spells it.
+func (c Cursor) String() string { return fmt.Sprintf("%d %d %d", c.Gen, c.Seg, c.Off) }
+
+// ErrCursorGone reports a cursor whose position the log can no longer
+// serve: the segment was checkpointed away, quarantined, or the offset
+// is outside the validated bounds (a stale or divergent replica). The
+// only recovery is a full resync from the current snapshot generation.
+var ErrCursorGone = errors.New("wal: cursor position no longer available (full resync required)")
+
+// TailRecord is one validated record read by ReadFrom, plus the cursor
+// position immediately after it — what a replica acknowledges once the
+// record is applied.
+type TailRecord struct {
+	Payload []byte
+	End     Cursor
+}
+
+// Position returns the durable tip of the log: the cursor a fully
+// caught-up replica would acknowledge. Only synced bytes count.
+func (l *Log) Position() Cursor {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Cursor{Gen: l.gen, Seg: l.active, Off: l.synced}
+}
+
+// SyncNotify returns a channel closed at the next successful sync or
+// rotation — the tail reader's cue that new durable bytes may exist.
+// Grab the channel, read to the tip, then wait on it; a sync between
+// the grab and the wait closes this same channel, so no wakeup is lost.
+func (l *Log) SyncNotify() <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.notify
+}
+
+// notifyLocked wakes every SyncNotify waiter.
+func (l *Log) notifyLocked() {
+	close(l.notify)
+	l.notify = make(chan struct{})
+}
+
+// SetRetain keeps segments with sequence >= seg on disk across
+// checkpoints, so a replica catching up from seg is not cut off by a
+// concurrent snapshot-then-truncate. ^uint64(0) (the default) disables
+// retention. Retained segments sit below the manifest floor — recovery
+// ignores them — and are swept once retention moves past them.
+func (l *Log) SetRetain(seg uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.retain = seg
+}
+
+// SnapshotInfo names the current checkpoint: its generation, the
+// directory of sealed snapshot files, and the cursor a replica that
+// loads those snapshots should tail from. ok is false before the first
+// checkpoint (gen 0 has no snapshot to bootstrap from). The caller
+// must hold its checkpoint lock while using dir, or a concurrent
+// checkpoint may delete the generation mid-read.
+func (l *Log) SnapshotInfo() (gen uint64, dir string, start Cursor, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.gen == 0 {
+		return 0, "", Cursor{}, false
+	}
+	return l.gen, filepath.Join(l.dir, snapDirName(l.gen)), Cursor{Gen: l.gen, Seg: l.floor, Off: 0}, true
+}
+
+// ReadFrom returns validated records from cursor c forward, up to
+// roughly maxBytes of payload (at least one record when any is
+// available), plus the cursor after the last returned record. With no
+// new durable data it returns no records and a cursor equal to c
+// (possibly advanced across an exhausted segment boundary).
+//
+// Bounds are checked against the durable watermark and the validated
+// segment sizes recorded at recovery: an offset past them, a segment
+// below the retention horizon, or a quarantined segment all return
+// ErrCursorGone, never garbage bytes. Record payloads alias a buffer
+// owned by the caller after return.
+func (l *Log) ReadFrom(c Cursor, maxBytes int64) ([]TailRecord, Cursor, error) {
+	const maxFrame = MaxRecordBytes + recordHeaderLen
+	budget := maxBytes
+	if budget <= 0 {
+		budget = 1 << 20
+	}
+	var recs []TailRecord
+	for {
+		l.mu.Lock()
+		if l.f == nil {
+			l.mu.Unlock()
+			return recs, c, ErrClosed
+		}
+		gen, active, synced := l.gen, l.active, l.synced
+		var limit int64
+		if c.Seg == active {
+			limit = synced
+		} else if sz, ok := l.segSizes[c.Seg]; ok {
+			limit = sz
+		} else {
+			l.mu.Unlock()
+			return recs, c, ErrCursorGone
+		}
+		l.mu.Unlock()
+
+		if c.Off > limit {
+			// Past the validated bounds: a replica claiming bytes this
+			// log never made durable (stale primary, divergent history).
+			return recs, c, ErrCursorGone
+		}
+		if c.Off == limit {
+			if c.Seg >= active {
+				return recs, Cursor{Gen: gen, Seg: c.Seg, Off: c.Off}, nil // caught up
+			}
+			// Sealed segment exhausted; sequences are consecutive.
+			c = Cursor{Gen: gen, Seg: c.Seg + 1}
+			continue
+		}
+		// Read at least one whole frame so a tight byte budget still
+		// makes progress; cap anything beyond that at the budget.
+		n := limit - c.Off
+		want := budget
+		if want < maxFrame {
+			want = maxFrame
+		}
+		capped := n > want
+		if capped {
+			n = want
+		}
+		data, err := l.fs.ReadFileAt(filepath.Join(l.dir, segName(c.Seg)), c.Off, n)
+		if err != nil {
+			// The segment vanished between the bounds check and the read
+			// (checkpoint cleanup won the race): same remedy as any other
+			// unavailable cursor.
+			return recs, c, ErrCursorGone
+		}
+		off := 0
+		for off < len(data) {
+			payload, m, derr := DecodeRecord(data[off:])
+			if derr != nil {
+				if errors.Is(derr, errTorn) && capped {
+					break // frame cut by the byte budget; the next call resumes it
+				}
+				// A torn or corrupt frame inside the durable watermark:
+				// never serve bytes past it.
+				return recs, c, ErrCursorGone
+			}
+			off += m
+			recs = append(recs, TailRecord{
+				Payload: payload,
+				End:     Cursor{Gen: gen, Seg: c.Seg, Off: c.Off + int64(off)},
+			})
+		}
+		if off == 0 {
+			return recs, c, ErrCursorGone
+		}
+		c = Cursor{Gen: gen, Seg: c.Seg, Off: c.Off + int64(off)}
+		if budget -= int64(off); budget <= 0 {
+			return recs, c, nil
+		}
+	}
+}
+
+// DistanceBytes returns how many durable log bytes separate two
+// cursors — the replica lag gauge. Segments already deleted contribute
+// nothing (best effort); the result is clamped at zero.
+func (l *Log) DistanceBytes(from, to Cursor) int64 {
+	if !from.Before(to) {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var d int64
+	for seg := from.Seg; seg < to.Seg; seg++ {
+		if seg == l.active {
+			d += l.synced
+		} else if sz, ok := l.segSizes[seg]; ok {
+			d += sz
+		}
+	}
+	d += to.Off - from.Off
+	if d < 0 {
+		return 0
+	}
+	return d
+}

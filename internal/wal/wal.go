@@ -117,6 +117,19 @@ type Log struct {
 	corrupt     []string
 	orphaned    []string
 	failed      error
+
+	// Replication tail-reader state (see tail.go). synced is the
+	// durable watermark of the active segment: ReadFrom never exposes
+	// bytes past it, so a torn or unsynced (hence unacknowledged) tail
+	// can never reach a replica. segSizes records the validated length
+	// of every sealed segment still on disk; retain is a floor below
+	// which checkpoints may not delete segments because a replica still
+	// needs them (^uint64(0) = no retention). notify is closed and
+	// replaced on every successful sync, waking tailing replicas.
+	synced   int64
+	segSizes map[uint64]int64
+	retain   uint64
+	notify   chan struct{}
 }
 
 func segName(seq uint64) string     { return fmt.Sprintf("%s%016x%s", segPrefix, seq, segExt) }
@@ -203,6 +216,7 @@ func Open(dir string, opts Options) (*Log, *Recovery, error) {
 
 	next := floor // sequence for the fresh active segment
 	var since int64
+	segSizes := make(map[uint64]int64)
 scan:
 	for i, seq := range seqs {
 		if seq >= next {
@@ -243,6 +257,11 @@ scan:
 			}
 			break scan
 		}
+		// Validated length of this sealed segment (post torn-tail
+		// truncation), so the tail reader can serve it to replicas.
+		// Corrupt and orphaned segments break out above and are never
+		// entered here — ReadFrom refuses them, forcing a full resync.
+		segSizes[seq] = int64(off)
 	}
 
 	l := &Log{
@@ -257,6 +276,9 @@ scan:
 		floor:    floor,
 		corrupt:  append([]string(nil), rec.CorruptSegments...),
 		orphaned: append([]string(nil), rec.OrphanedSegments...),
+		segSizes: segSizes,
+		retain:   ^uint64(0),
+		notify:   make(chan struct{}),
 	}
 	f, err := fsys.OpenFile(filepath.Join(dir, segName(l.active)), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
 	if err != nil {
@@ -353,7 +375,7 @@ func (l *Log) syncActiveLocked() error {
 }
 
 // rotateLocked seals the active segment (sync + close) and starts the
-// next one.
+// next one. The sealed segment's full length becomes tail-readable.
 func (l *Log) rotateLocked() error {
 	if l.dirty {
 		if err := l.syncActiveLocked(); err != nil {
@@ -365,6 +387,7 @@ func (l *Log) rotateLocked() error {
 		return fmt.Errorf("wal: close segment: %w", err)
 	}
 	l.f = nil
+	l.segSizes[l.active] = l.activeBytes
 	l.active++
 	f, err := l.fs.OpenFile(filepath.Join(l.dir, segName(l.active)), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
 	if err != nil {
@@ -372,6 +395,8 @@ func (l *Log) rotateLocked() error {
 	}
 	l.f = f
 	l.activeBytes = 0
+	l.synced = 0
+	l.notifyLocked()
 	return l.fs.SyncDir(l.dir)
 }
 
@@ -396,6 +421,8 @@ func (l *Log) Sync() error {
 		return l.failed
 	}
 	l.dirty = false
+	l.synced = l.activeBytes
+	l.notifyLocked()
 	return nil
 }
 
@@ -504,8 +531,16 @@ func (l *Log) cleanupLocked() {
 			}
 			if q, damaged := quarantine[name]; damaged {
 				l.fs.Rename(path, filepath.Join(l.dir, q))
+				delete(l.segSizes, seq)
+			} else if seq >= l.retain {
+				// A connected replica still needs this segment (see
+				// SetRetain); keep it on disk. Recovery ignores it — it is
+				// below the manifest floor — and it is deleted at a later
+				// checkpoint once every replica has moved past it.
+				continue
 			} else {
 				l.fs.Remove(path)
+				delete(l.segSizes, seq)
 			}
 		}
 	}
