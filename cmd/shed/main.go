@@ -41,6 +41,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -57,6 +59,12 @@ func main() {
 	replicaOf := flag.String("replicaof", "", "start as a read-only replica of this primary (host:port); requires -wal. Promote at runtime with REPLICAOF NO ONE")
 	syncReplicas := flag.Int("sync-replicas", 0, "semi-synchronous commits: acknowledge mutations only after this many replicas applied and fsynced them (0 = asynchronous replication)")
 	syncReplicaTimeout := flag.Duration("sync-replica-timeout", 2*time.Second, "fail a semi-synchronous commit that gathers too few replica acks in this long")
+	maxMemory := flag.String("max-memory", "", "memory budget over sketches, audit shadows and connection buffers, e.g. 512mb or 2gb; past it shed degrades (shed audits, drop slowlog, refuse creates, -ERR OOM on inserts) instead of dying (empty = unlimited)")
+	maxInflight := flag.Int("max-inflight", 0, "admission control: maximum commands executing at once across all connections; excess commands wait up to -command-timeout then get -ERR BUSY (0 = unlimited)")
+	commandTimeout := flag.Duration("command-timeout", time.Second, "how long a command may wait for an admission slot before -ERR BUSY (with -max-inflight)")
+	replMaxLag := flag.String("repl-max-lag", "", "disconnect a replica whose acknowledged position lags the stream by more than this many WAL bytes, e.g. 64mb (empty = unlimited)")
+	replRetry := flag.Duration("repl-retry", time.Second, "replica reconnect base interval; consecutive failures double it with jitter")
+	replRetryMax := flag.Duration("repl-retry-max", 30*time.Second, "cap on the replica reconnect backoff")
 	checkpointBytes := flag.Int64("wal-checkpoint-bytes", server.DefaultCheckpointBytes, "WAL size that triggers a snapshot-then-truncate checkpoint")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
 	idle := flag.Duration("idle-timeout", 5*time.Minute, "close connections idle for this long (0 = never)")
@@ -100,25 +108,41 @@ func main() {
 	if *enablePprof && *debug == "" {
 		logger.Warn("-pprof has no effect without -debug")
 	}
+	maxMemoryBytes, err := parseSize(*maxMemory)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shed: -max-memory: %v\n", err)
+		os.Exit(2)
+	}
+	replMaxLagBytes, err := parseSize(*replMaxLag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shed: -repl-max-lag: %v\n", err)
+		os.Exit(2)
+	}
 	srv := server.New(server.Config{
-		Listen:             *listen,
-		DebugListen:        *debug,
-		AutosaveDir:        *autosave,
-		SnapshotDir:        *snapshots,
-		IdleTimeout:        *idle,
-		WriteTimeout:       *writeTimeout,
-		MaxConns:           *maxConns,
-		WALDir:             *walDir,
-		CheckpointBytes:    *checkpointBytes,
-		ReplicaOf:          *replicaOf,
-		SyncReplicas:       *syncReplicas,
-		SyncReplicaTimeout: *syncReplicaTimeout,
-		SlowThreshold:      time.Duration(*slowMs) * time.Millisecond,
-		SlowLogSize:        *slowlogSize,
-		AuditSample:        *auditSample,
-		AuditMaxKeys:       *auditMaxKeys,
-		EnablePprof:        *enablePprof,
-		Logger:             logger,
+		Listen:               *listen,
+		DebugListen:          *debug,
+		AutosaveDir:          *autosave,
+		SnapshotDir:          *snapshots,
+		IdleTimeout:          *idle,
+		WriteTimeout:         *writeTimeout,
+		MaxConns:             *maxConns,
+		WALDir:               *walDir,
+		CheckpointBytes:      *checkpointBytes,
+		ReplicaOf:            *replicaOf,
+		SyncReplicas:         *syncReplicas,
+		SyncReplicaTimeout:   *syncReplicaTimeout,
+		MaxMemory:            maxMemoryBytes,
+		MaxInflight:          *maxInflight,
+		CommandTimeout:       *commandTimeout,
+		ReplicaMaxLagBytes:   replMaxLagBytes,
+		ReplRetryInterval:    *replRetry,
+		ReplMaxRetryInterval: *replRetryMax,
+		SlowThreshold:        time.Duration(*slowMs) * time.Millisecond,
+		SlowLogSize:          *slowlogSize,
+		AuditSample:          *auditSample,
+		AuditMaxKeys:         *auditMaxKeys,
+		EnablePprof:          *enablePprof,
+		Logger:               logger,
 	})
 	if err := srv.Start(); err != nil {
 		fatal("start failed", err)
@@ -145,6 +169,12 @@ func main() {
 	if *auditSample > 0 {
 		logger.Info("accuracy auditing enabled", "sample", *auditSample, "max_keys", *auditMaxKeys)
 	}
+	if maxMemoryBytes > 0 || *maxInflight > 0 {
+		logger.Info("overload protection enabled",
+			"max_memory_bytes", maxMemoryBytes,
+			"max_inflight", *maxInflight,
+			"command_timeout", commandTimeout.String())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -155,4 +185,36 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil {
 		fatal("shutdown failed", err)
 	}
+}
+
+// parseSize parses a human-friendly byte size: a plain integer is
+// bytes; a kb/mb/gb suffix (case-insensitive, also k/m/g) scales by
+// powers of 1024. Empty means 0 (disabled).
+func parseSize(s string) (int64, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if s == "" || s == "0" {
+		return 0, nil
+	}
+	mult := int64(1)
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{
+		{"kb", 1 << 10}, {"mb", 1 << 20}, {"gb", 1 << 30},
+		{"k", 1 << 10}, {"m", 1 << 20}, {"g", 1 << 30},
+		{"b", 1},
+	} {
+		if strings.HasSuffix(s, u.suffix) {
+			s, mult = strings.TrimSuffix(s, u.suffix), u.mult
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid size %q (want e.g. 1073741824, 512mb or 2gb)", s)
+	}
+	if n > (1<<62)/mult {
+		return 0, fmt.Errorf("size %q overflows", s)
+	}
+	return n * mult, nil
 }

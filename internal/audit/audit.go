@@ -97,6 +97,12 @@ const expiredRingSize = 64
 // is zero.
 const DefaultMaxKeys = 1 << 16
 
+// shadowBytesPerEntry approximates the shadow's heap cost per entry of
+// capacity: 8 ring bytes plus a counts-map entry (two uint64s and
+// bucket overhead at typical load factors). The overload accounting in
+// internal/server budgets audit memory with this estimate.
+const shadowBytesPerEntry = 48
+
 // Probes give the auditor read access to the audited sketch's answers.
 // Only the field matching the auditor's Kind is consulted; probes are
 // called with the auditor's lock held, so they may be queried at most
@@ -250,6 +256,10 @@ type Auditor struct {
 	tcycle uint64
 	shards uint64
 
+	// fullCap is the configured shadow capacity; Shed may run the
+	// shadow smaller than this until Restore.
+	fullCap int
+
 	mu     sync.Mutex
 	shadow *exact.Window
 	st     Stats
@@ -300,6 +310,7 @@ func New(kind Kind, cfg Config, window, tcycle uint64, shards int, probes Probes
 		coverage: coverage,
 		tcycle:   tcycle / uint64(shards),
 		shards:   uint64(shards),
+		fullCap:  capacity,
 		shadow:   exact.NewWindow(capacity),
 	}
 	a.st.Kind = kind
@@ -457,11 +468,65 @@ func (a *Auditor) Reset() {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.shadow.Reset()
+	a.resetLocked()
+}
+
+// resetLocked zeroes the accumulators against the current shadow
+// geometry. Caller holds a.mu.
+func (a *Auditor) resetLocked() {
 	a.st = Stats{
 		Kind:       a.kind,
 		SampleProb: a.prob,
 		ShadowCap:  a.shadow.Cap(),
-		Coverage:   a.coverage,
+		Coverage:   a.coverage * float64(a.shadow.Cap()) / float64(a.fullCap),
 	}
 	a.expiredLen, a.expiredNext, a.probeNext, a.sinceCard = 0, 0, 0, 0
+}
+
+// Shed shrinks the shadow window to frac of its configured capacity
+// (minimum one entry), releasing audit memory under overload; the old
+// shadow is dropped for the garbage collector. The accumulated
+// statistics restart — error samples measured against shadows of
+// different spans cannot be mixed into one meaningful ARE — and
+// Coverage reports the reduced span. Shed(1) or Restore returns to
+// full capacity. No-op when the capacity would not change.
+func (a *Auditor) Shed(frac float64) {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	newCap := int(math.Ceil(frac * float64(a.fullCap)))
+	if newCap < 1 {
+		newCap = 1
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if newCap == a.shadow.Cap() {
+		return
+	}
+	a.shadow = exact.NewWindow(newCap)
+	a.resetLocked()
+}
+
+// Restore undoes Shed, returning the shadow to its configured
+// capacity (and restarting the measurement at full coverage).
+func (a *Auditor) Restore() { a.Shed(1) }
+
+// MemoryBytes estimates the auditor's current heap footprint from the
+// live shadow capacity.
+func (a *Auditor) MemoryBytes() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return int64(a.shadow.Cap()) * shadowBytesPerEntry
+}
+
+// FullMemoryBytes estimates the footprint at the configured (unshed)
+// capacity. Overload control steps DOWN the degradation ladder using
+// this number — judging recovery by the already-shed footprint would
+// oscillate: shed frees memory, usage drops below the threshold,
+// restore re-allocates, usage crosses it again.
+func (a *Auditor) FullMemoryBytes() int64 {
+	return int64(a.fullCap) * shadowBytesPerEntry
 }

@@ -292,3 +292,71 @@ func TestResetReusesShadow(t *testing.T) {
 		t.Fatalf("post-reset observation not recorded: %+v", st)
 	}
 }
+
+func TestShedAndRestore(t *testing.T) {
+	a := audit.New(audit.Frequency, audit.Config{SampleProb: 1},
+		1024, 1024, 1, audit.Probes{Frequency: func(uint64) uint64 { return 1 }})
+	full := a.FullMemoryBytes()
+	if full <= 0 || a.MemoryBytes() != full {
+		t.Fatalf("memory estimates: full=%d current=%d", full, a.MemoryBytes())
+	}
+	for i := 0; i < 100; i++ {
+		a.Observe(uint64(i), uint64(i+1))
+	}
+
+	a.Shed(0.25)
+	st := a.Snapshot()
+	if st.ShadowCap != 256 {
+		t.Fatalf("shed cap = %d, want 256", st.ShadowCap)
+	}
+	if st.Observations != 0 || st.ShadowLen != 0 {
+		t.Fatalf("shed kept stale state: %+v", st)
+	}
+	if cov := st.Coverage; cov < 0.24 || cov > 0.26 {
+		t.Fatalf("shed coverage = %v, want ~0.25", cov)
+	}
+	if a.MemoryBytes() >= full {
+		t.Fatalf("shed did not shrink memory: %d >= %d", a.MemoryBytes(), full)
+	}
+	if a.FullMemoryBytes() != full {
+		t.Fatalf("FullMemoryBytes changed under shed: %d != %d", a.FullMemoryBytes(), full)
+	}
+	// Reset while shed keeps the shrunk geometry.
+	a.Observe(1, 1)
+	a.Reset()
+	if st := a.Snapshot(); st.ShadowCap != 256 || st.Coverage > 0.26 {
+		t.Fatalf("reset under shed lost geometry: %+v", st)
+	}
+
+	a.Restore()
+	st = a.Snapshot()
+	if st.ShadowCap != 1024 || st.Coverage != 1 {
+		t.Fatalf("restore: cap=%d coverage=%v", st.ShadowCap, st.Coverage)
+	}
+	if a.MemoryBytes() != full {
+		t.Fatalf("restore memory = %d, want %d", a.MemoryBytes(), full)
+	}
+	// Still audits correctly after the round trip.
+	a.Observe(7, 1)
+	if st := a.Snapshot(); st.Observations != 1 || st.ErrSamples != 1 {
+		t.Fatalf("post-restore observation: %+v", st)
+	}
+}
+
+func TestShedClampsAndIdempotent(t *testing.T) {
+	a := audit.New(audit.Frequency, audit.Config{SampleProb: 1},
+		64, 64, 1, audit.Probes{Frequency: func(uint64) uint64 { return 1 }})
+	a.Shed(0) // clamps to one entry, never zero
+	if st := a.Snapshot(); st.ShadowCap != 1 {
+		t.Fatalf("Shed(0) cap = %d, want 1", st.ShadowCap)
+	}
+	a.Observe(1, 1)
+	a.Shed(0) // same capacity: must not wipe state
+	if st := a.Snapshot(); st.Observations != 1 {
+		t.Fatalf("no-op shed wiped state: %+v", st)
+	}
+	a.Shed(2.0) // clamps to full
+	if st := a.Snapshot(); st.ShadowCap != 64 {
+		t.Fatalf("Shed(2) cap = %d, want 64", st.ShadowCap)
+	}
+}

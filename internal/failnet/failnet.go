@@ -1,0 +1,421 @@
+// Package failnet is the network seam for shed's replication and wire
+// protocol code — the net.Conn counterpart of internal/failfs.
+//
+// A Network wraps connections (via Dial, WrapConn or a wrapped
+// Listener) and injects faults on command, deterministically where the
+// fault needs a random choice (a seeded rand drives torn-write split
+// points and stall selection):
+//
+//   - Latency and bandwidth: every write sleeps SetLatency's one-way
+//     delay plus len/SetBandwidth, modeling a slow or thin link.
+//   - Torn writes + resets: ResetAt(n) arms a one-shot fault at the
+//     n-th network operation (reads and writes both count). If that
+//     operation is a write, a seeded-random prefix of the buffer is
+//     written before the connection dies — a torn TCP write the peer
+//     must not mis-frame. The connection is closed underneath, so the
+//     peer sees a reset-flavored error, and the fault then disarms so
+//     the next session runs clean. Iterating n from 1 upward drives a
+//     fault through every protocol boundary, the way failfs's
+//     crash-at-every-op drives a crash through every disk operation.
+//   - Stalls: SetStall makes a seeded fraction of operations pause
+//     before proceeding, modeling scheduler hiccups and bufferbloat.
+//   - Partitions: Partition() stalls every read and write on every
+//     wrapped connection, in both directions, until Heal(). Tracked
+//     deadlines still fire (a blocked read whose deadline expires
+//     returns a timeout net.Error exactly like a real socket), so
+//     heartbeat-timeout logic is exercised, and bytes written before
+//     the partition sit in kernel buffers and arrive after Heal — the
+//     "slow network" partition. DropDials() additionally refuses new
+//     connections, and ResetAll() kills the existing ones, composing
+//     into the "cable cut" partition.
+//
+// Everything is safe for concurrent use; one Network typically spans
+// both directions of one link (the dialer side wraps what it dials,
+// the listener side wraps what it accepts).
+package failnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjectedReset is the error surfaced by an operation killed by
+// ResetAt or ResetAll: the connection is closed underneath, so the
+// peer's next operation fails too (ECONNRESET-flavored).
+var ErrInjectedReset = errors.New("failnet: injected connection reset")
+
+// ErrDialRefused is returned by Dial while DropDials is in force.
+var ErrDialRefused = errors.New("failnet: dial refused (partitioned)")
+
+// timeoutError is the net.Error a deadline expiry returns while a
+// partition blocks the operation — indistinguishable, by design, from
+// a real socket timeout.
+type timeoutError struct{ op string }
+
+func (e timeoutError) Error() string   { return "failnet: " + e.op + " i/o timeout (partitioned)" }
+func (e timeoutError) Timeout() bool   { return true }
+func (e timeoutError) Temporary() bool { return true }
+
+// Network is a fault controller shared by every connection it wraps.
+// The zero configuration injects nothing.
+type Network struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	steps   int64 // network operations performed so far
+	resetAt int64 // 0 = disarmed; fire at this 1-based step
+	resets  int64 // injected resets fired
+
+	latency     time.Duration
+	bytesPerSec int64
+	stallProb   float64
+	stallFor    time.Duration
+
+	partitioned bool
+	dropDials   bool
+	healCh      chan struct{} // replaced on Partition, closed on Heal
+
+	conns map[*Conn]struct{}
+}
+
+// New returns a Network whose random choices (torn-write split points,
+// stall selection) are driven by seed.
+func New(seed int64) *Network {
+	return &Network{
+		rng:    rand.New(rand.NewSource(seed)),
+		healCh: make(chan struct{}),
+		conns:  make(map[*Conn]struct{}),
+	}
+}
+
+// SetLatency adds a one-way delay to every write.
+func (n *Network) SetLatency(d time.Duration) {
+	n.mu.Lock()
+	n.latency = d
+	n.mu.Unlock()
+}
+
+// SetBandwidth caps throughput: each write additionally sleeps
+// len/bytesPerSec. 0 removes the cap.
+func (n *Network) SetBandwidth(bytesPerSec int64) {
+	n.mu.Lock()
+	n.bytesPerSec = bytesPerSec
+	n.mu.Unlock()
+}
+
+// SetStall makes each operation pause for d with probability prob
+// (seeded, so a fixed op sequence stalls at fixed points).
+func (n *Network) SetStall(prob float64, d time.Duration) {
+	n.mu.Lock()
+	n.stallProb, n.stallFor = prob, d
+	n.mu.Unlock()
+}
+
+// ResetAt arms a one-shot connection reset at network operation number
+// op (1-based, counting reads and writes on all wrapped connections).
+// A write at the armed step persists a seeded-random prefix first — a
+// torn write. n <= 0 disarms.
+func (n *Network) ResetAt(op int64) {
+	n.mu.Lock()
+	n.resetAt = op
+	n.mu.Unlock()
+}
+
+// Steps returns how many network operations have run so far.
+func (n *Network) Steps() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.steps
+}
+
+// Resets returns how many injected resets have fired.
+func (n *Network) Resets() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.resets
+}
+
+// Partition blocks every read and write on every wrapped connection,
+// both directions, until Heal. In-flight kernel buffers survive, so
+// traffic resumes losslessly on heal (deadlines permitting).
+func (n *Network) Partition() {
+	n.mu.Lock()
+	if !n.partitioned {
+		n.partitioned = true
+		n.healCh = make(chan struct{})
+	}
+	n.mu.Unlock()
+}
+
+// Heal lifts a partition: blocked operations resume immediately.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	if n.partitioned {
+		n.partitioned = false
+		close(n.healCh)
+	}
+	n.dropDials = false
+	n.mu.Unlock()
+}
+
+// DropDials makes Dial refuse until Heal, the "cable cut" half of a
+// partition (existing connections still follow Partition's rules).
+func (n *Network) DropDials() {
+	n.mu.Lock()
+	n.dropDials = true
+	n.mu.Unlock()
+}
+
+// ResetAll closes every currently wrapped connection with an injected
+// reset. New connections are unaffected.
+func (n *Network) ResetAll() {
+	n.mu.Lock()
+	conns := make([]*Conn, 0, len(n.conns))
+	for c := range n.conns {
+		conns = append(conns, c)
+	}
+	n.resets += int64(len(conns))
+	n.mu.Unlock()
+	for _, c := range conns {
+		c.reset()
+	}
+}
+
+// partitionState returns the current partition flag and the channel
+// Heal will close.
+func (n *Network) partitionState() (bool, <-chan struct{}) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.partitioned, n.healCh
+}
+
+// step accounts one operation and decides its fate: fire reports the
+// armed one-shot reset firing on this very step (after which it is
+// disarmed), stall a pause to take first, and cut the torn-write split
+// for a firing write.
+func (n *Network) step(isWrite bool, writeLen int) (fire bool, cut int, stall time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.steps++
+	if n.resetAt > 0 && n.steps >= n.resetAt {
+		n.resetAt = 0
+		n.resets++
+		fire = true
+		if isWrite && writeLen > 0 {
+			cut = n.rng.Intn(writeLen) // 0..len-1 bytes reach the wire
+		}
+		return fire, cut, 0
+	}
+	if n.stallProb > 0 && n.rng.Float64() < n.stallProb {
+		stall = n.stallFor
+	}
+	return false, 0, stall
+}
+
+func (n *Network) writeDelay(length int) time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	d := n.latency
+	if n.bytesPerSec > 0 {
+		d += time.Duration(int64(length) * int64(time.Second) / n.bytesPerSec)
+	}
+	return d
+}
+
+func (n *Network) track(c *Conn, add bool) {
+	n.mu.Lock()
+	if add {
+		n.conns[c] = struct{}{}
+	} else {
+		delete(n.conns, c)
+	}
+	n.mu.Unlock()
+}
+
+// DialTimeout dials addr through the network's fault rules and wraps
+// the result. It matches the shape of repl.FollowerConfig.Dial.
+func (n *Network) DialTimeout(network, addr string, timeout time.Duration) (net.Conn, error) {
+	n.mu.Lock()
+	refused := n.dropDials
+	n.mu.Unlock()
+	if refused {
+		return nil, ErrDialRefused
+	}
+	c, err := net.DialTimeout(network, addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return n.WrapConn(c), nil
+}
+
+// WrapConn wraps an existing connection in the network's fault rules.
+func (n *Network) WrapConn(c net.Conn) net.Conn {
+	fc := &Conn{n: n, inner: c, closed: make(chan struct{})}
+	n.track(fc, true)
+	return fc
+}
+
+// Listener wraps ln so every accepted connection is wrapped.
+func (n *Network) Listener(ln net.Listener) net.Listener {
+	return &listener{n: n, inner: ln}
+}
+
+type listener struct {
+	n     *Network
+	inner net.Listener
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.inner.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.n.WrapConn(c), nil
+}
+
+func (l *listener) Close() error   { return l.inner.Close() }
+func (l *listener) Addr() net.Addr { return l.inner.Addr() }
+
+// Conn is one fault-injected connection. It implements net.Conn;
+// deadlines are tracked locally (as well as forwarded) so a partition
+// can honor them while blocking.
+type Conn struct {
+	n     *Network
+	inner net.Conn
+
+	closeOnce sync.Once
+	closed    chan struct{}
+
+	mu       sync.Mutex
+	rdl, wdl time.Time
+}
+
+// reset closes the underlying connection out from under the peer.
+func (c *Conn) reset() {
+	c.closeOnce.Do(func() { close(c.closed) })
+	c.inner.Close()
+	c.n.track(c, false)
+}
+
+func (c *Conn) deadline(read bool) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if read {
+		return c.rdl
+	}
+	return c.wdl
+}
+
+// awaitHeal blocks while the network is partitioned, honoring the
+// operation's tracked deadline and the connection's own closure.
+func (c *Conn) awaitHeal(read bool, op string) error {
+	for {
+		partitioned, heal := c.n.partitionState()
+		if !partitioned {
+			return nil
+		}
+		var timeout <-chan time.Time
+		if dl := c.deadline(read); !dl.IsZero() {
+			wait := time.Until(dl)
+			if wait <= 0 {
+				return timeoutError{op}
+			}
+			t := time.NewTimer(wait)
+			defer t.Stop()
+			timeout = t.C
+		}
+		select {
+		case <-heal:
+		case <-c.closed:
+			return net.ErrClosed
+		case <-timeout:
+			return timeoutError{op}
+		}
+	}
+}
+
+// sleep pauses for d unless the connection closes first.
+func (c *Conn) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-c.closed:
+	}
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	if err := c.awaitHeal(true, "read"); err != nil {
+		return 0, err
+	}
+	fire, _, stall := c.n.step(false, 0)
+	if fire {
+		c.reset()
+		return 0, fmt.Errorf("read: %w", ErrInjectedReset)
+	}
+	c.sleep(stall)
+	return c.inner.Read(p)
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	if err := c.awaitHeal(false, "write"); err != nil {
+		return 0, err
+	}
+	fire, cut, stall := c.n.step(true, len(p))
+	if fire {
+		// Torn write: a prefix reaches the wire, then the connection
+		// dies. The peer must treat the stream as damaged, never parse
+		// past the tear.
+		var wrote int
+		if cut > 0 {
+			wrote, _ = c.inner.Write(p[:cut])
+		}
+		c.reset()
+		return wrote, fmt.Errorf("write: %w", ErrInjectedReset)
+	}
+	c.sleep(stall)
+	c.sleep(c.n.writeDelay(len(p)))
+	select {
+	case <-c.closed:
+		return 0, net.ErrClosed
+	default:
+	}
+	return c.inner.Write(p)
+}
+
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	c.n.track(c, false)
+	return c.inner.Close()
+}
+
+func (c *Conn) LocalAddr() net.Addr  { return c.inner.LocalAddr() }
+func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.rdl, c.wdl = t, t
+	c.mu.Unlock()
+	return c.inner.SetDeadline(t)
+}
+
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.rdl = t
+	c.mu.Unlock()
+	return c.inner.SetReadDeadline(t)
+}
+
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.wdl = t
+	c.mu.Unlock()
+	return c.inner.SetWriteDeadline(t)
+}

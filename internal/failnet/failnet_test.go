@@ -1,0 +1,314 @@
+package failnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipe returns both ends of a loopback TCP connection, the client end
+// wrapped by nw.
+func pipe(t *testing.T, nw *Network) (client net.Conn, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		server, err = ln.Accept()
+	}()
+	raw, derr := net.Dial("tcp", ln.Addr().String())
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { raw.Close(); server.Close() })
+	return nw.WrapConn(raw), server
+}
+
+func TestPassthrough(t *testing.T) {
+	nw := New(1)
+	c, s := pipe(t, nw)
+	if _, err := c.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(s, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("got %q", buf)
+	}
+	if nw.Steps() != 1 {
+		t.Fatalf("steps = %d, want 1", nw.Steps())
+	}
+}
+
+func TestLatencyAndBandwidth(t *testing.T) {
+	nw := New(1)
+	nw.SetLatency(20 * time.Millisecond)
+	nw.SetBandwidth(1 << 20) // 1 MiB/s: 64KiB ≈ 62ms
+	c, s := pipe(t, nw)
+	go io.Copy(io.Discard, s)
+	start := time.Now()
+	if _, err := c.Write(make([]byte, 64<<10)); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 60*time.Millisecond {
+		t.Fatalf("write took %v, want >= ~80ms (20ms latency + 62ms transfer)", d)
+	}
+}
+
+func TestResetAtWrite(t *testing.T) {
+	nw := New(7)
+	c, s := pipe(t, nw)
+	nw.ResetAt(2)
+	if _, err := c.Write([]byte("first")); err != nil { // step 1: clean
+		t.Fatal(err)
+	}
+	_, err := c.Write([]byte("second-payload")) // step 2: torn + reset
+	if !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("err = %v, want ErrInjectedReset", err)
+	}
+	if nw.Resets() != 1 {
+		t.Fatalf("resets = %d, want 1", nw.Resets())
+	}
+	// The fault is one-shot: further use of the dead conn fails with
+	// closed, and a fresh conn through the same Network runs clean.
+	if _, err := c.Write([]byte("x")); err == nil {
+		t.Fatal("write on reset conn succeeded")
+	}
+	// The peer sees at most a torn prefix, then EOF/reset.
+	s.SetReadDeadline(time.Now().Add(2 * time.Second))
+	got := make([]byte, 64)
+	n, _ := s.Read(got) // "first", maybe with torn prefix appended
+	total := n
+	for {
+		n, err = s.Read(got[total:])
+		total += n
+		if err != nil {
+			break
+		}
+	}
+	if total < 5 || total >= 5+len("second-payload") {
+		t.Fatalf("peer saw %d bytes, want torn: [5, %d)", total, 5+len("second-payload"))
+	}
+
+	c2, s2 := pipe(t, nw)
+	if _, err := c2.Write([]byte("clean")); err != nil {
+		t.Fatalf("post-reset conn not clean: %v", err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(s2, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResetAtRead(t *testing.T) {
+	nw := New(3)
+	c, s := pipe(t, nw)
+	nw.ResetAt(1)
+	go s.Write([]byte("data"))
+	_, err := c.Read(make([]byte, 4))
+	if !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("err = %v, want ErrInjectedReset", err)
+	}
+}
+
+func TestPartitionBlocksThenHeals(t *testing.T) {
+	nw := New(1)
+	c, s := pipe(t, nw)
+	nw.Partition()
+	wrote := make(chan error, 1)
+	go func() {
+		_, err := c.Write([]byte("delayed"))
+		wrote <- err
+	}()
+	select {
+	case err := <-wrote:
+		t.Fatalf("write completed during partition: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	nw.Heal()
+	select {
+	case err := <-wrote:
+		if err != nil {
+			t.Fatalf("write after heal: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("write still blocked after heal")
+	}
+	buf := make([]byte, 7)
+	s.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(s, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "delayed" {
+		t.Fatalf("got %q", buf)
+	}
+}
+
+func TestPartitionHonorsDeadline(t *testing.T) {
+	nw := New(1)
+	c, _ := pipe(t, nw)
+	nw.Partition()
+	defer nw.Heal()
+	c.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	start := time.Now()
+	_, err := c.Read(make([]byte, 1))
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("err = %v, want timeout net.Error", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("deadline took %v to fire", d)
+	}
+}
+
+func TestPartitionUnblocksOnClose(t *testing.T) {
+	nw := New(1)
+	c, _ := pipe(t, nw)
+	nw.Partition()
+	defer nw.Heal()
+	got := make(chan error, 1)
+	go func() {
+		_, err := c.Read(make([]byte, 1))
+		got <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-got:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("err = %v, want net.ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("read still blocked after close")
+	}
+}
+
+func TestResetAll(t *testing.T) {
+	nw := New(1)
+	c1, _ := pipe(t, nw)
+	c2, _ := pipe(t, nw)
+	nw.ResetAll()
+	if _, err := c1.Write([]byte("x")); err == nil {
+		t.Fatal("c1 survived ResetAll")
+	}
+	if _, err := c2.Write([]byte("x")); err == nil {
+		t.Fatal("c2 survived ResetAll")
+	}
+	if nw.Resets() != 2 {
+		t.Fatalf("resets = %d, want 2", nw.Resets())
+	}
+}
+
+func TestDropDials(t *testing.T) {
+	nw := New(1)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	nw.DropDials()
+	if _, err := nw.DialTimeout("tcp", ln.Addr().String(), time.Second); !errors.Is(err, ErrDialRefused) {
+		t.Fatalf("err = %v, want ErrDialRefused", err)
+	}
+	nw.Heal()
+	c, err := nw.DialTimeout("tcp", ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	c.Close()
+}
+
+func TestListenerWraps(t *testing.T) {
+	nw := New(1)
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := nw.Listener(raw)
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	srv := <-accepted
+	defer srv.Close()
+	if _, ok := srv.(*Conn); !ok {
+		t.Fatalf("accepted conn is %T, want *failnet.Conn", srv)
+	}
+	nw.Partition()
+	blocked := make(chan error, 1)
+	go func() {
+		_, err := srv.Write([]byte("x"))
+		blocked <- err
+	}()
+	select {
+	case <-blocked:
+		t.Fatal("accepted-side write not partitioned")
+	case <-time.After(100 * time.Millisecond):
+	}
+	nw.Heal()
+	<-blocked
+}
+
+func TestDeterministicTornWrites(t *testing.T) {
+	// Same seed + same op sequence → same torn-write split.
+	run := func(seed int64) int {
+		nw := New(seed)
+		c, s := pipe(t, nw)
+		go io.Copy(io.Discard, s)
+		nw.ResetAt(1)
+		payload := make([]byte, 1000)
+		n, err := c.Write(payload)
+		if !errors.Is(err, ErrInjectedReset) {
+			t.Fatalf("err = %v", err)
+		}
+		return n
+	}
+	a, b := run(42), run(42)
+	if a != b {
+		t.Fatalf("same seed tore at %d then %d", a, b)
+	}
+}
+
+func TestStall(t *testing.T) {
+	nw := New(5)
+	nw.SetStall(1.0, 50*time.Millisecond)
+	c, s := pipe(t, nw)
+	go io.Copy(io.Discard, s)
+	start := time.Now()
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Fatalf("stall skipped: write took %v", d)
+	}
+}

@@ -3,6 +3,7 @@ package repl
 import (
 	"bufio"
 	"fmt"
+	"math/rand"
 	"net"
 	"strconv"
 	"strings"
@@ -46,9 +47,15 @@ type FollowerConfig struct {
 	// heartbeats idle channels, so expiry means the link is dead.
 	// Default 30s.
 	ReadTimeout time.Duration
-	// RetryInterval is the pause between reconnection attempts.
-	// Default 1s.
+	// RetryInterval is the base pause between reconnection attempts;
+	// consecutive failures double it (with ±25% jitter) up to
+	// MaxRetryInterval. Default 1s.
 	RetryInterval time.Duration
+	// MaxRetryInterval caps the backoff. Default 30s.
+	MaxRetryInterval time.Duration
+	// Dial establishes the primary connection. Default net.DialTimeout;
+	// tests substitute a fault-injecting dialer (internal/failnet).
+	Dial func(network, addr string, timeout time.Duration) (net.Conn, error)
 	// Logf, when set, receives follower lifecycle messages.
 	Logf func(format string, args ...any)
 }
@@ -64,6 +71,13 @@ type FollowerStatus struct {
 	AppliedRecs  uint64 // session totals reported in REPLACK
 	AppliedBytes uint64
 	LastRecord   time.Time // when the last REC arrived (zero before any)
+	// ConsecutiveFailures counts sessions since the last successful
+	// handshake that ended without reaching the streaming state; it
+	// drives the backoff and resets to zero on connect.
+	ConsecutiveFailures uint64
+	// NextRetryDelay is the backoff chosen for the upcoming (or
+	// in-progress) reconnect wait; zero while connected.
+	NextRetryDelay time.Duration
 }
 
 // Follower is the replication client: it dials the primary, performs
@@ -92,6 +106,15 @@ func NewFollower(cfg FollowerConfig, target Target) *Follower {
 	if cfg.RetryInterval <= 0 {
 		cfg.RetryInterval = time.Second
 	}
+	if cfg.MaxRetryInterval <= 0 {
+		cfg.MaxRetryInterval = 30 * time.Second
+	}
+	if cfg.MaxRetryInterval < cfg.RetryInterval {
+		cfg.MaxRetryInterval = cfg.RetryInterval
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = net.DialTimeout
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -105,8 +128,10 @@ func NewFollower(cfg FollowerConfig, target Target) *Follower {
 }
 
 // Run drives the replication loop until Stop: dial, handshake, stream,
-// and on any error reconnect after RetryInterval. It blocks; start it
-// in a goroutine.
+// and on any error reconnect after a capped-exponential backoff with
+// jitter (RetryInterval doubling per consecutive failure, up to
+// MaxRetryInterval; a session that reaches streaming resets the
+// ladder). It blocks; start it in a goroutine.
 func (f *Follower) Run() {
 	defer close(f.done)
 	first := true
@@ -119,11 +144,16 @@ func (f *Follower) Run() {
 		if !first {
 			f.status.Reconnects++
 		}
+		fails := f.status.ConsecutiveFailures
 		f.mu.Unlock()
 
 		if !first {
+			delay := f.retryDelay(fails)
+			f.mu.Lock()
+			f.status.NextRetryDelay = delay
+			f.mu.Unlock()
 			select {
-			case <-time.After(f.cfg.RetryInterval):
+			case <-time.After(delay):
 			case <-f.stop:
 				return
 			}
@@ -137,6 +167,9 @@ func (f *Follower) Run() {
 		first = false
 
 		err := f.session()
+		f.mu.Lock()
+		f.status.ConsecutiveFailures++
+		f.mu.Unlock()
 		if err != nil && !f.isStopped() {
 			f.cfg.Logf("repl follower: session ended: %v", err)
 		}
@@ -144,6 +177,25 @@ func (f *Follower) Run() {
 			return
 		}
 	}
+}
+
+// retryDelay computes the reconnect pause after fails consecutive
+// failed sessions: RetryInterval · 2^(fails-1), capped at
+// MaxRetryInterval, with ±25% jitter so a fleet of followers does not
+// reconnect in lockstep.
+func (f *Follower) retryDelay(fails uint64) time.Duration {
+	d := f.cfg.RetryInterval
+	for i := uint64(1); i < fails && d < f.cfg.MaxRetryInterval; i++ {
+		d *= 2
+	}
+	if d > f.cfg.MaxRetryInterval {
+		d = f.cfg.MaxRetryInterval
+	}
+	jittered := time.Duration(float64(d) * (0.75 + rand.Float64()/2))
+	if jittered <= 0 {
+		jittered = d
+	}
+	return jittered
 }
 
 // Stop terminates the follower: the current connection is closed and
@@ -181,7 +233,7 @@ func (f *Follower) isStopped() bool {
 // then the streaming loop. Any returned error tears the connection
 // down; Run reconnects.
 func (f *Follower) session() error {
-	conn, err := net.DialTimeout("tcp", f.cfg.PrimaryAddr, f.cfg.DialTimeout)
+	conn, err := f.cfg.Dial("tcp", f.cfg.PrimaryAddr, f.cfg.DialTimeout)
 	if err != nil {
 		return err
 	}
@@ -275,6 +327,8 @@ func (f *Follower) session() error {
 	f.mu.Lock()
 	f.status.Connected = true
 	f.status.Cursor = cur
+	f.status.ConsecutiveFailures = 0
+	f.status.NextRetryDelay = 0
 	f.mu.Unlock()
 	f.cfg.Logf("repl follower: streaming from %s at cursor %s", f.cfg.PrimaryAddr, cur)
 

@@ -362,6 +362,105 @@ func TestFollowerReconnects(t *testing.T) {
 	waitFor(t, "reconnect counter", func() bool { return f.Status().Reconnects >= 2 })
 }
 
+// TestFollowerBackoff: retryDelay doubles per consecutive failure,
+// caps at MaxRetryInterval, and jitters within ±25%.
+func TestFollowerBackoff(t *testing.T) {
+	f := NewFollower(FollowerConfig{
+		PrimaryAddr:      "127.0.0.1:1",
+		RetryInterval:    100 * time.Millisecond,
+		MaxRetryInterval: 800 * time.Millisecond,
+	}, newMemTarget())
+	want := []time.Duration{
+		100 * time.Millisecond, // fails 0 (first retry) and 1 share the base
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		800 * time.Millisecond, // capped
+		800 * time.Millisecond,
+	}
+	for fails, base := range want {
+		for i := 0; i < 20; i++ {
+			d := f.retryDelay(uint64(fails))
+			lo := time.Duration(float64(base) * 0.74)
+			hi := time.Duration(float64(base) * 1.26)
+			if d < lo || d > hi {
+				t.Fatalf("retryDelay(%d) = %v, want in [%v, %v]", fails, d, lo, hi)
+			}
+		}
+	}
+}
+
+// TestFollowerBackoffResetsOnConnect: repeated failed dials climb the
+// backoff ladder (visible in Status), and a session that reaches
+// streaming resets it.
+func TestFollowerBackoffResetsOnConnect(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var mu sync.Mutex
+	failing := true
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			f := failing
+			mu.Unlock()
+			if f {
+				conn.Close()
+				continue
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				conn.SetDeadline(time.Now().Add(10 * time.Second))
+				r, w := bufio.NewReader(conn), bufio.NewWriter(conn)
+				if _, err := handshake(r, w); err != nil {
+					return
+				}
+				w.WriteString("+FULLRESYNC 1 1 0 0\nENDSNAP\n")
+				w.Flush()
+				readLine(r) // hold the session open
+			}(conn)
+		}
+	}()
+
+	dials := make(chan struct{}, 64)
+	f := NewFollower(FollowerConfig{
+		PrimaryAddr:      ln.Addr().String(),
+		RetryInterval:    2 * time.Millisecond,
+		MaxRetryInterval: 50 * time.Millisecond,
+		Dial: func(network, addr string, timeout time.Duration) (net.Conn, error) {
+			dials <- struct{}{}
+			return net.DialTimeout(network, addr, timeout)
+		},
+	}, newMemTarget())
+	go f.Run()
+	defer f.Stop()
+
+	waitFor(t, "backoff ladder climbed", func() bool {
+		st := f.Status()
+		return st.ConsecutiveFailures >= 4 && st.NextRetryDelay > 2*time.Millisecond
+	})
+	mu.Lock()
+	failing = false
+	mu.Unlock()
+	waitFor(t, "connected after failures", func() bool { return f.Status().Connected })
+	st := f.Status()
+	if st.ConsecutiveFailures != 0 || st.NextRetryDelay != 0 {
+		t.Fatalf("backoff not reset on connect: %+v", st)
+	}
+	select {
+	case <-dials:
+	default:
+		t.Fatal("custom Dial seam never used")
+	}
+}
+
 // TestTrackerWaitAck: the semi-sync barrier releases on a sufficient
 // ack, times out without one, and unblocks on shutdown.
 func TestTrackerWaitAck(t *testing.T) {

@@ -91,6 +91,19 @@ func BenchmarkServerInsertAudit(b *testing.B) {
 	benchServerInsert(b, server.Config{AuditSample: 1.0 / 1024})
 }
 
+// BenchmarkServerInsertOverload turns the overload machinery on with
+// a budget the benchmark never approaches: memory accounting, the
+// 250ms evaluation ticker and the admission-control slot all run, but
+// no rung ever engages. The delta vs BenchmarkServerInsert is what
+// overload protection costs a healthy server; scripts/benchsmoke.sh
+// gates it at < 5%.
+func BenchmarkServerInsertOverload(b *testing.B) {
+	benchServerInsert(b, server.Config{
+		MaxMemory:   1 << 30,
+		MaxInflight: 64,
+	})
+}
+
 // benchSaturateConns is the connection count for the saturation
 // variants: enough concurrent pipelining clients to keep every batch
 // drain busy (group commit on the WAL variants), small enough not to

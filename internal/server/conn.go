@@ -151,7 +151,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			if timed && startNs == 0 {
 				startNs = obs.Nanotime()
 			}
-			quit := s.safeExecute(cmd, w)
+			quit := s.admitExecute(cmd, w)
 			if isMutation(cmd.Name) {
 				wrote = true
 			}
@@ -221,6 +221,13 @@ func (s *Server) observe(lats *connLats, cmd Command, d time.Duration, addr stri
 		}
 	}
 	if t := s.cfg.SlowThreshold; t > 0 && d >= t {
+		// At the shed_slowlog overload rung the ring stops absorbing
+		// rendered command text; the counter still ticks so the drop is
+		// visible, not silent.
+		if s.over.slowShed.Load() {
+			s.counters.Counter("overload_slowlog_dropped").Inc()
+			return
+		}
 		s.slow.Record(renderCommand(cmd), d, time.Now(), addr)
 		s.counters.Counter("slow_commands_total").Inc()
 		if s.logger.Enabled(obslog.LevelWarn) {
@@ -350,15 +357,21 @@ func (s *Server) execute(cmd Command, w *bufio.Writer) (quit bool) {
 		err = s.cmdAudit(cmd, w)
 	case "SKETCH.CREATE":
 		if err = s.writeGate(); err == nil {
-			err = s.mutate(func() error { return s.cmdCreate(cmd, w) })
+			if err = s.allocGate(); err == nil {
+				err = s.mutate(func() error { return s.cmdCreate(cmd, w) })
+				s.evalOverload()
+			}
 		}
 	case "SKETCH.DROP":
 		if err = s.writeGate(); err == nil {
 			err = s.mutate(func() error { return s.cmdDrop(cmd, w) })
+			s.evalOverload()
 		}
 	case "SKETCH.INSERT":
 		if err = s.writeGate(); err == nil {
-			err = s.mutate(func() error { return s.cmdInsert(cmd, w) })
+			if err = s.insertGate(); err == nil {
+				err = s.mutate(func() error { return s.cmdInsert(cmd, w) })
+			}
 		}
 	case "SKETCH.QUERY":
 		err = s.cmdQuery(cmd, w)
@@ -368,7 +381,10 @@ func (s *Server) execute(cmd Command, w *bufio.Writer) (quit bool) {
 		err = s.cmdSave(cmd, w)
 	case "SKETCH.LOAD":
 		if err = s.writeGate(); err == nil {
-			err = s.cmdLoad(cmd, w)
+			if err = s.allocGate(); err == nil {
+				err = s.cmdLoad(cmd, w)
+				s.evalOverload()
+			}
 		}
 	default:
 		err = fmt.Errorf("unknown command %q", cmd.Name)
@@ -779,6 +795,17 @@ func (s *Server) writeInfo(w *bufio.Writer) {
 		"role=" + role,
 		fmt.Sprintf("sketches=%d", s.reg.Len()),
 		fmt.Sprintf("connected_replicas=%d", s.tracker.Count()),
+	}
+	if s.cfg.MaxMemory > 0 {
+		lines = append(lines,
+			"overload_level="+s.overloadLevel().String(),
+			fmt.Sprintf("memory_used_bytes=%d", s.over.usedBytes.Load()),
+			fmt.Sprintf("memory_limit_bytes=%d", s.cfg.MaxMemory))
+	}
+	if s.admit != nil {
+		lines = append(lines,
+			fmt.Sprintf("inflight_commands=%d", s.admit.n.Load()),
+			fmt.Sprintf("max_inflight=%d", s.admit.max))
 	}
 	if uptime > 0 {
 		cps := float64(s.counters.Counter("commands_total").Value()) / uptime

@@ -136,6 +136,34 @@
 // to its connection: the client gets -ERR internal error and a closed
 // socket, the daemon keeps serving (counter panics_recovered).
 //
+// # Overload protection
+//
+// Config.MaxMemory (shed -max-memory) arms a tracked memory budget
+// over everything the server allocates on purpose: sketch arrays,
+// audit shadow windows, per-connection buffers, per-replica stream
+// state and fixed WAL overhead. An evaluator re-measures every 250ms
+// (and immediately on CREATE/DROP/LOAD) and maps usage onto a
+// degradation ladder — shed_audit (≥80%: audit shadows shrink to ¼
+// capacity), shed_slowlog (≥90%: slow-query recording stops),
+// refuse_create (≥95%: CREATE/LOAD answer -ERR OOM), refuse_insert
+// (≥100%: INSERT answers -ERR OOM while queries, STATS, AUDIT, INFO
+// and replication keep working). Recovery steps back down judged as
+// if shed state were restored, plus hysteresis, so the ladder cannot
+// oscillate; every transition is counted and logged, and the state is
+// visible in INFO (overload_level, memory_used_bytes) and the
+// she_overload_* metric families. See overload.go.
+//
+// Config.MaxInflight (shed -max-inflight) adds admission control: at
+// most that many commands execute at once across all connections, and
+// a command that cannot get a slot within Config.CommandTimeout
+// (default 1s) is answered -ERR BUSY — a reply, not a disconnect, and
+// safe to retry after backoff. The semaphore takes an atomic fast
+// path when unsaturated, so the healthy-path cost of the whole
+// subsystem stays inside the < 5% insert-overhead budget
+// (BenchmarkServerInsertOverload, gated by scripts/benchsmoke.sh).
+// PSYNC and REPLCONF bypass admission: replication must drain even on
+// a saturated server.
+//
 // # Observability
 //
 // The optional debug HTTP listener (Config.DebugListen / shed -debug)
@@ -204,11 +232,26 @@
 //	she_repl_follower_connected/             gauge    follower-side link
 //	_full_syncs/_reconnects/                          state; staleness is
 //	_applied_records/_staleness_seconds               the added window slack
+//	she_repl_follower_consecutive_failures,  gauge    reconnect backoff:
+//	she_repl_follower_next_retry_seconds              failures since the
+//	                                                  last good session and
+//	                                                  the current delay
 //	she_repl_full_syncs,                     untyped  replication counters:
 //	she_repl_partial_syncs,                           bootstraps vs cursor
 //	she_repl_promotions,                              catch-ups served,
 //	she_repl_sync_timeouts,                           promotions, semi-sync
-//	she_repl_applied_records                          timeouts, applies
+//	she_repl_applied_records,                         timeouts, applies,
+//	she_repl_slow_replica_drops                       evicted slow replicas
+//	she_overload_level,                      gauge    overload ladder rung
+//	she_overload_memory_used_bytes/                   (0=none ...
+//	_full_bytes/_limit_bytes,                         4=refuse_insert),
+//	she_overload_inflight_commands,                   accounted memory and
+//	she_overload_max_inflight                         admission occupancy
+//	she_overload_transitions,                untyped  overload counters:
+//	she_overload_oom_inserts,                         level changes, -ERR
+//	she_overload_refused_creates,                     OOM refusals, -ERR
+//	she_overload_busy_rejects,                        BUSY rejects, shed
+//	she_overload_slowlog_dropped                      slowlog entries
 //	go_goroutines, go_memstats_*             gauge    Go runtime
 //
 // Command timing is engineered to be effectively free: a TSC-based
@@ -338,4 +381,25 @@
 // loses zero acknowledged writes; the replication integration tests
 // and scripts/replsmoke.sh both kill a primary mid-stream and prove
 // it. Chained replication (a PSYNC against a follower) is refused.
+//
+// A disconnected follower reconnects with capped exponential backoff:
+// the delay starts at Config.ReplRetryInterval (shed -repl-retry,
+// default 1s), doubles per consecutive failure with jitter, and is
+// capped at Config.ReplMaxRetryInterval (-repl-retry-max, default
+// 30s); the state shows in ROLE (connect_failures=, next_retry_ms=)
+// and the follower backoff gauges. On the primary,
+// Config.ReplicaMaxLagBytes (-repl-max-lag) bounds how much WAL a
+// slow replica may pin: a replica whose acked cursor falls further
+// behind the durable tip is disconnected (repl_slow_replica_drops)
+// and full-syncs when it returns.
+//
+// The network failure modes are tested the way durability is: the
+// chaos suite (chaos_test.go) wires internal/failnet — a
+// fault-injecting net.Conn/net.Listener seam with seeded latency,
+// torn writes, injected resets and partitions — under Config.ReplDial
+// and Config.WrapConn, and asserts zero acked-insert loss, bounded
+// audit error and intact reply framing across partition/heal cycles,
+// a reset at every handshake network operation, and repeated
+// kill-and-promote chains. scripts/chaossmoke.sh repeats this against
+// real shed binaries.
 package server

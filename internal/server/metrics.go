@@ -77,6 +77,7 @@ func (s *Server) metricsHandler(w http.ResponseWriter, _ *http.Request) {
 
 	s.writeAuditMetrics(p, infos)
 	s.writeReplMetrics(p)
+	s.writeOverloadMetrics(p)
 
 	p.Gauge("go_goroutines", "", float64(runtime.NumGoroutine()))
 	var ms runtime.MemStats
@@ -175,6 +176,27 @@ func (s *Server) writeAuditMetrics(p *obs.PromWriter, infos []SketchInfo) {
 			p.Gauge("she_audit_phase_observations",
 				fmt.Sprintf("%s,phase=\"%d\"", row.labels, i), float64(b.Observations))
 		}
+	}
+}
+
+// writeOverloadMetrics renders the she_overload_* gauge families:
+// ladder level (0 = none … 4 = refuse_insert), accounted memory vs the
+// budget, and the admission-control occupancy. Counter-shaped overload
+// series (overload_transitions, overload_oom_inserts,
+// overload_refused_creates, overload_busy_rejects,
+// overload_slowlog_dropped) ride the ordinary counter export. Emitted
+// only when a budget or admission cap is configured, so unconfigured
+// servers keep their scrape unchanged.
+func (s *Server) writeOverloadMetrics(p *obs.PromWriter) {
+	if s.cfg.MaxMemory > 0 {
+		p.Gauge("she_overload_level", "", float64(s.overloadLevel()))
+		p.Gauge("she_overload_memory_used_bytes", "", float64(s.over.usedBytes.Load()))
+		p.Gauge("she_overload_memory_full_bytes", "", float64(s.over.fullBytes.Load()))
+		p.Gauge("she_overload_memory_limit_bytes", "", float64(s.cfg.MaxMemory))
+	}
+	if s.admit != nil {
+		p.Gauge("she_overload_inflight_commands", "", float64(s.admit.n.Load()))
+		p.Gauge("she_overload_max_inflight", "", float64(s.admit.max))
 	}
 }
 

@@ -1,0 +1,192 @@
+package server_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"she/internal/server"
+)
+
+// infoValue extracts one key=value line from INFO, "" when absent.
+func infoValue(c *client, key string) string {
+	c.t.Helper()
+	for _, line := range c.array("INFO") {
+		if strings.HasPrefix(line, key+"=") {
+			return strings.TrimPrefix(line, key+"=")
+		}
+	}
+	return ""
+}
+
+func infoInt(c *client, key string) int64 {
+	c.t.Helper()
+	v, _ := strconv.ParseInt(infoValue(c, key), 10, 64)
+	return v
+}
+
+// TestOverloadLadder walks the whole degradation ladder under a 1 MiB
+// budget: creates push usage through shed_audit (audit shadows
+// shrink), shed_slowlog (slow-query recording stops), refuse_create
+// (SKETCH.CREATE answers -ERR OOM), and idle connections push past
+// 100% into refuse_insert (-ERR OOM on INSERT while queries keep
+// answering) — then freeing memory steps every rung back down and
+// restores the audit shadows.
+func TestOverloadLadder(t *testing.T) {
+	const limit = 1 << 20
+	s := startServer(t, server.Config{
+		DebugListen:   "127.0.0.1:0",
+		MaxMemory:     limit,
+		AuditSample:   1,
+		AuditMaxKeys:  100,
+		SlowThreshold: time.Nanosecond, // every command qualifies as slow
+		SlowLogSize:   16,
+	})
+	c := dial(t, s.Addr().String())
+	used := func() int64 { return infoInt(c, "memory_used_bytes") }
+	level := func() string { return infoValue(c, "overload_level") }
+
+	if got := level(); got != "none" {
+		t.Fatalf("initial overload_level = %q, want none", got)
+	}
+
+	// createTo grows accounted usage to target·limit with bloom sketches
+	// sized from the live INFO reading. Each create asks for well under
+	// the remaining gap (sketch overhead and the audit shadow err the
+	// actual footprint high), so the loop converges from below without
+	// overshooting past the next rung. A refused create ends the climb —
+	// that is the refuse_create rung doing its job.
+	sketches := 0
+	createTo := func(target float64) (refused bool) {
+		t.Helper()
+		for i := 0; used() < int64(target*limit); i++ {
+			if i > 100 {
+				t.Fatalf("createTo(%g) did not converge (used %d)", target, used())
+			}
+			bits := (int64(target*limit) - used()) * 8 * 3 / 5
+			if bits < 8000 {
+				bits = 8000
+			}
+			sketches++
+			got := c.cmd("SKETCH.CREATE s%d bloom bits=%d window=4096 shards=1", sketches, bits)
+			if strings.HasPrefix(got, "-ERR OOM") {
+				sketches--
+				return true
+			}
+			if got != "+OK" {
+				t.Fatalf("CREATE s%d = %q", sketches, got)
+			}
+		}
+		return false
+	}
+
+	// ≥80%: audit shadows shed to a quarter of their configured cap.
+	if createTo(0.85) {
+		t.Fatalf("create refused below the refuse_create rung (used %d)", used())
+	}
+	if got := level(); got != "shed_audit" {
+		t.Fatalf("at %d/%d bytes overload_level = %q, want shed_audit", used(), limit, got)
+	}
+	waitUntil(t, "audit shadows shed", func() bool {
+		return strings.Contains(scrape(t, s), `she_audit_shadow_cap{sketch="s1"} 25`)
+	})
+
+	// ≥90%: the slow-query log stops absorbing entries; the drop is
+	// counted, not silent.
+	if createTo(0.925) {
+		t.Fatalf("create refused below the refuse_create rung (used %d)", used())
+	}
+	if got := level(); got != "shed_slowlog" {
+		t.Fatalf("at %d/%d bytes overload_level = %q, want shed_slowlog", used(), limit, got)
+	}
+	slowLen := func() int64 {
+		v, _ := strconv.ParseInt(strings.TrimPrefix(c.cmd("SLOWLOG LEN"), ":"), 10, 64)
+		return v
+	}
+	before := slowLen()
+	for i := 0; i < 5; i++ {
+		c.cmd("PING")
+	}
+	if got := slowLen(); got != before {
+		t.Errorf("slowlog grew %d -> %d at shed_slowlog", before, got)
+	}
+	if got := infoInt(c, "overload_slowlog_dropped"); got == 0 {
+		t.Error("overload_slowlog_dropped did not count the suppressed entries")
+	}
+
+	// ≥95%: no new sketch allocations. The climb itself is ended by a
+	// refusal once usage crosses the rung.
+	if !createTo(0.99) {
+		t.Fatalf("creates never refused climbing to 99%% (used %d)", used())
+	}
+	if got := level(); got != "refuse_create" {
+		t.Fatalf("at %d/%d bytes overload_level = %q, want refuse_create", used(), limit, got)
+	}
+	if got := c.cmd("SKETCH.CREATE nope bloom bits=8000 window=4096"); !strings.HasPrefix(got, "-ERR OOM") {
+		t.Fatalf("CREATE at refuse_create = %q, want -ERR OOM", got)
+	}
+	if got := infoInt(c, "overload_refused_creates"); got == 0 {
+		t.Error("overload_refused_creates did not count")
+	}
+	// Inserts still flow at this rung.
+	if got := c.cmd("SKETCH.INSERT s1 still-accepted"); got != ":1" {
+		t.Fatalf("INSERT at refuse_create = %q", got)
+	}
+
+	// ≥100%: idle connections (96 KiB of accounted buffers each) push
+	// usage past the budget; inserts get -ERR OOM, queries keep working.
+	idle1 := dial(t, s.Addr().String())
+	idle2 := dial(t, s.Addr().String())
+	idle1.cmd("PING")
+	idle2.cmd("PING")
+	waitUntil(t, "refuse_insert rung", func() bool { return level() == "refuse_insert" })
+	if got := c.cmd("SKETCH.INSERT s1 rejected"); !strings.HasPrefix(got, "-ERR OOM") {
+		t.Fatalf("INSERT at refuse_insert = %q, want -ERR OOM", got)
+	}
+	if got := infoInt(c, "overload_oom_inserts"); got == 0 {
+		t.Error("overload_oom_inserts did not count")
+	}
+	if got := c.cmd("SKETCH.QUERY s1 still-accepted"); got != ":1" {
+		t.Fatalf("QUERY at refuse_insert = %q, want :1 (reads are never gated)", got)
+	}
+	if got := c.cmd("PING"); got != "+PONG" {
+		t.Fatalf("PING at refuse_insert = %q", got)
+	}
+
+	// The overload gauges are exported.
+	m := scrape(t, s)
+	for _, want := range []string{
+		"she_overload_level 4",
+		"she_overload_memory_used_bytes",
+		// strconv.FormatFloat('g') renders 1<<20 in e-notation
+		"she_overload_memory_limit_bytes 1.048576e+06",
+		"she_overload_transitions",
+	} {
+		if !strings.Contains(m, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Free the memory: close the idle connections and drop every sketch
+	// but s1. The ladder steps back down (judged by restored-audit usage
+	// plus hysteresis, so it cannot oscillate) and the audit shadows
+	// come back to full capacity.
+	idle1.conn.Close()
+	idle2.conn.Close()
+	for i := 2; i <= sketches; i++ {
+		if got := c.cmd("SKETCH.DROP s%d", i); got != "+OK" {
+			t.Fatalf("DROP s%d = %q", i, got)
+		}
+	}
+	waitUntil(t, "ladder descent to none", func() bool { return level() == "none" })
+	waitUntil(t, "audit shadows restored", func() bool {
+		return strings.Contains(scrape(t, s), `she_audit_shadow_cap{sketch="s1"} 100`)
+	})
+	if got := c.cmd("SKETCH.CREATE again bloom bits=8000 window=4096"); got != "+OK" {
+		t.Fatalf("CREATE after recovery = %q", got)
+	}
+	if got := infoInt(c, "overload_transitions"); got < 5 {
+		t.Errorf("overload_transitions = %d, want >= 5 (4 up + at least 1 down)", got)
+	}
+}

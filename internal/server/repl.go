@@ -77,8 +77,11 @@ func (s *Server) startReplication(addr string) error {
 	old := s.follower
 	s.replPrimary = addr
 	f := repl.NewFollower(repl.FollowerConfig{
-		PrimaryAddr: addr,
-		ListenPort:  listenPort(s.ln),
+		PrimaryAddr:      addr,
+		ListenPort:       listenPort(s.ln),
+		RetryInterval:    s.cfg.ReplRetryInterval,
+		MaxRetryInterval: s.cfg.ReplMaxRetryInterval,
+		Dial:             s.cfg.ReplDial,
 		Logf: func(format string, args ...any) {
 			s.logger.Info(fmt.Sprintf(format, args...))
 		},
@@ -154,6 +157,8 @@ func (s *Server) cmdRole(w *bufio.Writer) {
 			fmt.Sprintf("full_syncs=%d", st.FullSyncs),
 			fmt.Sprintf("reconnects=%d", st.Reconnects),
 			fmt.Sprintf("applied_records=%d", st.AppliedRecs),
+			fmt.Sprintf("consecutive_failures=%d", st.ConsecutiveFailures),
+			fmt.Sprintf("next_retry_ms=%d", st.NextRetryDelay.Milliseconds()),
 		}
 		writeArray(w, lines)
 		return
@@ -376,6 +381,18 @@ func (s *Server) streamToReplica(conn net.Conn, r *bufio.Reader, w *bufio.Writer
 			}
 			rep.NoteSent(uint64(len(recs)), payloadBytes)
 			cursor = next
+			// Slow-replica protection: a replica that takes records but
+			// never acknowledges them pins WAL segments (checkpoint
+			// retention) and stream buffers without bound. Past the
+			// configured lag it is disconnected; it reconnects with its
+			// cursor and resumes, or full-resyncs if the cursor was
+			// checkpointed away in the meantime.
+			if limit := s.cfg.ReplicaMaxLagBytes; limit > 0 {
+				if lag := s.wal.DistanceBytes(rep.AckedCursor(), cursor); lag > limit {
+					s.counters.Counter("repl_slow_replica_drops").Inc()
+					return fmt.Errorf("replica lagging %d bytes (limit %d); disconnecting", lag, limit)
+				}
+			}
 			continue // drain the backlog before sleeping
 		}
 		cursor = next
@@ -530,6 +547,8 @@ func (s *Server) writeReplMetrics(p *obs.PromWriter) {
 		p.Gauge("she_repl_follower_full_syncs", "", float64(st.FullSyncs))
 		p.Gauge("she_repl_follower_reconnects", "", float64(st.Reconnects))
 		p.Gauge("she_repl_follower_applied_records", "", float64(st.AppliedRecs))
+		p.Gauge("she_repl_follower_consecutive_failures", "", float64(st.ConsecutiveFailures))
+		p.Gauge("she_repl_follower_next_retry_seconds", "", st.NextRetryDelay.Seconds())
 		if !st.LastRecord.IsZero() {
 			p.Gauge("she_repl_follower_staleness_seconds", "", time.Since(st.LastRecord).Seconds())
 		}

@@ -363,3 +363,63 @@ func TestReplicaofValidation(t *testing.T) {
 		t.Fatalf("REPLICAOF NO ONE on primary = %q", got)
 	}
 }
+
+// TestSlowReplicaDisconnect: a replica that takes the stream but never
+// acknowledges pins WAL segments and stream buffers without bound, so
+// past ReplicaMaxLagBytes the primary cuts it loose and counts the
+// drop. The "replica" here is a bare protocol client that completes
+// the PSYNC handshake, drains everything it is sent, and stays silent.
+func TestSlowReplicaDisconnect(t *testing.T) {
+	primary := startServer(t, server.Config{
+		WALDir:             t.TempDir(),
+		ReplicaMaxLagBytes: 2048,
+	})
+	pc := dial(t, primary.Addr().String())
+	pc.cmd("SKETCH.CREATE flows cm counters=65536 window=65536 shards=4")
+
+	// Handshake exactly as a follower would, then go mute.
+	fake := dial(t, primary.Addr().String())
+	if got := fake.cmd("PING"); got != "+PONG" {
+		t.Fatalf("PING = %q", got)
+	}
+	if got := fake.cmd("REPLCONF LISTENING-PORT 1"); got != "+OK" {
+		t.Fatalf("REPLCONF = %q", got)
+	}
+	fake.send("PSYNC ?")
+	if got := fake.recv(); !strings.HasPrefix(got, "+FULLRESYNC") {
+		t.Fatalf("PSYNC = %q", got)
+	}
+	// Drain snapshot and stream forever without ever sending REPLACK;
+	// closed reports the primary hanging up on us.
+	closed := make(chan struct{})
+	go func() {
+		defer close(closed)
+		io.Copy(io.Discard, fake.conn)
+	}()
+	waitUntil(t, "fake replica attached", func() bool {
+		return strings.Contains(strings.Join(pc.array("ROLE"), "\n"), "replicas=1")
+	})
+
+	// Push well past the 2 KiB lag limit; every insert is still acked
+	// (replication is asynchronous here).
+	for i := 0; i < 300; i++ {
+		if got := pc.cmd("SKETCH.INSERT flows slow-replica-key-%d", i); got != ":1" {
+			t.Fatalf("INSERT %d = %q", i, got)
+		}
+	}
+
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("lagging replica was never disconnected")
+	}
+	waitUntil(t, "drop counted and replica deregistered", func() bool {
+		info := strings.Join(pc.array("INFO"), "\n")
+		return strings.Contains(info, "repl_slow_replica_drops=1") &&
+			strings.Contains(info, "connected_replicas=0")
+	})
+	// The primary itself is unharmed.
+	if got := pc.cmd("SKETCH.QUERY flows slow-replica-key-299"); got != ":1" {
+		t.Fatalf("primary QUERY after drop = %q", got)
+	}
+}

@@ -111,6 +111,42 @@ type Config struct {
 	// the batch fails (it is durable locally but its replication is
 	// unproven, so the client is told, fail-stop style). 0 = 2s.
 	SyncReplicaTimeout time.Duration
+	// MaxMemory enables overload protection: a budget in bytes over
+	// the accounted footprint (sketch arrays, audit shadows, per-conn
+	// buffers, per-replica stream buffers, WAL overhead). As usage
+	// climbs the server degrades through an explicit ladder — shed
+	// audit shadows, drop slowlog, refuse SKETCH.CREATE, -ERR OOM on
+	// INSERT — instead of dying; see internal/server/overload.go.
+	// 0 disables (the insert path then pays one atomic load).
+	MaxMemory int64
+	// MaxInflight caps commands executing at once across all
+	// connections (admission control); a command that cannot get a
+	// slot within CommandTimeout is answered -ERR BUSY rather than
+	// queueing without bound. 0 = no cap.
+	MaxInflight int
+	// CommandTimeout bounds a command's wait for an admission slot.
+	// 0 = 1s. Meaningful only with MaxInflight.
+	CommandTimeout time.Duration
+	// ReplicaMaxLagBytes disconnects an attached replica whose
+	// acknowledged position trails the stream by more than this many
+	// WAL bytes (Redis client-output-buffer-limit style): a stalled
+	// replica must not pin WAL segments and stream buffers forever.
+	// It reconnects and resumes — or full-resyncs if its cursor was
+	// checkpointed away. 0 = no limit.
+	ReplicaMaxLagBytes int64
+	// ReplRetryInterval is the follower's base reconnect pause
+	// (doubled per consecutive failure, with jitter). 0 = 1s.
+	ReplRetryInterval time.Duration
+	// ReplMaxRetryInterval caps the follower's reconnect backoff.
+	// 0 = 30s.
+	ReplMaxRetryInterval time.Duration
+	// ReplDial, when set, replaces net.DialTimeout for the follower's
+	// primary connection — the fault-injection seam (internal/failnet)
+	// for replication chaos tests.
+	ReplDial func(network, addr string, timeout time.Duration) (net.Conn, error)
+	// WrapConn, when set, wraps every accepted client connection —
+	// the accept-side fault-injection seam for chaos tests.
+	WrapConn func(net.Conn) net.Conn
 	// Logger receives the server's structured log lines; nil means
 	// stderr at Info level.
 	Logger *obslog.Logger
@@ -161,6 +197,11 @@ type Server struct {
 	replMu      sync.Mutex
 	replPrimary string
 	follower    *repl.Follower
+
+	// over is the overload-protection state; admit is the admission
+	// semaphore (nil without Config.MaxInflight).
+	over  overloadState
+	admit *admission
 
 	fs  failfs.FS
 	wal *wal.Log
@@ -266,6 +307,9 @@ func New(cfg Config) *Server {
 		slow:     obs.NewSlowLog(size),
 		logger:   logger.With("component", "server"),
 	}
+	if cfg.MaxInflight > 0 {
+		s.admit = newAdmission(cfg.MaxInflight)
+	}
 	if !cfg.DisableHistograms {
 		s.verbHist = make([]*obs.Histogram, len(commandVerbs))
 		for i := range s.verbHist {
@@ -336,6 +380,7 @@ func (s *Server) Start() error {
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
+	s.startOverload()
 	if s.cfg.ReplicaOf != "" {
 		if err := s.startReplication(s.cfg.ReplicaOf); err != nil {
 			s.Abort()
@@ -370,6 +415,9 @@ func (s *Server) acceptLoop() {
 			io.WriteString(conn, "-ERR too many connections\n")
 			conn.Close()
 			continue
+		}
+		if s.cfg.WrapConn != nil {
+			conn = s.cfg.WrapConn(conn)
 		}
 		s.wg.Add(1)
 		go s.handleConn(conn)

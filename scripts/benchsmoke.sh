@@ -22,6 +22,10 @@
 #          (default 60%) is a regression tripwire for that worst
 #          case, not a production overhead claim — a follower on its
 #          own hardware costs the primary only the stream writes.
+#   over:  BenchmarkServerInsertOverload (memory accounting, overload
+#          evaluation ticker and admission control on, budget never
+#          approached) vs BenchmarkServerInsert — what overload
+#          protection costs a healthy server (PR 7's budget).
 #
 # Also records the plain multi-connection saturation figure
 # (BenchmarkServerInsertSaturate, no WAL) alongside the single-
@@ -82,6 +86,7 @@ compare() {
 
 compare obs BenchmarkServerInsert BenchmarkServerInsertNoObs
 compare audit BenchmarkServerInsertAudit BenchmarkServerInsert
+compare over BenchmarkServerInsertOverload BenchmarkServerInsert
 compare repl BenchmarkServerInsertSaturateRepl BenchmarkServerInsertSaturateWAL
 
 saturate=$(run_bench BenchmarkServerInsertSaturate)
@@ -115,6 +120,15 @@ cat > "$OUT" <<EOF
     "overhead_pct_per_pair": [$audit_overheads],
     "overhead_pct": $audit_overhead_med
   },
+  "over": {
+    "benchmark": "BenchmarkServerInsertOverload vs BenchmarkServerInsert",
+    "max_memory_bytes": 1073741824,
+    "max_inflight": 64,
+    "overload_enabled_inserts_per_sec": $over_variant_med,
+    "overload_disabled_inserts_per_sec": $over_base_med,
+    "overhead_pct_per_pair": [$over_overheads],
+    "overhead_pct": $over_overhead_med
+  },
   "repl": {
     "benchmark": "BenchmarkServerInsertSaturateRepl vs BenchmarkServerInsertSaturateWAL",
     "connections": 8,
@@ -126,13 +140,13 @@ cat > "$OUT" <<EOF
   }
 }
 EOF
-echo "benchsmoke: obs overhead=${obs_overhead_med}% audit overhead=${audit_overhead_med}% repl overhead=${repl_overhead_med}% (wrote $OUT)"
+echo "benchsmoke: obs overhead=${obs_overhead_med}% audit overhead=${audit_overhead_med}% over overhead=${over_overhead_med}% repl overhead=${repl_overhead_med}% (wrote $OUT)"
 
 if [ "$BENCHTIME" = "1x" ]; then
   echo "benchsmoke: BENCHTIME=1x smoke run; skipping the overhead assertions"
   exit 0
 fi
-for label in obs audit; do
+for label in obs audit over; do
   med_var="${label}_overhead_med"
   awk -v o="${!med_var}" -v max="$MAX_OVERHEAD_PCT" 'BEGIN { exit !(o <= max) }' || {
     echo "benchsmoke: $label overhead ${!med_var}% exceeds ${MAX_OVERHEAD_PCT}%" >&2

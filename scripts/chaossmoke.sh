@@ -1,0 +1,208 @@
+#!/usr/bin/env bash
+# chaossmoke.sh — binary-level chaos smoke against real shed
+# processes: the process-level counterpart of the in-process failnet
+# suite (internal/server/chaos_test.go). Three acts on one cluster:
+#
+#   1. Freeze partition: SIGSTOP the follower process mid-stream (the
+#      closest a shell gets to a network partition — the TCP peer goes
+#      silent but the socket stays up), keep writing acked inserts to
+#      the primary for $CHAOS_FREEZE_SECS, SIGCONT and assert the
+#      follower catches up to every one of them.
+#   2. Kill -9 + promote: kill the primary mid-traffic, promote the
+#      follower, assert zero acked-insert loss across the crash.
+#   3. Overload ladder: restart the old primary as a fresh node with a
+#      tiny -max-memory and -max-inflight, drive it up the degradation
+#      ladder (SKETCH.CREATE until -ERR OOM), and assert it keeps
+#      answering PING/QUERY while refusing allocations — degraded, not
+#      dead.
+#
+# Writes a transcript to $CHAOS_LOG (default chaossmoke.log in the
+# repo root) for CI artifact upload.
+#
+# Usage: scripts/chaossmoke.sh
+#        CHAOS_FREEZE_SECS=10 CHAOS_LOG=/tmp/chaos.log scripts/chaossmoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CHAOS_FREEZE_SECS="${CHAOS_FREEZE_SECS:-3}"
+CHAOS_LOG="${CHAOS_LOG:-chaossmoke.log}"
+
+tmp=$(mktemp -d)
+primary_pid="" follower_pid="" degraded_pid=""
+cleanup() {
+  for pid in "$primary_pid" "$follower_pid" "$degraded_pid"; do
+    [ -n "$pid" ] && kill -CONT "$pid" 2>/dev/null || true
+    [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+  done
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+: > "$CHAOS_LOG"
+say() { echo "chaossmoke: $*" | tee -a "$CHAOS_LOG"; }
+fail() { say "FAIL: $*"; exit 1; }
+
+free_port() {
+  python3 - <<'PY'
+import socket
+s = socket.socket()
+s.bind(("127.0.0.1", 0))
+print(s.getsockname()[1])
+s.close()
+PY
+}
+
+# req HOST:PORT CMD... — one reply line per command on one connection.
+req() {
+  local hp=$1; shift
+  exec 3<>"/dev/tcp/${hp%:*}/${hp#*:}" || return 1
+  printf '%s\n' "$@" >&3
+  local i reply
+  for ((i = 0; i < $#; i++)); do
+    IFS= read -r reply <&3 || { exec 3>&- 3<&-; return 1; }
+    printf '%s\n' "$reply"
+  done
+  exec 3>&- 3<&-
+}
+
+# role HOST:PORT — the ROLE array joined by spaces.
+role() {
+  local hp=$1
+  exec 3<>"/dev/tcp/${hp%:*}/${hp#*:}" || return 1
+  printf 'ROLE\n' >&3
+  local hdr n i line out=""
+  IFS= read -r hdr <&3 || { exec 3>&- 3<&-; return 1; }
+  n=${hdr#\*}
+  for ((i = 0; i < n; i++)); do
+    IFS= read -r line <&3 || { exec 3>&- 3<&-; return 1; }
+    out+="${line#+} "
+  done
+  exec 3>&- 3<&-
+  printf '%s\n' "$out"
+}
+
+# info_val HOST:PORT KEY — one key=value line from INFO.
+info_val() {
+  local hp=$1 key=$2
+  exec 3<>"/dev/tcp/${hp%:*}/${hp#*:}" || return 1
+  printf 'INFO\n' >&3
+  local hdr n i line out=""
+  IFS= read -r hdr <&3 || { exec 3>&- 3<&-; return 1; }
+  n=${hdr#\*}
+  for ((i = 0; i < n; i++)); do
+    IFS= read -r line <&3 || { exec 3>&- 3<&-; return 1; }
+    line=${line#+}
+    case "$line" in "$key="*) out=${line#"$key"=} ;; esac
+  done
+  exec 3>&- 3<&-
+  printf '%s\n' "$out"
+}
+
+wait_for() { # DESC SECONDS CMD...
+  local desc=$1 secs=$2; shift 2
+  local deadline=$((SECONDS + secs))
+  until "$@" 2>/dev/null; do
+    [ "$SECONDS" -lt "$deadline" ] || fail "timed out waiting for $desc"
+    sleep 0.2
+  done
+}
+
+ping_ok() { [ "$(req "$1" PING)" = "+PONG" ]; }
+has_key() { [ "$(req "$1" "SKETCH.QUERY smoke $2")" = ":1" ]; }
+
+insert_range() { # HOST:PORT FROM TO — inserts key-FROM..key-TO, asserts every ack
+  local hp=$1 from=$2 to=$3 out
+  out=$(for i in $(seq "$from" "$to"); do printf 'SKETCH.INSERT smoke key-%d\n' "$i"; done |
+    { mapfile -t cmds; req "$hp" "${cmds[@]}"; }) || fail "inserts $from..$to"
+  [ "$(grep -c '^:' <<<"$out")" -eq $((to - from + 1)) ] || fail "inserts $from..$to: $out"
+}
+
+say "building shed"
+go build -o "$tmp/shed" ./cmd/shed
+
+p_addr="127.0.0.1:$(free_port)"
+f_addr="127.0.0.1:$(free_port)"
+
+"$tmp/shed" -listen "$p_addr" -wal "$tmp/primary" -repl-max-lag 64mb \
+  -log-level warn 2>>"$CHAOS_LOG" &
+primary_pid=$!
+disown "$primary_pid"
+wait_for "primary up" 10 ping_ok "$p_addr"
+
+[ "$(req "$p_addr" "SKETCH.CREATE smoke bloom bits=1048576 window=131072 shards=4")" = "+OK" ] ||
+  fail "CREATE on primary"
+insert_range "$p_addr" 1 100
+
+"$tmp/shed" -listen "$f_addr" -wal "$tmp/follower" -replicaof "$p_addr" \
+  -repl-retry 100ms -repl-retry-max 1s -log-level warn 2>>"$CHAOS_LOG" &
+follower_pid=$!
+disown "$follower_pid"
+wait_for "follower full sync" 15 has_key "$f_addr" key-100
+
+# --- Act 1: freeze partition -------------------------------------------
+say "act 1: freezing follower (SIGSTOP) for ${CHAOS_FREEZE_SECS}s while the primary keeps taking writes"
+kill -STOP "$follower_pid"
+last=100
+deadline=$((SECONDS + CHAOS_FREEZE_SECS))
+while [ "$SECONDS" -lt "$deadline" ]; do
+  insert_range "$p_addr" $((last + 1)) $((last + 50))
+  last=$((last + 50))
+  sleep 0.2
+done
+say "act 1: thawing follower (SIGCONT); $((last - 100)) inserts acked during the freeze"
+kill -CONT "$follower_pid"
+wait_for "follower caught up after thaw" 30 has_key "$f_addr" "key-$last"
+for i in $(seq 1 "$last"); do
+  has_key "$f_addr" "key-$i" || fail "key-$i lost across the freeze partition"
+done
+say "act 1: PASS ($last/$last acked keys on the follower after the freeze)"
+
+# --- Act 2: kill -9 and promote ----------------------------------------
+say "act 2: kill -9 primary, promote follower"
+insert_range "$p_addr" $((last + 1)) $((last + 100))
+last=$((last + 100))
+wait_for "follower caught up pre-kill" 15 has_key "$f_addr" "key-$last"
+kill -9 "$primary_pid"
+wait "$primary_pid" 2>/dev/null || true
+primary_pid=""
+[ "$(req "$f_addr" "REPLICAOF NO ONE")" = "+OK" ] || fail "promotion"
+role "$f_addr" | grep -q 'role=primary' || fail "promoted ROLE: $(role "$f_addr")"
+for i in $(seq 1 "$last"); do
+  has_key "$f_addr" "key-$i" || fail "key-$i lost across the crash"
+done
+[ "$(req "$f_addr" "SKETCH.INSERT smoke post-promote")" = ":1" ] || fail "post-promotion write"
+say "act 2: PASS ($last/$last acked keys survived kill -9 + promotion)"
+
+# --- Act 3: overload ladder on a memory-squeezed node ------------------
+d_addr="127.0.0.1:$(free_port)"
+say "act 3: fresh node with -max-memory 1mb -max-inflight 64; driving it up the degradation ladder"
+"$tmp/shed" -listen "$d_addr" -max-memory 1mb -max-inflight 64 \
+  -log-level warn 2>>"$CHAOS_LOG" &
+degraded_pid=$!
+disown "$degraded_pid"
+wait_for "degraded node up" 10 ping_ok "$d_addr"
+
+[ "$(req "$d_addr" "SKETCH.CREATE keep bloom bits=8192 window=4096 shards=1")" = "+OK" ] ||
+  fail "baseline CREATE on the squeezed node"
+[ "$(req "$d_addr" "SKETCH.INSERT keep canary")" = ":1" ] || fail "baseline INSERT"
+
+# Climb: create sketches until the budget refuses one.
+refused=""
+for i in $(seq 1 64); do
+  out=$(req "$d_addr" "SKETCH.CREATE fill$i bloom bits=1048576 window=4096 shards=1")
+  case "$out" in
+    "+OK") ;;
+    -ERR*OOM*) refused=yes; break ;;
+    *) fail "unexpected CREATE reply: $out" ;;
+  esac
+done
+[ -n "$refused" ] || fail "64 x 128KiB creates never hit the 1mb budget"
+lvl=$(info_val "$d_addr" overload_level)
+case "$lvl" in refuse_create|refuse_insert) ;; *) fail "overload_level=$lvl after refusal" ;; esac
+say "act 3: ladder engaged (overload_level=$lvl) and the node is still serving:"
+[ "$(req "$d_addr" PING)" = "+PONG" ] || fail "PING while degraded"
+[ "$(req "$d_addr" "SKETCH.QUERY keep canary")" = ":1" ] || fail "QUERY while degraded"
+used=$(info_val "$d_addr" memory_used_bytes)
+say "act 3: PASS (degraded not dead: memory_used_bytes=$used, queries still answered)"
+
+say "PASS (freeze partition, kill -9 + promote, overload ladder)"
