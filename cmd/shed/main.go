@@ -74,6 +74,8 @@ func main() {
 	slowlogSize := flag.Int("slowlog-size", 128, "slow-query ring capacity")
 	auditSample := flag.Float64("audit-sample", 0, "online accuracy auditing: shadow this fraction of keys in an exact window and export she_audit_* error metrics (0 = disabled; try 0.001)")
 	auditMaxKeys := flag.Int("audit-max-keys", 0, "cap on distinct shadowed keys per audited sketch (0 = default 65536)")
+	traceSample := flag.Int("trace-sample", 0, "request tracing: trace 1 in this many commands end to end (parse, mutate, WAL, fsync, replication, follower ack) and serve them via TRACE GET (0 = disabled; try 256. Adjustable at runtime with TRACE SAMPLE)")
+	traceRing := flag.Int("trace-ring", 0, "retained-trace ring capacity; slow and errored traces are evicted last (0 = default 256)")
 	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof on the -debug listener")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	flag.Parse()
@@ -91,6 +93,10 @@ func main() {
 
 	if *auditSample < 0 || *auditSample > 1 {
 		fmt.Fprintf(os.Stderr, "shed: -audit-sample %g out of range [0,1]\n", *auditSample)
+		os.Exit(2)
+	}
+	if *traceSample < 0 || *traceRing < 0 {
+		fmt.Fprintln(os.Stderr, "shed: -trace-sample and -trace-ring must be non-negative")
 		os.Exit(2)
 	}
 	if *walDir != "" && *autosave != "" {
@@ -141,6 +147,8 @@ func main() {
 		SlowLogSize:          *slowlogSize,
 		AuditSample:          *auditSample,
 		AuditMaxKeys:         *auditMaxKeys,
+		TraceSample:          *traceSample,
+		TraceRing:            *traceRing,
 		EnablePprof:          *enablePprof,
 		Logger:               logger,
 	})

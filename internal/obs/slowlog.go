@@ -21,6 +21,10 @@ type SlowEntry struct {
 	// (host:port), so slow commands are attributable to a client; ""
 	// when the recorder has no connection (tests, embedders).
 	RemoteAddr string
+	// TraceID links the entry to a retained request trace (0 = the
+	// command was not sampled). Slow traces are pinned in the trace
+	// ring, so a slow command's ID usually still resolves via TRACE GET.
+	TraceID uint64
 }
 
 // SlowLog is a fixed-capacity ring of the most recent slow commands.
@@ -44,13 +48,14 @@ func NewSlowLog(capacity int) *SlowLog {
 }
 
 // Record appends one slow command, evicting the oldest entry when
-// full. addr is the client's remote address ("" when unknown).
-func (l *SlowLog) Record(command string, d time.Duration, at time.Time, addr string) {
+// full. addr is the client's remote address ("" when unknown);
+// traceID is the command's request-trace ID (0 when not sampled).
+func (l *SlowLog) Record(command string, d time.Duration, at time.Time, addr string, traceID uint64) {
 	if l == nil {
 		return
 	}
 	l.mu.Lock()
-	l.ring[l.next] = SlowEntry{ID: l.id, Time: at, Duration: d, Command: command, RemoteAddr: addr}
+	l.ring[l.next] = SlowEntry{ID: l.id, Time: at, Duration: d, Command: command, RemoteAddr: addr, TraceID: traceID}
 	l.id++
 	l.next = (l.next + 1) % len(l.ring)
 	if l.n < len(l.ring) {

@@ -10,7 +10,7 @@ func TestSlowLogRingEviction(t *testing.T) {
 	l := NewSlowLog(3)
 	base := time.Unix(1000, 0)
 	for i := 0; i < 5; i++ {
-		l.Record(fmt.Sprintf("CMD %d", i), time.Duration(i)*time.Millisecond, base.Add(time.Duration(i)*time.Second), fmt.Sprintf("10.0.0.%d:1000", i))
+		l.Record(fmt.Sprintf("CMD %d", i), time.Duration(i)*time.Millisecond, base.Add(time.Duration(i)*time.Second), fmt.Sprintf("10.0.0.%d:1000", i), uint64(i))
 	}
 	if l.Len() != 3 {
 		t.Fatalf("Len = %d, want 3", l.Len())
@@ -30,18 +30,21 @@ func TestSlowLogRingEviction(t *testing.T) {
 		if got[i].RemoteAddr != fmt.Sprintf("10.0.0.%d:1000", want) {
 			t.Errorf("entry %d addr = %q", i, got[i].RemoteAddr)
 		}
+		if got[i].TraceID != want {
+			t.Errorf("entry %d trace id = %d, want %d", i, got[i].TraceID, want)
+		}
 	}
 }
 
 func TestSlowLogResetKeepsIDs(t *testing.T) {
 	l := NewSlowLog(8)
-	l.Record("A", time.Millisecond, time.Unix(0, 0), "")
-	l.Record("B", time.Millisecond, time.Unix(0, 0), "")
+	l.Record("A", time.Millisecond, time.Unix(0, 0), "", 0)
+	l.Record("B", time.Millisecond, time.Unix(0, 0), "", 0)
 	l.Reset()
 	if l.Len() != 0 || len(l.Entries()) != 0 {
 		t.Fatalf("after reset: Len=%d Entries=%d", l.Len(), len(l.Entries()))
 	}
-	l.Record("C", time.Millisecond, time.Unix(0, 0), "")
+	l.Record("C", time.Millisecond, time.Unix(0, 0), "", 0)
 	if e := l.Entries(); len(e) != 1 || e[0].ID != 2 {
 		t.Fatalf("post-reset entries = %+v, want single ID 2", e)
 	}
@@ -49,7 +52,7 @@ func TestSlowLogResetKeepsIDs(t *testing.T) {
 
 func TestSlowLogNilSafe(t *testing.T) {
 	var l *SlowLog
-	l.Record("X", time.Second, time.Now(), "")
+	l.Record("X", time.Second, time.Now(), "", 0xabc)
 	if l.Len() != 0 || l.Entries() != nil {
 		t.Fatal("nil slowlog not empty")
 	}
@@ -58,8 +61,8 @@ func TestSlowLogNilSafe(t *testing.T) {
 
 func TestSlowLogMinCapacity(t *testing.T) {
 	l := NewSlowLog(0)
-	l.Record("A", 1, time.Unix(0, 0), "")
-	l.Record("B", 2, time.Unix(0, 0), "")
+	l.Record("A", 1, time.Unix(0, 0), "", 0)
+	l.Record("B", 2, time.Unix(0, 0), "", 0)
 	e := l.Entries()
 	if len(e) != 1 || e[0].Command != "B" {
 		t.Fatalf("entries = %+v, want only newest", e)

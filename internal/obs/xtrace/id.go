@@ -1,0 +1,24 @@
+package xtrace
+
+import "strconv"
+
+// FormatID renders a trace ID as fixed-width lowercase hex — the
+// shape TRACE GET accepts back and SLOWLOG prints.
+func FormatID(id uint64) string {
+	const hexdig = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexdig[id&0xf]
+		id >>= 4
+	}
+	return string(b[:])
+}
+
+// ParseID parses a FormatID-shaped (or any hex) trace ID.
+func ParseID(s string) (uint64, bool) {
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil || v == 0 {
+		return 0, false
+	}
+	return v, true
+}

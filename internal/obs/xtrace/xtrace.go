@@ -1,0 +1,517 @@
+// Package xtrace is a sampled, wait-free request-tracing subsystem in
+// the spirit of Dapper: each sampled command gets a Trace holding a
+// bounded set of named child spans (parse, mutate, wal_append,
+// fsync_wait, repl_ship, replack, apply, commit_fsync, ...), and the
+// trace ID propagates across the replication wire so a follower's
+// apply spans join the primary's trace. Completed traces are retained
+// in a bounded ring with slow/error traces pinned preferentially.
+//
+// The package is named xtrace (not trace) to avoid colliding with the
+// dataset-trace package internal/trace.
+//
+// Hot-path discipline mirrors internal/obs: when sampling is disabled
+// the per-command cost is one atomic load; when enabled but the
+// command is not sampled, one atomic add. Every method on *Tracer,
+// *Trace and Span is safe on a nil receiver, so call sites need no
+// "is tracing on?" branches.
+package xtrace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"she/internal/obs"
+)
+
+// MaxSpans bounds the spans recorded per trace. A replicated INSERT
+// uses ~8 (parse, execute, mutate, wal_append, fsync_wait,
+// replack_wait, repl_ship, replack); the slack absorbs multi-replica
+// ship/ack spans. Appends past the cap are counted and dropped.
+const MaxSpans = 16
+
+// Config sizes a Tracer.
+type Config struct {
+	// SampleEvery samples one root trace per N commands; 0 disables
+	// root sampling (joins from a primary's trace IDs still record).
+	SampleEvery int
+	// RingSize bounds retained completed traces (default 256).
+	RingSize int
+	// PinSlow pins completed traces at least this slow so ring
+	// eviction prefers dropping fast, boring traces first (default
+	// 10ms). Error traces are always pinned.
+	PinSlow time.Duration
+	// Seed perturbs trace-ID generation so two nodes started at the
+	// same time don't collide. IDs only need uniqueness within a
+	// deployment's retention horizon.
+	Seed uint64
+	// Clock returns monotonic nanoseconds; defaults to obs.Nanotime.
+	Clock func() int64
+}
+
+// Tracer owns the sampling decision, ID generation and the retention
+// ring. One per server.
+type Tracer struct {
+	sampleEvery atomic.Int64 // 0 = off; N = 1-in-N
+	tick        atomic.Int64 // commands seen since enable, mod sampleEvery
+	nextID      atomic.Uint64
+	seed        uint64
+	pinSlow     int64 // ns
+	clock       func() int64
+
+	sampled  atomic.Uint64 // root traces started
+	joined   atomic.Uint64 // follower joins
+	finished atomic.Uint64
+	evicted  atomic.Uint64
+
+	mu   sync.Mutex
+	ring []*Trace // completed traces, oldest first
+	cap  int
+}
+
+// Stats is a point-in-time snapshot of tracer counters for /metrics.
+type Stats struct {
+	SampleEvery int
+	Retained    int
+	Pinned      int
+	Sampled     uint64
+	Joined      uint64
+	Finished    uint64
+	Evicted     uint64
+}
+
+// New builds a Tracer. Always construct one even when cfg.SampleEvery
+// is 0: sampling can be enabled at runtime (TRACE SAMPLE) and
+// followers join primary-sampled traces regardless of the local rate.
+func New(cfg Config) *Tracer {
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 256
+	}
+	if cfg.PinSlow <= 0 {
+		cfg.PinSlow = 10 * time.Millisecond
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = obs.Nanotime
+	}
+	tr := &Tracer{
+		seed:    cfg.Seed,
+		pinSlow: cfg.PinSlow.Nanoseconds(),
+		clock:   clock,
+		cap:     cfg.RingSize,
+	}
+	tr.sampleEvery.Store(int64(cfg.SampleEvery))
+	return tr
+}
+
+// SetSampleEvery changes the sampling rate at runtime; 0 disables.
+func (tr *Tracer) SetSampleEvery(n int) {
+	if tr == nil {
+		return
+	}
+	if n < 0 {
+		n = 0
+	}
+	tr.sampleEvery.Store(int64(n))
+}
+
+// SampleEvery reports the current 1-in-N rate (0 = disabled).
+func (tr *Tracer) SampleEvery() int {
+	if tr == nil {
+		return 0
+	}
+	return int(tr.sampleEvery.Load())
+}
+
+// id derives the next trace ID: a counter mixed through a
+// splitmix64-style finalizer with the node seed, so IDs from different
+// nodes don't interleave as near-adjacent integers. Never returns 0 —
+// 0 is the wire encoding for "no trace".
+func (tr *Tracer) id() uint64 {
+	for {
+		x := tr.nextID.Add(1) ^ tr.seed
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		if x != 0 {
+			return x
+		}
+	}
+}
+
+// Start makes the root sampling decision for one command. Returns nil
+// (record nothing) unless this command is the 1-in-N winner.
+func (tr *Tracer) Start() *Trace {
+	if tr == nil {
+		return nil
+	}
+	n := tr.sampleEvery.Load()
+	if n <= 0 {
+		return nil
+	}
+	if tr.tick.Add(1)%n != 0 {
+		return nil
+	}
+	tr.sampled.Add(1)
+	return tr.newTrace(tr.id(), false)
+}
+
+// Join starts a trace that adopts an existing ID — the follower half
+// of a cross-node trace. The sampling decision was made at the root,
+// so joins ignore the local rate. A zero id returns nil.
+func (tr *Tracer) Join(id uint64) *Trace {
+	if tr == nil || id == 0 {
+		return nil
+	}
+	tr.joined.Add(1)
+	return tr.newTrace(id, true)
+}
+
+func (tr *Tracer) newTrace(id uint64, joined bool) *Trace {
+	t := &Trace{tracer: tr, id: id, joined: joined}
+	t.wall = time.Now().UnixNano()
+	t.start = tr.clock()
+	return t
+}
+
+// Finish completes t, computes its duration and retains it in the
+// ring. Safe to call on nil; calling twice retains once.
+func (t *Trace) Finish() {
+	if t == nil || !t.done.CompareAndSwap(false, true) {
+		return
+	}
+	tr := t.tracer
+	t.end.Store(tr.clock())
+	t.pinned = t.errFlag.Load() || t.Duration() >= time.Duration(tr.pinSlow)
+	tr.finished.Add(1)
+
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if len(tr.ring) >= tr.cap {
+		// Evict the oldest non-pinned trace; if everything is pinned,
+		// the oldest pinned one. Deterministic, so tests can assert
+		// exactly which traces survive.
+		victim := -1
+		for i, old := range tr.ring {
+			if !old.pinned {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			victim = 0
+		}
+		tr.ring = append(tr.ring[:victim], tr.ring[victim+1:]...)
+		tr.evicted.Add(1)
+	}
+	tr.ring = append(tr.ring, t)
+}
+
+// Get returns the completed trace with the given ID, or nil.
+func (tr *Tracer) Get(id uint64) *Trace {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	// Newest first: after an ID collision (ring wraparound horizons)
+	// the most recent trace is the one being asked about.
+	for i := len(tr.ring) - 1; i >= 0; i-- {
+		if tr.ring[i].id == id {
+			return tr.ring[i]
+		}
+	}
+	return nil
+}
+
+// All returns retained traces, newest first.
+func (tr *Tracer) All() []*Trace {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]*Trace, len(tr.ring))
+	for i, t := range tr.ring {
+		out[len(tr.ring)-1-i] = t
+	}
+	return out
+}
+
+// Slowest returns up to n retained traces ordered by descending
+// duration (ties broken newest first).
+func (tr *Tracer) Slowest(n int) []*Trace {
+	if tr == nil || n <= 0 {
+		return nil
+	}
+	all := tr.All()
+	sort.SliceStable(all, func(i, j int) bool {
+		return all[i].Duration() > all[j].Duration()
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// Reset drops all retained traces.
+func (tr *Tracer) Reset() {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.ring = nil
+	tr.mu.Unlock()
+}
+
+// Len reports the number of retained traces.
+func (tr *Tracer) Len() int {
+	if tr == nil {
+		return 0
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return len(tr.ring)
+}
+
+// Snapshot returns tracer counters for /metrics.
+func (tr *Tracer) Snapshot() Stats {
+	if tr == nil {
+		return Stats{}
+	}
+	tr.mu.Lock()
+	pinned := 0
+	for _, t := range tr.ring {
+		if t.pinned {
+			pinned++
+		}
+	}
+	retained := len(tr.ring)
+	tr.mu.Unlock()
+	return Stats{
+		SampleEvery: int(tr.sampleEvery.Load()),
+		Retained:    retained,
+		Pinned:      pinned,
+		Sampled:     tr.sampled.Load(),
+		Joined:      tr.joined.Load(),
+		Finished:    tr.finished.Load(),
+		Evicted:     tr.evicted.Load(),
+	}
+}
+
+// span slots publish via state (0 empty → 1 reserved → 2 done) with
+// release stores, so readers that acquire-load state==2 see a
+// consistent name/start/end even when the writer is another goroutine
+// (the replication ack consumer appends after Finish).
+type span struct {
+	name  string
+	start int64
+	end   int64
+	state atomic.Int32
+}
+
+// Trace is one command's record: identity, timing, spans.
+type Trace struct {
+	tracer *Tracer
+	id     uint64
+	joined bool
+	wall   int64 // time.Now().UnixNano() at Start/Join
+	start  int64 // monotonic ns
+
+	verbMu sync.Mutex
+	verb   string
+	remote string
+
+	end     atomic.Int64
+	errFlag atomic.Bool
+	done    atomic.Bool
+	pinned  bool // written under done CAS in Finish, read under ring mu
+
+	n       atomic.Int32 // span slots reserved
+	dropped atomic.Int32 // appends past MaxSpans
+	spans   [MaxSpans]span
+}
+
+// ID returns the trace ID (0 for nil).
+func (t *Trace) ID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.id
+}
+
+// SetVerb labels the trace with its command verb.
+func (t *Trace) SetVerb(verb string) {
+	if t == nil {
+		return
+	}
+	t.verbMu.Lock()
+	t.verb = verb
+	t.verbMu.Unlock()
+}
+
+// SetRemote labels the trace with the client address.
+func (t *Trace) SetRemote(addr string) {
+	if t == nil {
+		return
+	}
+	t.verbMu.Lock()
+	t.remote = addr
+	t.verbMu.Unlock()
+}
+
+// SetError marks the trace failed, which pins it in the ring.
+func (t *Trace) SetError() {
+	if t == nil {
+		return
+	}
+	t.errFlag.Store(true)
+}
+
+// Err reports whether SetError was called.
+func (t *Trace) Err() bool {
+	return t != nil && t.errFlag.Load()
+}
+
+// Duration is end-start once finished, 0 before.
+func (t *Trace) Duration() time.Duration {
+	if t == nil {
+		return 0
+	}
+	end := t.end.Load()
+	if end == 0 {
+		return 0
+	}
+	return time.Duration(end - t.start)
+}
+
+// AddSpan records a completed span from caller-supplied monotonic
+// timestamps (obs.Nanotime domain). Wait-free: one atomic reservation
+// plus release stores.
+func (t *Trace) AddSpan(name string, startNs, endNs int64) {
+	if t == nil {
+		return
+	}
+	i := t.n.Add(1) - 1
+	if i >= MaxSpans {
+		t.dropped.Add(1)
+		return
+	}
+	sp := &t.spans[i]
+	sp.state.Store(1)
+	sp.name = name
+	sp.start = startNs
+	sp.end = endNs
+	sp.state.Store(2) // release: publishes name/start/end
+}
+
+// Span is an open child span handle; End closes it.
+type Span struct {
+	t       *Trace
+	name    string
+	startNs int64
+}
+
+// StartSpan opens a named span clocked now. The clock read only
+// happens on sampled traces (nil receiver short-circuits).
+func (t *Trace) StartSpan(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, startNs: t.tracer.clock()}
+}
+
+// End closes the span and records it on its trace.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.AddSpan(s.name, s.startNs, s.t.tracer.clock())
+}
+
+// SpanView is a rendered span: times as offsets from trace start.
+type SpanView struct {
+	Name    string        `json:"name"`
+	StartNs int64         `json:"start_ns"` // offset from trace start
+	DurNs   int64         `json:"dur_ns"`
+	Dur     time.Duration `json:"-"`
+}
+
+// TraceView is the JSON shape TRACE GET renders.
+type TraceView struct {
+	ID      string     `json:"id"` // %016x
+	Verb    string     `json:"verb,omitempty"`
+	Remote  string     `json:"remote,omitempty"`
+	WallNs  int64      `json:"wall_ns"` // UnixNano at trace start
+	DurNs   int64      `json:"dur_ns"`
+	Err     bool       `json:"err,omitempty"`
+	Pinned  bool       `json:"pinned,omitempty"`
+	Joined  bool       `json:"joined,omitempty"` // follower half of a cross-node trace
+	Dropped int        `json:"dropped_spans,omitempty"`
+	Spans   []SpanView `json:"spans"`
+}
+
+// View renders a completed trace for JSON output. Spans are ordered
+// by start offset.
+func (t *Trace) View() TraceView {
+	if t == nil {
+		return TraceView{}
+	}
+	t.verbMu.Lock()
+	verb, remote := t.verb, t.remote
+	t.verbMu.Unlock()
+	v := TraceView{
+		ID:      FormatID(t.id),
+		Verb:    verb,
+		Remote:  remote,
+		WallNs:  t.wall,
+		DurNs:   int64(t.Duration()),
+		Err:     t.errFlag.Load(),
+		Pinned:  t.pinned,
+		Joined:  t.joined,
+		Dropped: int(t.dropped.Load()),
+	}
+	n := int(t.n.Load())
+	if n > MaxSpans {
+		n = MaxSpans
+	}
+	for i := 0; i < n; i++ {
+		sp := &t.spans[i]
+		if sp.state.Load() != 2 { // acquire: reserved but not published
+			continue
+		}
+		v.Spans = append(v.Spans, SpanView{
+			Name:    sp.name,
+			StartNs: sp.start - t.start,
+			DurNs:   sp.end - sp.start,
+			Dur:     time.Duration(sp.end - sp.start),
+		})
+	}
+	sort.SliceStable(v.Spans, func(i, j int) bool {
+		return v.Spans[i].StartNs < v.Spans[j].StartNs
+	})
+	return v
+}
+
+// SpanNames returns the names of published spans, in insertion order.
+// Test helper shape, exported because server integration tests need
+// it too.
+func (t *Trace) SpanNames() []string {
+	if t == nil {
+		return nil
+	}
+	var names []string
+	n := int(t.n.Load())
+	if n > MaxSpans {
+		n = MaxSpans
+	}
+	for i := 0; i < n; i++ {
+		if t.spans[i].state.Load() == 2 {
+			names = append(names, t.spans[i].name)
+		}
+	}
+	return names
+}

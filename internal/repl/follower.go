@@ -26,8 +26,11 @@ type Target interface {
 	// stream resumes from (everything below it is in the snapshot).
 	EndFullSync(start wal.Cursor) error
 	// Apply replays one WAL record (the same bytes the primary's
-	// crash recovery would replay).
-	Apply(payload []byte) error
+	// crash recovery would replay). tid is the primary's trace ID for
+	// the command that produced the record, 0 when it was not sampled;
+	// a tracing target joins the cross-node trace under that ID, any
+	// other target ignores it.
+	Apply(payload []byte, tid uint64) error
 	// Commit makes everything applied so far locally durable (fsync);
 	// cursor is the position the durable prefix reaches. The follower
 	// acknowledges only after Commit returns.
@@ -423,7 +426,7 @@ func (f *Follower) stream(conn net.Conn, r *bufio.Reader, w *bufio.Writer, cur w
 			if err := commit(); err != nil {
 				return err
 			}
-		case len(fields) == 5 && fields[0] == verbRec:
+		case (len(fields) == 5 || len(fields) == 6) && fields[0] == verbRec:
 			end, err := ParseCursor(fields[1], fields[2], fields[3])
 			if err != nil {
 				return err
@@ -432,11 +435,19 @@ func (f *Follower) stream(conn net.Conn, r *bufio.Reader, w *bufio.Writer, cur w
 			if err != nil {
 				return fmt.Errorf("repl: bad REC length %q", fields[4])
 			}
+			// Optional sixth field: the primary's trace ID in hex.
+			// Unparseable IDs degrade to "not sampled" rather than
+			// killing the session — tracing is observability, not
+			// replication correctness.
+			var tid uint64
+			if len(fields) == 6 {
+				tid, _ = strconv.ParseUint(fields[5], 16, 64)
+			}
 			payload, err := readBlob(r, size, wal.MaxRecordBytes)
 			if err != nil {
 				return err
 			}
-			if err := f.target.Apply(payload); err != nil {
+			if err := f.target.Apply(payload, tid); err != nil {
 				// The replica may now diverge from the primary; only a
 				// fresh bootstrap restores coherence.
 				f.mu.Lock()

@@ -38,9 +38,21 @@ func ParseCursor(gen, seg, off string) (wal.Cursor, error) {
 }
 
 // WriteRecord frames one replicated WAL record: the cursor is the
-// position immediately after the record in the primary's log.
-func WriteRecord(w *bufio.Writer, end wal.Cursor, payload []byte) error {
-	if _, err := fmt.Fprintf(w, "%s %d %d %d %d\n", verbRec, end.Gen, end.Seg, end.Off, len(payload)); err != nil {
+// position immediately after the record in the primary's log. tid is
+// an optional trace ID (0 = none): when the primary sampled the
+// command that produced this record, the ID rides the frame as a
+// sixth hex field so the follower's apply joins the same trace.
+// Unsampled records keep the original five-field shape, which is also
+// what pre-tracing followers require — they reject unknown fields, so
+// the sixth appears only on the (sampled, rare) records that need it.
+func WriteRecord(w *bufio.Writer, end wal.Cursor, payload []byte, tid uint64) error {
+	var err error
+	if tid != 0 {
+		_, err = fmt.Fprintf(w, "%s %d %d %d %d %016x\n", verbRec, end.Gen, end.Seg, end.Off, len(payload), tid)
+	} else {
+		_, err = fmt.Fprintf(w, "%s %d %d %d %d\n", verbRec, end.Gen, end.Seg, end.Off, len(payload))
+	}
+	if err != nil {
 		return err
 	}
 	if _, err := w.Write(payload); err != nil {

@@ -20,6 +20,7 @@ type memState struct {
 	files     map[string][]byte
 	start     wal.Cursor
 	applied   []string
+	tids      []uint64 // trace ID observed per applied record (0 = none)
 	committed wal.Cursor
 	commits   int
 }
@@ -40,6 +41,7 @@ func (m *memTarget) BeginFullSync() error {
 	m.wiped++
 	m.files = make(map[string][]byte)
 	m.applied = nil
+	m.tids = nil
 	return nil
 }
 
@@ -57,13 +59,14 @@ func (m *memTarget) EndFullSync(start wal.Cursor) error {
 	return nil
 }
 
-func (m *memTarget) Apply(payload []byte) error {
+func (m *memTarget) Apply(payload []byte, tid uint64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.applyErr != nil {
 		return m.applyErr
 	}
 	m.applied = append(m.applied, string(payload))
+	m.tids = append(m.tids, tid)
 	return nil
 }
 
@@ -81,6 +84,7 @@ func (m *memTarget) snapshot() memState {
 	cp := m.memState
 	cp.files = make(map[string][]byte, len(m.files))
 	cp.applied = append([]string(nil), m.applied...)
+	cp.tids = append([]uint64(nil), m.tids...)
 	for k, v := range m.files {
 		cp.files[k] = v
 	}
@@ -169,8 +173,8 @@ func TestFollowerFullSyncAndStream(t *testing.T) {
 		WriteSnapshotFile(w, "uniques.shsn", []byte("sketch-bytes-2"))
 		w.WriteString("ENDSNAP\n")
 		w.Flush()
-		WriteRecord(w, rec1End, []byte("I pageviews 1 2"))
-		WriteRecord(w, rec2End, []byte("I pageviews 3 4"))
+		WriteRecord(w, rec1End, []byte("I pageviews 1 2"), 0)
+		WriteRecord(w, rec2End, []byte("I pageviews 3 4"), 0xfeedface)
 		w.Flush()
 		for i := 0; i < 2; i++ {
 			line, err := readLine(r)
@@ -205,6 +209,11 @@ func TestFollowerFullSyncAndStream(t *testing.T) {
 	if got.applied[0] != "I pageviews 1 2" || got.applied[1] != "I pageviews 3 4" {
 		t.Fatalf("applied = %q", got.applied)
 	}
+	// The five-field record carries no trace ID; the six-field one's
+	// hex ID reaches the target.
+	if got.tids[0] != 0 || got.tids[1] != 0xfeedface {
+		t.Fatalf("apply tids = %x", got.tids)
+	}
 	waitFor(t, "commit at rec2", func() bool { return tgt.snapshot().committed == rec2End })
 
 	ack := <-ackc
@@ -238,7 +247,7 @@ func TestFollowerContinue(t *testing.T) {
 			return fmt.Errorf("PSYNC args = %v", args)
 		}
 		fmt.Fprintf(w, "+CONTINUE %d %d %d\n", cur.Gen, cur.Seg, cur.Off)
-		WriteRecord(w, end, []byte("I s 9 1"))
+		WriteRecord(w, end, []byte("I s 9 1"), 0)
 		w.Flush()
 		readLine(r) // drain the ack
 		return nil
@@ -301,7 +310,7 @@ func TestFollowerApplyErrorForcesResync(t *testing.T) {
 					return
 				}
 				fmt.Fprintf(w, "+CONTINUE %d %d %d\n", cur.Gen, cur.Seg, cur.Off)
-				WriteRecord(w, wal.Cursor{Gen: 1, Seg: 2, Off: 40}, []byte("bad-record"))
+				WriteRecord(w, wal.Cursor{Gen: 1, Seg: 2, Off: 40}, []byte("bad-record"), 0)
 				w.Flush()
 				readLine(r)
 			}(conn)
@@ -553,7 +562,7 @@ func TestProtoRoundTrip(t *testing.T) {
 	var sb strings.Builder
 	w := bufio.NewWriter(&sb)
 	end := wal.Cursor{Gen: 9, Seg: 8, Off: 7}
-	if err := WriteRecord(w, end, []byte("payload")); err != nil {
+	if err := WriteRecord(w, end, []byte("payload"), 0); err != nil {
 		t.Fatal(err)
 	}
 	w.Flush()
@@ -579,5 +588,69 @@ func TestProtoRoundTrip(t *testing.T) {
 	}
 	if _, err := ParseCursor("1", "2", "-3"); err == nil {
 		t.Fatal("negative offset accepted")
+	}
+}
+
+// TestProtoRecordTraceID: a non-zero trace ID rides as a sixth
+// fixed-width hex field; a zero one keeps the legacy five-field shape
+// byte for byte, so pre-tracing followers (which insist on exactly
+// five fields) never see a frame they cannot parse.
+func TestProtoRecordTraceID(t *testing.T) {
+	frame := func(tid uint64) string {
+		var sb strings.Builder
+		w := bufio.NewWriter(&sb)
+		if err := WriteRecord(w, wal.Cursor{Gen: 1, Seg: 2, Off: 30}, []byte("I s 7 1"), tid); err != nil {
+			t.Fatal(err)
+		}
+		w.Flush()
+		return sb.String()
+	}
+	if got, want := frame(0), "REC 1 2 30 7\nI s 7 1\n"; got != want {
+		t.Fatalf("untraced frame = %q, want %q", got, want)
+	}
+	if got, want := frame(0xabc), "REC 1 2 30 7 0000000000000abc\nI s 7 1\n"; got != want {
+		t.Fatalf("traced frame = %q, want %q", got, want)
+	}
+}
+
+// TestFollowerMixedVersionStream: one session mixing five- and
+// six-field REC frames applies both; a target that ignores tid (like a
+// pre-tracing server would) loses nothing, and a malformed trace ID
+// degrades to "not sampled" instead of killing the session.
+func TestFollowerMixedVersionStream(t *testing.T) {
+	cur := wal.Cursor{Gen: 1, Seg: 0, Off: 0}
+	p := startFakePrimary(t, func(r *bufio.Reader, w *bufio.Writer) error {
+		if _, err := handshake(r, w); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "+CONTINUE %d %d %d\n", cur.Gen, cur.Seg, cur.Off)
+		WriteRecord(w, wal.Cursor{Gen: 1, Seg: 0, Off: 10}, []byte("a"), 0)
+		WriteRecord(w, wal.Cursor{Gen: 1, Seg: 0, Off: 20}, []byte("b"), 0x1122334455667788)
+		// Hand-rolled frame with a garbage trace ID field.
+		fmt.Fprintf(w, "REC 1 0 30 1 not-hex\nc\n")
+		w.Flush()
+		readLine(r) // drain the ack
+		return nil
+	})
+
+	tgt := newMemTarget()
+	f := NewFollower(FollowerConfig{
+		PrimaryAddr:   p.ln.Addr().String(),
+		RetryInterval: 10 * time.Millisecond,
+	}, tgt)
+	f.status.Cursor = cur
+	go f.Run()
+	defer f.Stop()
+
+	waitFor(t, "all records applied", func() bool { return len(tgt.snapshot().applied) == 3 })
+	got := tgt.snapshot()
+	if got.applied[0] != "a" || got.applied[1] != "b" || got.applied[2] != "c" {
+		t.Fatalf("applied = %q", got.applied)
+	}
+	if got.tids[0] != 0 || got.tids[1] != 0x1122334455667788 || got.tids[2] != 0 {
+		t.Fatalf("tids = %x", got.tids)
+	}
+	if got.wiped != 0 {
+		t.Fatalf("mixed-version frames forced a full sync (wiped=%d)", got.wiped)
 	}
 }

@@ -226,6 +226,7 @@ func TestMetricsStrictExposition(t *testing.T) {
 		DebugListen: "127.0.0.1:0",
 		WALDir:      t.TempDir(),
 		AuditSample: 1,
+		TraceSample: 1,
 		Logger:      quiet(),
 	})
 	c := dial(t, s.Addr().String())
@@ -297,6 +298,14 @@ func TestMetricsStrictExposition(t *testing.T) {
 		`she_audit_false_positive_rate{sketch="bx"}`,
 		`she_audit_card_rel_err{sketch="hx"}`,
 		"she_wal_fsync_seconds_count",
+		"she_wal_append_seconds_count",
+		"she_build_info{",
+		"she_trace_sample_every 1",
+		"she_trace_retained",
+		"she_trace_pinned",
+		"she_trace_sampled_total",
+		"she_trace_finished_total",
+		`she_trace_exemplar_seconds{verb="SKETCH.INSERT",trace_id="`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q", want)

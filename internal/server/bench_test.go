@@ -91,6 +91,16 @@ func BenchmarkServerInsertAudit(b *testing.B) {
 	benchServerInsert(b, server.Config{AuditSample: 1.0 / 1024})
 }
 
+// BenchmarkServerInsertTrace turns request tracing on at the
+// production-recommended 1-in-256 sampling. The 255 unsampled
+// commands pay one atomic add at the sampling decision and a nil
+// check at every span site; the sampled one pays the clock reads and
+// span appends. scripts/benchsmoke.sh gates the delta against
+// BenchmarkServerInsert at < 5%.
+func BenchmarkServerInsertTrace(b *testing.B) {
+	benchServerInsert(b, server.Config{TraceSample: 256})
+}
+
 // BenchmarkServerInsertOverload turns the overload machinery on with
 // a budget the benchmark never approaches: memory accounting, the
 // 250ms evaluation ticker and the admission-control slot all run, but

@@ -82,7 +82,10 @@ func TestChaosPartitionHealCatchup(t *testing.T) {
 	nw := failnet.New(1)
 	nw.SetLatency(200 * time.Microsecond)
 
-	primary := startServer(t, server.Config{WALDir: t.TempDir()})
+	// Tracing on: sampled traces must survive partitions — ship-table
+	// entries for records stuck behind the partition, follower joins
+	// after the heal — without leaking goroutines or wedging the stream.
+	primary := startServer(t, server.Config{WALDir: t.TempDir(), TraceSample: 16})
 	pc := dial(t, primary.Addr().String())
 	// Presence is verified on the bloom sketch (SHE-BF never
 	// false-negatives for an in-window key — a hard suite property);
@@ -99,6 +102,7 @@ func TestChaosPartitionHealCatchup(t *testing.T) {
 		ReplRetryInterval:    20 * time.Millisecond,
 		ReplMaxRetryInterval: 100 * time.Millisecond,
 		AuditSample:          1,
+		TraceSample:          16,
 	})
 	fc := dial(t, follower.Addr().String())
 

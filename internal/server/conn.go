@@ -13,6 +13,7 @@ import (
 	"she/internal/audit"
 	"she/internal/obs"
 	obslog "she/internal/obs/log"
+	"she/internal/obs/xtrace"
 	"she/internal/wal"
 )
 
@@ -76,12 +77,26 @@ func (s *Server) handleConn(conn net.Conn) {
 	commitFailed := false
 	wrote := false
 	replListenPort := ""
+	// openTrs holds the sampled traces of the current batch: commands
+	// whose replies are buffered but not yet durable. The commit closure
+	// owns their lifecycle — it stamps the durability spans (inside
+	// s.commit), marks them failed if the batch fails, and finishes
+	// them. Replication spans may still land after Finish; xtrace
+	// publishes spans individually, so that is safe by design.
+	var openTrs []*xtrace.Trace
 	commit := func() error {
 		if commitFailed {
 			return errCommitFailed
 		}
-		err := s.commit(conn, w, wrote)
+		err := s.commit(conn, w, wrote, openTrs)
 		wrote = false
+		for _, t := range openTrs {
+			if err != nil {
+				t.SetError()
+			}
+			t.Finish()
+		}
+		openTrs = openTrs[:0]
 		if err != nil {
 			commitFailed = true
 			return err
@@ -115,19 +130,45 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 			return
 		}
-		cmd, err := ParseCommand(line)
+		// The sampling decision is one atomic add; all trace plumbing
+		// below is behind tr != nil, so the 255-in-256 path pays nothing
+		// else. A sampled command's trace opens before parse so the
+		// parse span lands inside it.
+		tr := s.tracer.Start()
+		var cmd Command
+		var parseEndNs int64
+		if tr != nil {
+			parseStartNs := obs.Nanotime()
+			cmd, err = ParseCommand(line)
+			parseEndNs = obs.Nanotime()
+			tr.AddSpan("parse", parseStartNs, parseEndNs)
+		} else {
+			cmd, err = ParseCommand(line)
+		}
 		switch {
 		case errors.Is(err, ErrEmpty):
-			// Blank line: no reply.
+			// Blank line: no reply. A sampled blank line abandons its
+			// trace unfinished; it is never retained.
 			startNs = 0
 		case err != nil:
 			s.counters.Counter("errors_total").Inc()
 			writeError(w, err.Error())
+			if tr != nil {
+				tr.SetVerb("PARSE_ERROR")
+				tr.SetRemote(remoteAddr)
+				tr.SetError()
+				tr.Finish()
+			}
 			startNs = 0
 		case err == nil && cmd.Name == "PSYNC":
 			// The connection becomes a replication channel: flush any
 			// pending replies, then hand it over for good.
 			s.counters.Counter("commands_total").Inc()
+			if tr != nil {
+				tr.SetVerb("PSYNC")
+				tr.SetRemote(remoteAddr)
+				tr.Finish()
+			}
 			lats.flush(s)
 			if commit() != nil {
 				return
@@ -138,6 +179,11 @@ func (s *Server) handleConn(conn net.Conn) {
 			s.counters.Counter("commands_total").Inc()
 			replListenPort = replconfPort(cmd, replListenPort)
 			writeSimple(w, "OK")
+			if tr != nil {
+				tr.SetVerb("REPLCONF")
+				tr.SetRemote(remoteAddr)
+				tr.Finish()
+			}
 			startNs = 0
 		default:
 			// Clock reads are skipped entirely when nothing consumes
@@ -151,17 +197,31 @@ func (s *Server) handleConn(conn net.Conn) {
 			if timed && startNs == 0 {
 				startNs = obs.Nanotime()
 			}
-			quit := s.admitExecute(cmd, w)
+			if tr != nil {
+				tr.SetVerb(cmd.Name)
+				tr.SetRemote(remoteAddr)
+			}
+			quit := s.admitExecute(cmd, tr, w)
 			if isMutation(cmd.Name) {
 				wrote = true
 			}
-			if timed {
+			if timed || tr != nil {
 				endNs := obs.Nanotime()
-				s.observe(lats, cmd, time.Duration(endNs-startNs), remoteAddr)
-				if r.Buffered() > 0 {
-					startNs = endNs
-				} else {
-					startNs = 0
+				if tr != nil {
+					// The execute span starts at the parse boundary, so
+					// it measures admission + execution even when the
+					// batch timer (startNs) was chained from an earlier
+					// pipelined command.
+					tr.AddSpan("execute", parseEndNs, endNs)
+					openTrs = append(openTrs, tr)
+				}
+				if timed {
+					s.observe(lats, cmd, time.Duration(endNs-startNs), remoteAddr, tr)
+					if r.Buffered() > 0 {
+						startNs = endNs
+					} else {
+						startNs = 0
+					}
 				}
 			}
 			if quit {
@@ -205,7 +265,7 @@ func (c *connLats) flush(s *Server) {
 // configured threshold, into the slow-query log with the client's
 // remote address. The slow-query check sees every command's exact
 // duration; only the histogram merge is deferred.
-func (s *Server) observe(lats *connLats, cmd Command, d time.Duration, addr string) {
+func (s *Server) observe(lats *connLats, cmd Command, d time.Duration, addr string, tr *xtrace.Trace) {
 	if lats != nil { // nil when histograms are disabled but SlowThreshold isn't
 		i := verbIndex(cmd.Name)
 		l := lats.verbs[i]
@@ -214,6 +274,9 @@ func (s *Server) observe(lats *connLats, cmd Command, d time.Duration, addr stri
 			lats.verbs[i] = l
 		}
 		l.Observe(d)
+		// A sampled command becomes its verb's histogram exemplar, so
+		// /metrics can point at a concrete retained trace.
+		s.noteExemplar(i, tr, d)
 		// A client that pipelines forever without draining never hits the
 		// batch-end flush, so cap the unflushed backlog here.
 		if lats.pending++; lats.pending >= obs.FlushLimit {
@@ -228,7 +291,7 @@ func (s *Server) observe(lats *connLats, cmd Command, d time.Duration, addr stri
 			s.counters.Counter("overload_slowlog_dropped").Inc()
 			return
 		}
-		s.slow.Record(renderCommand(cmd), d, time.Now(), addr)
+		s.slow.Record(renderCommand(cmd), d, time.Now(), addr, tr.ID())
 		s.counters.Counter("slow_commands_total").Inc()
 		if s.logger.Enabled(obslog.LevelWarn) {
 			s.logger.Warn("slow command", "verb", cmd.Name, "duration", d.String())
@@ -254,7 +317,7 @@ func renderCommand(cmd Command) string {
 // the client gets an -ERR and a closed connection, the daemon and its
 // other connections keep serving. Deferred unlocks in the command path
 // run during the unwind, so no lock is leaked.
-func (s *Server) safeExecute(cmd Command, w *bufio.Writer) (quit bool) {
+func (s *Server) safeExecute(cmd Command, tr *xtrace.Trace, w *bufio.Writer) (quit bool) {
 	defer func() {
 		if p := recover(); p != nil {
 			s.counters.Counter("panics_recovered").Inc()
@@ -262,7 +325,7 @@ func (s *Server) safeExecute(cmd Command, w *bufio.Writer) (quit bool) {
 			quit = true
 		}
 	}()
-	return s.execute(cmd, w)
+	return s.execute(cmd, tr, w)
 }
 
 // commit makes the batch durable, then releases its replies. With a
@@ -278,21 +341,46 @@ func (s *Server) safeExecute(cmd Command, w *bufio.Writer) (quit bool) {
 // durable position before the replies go out — the semi-synchronous
 // half of the zero-acked-loss failover guarantee. Read-only batches
 // never wait.
-func (s *Server) commit(conn net.Conn, w *bufio.Writer, wrote bool) error {
+// trs holds the batch's sampled traces; each gets a fsync_wait span
+// around the group-commit sync (which amortises every command in the
+// batch) and, under semi-synchronous replication, a replack_wait span
+// around the replica-acknowledgement wait. Clock reads only happen
+// when at least one command in the batch was sampled.
+func (s *Server) commit(conn net.Conn, w *bufio.Writer, wrote bool, trs []*xtrace.Trace) error {
 	if s.wal != nil {
+		var syncStartNs int64
+		if len(trs) > 0 {
+			syncStartNs = obs.Nanotime()
+		}
 		if err := s.wal.Sync(); err != nil {
 			s.counters.Counter("wal_errors").Inc()
 			conn.SetWriteDeadline(time.Now().Add(time.Second))
 			fmt.Fprintf(conn, "-ERR wal sync failed: %v\n", err)
 			return err
 		}
+		if len(trs) > 0 {
+			endNs := obs.Nanotime()
+			for _, t := range trs {
+				t.AddSpan("fsync_wait", syncStartNs, endNs)
+			}
+		}
 		if wrote && s.cfg.SyncReplicas > 0 {
 			pos := s.wal.Position()
+			var ackStartNs int64
+			if len(trs) > 0 {
+				ackStartNs = obs.Nanotime()
+			}
 			if err := s.tracker.WaitAck(pos, s.cfg.SyncReplicas, s.syncReplicaTimeout(), s.done); err != nil {
 				s.counters.Counter("repl_sync_timeouts").Inc()
 				conn.SetWriteDeadline(time.Now().Add(time.Second))
 				fmt.Fprintf(conn, "-ERR %v\n", err)
 				return err
+			}
+			if len(trs) > 0 {
+				endNs := obs.Nanotime()
+				for _, t := range trs {
+					t.AddSpan("replack_wait", ackStartNs, endNs)
+				}
 			}
 		}
 	}
@@ -329,7 +417,7 @@ var testPanic func(Command)
 // the connection should close (QUIT). State-changing commands go
 // through mutate, which pairs their apply+log atomically against
 // checkpoints.
-func (s *Server) execute(cmd Command, w *bufio.Writer) (quit bool) {
+func (s *Server) execute(cmd Command, tr *xtrace.Trace, w *bufio.Writer) (quit bool) {
 	s.counters.Counter("commands_total").Inc()
 	if testPanic != nil {
 		testPanic(cmd)
@@ -349,6 +437,8 @@ func (s *Server) execute(cmd Command, w *bufio.Writer) (quit bool) {
 		err = s.cmdReplicaof(cmd, w)
 	case "SLOWLOG":
 		err = s.cmdSlowlog(cmd, w)
+	case "TRACE":
+		err = s.cmdTrace(cmd, w)
 	case "SKETCH.LIST":
 		s.writeList(w)
 	case "SKETCH.STATS":
@@ -358,19 +448,19 @@ func (s *Server) execute(cmd Command, w *bufio.Writer) (quit bool) {
 	case "SKETCH.CREATE":
 		if err = s.writeGate(); err == nil {
 			if err = s.allocGate(); err == nil {
-				err = s.mutate(func() error { return s.cmdCreate(cmd, w) })
+				err = s.mutateTraced(tr, func() error { return s.cmdCreate(cmd, tr, w) })
 				s.evalOverload()
 			}
 		}
 	case "SKETCH.DROP":
 		if err = s.writeGate(); err == nil {
-			err = s.mutate(func() error { return s.cmdDrop(cmd, w) })
+			err = s.mutateTraced(tr, func() error { return s.cmdDrop(cmd, tr, w) })
 			s.evalOverload()
 		}
 	case "SKETCH.INSERT":
 		if err = s.writeGate(); err == nil {
 			if err = s.insertGate(); err == nil {
-				err = s.mutate(func() error { return s.cmdInsert(cmd, w) })
+				err = s.mutateTraced(tr, func() error { return s.cmdInsert(cmd, tr, w) })
 			}
 		}
 	case "SKETCH.QUERY":
@@ -392,8 +482,21 @@ func (s *Server) execute(cmd Command, w *bufio.Writer) (quit bool) {
 	if err != nil {
 		s.counters.Counter("errors_total").Inc()
 		writeError(w, err.Error())
+		tr.SetError() // nil-safe; errored traces are pinned in the ring
 	}
 	return false
+}
+
+// mutateTraced is mutate with a span around the whole mutation —
+// sketch apply plus WAL append — when the command is sampled.
+func (s *Server) mutateTraced(tr *xtrace.Trace, fn func() error) error {
+	if tr == nil {
+		return s.mutate(fn)
+	}
+	sp := tr.StartSpan("mutate")
+	err := s.mutate(fn)
+	sp.End()
+	return err
 }
 
 // wantArgs checks the argument count: exactly n when variadic is
@@ -405,7 +508,7 @@ func wantArgs(cmd Command, n int, variadic bool, usage string) error {
 	return fmt.Errorf("%s: want %s", cmd.Name, usage)
 }
 
-func (s *Server) cmdCreate(cmd Command, w *bufio.Writer) error {
+func (s *Server) cmdCreate(cmd Command, tr *xtrace.Trace, w *bufio.Writer) error {
 	if err := wantArgs(cmd, 2, true, "name kind [param=value ...]"); err != nil {
 		return err
 	}
@@ -422,28 +525,28 @@ func (s *Server) cmdCreate(cmd Command, w *bufio.Writer) error {
 	}
 	// The record keeps the original parameter tokens, so replay builds
 	// an identical sketch through the same constructor.
-	if err := s.walAppend("SKETCH.CREATE " + strings.Join(cmd.Args, " ")); err != nil {
+	if err := s.walAppend("SKETCH.CREATE "+strings.Join(cmd.Args, " "), tr); err != nil {
 		return err
 	}
 	writeSimple(w, "OK")
 	return nil
 }
 
-func (s *Server) cmdDrop(cmd Command, w *bufio.Writer) error {
+func (s *Server) cmdDrop(cmd Command, tr *xtrace.Trace, w *bufio.Writer) error {
 	if err := wantArgs(cmd, 1, false, "name"); err != nil {
 		return err
 	}
 	if err := s.reg.Drop(cmd.Args[0]); err != nil {
 		return err
 	}
-	if err := s.walAppend("SKETCH.DROP " + cmd.Args[0]); err != nil {
+	if err := s.walAppend("SKETCH.DROP "+cmd.Args[0], tr); err != nil {
 		return err
 	}
 	writeSimple(w, "OK")
 	return nil
 }
 
-func (s *Server) cmdInsert(cmd Command, w *bufio.Writer) error {
+func (s *Server) cmdInsert(cmd Command, tr *xtrace.Trace, w *bufio.Writer) error {
 	if err := wantArgs(cmd, 2, true, "name key [key ...]"); err != nil {
 		return err
 	}
@@ -466,7 +569,7 @@ func (s *Server) cmdInsert(cmd Command, w *bufio.Writer) error {
 			sb.WriteByte(' ')
 			sb.WriteString(strconv.FormatUint(k, 10))
 		}
-		if err := s.walAppend(sb.String()); err != nil {
+		if err := s.walAppend(sb.String(), tr); err != nil {
 			return err
 		}
 	} else {
@@ -614,9 +717,16 @@ func (s *Server) cmdSlowlog(cmd Command, w *bufio.Writer) error {
 		}
 		lines := make([]string, len(entries))
 		for i, e := range entries {
-			lines[i] = fmt.Sprintf("id=%d time=%s duration_us=%d addr=%s command=%q",
+			// trace= links the entry to TRACE GET <id>; "-" means the
+			// command was not sampled. Slow traces are pinned in the
+			// trace ring, so the id usually still resolves.
+			tid := "-"
+			if e.TraceID != 0 {
+				tid = xtrace.FormatID(e.TraceID)
+			}
+			lines[i] = fmt.Sprintf("id=%d time=%s duration_us=%d addr=%s trace=%s command=%q",
 				e.ID, e.Time.UTC().Format("2006-01-02T15:04:05.000Z"),
-				e.Duration.Microseconds(), e.RemoteAddr, e.Command)
+				e.Duration.Microseconds(), e.RemoteAddr, tid, e.Command)
 		}
 		writeArray(w, lines)
 	case "LEN":

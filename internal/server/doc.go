@@ -103,10 +103,17 @@
 //	SLOWLOG [GET [n] | LEN | RESET]
 //	    The slow-query ring (armed by Config.SlowThreshold / shed
 //	    -slow-ms; empty otherwise). GET returns up to n entries newest
-//	    first, one +id=... time=... duration_us=... addr=...
+//	    first, one +id=... time=... duration_us=... addr=... trace=...
 //	    command="..." line each (addr is the client that ran the
-//	    command); LEN replies :n; RESET clears the ring (+OK) without
-//	    reusing IDs.
+//	    command; trace is the request-trace ID when the command was
+//	    sampled, else "-"); LEN replies :n; RESET clears the ring (+OK)
+//	    without reusing IDs.
+//	TRACE GET [<id> | SLOWEST [n]] | TRACE SAMPLE [n] | TRACE RESET
+//	    The request-trace ring (see # Request tracing). GET returns the
+//	    retained traces newest first, one +JSON line each; GET <id>
+//	    returns that trace or -ERR; GET SLOWEST n the n longest. SAMPLE
+//	    reads (:n) or sets (+OK) the sampling rate — trace 1 in n
+//	    commands, 0 disables. RESET clears the ring.
 //
 // Example session (nc localhost 6380):
 //
@@ -252,6 +259,22 @@
 //	she_overload_refused_creates,                     OOM refusals, -ERR
 //	she_overload_busy_rejects,                        BUSY rejects, shed
 //	she_overload_slowlog_dropped                      slowlog entries
+//	she_wal_append_seconds                   histogram  per-record WAL
+//	                                                    append (buffer+write)
+//	                                                    cost, no fsync
+//	she_trace_sample_every,                  gauge    tracing config and
+//	she_trace_retained, she_trace_pinned              ring occupancy
+//	she_trace_sampled_total,                 counter  traces started,
+//	she_trace_joined_total,                           joined from a
+//	she_trace_finished_total,                         primary's REC frame,
+//	she_trace_evicted_total                           finished, evicted
+//	she_trace_exemplar_seconds               gauge    latest sampled
+//	{verb,trace_id}                                   duration per verb —
+//	                                                  an exemplar linking
+//	                                                  she_command_seconds
+//	                                                  to a TRACE GET id
+//	she_build_info{version,go_version}       gauge    constant 1; build
+//	                                                  identification
 //	go_goroutines, go_memstats_*             gauge    Go runtime
 //
 // Command timing is engineered to be effectively free: a TSC-based
@@ -264,6 +287,33 @@
 // Commands at or above Config.SlowThreshold additionally land in the
 // slow-query ring served by SLOWLOG. Structured logs (logfmt) go to
 // the configured obslog logger.
+//
+// # Request tracing
+//
+// Config.TraceSample > 0 (shed -trace-sample) arms sampled end-to-end
+// request tracing (internal/obs/xtrace): 1 in every TraceSample
+// commands gets a trace — a 64-bit ID plus named spans covering the
+// whole life of the command. On a durable, replicated primary an
+// INSERT's trace carries parse, execute, mutate, wal_append,
+// fsync_wait (group-commit fsync), replack_wait (semi-sync replica
+// ack), repl_ship (record written to the replica stream) and replack
+// (the follower's acknowledgement round-trip). The primary stamps the
+// trace ID onto the sampled record's REC frame, and the follower
+// joins the SAME trace — regardless of its own sampling rate — adding
+// apply and commit_fsync spans, so TRACE GET <id> on each node
+// returns the two halves of one distributed trace. Unsampled REC
+// frames are byte-identical to the pre-tracing wire format, so mixed
+// versions interoperate.
+//
+// Finished traces land in a bounded ring (Config.TraceRing, default
+// 256); errored and slow (≥10ms) traces are evicted last, so the
+// interesting traces survive churn. TRACE GET renders them as JSON;
+// SLOWLOG entries carry trace=<id> for sampled commands, and the
+// she_trace_exemplar_seconds{verb,trace_id} gauges link the per-verb
+// latency histograms to a concrete retained trace. The unsampled path
+// costs one atomic add per command, measured against the same < 5%
+// benchsmoke budget as the histograms (BenchmarkServerInsertTrace,
+// 1-in-256 sampling).
 //
 // # Accuracy auditing
 //

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"she/internal/failfs"
+	"she/internal/obs/xtrace"
 	"she/internal/wal"
 )
 
@@ -31,6 +32,7 @@ func (s *Server) recoverWAL() error {
 		FS:                s.fs,
 		SegmentBytes:      segBytes,
 		SyncLatency:       s.walSyncHist,
+		AppendLatency:     s.walAppendHist,
 		CheckpointLatency: s.walChkHist,
 	})
 	if err != nil {
@@ -124,11 +126,28 @@ func (s *Server) applyRecord(rec []byte) error {
 // walAppend logs one applied mutation. The record is only durable —
 // and the client only acknowledged — after the commit-time Sync; see
 // Server.commit.
-func (s *Server) walAppend(line string) error {
+//
+// A sampled command (tr != nil) takes the position-returning append,
+// gets a wal_append span, and registers the record-end position in
+// the ship table so the replication stream can stamp the trace ID
+// onto the REC frame and continue the trace on the follower.
+func (s *Server) walAppend(line string, tr *xtrace.Trace) error {
 	if s.wal == nil {
 		return nil
 	}
-	if err := s.wal.Append([]byte(line)); err != nil {
+	var err error
+	if tr != nil {
+		sp := tr.StartSpan("wal_append")
+		var pos wal.Cursor
+		pos, err = s.wal.AppendPos([]byte(line))
+		sp.End()
+		if err == nil {
+			s.ship.put(pos, tr)
+		}
+	} else {
+		err = s.wal.Append([]byte(line))
+	}
+	if err != nil {
 		s.counters.Counter("wal_errors").Inc()
 		return err
 	}

@@ -5,11 +5,24 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"runtime/debug"
+	"sync"
 	"time"
 
 	"she/internal/audit"
 	"she/internal/obs"
 )
+
+// buildInfo resolves the she_build_info label values once: the main
+// module version from the embedded build info ("(devel)" or unknown
+// for untagged builds) and the Go toolchain that compiled the binary.
+var buildInfo = sync.OnceValues(func() (version, goVersion string) {
+	version = "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	return version, runtime.Version()
+})
 
 // metricsHandler serves Prometheus text exposition (format version
 // 0.0.4) on the debug listener: operational counters, per-verb command
@@ -22,6 +35,11 @@ func (s *Server) metricsHandler(w http.ResponseWriter, _ *http.Request) {
 	p := obs.NewPromWriter(&buf)
 
 	p.Gauge("she_uptime_seconds", "", time.Since(s.start).Seconds())
+	// Constant-1 info gauge: the labels carry the build identity, the
+	// standard Prometheus idiom for joining version onto other series.
+	version, goVersion := buildInfo()
+	p.Gauge("she_build_info", fmt.Sprintf("version=%q,go_version=%q",
+		obs.EscapeLabel(version), obs.EscapeLabel(goVersion)), 1)
 
 	// Operational counters, one family each. Untyped, not counter: a
 	// metrics.Counter doubles as a gauge (connections_active, wal_bytes
@@ -39,6 +57,7 @@ func (s *Server) metricsHandler(w http.ResponseWriter, _ *http.Request) {
 			p.Histogram("she_command_seconds", labels, s.verbHist[i].Snapshot())
 		}
 		p.Histogram("she_wal_fsync_seconds", "", s.walSyncHist.Snapshot())
+		p.Histogram("she_wal_append_seconds", "", s.walAppendHist.Snapshot())
 		p.Histogram("she_wal_checkpoint_seconds", "", s.walChkHist.Snapshot())
 	}
 
@@ -78,6 +97,7 @@ func (s *Server) metricsHandler(w http.ResponseWriter, _ *http.Request) {
 	s.writeAuditMetrics(p, infos)
 	s.writeReplMetrics(p)
 	s.writeOverloadMetrics(p)
+	s.writeTraceMetrics(p)
 
 	p.Gauge("go_goroutines", "", float64(runtime.NumGoroutine()))
 	var ms runtime.MemStats

@@ -37,7 +37,7 @@ func TestSlowlogCommand(t *testing.T) {
 		t.Fatalf("SLOWLOG LEN = %d (err %v), want >= 2", n, err)
 	}
 
-	entryRe := regexp.MustCompile(`^id=\d+ time=\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z duration_us=\d+ addr=\S+ command=".+"$`)
+	entryRe := regexp.MustCompile(`^id=\d+ time=\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z duration_us=\d+ addr=\S+ trace=(-|[0-9a-f]{16}) command=".+"$`)
 	entries := c.array("SLOWLOG GET")
 	if len(entries) < 2 {
 		t.Fatalf("SLOWLOG GET = %v", entries)

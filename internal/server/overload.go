@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"she/internal/audit"
+	"she/internal/obs/xtrace"
 )
 
 // Overload protection: a tracked memory budget and an explicit
@@ -332,10 +333,10 @@ func (ad *admission) await(timeout time.Duration, done <-chan struct{}) (ok, qui
 // across all connections; a command that cannot get a slot within the
 // command timeout is answered -ERR BUSY instead of queueing without
 // bound.
-func (s *Server) admitExecute(cmd Command, w *bufio.Writer) (quit bool) {
+func (s *Server) admitExecute(cmd Command, tr *xtrace.Trace, w *bufio.Writer) (quit bool) {
 	ad := s.admit
 	if ad == nil {
-		return s.safeExecute(cmd, w)
+		return s.safeExecute(cmd, tr, w)
 	}
 	if !ad.tryAcquire() {
 		ok, quit := ad.await(s.commandTimeout(), s.done)
@@ -349,5 +350,5 @@ func (s *Server) admitExecute(cmd Command, w *bufio.Writer) (quit bool) {
 		}
 	}
 	defer ad.release()
-	return s.safeExecute(cmd, w)
+	return s.safeExecute(cmd, tr, w)
 }

@@ -2,13 +2,17 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"net"
 	"path/filepath"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"she/internal/obs"
+	"she/internal/obs/xtrace"
 	"she/internal/repl"
 	"she/internal/wal"
 )
@@ -85,7 +89,7 @@ func (s *Server) startReplication(addr string) error {
 		Logf: func(format string, args ...any) {
 			s.logger.Info(fmt.Sprintf(format, args...))
 		},
-	}, replTarget{s})
+	}, &replTarget{s: s})
 	s.follower = f
 	s.replMu.Unlock()
 	if old != nil {
@@ -324,10 +328,70 @@ func (s *Server) attachReplica(w *bufio.Writer, id string, cursor wal.Cursor) (*
 	return rep, nil
 }
 
+// pendingAck is a shipped traced record awaiting the follower's
+// REPLACK: the replack span runs from the ship flush to the ack that
+// covers the record's end position.
+type pendingAck struct {
+	seg    uint64
+	off    int64
+	shipNs int64
+	tr     *xtrace.Trace
+}
+
+// ackSpanCap bounds one replication session's pending replack spans;
+// past it the oldest span is dropped (its trace simply lacks a
+// replack span) rather than growing against a mute follower.
+const ackSpanCap = 512
+
+// ackSpans tracks shipped-but-unacked traced records for one
+// replication session. The stream loop adds, the session's ack
+// goroutine completes; the atomic count keeps the ack hot path free
+// of the lock while no traces are in flight.
+type ackSpans struct {
+	n       atomic.Int64
+	mu      sync.Mutex
+	pending []pendingAck
+}
+
+func (a *ackSpans) add(end wal.Cursor, shipNs int64, tr *xtrace.Trace) {
+	a.mu.Lock()
+	if len(a.pending) >= ackSpanCap {
+		a.pending = a.pending[1:]
+		a.n.Add(-1)
+	}
+	a.pending = append(a.pending, pendingAck{seg: end.Seg, off: end.Off, shipNs: shipNs, tr: tr})
+	a.n.Add(1)
+	a.mu.Unlock()
+}
+
+// complete closes the replack span of every pending record at or
+// before the acknowledged position. Generations are ignored for the
+// same reason the ship table ignores them: they can advance across a
+// checkpoint while segment numbering keeps rising.
+func (a *ackSpans) complete(ack wal.Cursor) {
+	if a.n.Load() == 0 {
+		return
+	}
+	now := obs.Nanotime()
+	a.mu.Lock()
+	kept := a.pending[:0]
+	for _, p := range a.pending {
+		if p.seg < ack.Seg || (p.seg == ack.Seg && p.off <= ack.Off) {
+			p.tr.AddSpan("replack", p.shipNs, now)
+			a.n.Add(-1)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	a.pending = kept
+	a.mu.Unlock()
+}
+
 // streamToReplica tails the WAL into the connection until it dies or
 // the server stops. A concurrent goroutine consumes the follower's
 // REPLACK lines into the tracker; it exits when the connection closes.
 func (s *Server) streamToReplica(conn net.Conn, r *bufio.Reader, w *bufio.Writer, rep *repl.Replica) error {
+	acks := &ackSpans{}
 	ackErr := make(chan error, 1)
 	go func() {
 		for {
@@ -353,6 +417,7 @@ func (s *Server) streamToReplica(conn net.Conn, r *bufio.Reader, w *bufio.Writer
 				return
 			}
 			rep.Ack(c, recs, bytes)
+			acks.complete(c)
 		}
 	}()
 
@@ -370,14 +435,35 @@ func (s *Server) streamToReplica(conn net.Conn, r *bufio.Reader, w *bufio.Writer
 		}
 		if len(recs) > 0 {
 			var payloadBytes uint64
+			// shipped collects this batch's traced records; the ship span
+			// covers first write through flush, and the trace ID rides the
+			// REC frame so the follower joins the same trace. Clock reads
+			// and span work only happen when the ship table has entries.
+			var shipped []pendingAck
+			var shipStartNs int64
 			for _, rec := range recs {
-				if err := repl.WriteRecord(w, rec.End, rec.Payload); err != nil {
+				var tid uint64
+				if tr := s.ship.lookup(rec.End); tr != nil {
+					if shipStartNs == 0 {
+						shipStartNs = obs.Nanotime()
+					}
+					tid = tr.ID()
+					shipped = append(shipped, pendingAck{seg: rec.End.Seg, off: rec.End.Off, tr: tr})
+				}
+				if err := repl.WriteRecord(w, rec.End, rec.Payload, tid); err != nil {
 					return err
 				}
 				payloadBytes += uint64(len(rec.Payload))
 			}
 			if err := s.flush(conn, w); err != nil {
 				return err
+			}
+			if len(shipped) > 0 {
+				endNs := obs.Nanotime()
+				for _, sh := range shipped {
+					sh.tr.AddSpan("repl_ship", shipStartNs, endNs)
+					acks.add(wal.Cursor{Seg: sh.seg, Off: sh.off}, endNs, sh.tr)
+				}
 			}
 			rep.NoteSent(uint64(len(recs)), payloadBytes)
 			cursor = next
@@ -444,12 +530,19 @@ func (s *Server) isDone() bool {
 // crash-safe — after a crash with the primary also gone, restarting
 // it without -replicaof recovers every acknowledged record from its
 // own log.
-type replTarget struct{ s *Server }
+//
+// open holds the joined traces of the current replication batch —
+// records applied but not yet made durable by Commit. Only the one
+// follower goroutine touches it, so no lock.
+type replTarget struct {
+	s    *Server
+	open []*xtrace.Trace
+}
 
 // BeginFullSync wipes local state: the registry empties and a forced
 // checkpoint truncates the local WAL to an empty generation, so
 // nothing stale survives alongside the incoming snapshot.
-func (t replTarget) BeginFullSync() error {
+func (t *replTarget) BeginFullSync() error {
 	s := t.s
 	s.chkMu.Lock()
 	defer s.chkMu.Unlock()
@@ -458,7 +551,7 @@ func (t replTarget) BeginFullSync() error {
 }
 
 // SnapshotFile loads one streamed snapshot into the registry.
-func (t replTarget) SnapshotFile(name string, data []byte) error {
+func (t *replTarget) SnapshotFile(name string, data []byte) error {
 	if !ValidName(name) {
 		return fmt.Errorf("invalid snapshot name %q", name)
 	}
@@ -473,7 +566,7 @@ func (t replTarget) SnapshotFile(name string, data []byte) error {
 // EndFullSync checkpoints the bootstrapped state, so the replica's own
 // recovery starts from the transferred snapshot rather than an empty
 // log.
-func (t replTarget) EndFullSync(start wal.Cursor) error {
+func (t *replTarget) EndFullSync(start wal.Cursor) error {
 	s := t.s
 	s.chkMu.Lock()
 	defer s.chkMu.Unlock()
@@ -483,14 +576,35 @@ func (t replTarget) EndFullSync(start wal.Cursor) error {
 // Apply replays one record exactly as crash recovery would, and logs
 // it to the replica's own WAL under the shared checkpoint lock — the
 // same apply-then-log pairing a client mutation gets.
-func (t replTarget) Apply(payload []byte) error {
+//
+// A non-zero tid means the primary sampled this record's command:
+// the replica joins the same trace — regardless of its own sampling
+// rate — so TRACE GET <id> resolves on both nodes, and records an
+// apply span here plus a commit_fsync span when the batch commits.
+func (t *replTarget) Apply(payload []byte, tid uint64) error {
 	s := t.s
+	tr := s.tracer.Join(tid)
+	var sp xtrace.Span
+	if tr != nil {
+		tr.SetVerb(payloadVerb(payload))
+		tr.SetRemote(s.primaryAddr())
+		sp = tr.StartSpan("apply")
+	}
 	err := s.mutate(func() error {
 		if err := s.applyRecord(payload); err != nil {
 			return err
 		}
-		return s.walAppend(string(payload))
+		return s.walAppend(string(payload), nil)
 	})
+	if tr != nil {
+		sp.End()
+		if err != nil {
+			tr.SetError()
+			tr.Finish()
+		} else {
+			t.open = append(t.open, tr)
+		}
+	}
 	if err == nil {
 		s.counters.Counter("repl_applied_records").Inc()
 	}
@@ -499,13 +613,40 @@ func (t replTarget) Apply(payload []byte) error {
 
 // Commit fsyncs the replica's WAL; only then does the follower
 // acknowledge, which is what lets the primary's semi-synchronous
-// commit treat an ack as "survives the replica crashing too".
-func (t replTarget) Commit(cursor wal.Cursor) error {
-	if err := t.s.wal.Sync(); err != nil {
+// commit treat an ack as "survives the replica crashing too". Joined
+// traces finish here: the ack about to go out is the event the
+// primary's replack span measures.
+func (t *replTarget) Commit(cursor wal.Cursor) error {
+	var syncStartNs int64
+	if len(t.open) > 0 {
+		syncStartNs = obs.Nanotime()
+	}
+	err := t.s.wal.Sync()
+	if len(t.open) > 0 {
+		endNs := obs.Nanotime()
+		for _, tr := range t.open {
+			tr.AddSpan("commit_fsync", syncStartNs, endNs)
+			if err != nil {
+				tr.SetError()
+			}
+			tr.Finish()
+		}
+		t.open = t.open[:0]
+	}
+	if err != nil {
 		return err
 	}
 	t.s.maybeCheckpoint()
 	return nil
+}
+
+// payloadVerb extracts a replicated record's command verb for the
+// joined trace's verb field.
+func payloadVerb(payload []byte) string {
+	if i := bytes.IndexByte(payload, ' '); i > 0 {
+		return string(payload[:i])
+	}
+	return string(payload)
 }
 
 // writeReplMetrics renders the she_repl_* families: role, per-replica

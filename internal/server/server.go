@@ -19,6 +19,7 @@ import (
 	"she/internal/metrics"
 	"she/internal/obs"
 	obslog "she/internal/obs/log"
+	"she/internal/obs/xtrace"
 	"she/internal/repl"
 	"she/internal/wal"
 )
@@ -95,6 +96,20 @@ type Config struct {
 	// histograms (and their clock reads). The comparative benchmark
 	// measures exactly this switch; production servers leave it off.
 	DisableHistograms bool
+	// TraceSample enables request tracing: one command in every
+	// TraceSample gets a Dapper-style trace with child spans for
+	// parse, mutation, WAL append, group-commit fsync, replication
+	// ship and the follower's apply — cross-node, because the sampled
+	// trace ID rides the replicated record. Retained traces are served
+	// by the TRACE verb family and summarized as she_trace_* metrics.
+	// 0 disables root sampling (the per-command cost is one atomic
+	// load); TRACE SAMPLE changes the rate at runtime, and a replica
+	// joins primary-sampled traces regardless of its own rate.
+	TraceSample int
+	// TraceRing bounds retained completed traces; slow or failed
+	// traces are pinned preferentially when the ring evicts.
+	// 0 = 256 entries.
+	TraceRing int
 	// ReplicaOf starts the server as a replica of the given primary
 	// address ("host:port"): it full-syncs from the primary's latest
 	// checkpoint, tails its WAL, serves reads, and refuses client
@@ -173,8 +188,25 @@ type Server struct {
 	// without a WAL or with histograms disabled.
 	walSyncHist *obs.Histogram
 	walChkHist  *obs.Histogram
-	slow        *obs.SlowLog
-	logger      *obslog.Logger
+	// walAppendHist times WAL appends (no fsync); nil with histograms
+	// disabled.
+	walAppendHist *obs.Histogram
+	slow          *obs.SlowLog
+	logger        *obslog.Logger
+
+	// tracer owns request-trace sampling and retention. Always
+	// non-nil: TRACE SAMPLE can enable tracing at runtime and a
+	// replica joins primary traces even with local sampling off.
+	tracer *xtrace.Tracer
+	// ship correlates a WAL append position with the sampled trace
+	// that produced it, so the replication stream can stamp the REC
+	// frame and record ship/ack spans.
+	ship shipTable
+	// exemplars holds, per verb, the most recent sampled command's
+	// trace ID and duration — the histogram-to-trace link exported as
+	// she_trace_exemplar_seconds. Indexed like verbHist; nil when
+	// histograms are disabled.
+	exemplars []atomic.Pointer[traceExemplar]
 
 	ln        net.Listener
 	debugLn   net.Listener
@@ -221,7 +253,7 @@ var commandVerbs = []string{
 	"SKETCH.LIST", "SKETCH.CREATE", "SKETCH.DROP", "SKETCH.INSERT",
 	"SKETCH.QUERY", "SKETCH.CARD", "SKETCH.STATS", "SKETCH.AUDIT",
 	"SKETCH.SAVE", "SKETCH.LOAD",
-	"ROLE", "REPLICAOF", "REPLCONF", "PSYNC",
+	"ROLE", "REPLICAOF", "REPLCONF", "PSYNC", "TRACE",
 	"OTHER",
 }
 
@@ -267,8 +299,10 @@ func verbIndex(name string) int {
 		return 16
 	case "PSYNC":
 		return 17
+	case "TRACE":
+		return 18
 	default:
-		return 18 // OTHER
+		return 19 // OTHER
 	}
 }
 
@@ -317,15 +351,31 @@ func New(cfg Config) *Server {
 		}
 		s.walSyncHist = &obs.Histogram{}
 		s.walChkHist = &obs.Histogram{}
+		s.walAppendHist = &obs.Histogram{}
+		s.exemplars = make([]atomic.Pointer[traceExemplar], len(commandVerbs))
 	}
+	// The seed keeps two nodes started in the same process (tests) or
+	// at the same wall instant from minting colliding trace IDs.
+	s.tracer = xtrace.New(xtrace.Config{
+		SampleEvery: cfg.TraceSample,
+		RingSize:    cfg.TraceRing,
+		Seed:        uint64(time.Now().UnixNano()) ^ uint64(traceSeedSalt.Add(0x9e3779b97f4a7c15)),
+	})
 	return s
 }
+
+// traceSeedSalt differentiates tracer seeds minted in the same
+// nanosecond (servers started in one test binary).
+var traceSeedSalt atomic.Uint64
 
 // Registry exposes the sketch registry (tests, embedders).
 func (s *Server) Registry() *Registry { return s.reg }
 
 // Counters exposes the operational counters.
 func (s *Server) Counters() *metrics.CounterSet { return s.counters }
+
+// Tracer exposes the request tracer (tests, embedders).
+func (s *Server) Tracer() *xtrace.Tracer { return s.tracer }
 
 // Start binds the listeners, restores autosaved sketches, and begins
 // serving in background goroutines. It returns once the addresses are

@@ -48,6 +48,11 @@ type Options struct {
 	// Fsync is where group-commit latency lives, so this is the
 	// histogram to watch for ack-latency regressions.
 	SyncLatency *obs.Histogram
+	// AppendLatency, when non-nil, records the duration of every
+	// Append (frame encode + buffered segment write, no fsync). Spikes
+	// here mean segment rotation or a stalled page cache, distinct
+	// from the fsync cost SyncLatency captures.
+	AppendLatency *obs.Histogram
 	// CheckpointLatency, when non-nil, records the duration of each
 	// successful Checkpoint (snapshot write + manifest publish +
 	// cleanup).
@@ -105,6 +110,7 @@ type Log struct {
 	segBytes int64
 	syncLat  *obs.Histogram // nil-safe: Observe on nil is a no-op
 	chkLat   *obs.Histogram
+	appLat   *obs.Histogram
 
 	mu          sync.Mutex
 	f           failfs.File
@@ -270,6 +276,7 @@ scan:
 		segBytes: segBytes,
 		syncLat:  opts.SyncLatency,
 		chkLat:   opts.CheckpointLatency,
+		appLat:   opts.AppendLatency,
 		active:   next,
 		since:    since,
 		gen:      gen,
@@ -335,34 +342,50 @@ func (l *Log) removeDir(dir string) {
 // operation it describes may be acknowledged — only after a subsequent
 // Sync returns nil.
 func (l *Log) Append(payload []byte) error {
+	_, err := l.AppendPos(payload)
+	return err
+}
+
+// AppendPos is Append returning the cursor just past the appended
+// record — the same position a tail reader's ReadFrom reports as that
+// record's End, so callers can correlate an append with its later
+// replication (request tracing keys its ship table on this).
+func (l *Log) AppendPos(payload []byte) (Cursor, error) {
 	if len(payload) == 0 || len(payload) > MaxRecordBytes {
-		return fmt.Errorf("wal: record of %d bytes out of range", len(payload))
+		return Cursor{}, fmt.Errorf("wal: record of %d bytes out of range", len(payload))
+	}
+	var start time.Time
+	if l.appLat != nil {
+		start = time.Now()
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.failed != nil {
-		return l.failed
+		return Cursor{}, l.failed
 	}
 	if l.f == nil {
-		return ErrClosed
+		return Cursor{}, ErrClosed
 	}
 	frame := EncodeRecord(make([]byte, 0, recordHeaderLen+len(payload)), payload)
 	if l.activeBytes > 0 && l.activeBytes+int64(len(frame)) > l.segBytes {
 		if err := l.rotateLocked(); err != nil {
 			l.failed = err
-			return err
+			return Cursor{}, err
 		}
 	}
 	if _, err := l.f.Write(frame); err != nil {
 		// A partial frame may be on disk; recovery truncates it as a
 		// torn tail. In-process, durability is no longer provable.
 		l.failed = fmt.Errorf("wal: append: %w", err)
-		return l.failed
+		return Cursor{}, l.failed
 	}
 	l.activeBytes += int64(len(frame))
 	l.since += int64(len(frame))
 	l.dirty = true
-	return nil
+	if l.appLat != nil {
+		l.appLat.Observe(time.Since(start))
+	}
+	return Cursor{Gen: l.gen, Seg: l.active, Off: l.activeBytes}, nil
 }
 
 // syncActiveLocked fsyncs the active segment, feeding the latency

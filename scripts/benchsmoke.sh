@@ -26,6 +26,10 @@
 #          evaluation ticker and admission control on, budget never
 #          approached) vs BenchmarkServerInsert — what overload
 #          protection costs a healthy server (PR 7's budget).
+#   trace: BenchmarkServerInsertTrace (request tracing sampling 1 in
+#          256 commands end to end) vs BenchmarkServerInsert — what
+#          tracing costs at the production-recommended rate; the 255
+#          unsampled commands pay one atomic add each (PR 8's budget).
 #
 # Also records the plain multi-connection saturation figure
 # (BenchmarkServerInsertSaturate, no WAL) alongside the single-
@@ -44,7 +48,7 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-1x}"
 MAX_OVERHEAD_PCT="${MAX_OVERHEAD_PCT:-5}"
 MAX_REPL_OVERHEAD_PCT="${MAX_REPL_OVERHEAD_PCT:-60}"
-OUT="${OUT:-BENCH_PR5.json}"
+OUT="${OUT:-BENCH_PR8.json}"
 PAIRS="${PAIRS:-3}"
 if [ "$BENCHTIME" = "1x" ]; then
   PAIRS=1
@@ -87,6 +91,7 @@ compare() {
 compare obs BenchmarkServerInsert BenchmarkServerInsertNoObs
 compare audit BenchmarkServerInsertAudit BenchmarkServerInsert
 compare over BenchmarkServerInsertOverload BenchmarkServerInsert
+compare trace BenchmarkServerInsertTrace BenchmarkServerInsert
 compare repl BenchmarkServerInsertSaturateRepl BenchmarkServerInsertSaturateWAL
 
 saturate=$(run_bench BenchmarkServerInsertSaturate)
@@ -129,6 +134,14 @@ cat > "$OUT" <<EOF
     "overhead_pct_per_pair": [$over_overheads],
     "overhead_pct": $over_overhead_med
   },
+  "trace": {
+    "benchmark": "BenchmarkServerInsertTrace vs BenchmarkServerInsert",
+    "trace_sample": 256,
+    "trace_enabled_inserts_per_sec": $trace_variant_med,
+    "trace_disabled_inserts_per_sec": $trace_base_med,
+    "overhead_pct_per_pair": [$trace_overheads],
+    "overhead_pct": $trace_overhead_med
+  },
   "repl": {
     "benchmark": "BenchmarkServerInsertSaturateRepl vs BenchmarkServerInsertSaturateWAL",
     "connections": 8,
@@ -140,13 +153,13 @@ cat > "$OUT" <<EOF
   }
 }
 EOF
-echo "benchsmoke: obs overhead=${obs_overhead_med}% audit overhead=${audit_overhead_med}% over overhead=${over_overhead_med}% repl overhead=${repl_overhead_med}% (wrote $OUT)"
+echo "benchsmoke: obs overhead=${obs_overhead_med}% audit overhead=${audit_overhead_med}% over overhead=${over_overhead_med}% trace overhead=${trace_overhead_med}% repl overhead=${repl_overhead_med}% (wrote $OUT)"
 
 if [ "$BENCHTIME" = "1x" ]; then
   echo "benchsmoke: BENCHTIME=1x smoke run; skipping the overhead assertions"
   exit 0
 fi
-for label in obs audit over; do
+for label in obs audit over trace; do
   med_var="${label}_overhead_med"
   awk -v o="${!med_var}" -v max="$MAX_OVERHEAD_PCT" 'BEGIN { exit !(o <= max) }' || {
     echo "benchsmoke: $label overhead ${!med_var}% exceeds ${MAX_OVERHEAD_PCT}%" >&2
