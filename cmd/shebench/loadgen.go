@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// loadgen drives a live shed instance with the batch insert workload:
+// several pipelining connections, each sending MINSERT lines carrying
+// batchKeys decimal keys, and reports aggregate inserts/sec. It is the
+// wire-level counterpart of BenchmarkServerInsertSaturate — same
+// workload shape, but against a real deployment instead of an
+// in-process server, so the number includes the production network
+// stack and whatever durability/replication config the target runs.
+//
+// The generator creates (or reuses) a bloom sketch named
+// "shebench_load" on the target and leaves it behind, so repeated runs
+// are comparable; drop it with SKETCH.DROP when done.
+func loadgen(addr string, conns, batchKeys int, dur time.Duration) error {
+	if conns <= 0 || batchKeys <= 0 {
+		return fmt.Errorf("loadgen: conns and batch must be positive")
+	}
+	setup, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	sr := bufio.NewReader(setup)
+	fmt.Fprintf(setup, "SKETCH.CREATE shebench_load bloom bits=1048576 window=1048576 shards=8\n")
+	reply, err := sr.ReadString('\n')
+	setup.Close()
+	if err != nil {
+		return fmt.Errorf("loadgen: create: %w", err)
+	}
+	if reply != "+OK\n" && !strings.Contains(reply, "exists") {
+		return fmt.Errorf("loadgen: create: %s", strings.TrimSpace(reply))
+	}
+
+	const linesPerFlush = 64
+	var total atomic.Int64
+	deadline := time.Now().Add(dur)
+	errs := make(chan error, conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for id := 0; id < conns; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := net.Dial("tcp", addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			r := bufio.NewReaderSize(c, 64*1024)
+			w := bufio.NewWriterSize(c, 64*1024)
+			line := make([]byte, 0, 32+21*batchKeys)
+			key := uint64(id) * 1_000_000_000_000 // disjoint ranges per conn
+			for time.Now().Before(deadline) {
+				for l := 0; l < linesPerFlush; l++ {
+					line = append(line[:0], "MINSERT shebench_load"...)
+					for j := 0; j < batchKeys; j++ {
+						key++
+						line = append(line, ' ')
+						line = strconv.AppendUint(line, key, 10)
+					}
+					line = append(line, '\n')
+					if _, err := w.Write(line); err != nil {
+						errs <- err
+						return
+					}
+				}
+				if err := w.Flush(); err != nil {
+					errs <- err
+					return
+				}
+				for l := 0; l < linesPerFlush; l++ {
+					reply, err := r.ReadString('\n')
+					if err != nil || !strings.HasPrefix(reply, ":") {
+						errs <- fmt.Errorf("loadgen: reply %q, %v", strings.TrimSpace(reply), err)
+						return
+					}
+				}
+				total.Add(int64(linesPerFlush * batchKeys))
+			}
+		}(id)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	n := total.Load()
+	rate := float64(n) / elapsed.Seconds()
+	if jsonOut {
+		fmt.Printf(`{"experiment":"server","addr":%q,"conns":%d,"batch":%d,"seconds":%.2f,"inserts":%d,"inserts_per_sec":%.0f}`+"\n",
+			addr, conns, batchKeys, elapsed.Seconds(), n, rate)
+		return nil
+	}
+	fmt.Printf("server load: %d conns x MINSERT %d keys against %s\n", conns, batchKeys, addr)
+	fmt.Printf("  %d inserts in %v = %.0f inserts/sec\n", n, elapsed.Round(time.Millisecond), rate)
+	return nil
+}

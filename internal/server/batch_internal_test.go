@@ -1,0 +1,229 @@
+package server
+
+// Batch-engine tests that live inside the package: they drive
+// connBatch/tryFast directly (the allocation proof), compare the fast
+// tokenizer against the slow parser token by token (the equivalence
+// fuzz), and reach Abort for the crash-recovery replay of MINSERT
+// records.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"she/internal/failfs"
+)
+
+// mustSketch builds a small bloom sketch and registers it.
+func mustSketch(t *testing.T, s *Server, name string) *Sketch {
+	t.Helper()
+	sk, err := NewSketch("bloom", map[string]string{
+		"bits": "1048576", "window": "1048576", "shards": "4",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.reg.Put(name, sk)
+	return sk
+}
+
+// TestInsertDispatchZeroAlloc pins the batch engine's core promise:
+// after warm-up, handling an insert line allocates nothing — not in
+// the tokenizer, not in key parsing, not in the reply render, and not
+// in the WAL record build or batched append.
+func TestInsertDispatchZeroAlloc(t *testing.T) {
+	run := func(t *testing.T, cfg Config) float64 {
+		t.Helper()
+		cfg.Listen = "127.0.0.1:0"
+		s := New(cfg)
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer s.Abort()
+		mustSketch(t, s, "b")
+
+		batch := &connBatch{s: s}
+		bw := &syncWriter{s: s} // disarmed: commit-time sync is not the dispatch path
+		w := bufio.NewWriterSize(io.Discard, 32*1024)
+		var sb strings.Builder
+		sb.WriteString("MINSERT b")
+		for i := 0; i < 64; i++ {
+			fmt.Fprintf(&sb, " %d", 1_000_000+i)
+		}
+		line := []byte(sb.String())
+
+		return testing.AllocsPerRun(200, func() {
+			handled, vi, err := batch.tryFast(line, w, bw)
+			if !handled || vi != verbMinsert || err != nil {
+				t.Fatalf("tryFast = %v, %d, %v", handled, vi, err)
+			}
+			if err := batch.apply(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	t.Run("nowal", func(t *testing.T) {
+		if allocs := run(t, Config{}); allocs != 0 {
+			t.Fatalf("allocs/op = %g, want 0", allocs)
+		}
+	})
+	t.Run("wal", func(t *testing.T) {
+		if allocs := run(t, Config{WALDir: t.TempDir()}); allocs != 0 {
+			t.Fatalf("allocs/op = %g, want 0", allocs)
+		}
+	})
+}
+
+// TestVerbConsts pins the fast path's hard-coded verb indices to the
+// commandVerbs table TestVerbIndex mirrors.
+func TestVerbConsts(t *testing.T) {
+	if got := verbIndex("SKETCH.INSERT"); got != verbInsert {
+		t.Errorf("verbIndex(SKETCH.INSERT) = %d, want verbInsert = %d", got, verbInsert)
+	}
+	if got := verbIndex("MINSERT"); got != verbMinsert {
+		t.Errorf("verbIndex(MINSERT) = %d, want verbMinsert = %d", got, verbMinsert)
+	}
+}
+
+// FuzzFastParseEquivalence feeds arbitrary line bytes to the fast
+// tokenizer and, whenever it claims success, cross-checks every
+// decision against the slow path: same tokens as ParseCommand, same
+// key values as ParseKey, and no line the slow path rejects may be
+// accepted fast.
+func FuzzFastParseEquivalence(f *testing.F) {
+	f.Add([]byte("MINSERT flows 1 2 3"))
+	f.Add([]byte("sketch.insert flows 18446744073709551615 18446744073709551616"))
+	f.Add([]byte("MINSERT  flows\talice\vbob\fcarol\r"))
+	f.Add([]byte("MINSERT flows \x01"))
+	f.Add([]byte("MINSERT flows caf\xc3\xa9"))
+	f.Add([]byte(strings.Repeat(" 7", MaxArgs+2)))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		if len(line) > MaxLineBytes {
+			return
+		}
+		var toks [][]byte
+		toks, ok := splitFast(line, toks)
+		if !ok {
+			return // fast path declined; the slow path owns the line
+		}
+		cmd, err := ParseCommand(string(line))
+		if err != nil {
+			if err == ErrEmpty && len(toks) == 0 {
+				return
+			}
+			t.Fatalf("splitFast accepted %q but ParseCommand rejects: %v", line, err)
+		}
+		if len(toks) != 1+len(cmd.Args) {
+			t.Fatalf("token count: fast %d, slow %d (%q)", len(toks), 1+len(cmd.Args), line)
+		}
+		if !eqVerb(toks[0], strings.ToUpper(string(toks[0]))) {
+			t.Fatalf("eqVerb rejects a token's own upper-casing: %q", toks[0])
+		}
+		for i, arg := range cmd.Args {
+			tok := toks[i+1]
+			if string(tok) != arg {
+				t.Fatalf("token %d: fast %q, slow %q (%q)", i, tok, arg, line)
+			}
+			if got, want := parseKeyBytes(tok), ParseKey(arg); got != want {
+				t.Fatalf("key %q: fast %d, slow %d", arg, got, want)
+			}
+		}
+	})
+}
+
+// TestMinsertWALReplay: MINSERT batches survive a simulated kill -9
+// purely via their WAL records — the recovery path parses the same
+// MINSERT verb the batch engine logs.
+func TestMinsertWALReplay(t *testing.T) {
+	dir := t.TempDir()
+	s1 := startWAL(t, dir, nil, 0)
+	c := dialServer(t, s1)
+	c.must("SKETCH.CREATE flows bloom bits=65536 window=65536 shards=2", "+OK")
+	// Three pipelined batch shapes: a multi-key MINSERT, a full
+	// 127-key command (one record), and 150 keys for one sketch across
+	// two commands (chunked into two records at apply).
+	c.must("MINSERT flows 10 11 12", ":3")
+	var sb strings.Builder
+	sb.WriteString("MINSERT flows")
+	for i := 0; i < 127; i++ {
+		fmt.Fprintf(&sb, " %d", 1000+i)
+	}
+	c.must(sb.String(), ":127")
+	// Two pipelined commands land in one batch, so the sketch's group
+	// accumulates 160 keys — more than fit one record — and the apply
+	// chunks them into two MINSERT records.
+	sb.Reset()
+	sb.WriteString("MINSERT flows")
+	for i := 0; i < 100; i++ {
+		fmt.Fprintf(&sb, " %d", 2000+i)
+	}
+	sb.WriteString("\nMINSERT flows")
+	for i := 100; i < 160; i++ {
+		fmt.Fprintf(&sb, " %d", 2000+i)
+	}
+	sb.WriteString("\n")
+	if _, err := io.WriteString(c.conn, sb.String()); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{":100", ":60"} {
+		line, err := c.r.ReadString('\n')
+		if err != nil || strings.TrimSpace(line) != want {
+			t.Fatalf("pipelined reply = %q, %v, want %s", line, err, want)
+		}
+	}
+	c.must("MINSERT flows hashed-key-a hashed-key-b", ":2")
+	s1.Abort()
+
+	s2 := startWAL(t, dir, nil, 0)
+	defer s2.Abort()
+	c2 := dialServer(t, s2)
+	for _, key := range []string{"10", "11", "12", "1000", "1126", "2000", "2099", "2100", "2159", "hashed-key-a", "hashed-key-b"} {
+		c2.must("SKETCH.QUERY flows "+key, ":1")
+	}
+	c2.must("SKETCH.QUERY flows 999999", ":0")
+	if got := s2.Counters().Counter("wal_replay_skipped").Value(); got != 0 {
+		t.Fatalf("wal_replay_skipped = %d, want 0", got)
+	}
+}
+
+// TestBatchAckWithheldOnSyncFailure guards the ack-after-durability
+// invariant under deep pipelining: a pipelined run of inserts whose
+// buffered replies overflow the 32KiB reply buffer would auto-flush
+// mid-batch, and with the batch's fsync failing, not one optimistic
+// ":n" reply may reach the client — the syncWriter barrier turns the
+// flush into the error instead.
+func TestBatchAckWithheldOnSyncFailure(t *testing.T) {
+	fault := failfs.NewFault(failfs.OS{})
+	s := startWAL(t, t.TempDir(), fault, 0)
+	defer s.Abort()
+	c := dialServer(t, s)
+	c.must("SKETCH.CREATE d bloom bits=65536 window=65536 shards=2", "+OK")
+
+	// Every Sync from here on fails; the WAL is then sticky-failed.
+	fault.FailSyncs(1 << 30)
+	const lines = 16384 // 16384 * len(":1\n") = 48KiB of replies, past the 32KiB reply buffer
+	var sb strings.Builder
+	for i := 0; i < lines; i++ {
+		fmt.Fprintf(&sb, "SKETCH.INSERT d %d\n", i)
+	}
+	// The write itself may fail partway: the server kills the
+	// connection at the first failed flush, possibly while we are
+	// still sending. That is fine — the invariant under test is only
+	// that nothing it DID send back is an ack.
+	io.WriteString(c.conn, sb.String())
+	// Read whatever came back: it must never contain an ack.
+	for {
+		line, err := c.r.ReadString('\n')
+		if strings.HasPrefix(line, ":") {
+			t.Fatalf("ack %q escaped before durability", strings.TrimSpace(line))
+		}
+		if err != nil {
+			break // connection closed after the error, as commit promises
+		}
+		if strings.HasPrefix(line, "-ERR") {
+			break
+		}
+	}
+}

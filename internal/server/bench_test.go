@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -120,13 +121,25 @@ func BenchmarkServerInsertOverload(b *testing.B) {
 // thrash a 2-core CI runner.
 const benchSaturateConns = 8
 
+// benchSaturateKeysPerCmd is how many keys each MINSERT line carries
+// in the saturation variants: enough to amortize per-command wire and
+// dispatch costs the way the batch engine is meant to be used, well
+// under the 127-key record bound.
+const benchSaturateKeysPerCmd = 64
+
 // benchServerInsertSaturate drives the server with several concurrent
 // pipelining connections, b.N inserts split across them — the
 // multi-connection saturation figure, as opposed to the single-
-// connection benchmarks above. withReplica additionally attaches a
-// live follower (its own WAL dir, async replication), so the primary
-// streams every record it fsyncs; scripts/benchsmoke.sh gates that
-// delta as the replication overhead budget.
+// connection benchmarks above. Since PR 9 the workload is MINSERT
+// with benchSaturateKeysPerCmd keys per command (decimal keys,
+// client-rendered without fmt so the co-located client doesn't become
+// the bottleneck): the saturation figure measures the batch execution
+// engine at its intended use, while the single-connection benchmarks
+// above keep the per-line SKETCH.INSERT shape for the overhead gates.
+// withReplica additionally attaches a live follower (its own WAL dir,
+// async replication), so the primary streams every record it fsyncs;
+// scripts/benchsmoke.sh gates that delta as the replication overhead
+// budget.
 func benchServerInsertSaturate(b *testing.B, cfg server.Config, withReplica bool) {
 	cfg.Listen = "127.0.0.1:0"
 	cfg.Logger = quiet()
@@ -199,7 +212,7 @@ func benchServerInsertSaturate(b *testing.B, cfg server.Config, withReplica bool
 		conns[i] = c
 	}
 
-	const batch = 256
+	const linesPerFlush = 256
 	errs := make(chan error, len(conns))
 	var wg sync.WaitGroup
 	b.ResetTimer()
@@ -213,26 +226,40 @@ func benchServerInsertSaturate(b *testing.B, cfg server.Config, withReplica bool
 			defer wg.Done()
 			r := bufio.NewReaderSize(c, 64*1024)
 			w := bufio.NewWriterSize(c, 64*1024)
+			line := make([]byte, 0, 16+21*benchSaturateKeysPerCmd)
+			key := uint64(id) * 1_000_000_000_000 // disjoint key ranges per conn
 			for done := 0; done < n; {
-				k := batch
-				if rem := n - done; rem < k {
-					k = rem
-				}
-				for j := 0; j < k; j++ {
-					fmt.Fprintf(w, "SKETCH.INSERT bench w%d-%d\n", id, done+j)
+				lines := 0
+				for done < n && lines < linesPerFlush {
+					k := benchSaturateKeysPerCmd
+					if rem := n - done; rem < k {
+						k = rem
+					}
+					line = append(line[:0], "MINSERT bench"...)
+					for j := 0; j < k; j++ {
+						key++
+						line = append(line, ' ')
+						line = strconv.AppendUint(line, key, 10)
+					}
+					line = append(line, '\n')
+					if _, err := w.Write(line); err != nil {
+						errs <- err
+						return
+					}
+					done += k
+					lines++
 				}
 				if err := w.Flush(); err != nil {
 					errs <- err
 					return
 				}
-				for j := 0; j < k; j++ {
+				for j := 0; j < lines; j++ {
 					reply, err := r.ReadString('\n')
 					if err != nil || !strings.HasPrefix(reply, ":") {
 						errs <- fmt.Errorf("reply = %q, %v", reply, err)
 						return
 					}
 				}
-				done += k
 			}
 		}(i, n, c)
 	}

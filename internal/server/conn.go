@@ -22,20 +22,22 @@ var (
 	errCommitFailed = errors.New("previous commit failed")
 )
 
-// readLine returns the next request line. Lines longer than the
-// reader's buffer (MaxLineBytes) are unrecoverable — the reader cannot
-// resync inside them — so they surface as errLineTooLong and the
-// connection closes. A partial line at EOF (abrupt disconnect) is
-// dropped silently.
-func readLine(r *bufio.Reader) (string, error) {
+// readLine returns the next request line with its LF stripped, as a
+// view into the reader's buffer valid until the next read — the fast
+// path tokenizes it in place without a string conversion. Lines
+// longer than the reader's buffer (MaxLineBytes) are unrecoverable —
+// the reader cannot resync inside them — so they surface as
+// errLineTooLong and the connection closes. A partial line at EOF
+// (abrupt disconnect) is dropped silently.
+func readLine(r *bufio.Reader) ([]byte, error) {
 	b, err := r.ReadSlice('\n')
 	if err == nil {
-		return string(b), nil
+		return b[:len(b)-1], nil
 	}
 	if errors.Is(err, bufio.ErrBufferFull) {
-		return "", errLineTooLong
+		return nil, errLineTooLong
 	}
-	return "", err
+	return nil, err
 }
 
 // handleConn runs one client's read-execute-reply loop. Replies are
@@ -53,7 +55,12 @@ func (s *Server) handleConn(conn net.Conn) {
 	defer active.Add(-1)
 
 	r := bufio.NewReaderSize(conn, MaxLineBytes)
-	w := bufio.NewWriterSize(conn, 32*1024)
+	// The reply writer drains through the syncWriter barrier, so even a
+	// bufio auto-flush (a client pipelining more replies than the
+	// buffer holds) cannot leak an acknowledgement ahead of its fsync.
+	bw := &syncWriter{s: s, conn: conn, armed: true}
+	w := bufio.NewWriterSize(bw, 32*1024)
+	batch := &connBatch{s: s}
 	// Rendered once: the slow-query log attributes entries to this
 	// client, and RemoteAddr() allocates on every call.
 	remoteAddr := conn.RemoteAddr().String()
@@ -70,12 +77,11 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 	// A failed commit is terminal for the connection: the error line has
 	// been sent, so the deferred flush of any leftover replies must not
-	// run again. wrote tracks whether the current batch contains
+	// run again. bw.wrote tracks whether the current batch contains
 	// mutations, so the semi-synchronous replica wait never blocks a
 	// read-only batch; replListenPort is the port a replica advertised
 	// via REPLCONF, for ROLE output.
 	commitFailed := false
-	wrote := false
 	replListenPort := ""
 	// openTrs holds the sampled traces of the current batch: commands
 	// whose replies are buffered but not yet durable. The commit closure
@@ -88,8 +94,12 @@ func (s *Server) handleConn(conn net.Conn) {
 		if commitFailed {
 			return errCommitFailed
 		}
-		err := s.commit(conn, w, wrote, openTrs)
-		wrote = false
+		// Any batched inserts are applied (and their records appended)
+		// first, so this commit's fsync covers them. A batch-apply WAL
+		// failure is sticky, so s.commit's own Sync reports it to the
+		// client and discards the buffered optimistic replies.
+		aerr := batch.apply()
+		err := s.commit(conn, w, bw, openTrs)
 		for _, t := range openTrs {
 			if err != nil {
 				t.SetError()
@@ -97,6 +107,9 @@ func (s *Server) handleConn(conn net.Conn) {
 			t.Finish()
 		}
 		openTrs = openTrs[:0]
+		if err == nil {
+			err = aerr
+		}
 		if err != nil {
 			commitFailed = true
 			return err
@@ -135,15 +148,54 @@ func (s *Server) handleConn(conn net.Conn) {
 		// else. A sampled command's trace opens before parse so the
 		// parse span lands inside it.
 		tr := s.tracer.Start()
+		if tr == nil {
+			// Unsampled commands try the zero-allocation batch fast
+			// path: pipelined SKETCH.INSERT/MINSERT lines accumulate
+			// into the connection's batch and settle at the next drain
+			// point. Anything else — including every deviation the
+			// batch engine refuses — falls through to the slow path
+			// below, after the pending batch is applied so execution
+			// order (and WAL record order) matches request order.
+			if timed && startNs == 0 {
+				startNs = obs.Nanotime()
+			}
+			handled, vi, ferr := batch.tryFast(line, w, bw)
+			if ferr != nil {
+				commit()
+				return
+			}
+			if handled {
+				if timed {
+					endNs := obs.Nanotime()
+					s.observeFast(lats, vi, time.Duration(endNs-startNs), remoteAddr, line)
+					if r.Buffered() > 0 {
+						startNs = endNs
+					} else {
+						startNs = 0
+					}
+				}
+				if r.Buffered() == 0 {
+					lats.flush(s)
+					if err := commit(); err != nil {
+						return
+					}
+				}
+				continue
+			}
+		}
+		if aerr := batch.apply(); aerr != nil {
+			commit()
+			return
+		}
 		var cmd Command
 		var parseEndNs int64
 		if tr != nil {
 			parseStartNs := obs.Nanotime()
-			cmd, err = ParseCommand(line)
+			cmd, err = ParseCommand(string(line))
 			parseEndNs = obs.Nanotime()
 			tr.AddSpan("parse", parseStartNs, parseEndNs)
 		} else {
-			cmd, err = ParseCommand(line)
+			cmd, err = ParseCommand(string(line))
 		}
 		switch {
 		case errors.Is(err, ErrEmpty):
@@ -173,6 +225,10 @@ func (s *Server) handleConn(conn net.Conn) {
 			if commit() != nil {
 				return
 			}
+			// Disarm the durability barrier: the replication stream must
+			// not block waiting for an acknowledgement from the very
+			// replica whose stream sits behind this writer.
+			bw.armed = false
 			s.servePSYNC(conn, r, w, cmd, replListenPort)
 			return
 		case err == nil && cmd.Name == "REPLCONF":
@@ -203,7 +259,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 			quit := s.admitExecute(cmd, tr, w)
 			if isMutation(cmd.Name) {
-				wrote = true
+				bw.wrote = true
 			}
 			if timed || tr != nil {
 				endNs := obs.Nanotime()
@@ -299,6 +355,50 @@ func (s *Server) observe(lats *connLats, cmd Command, d time.Duration, addr stri
 	}
 }
 
+// observeFast is observe for fast-path inserts: the same accumulator,
+// flush-limit and slow-query behavior, but keyed by a precomputed
+// verb index and rendering the raw line only when the command was
+// actually slow — no Command struct, no per-command allocation. Fast-
+// path commands are never sampled (tr != nil takes the slow path), so
+// there is no exemplar to note and no trace ID to log.
+func (s *Server) observeFast(lats *connLats, vi int, d time.Duration, addr string, line []byte) {
+	if lats != nil {
+		l := lats.verbs[vi]
+		if l == nil {
+			l = &obs.LocalHist{}
+			lats.verbs[vi] = l
+		}
+		l.Observe(d)
+		if lats.pending++; lats.pending >= obs.FlushLimit {
+			lats.flush(s)
+		}
+	}
+	if t := s.cfg.SlowThreshold; t > 0 && d >= t {
+		if s.over.slowShed.Load() {
+			s.counters.Counter("overload_slowlog_dropped").Inc()
+			return
+		}
+		s.slow.Record(renderLine(line), d, time.Now(), addr, 0)
+		s.counters.Counter("slow_commands_total").Inc()
+		if s.logger.Enabled(obslog.LevelWarn) {
+			s.logger.Warn("slow command", "verb", commandVerbs[vi], "duration", d.String())
+		}
+	}
+}
+
+// renderLine bounds a raw request line for the slow-query log, the
+// byte-slice analogue of renderCommand.
+func renderLine(line []byte) string {
+	const maxLen = 256
+	for len(line) > 0 && (line[len(line)-1] == '\n' || line[len(line)-1] == '\r') {
+		line = line[:len(line)-1]
+	}
+	if len(line) > maxLen {
+		return string(line[:maxLen]) + "..."
+	}
+	return string(line)
+}
+
 // renderCommand reconstructs a command line for the slow-query log,
 // bounded so a 128-key INSERT doesn't bloat the ring.
 func renderCommand(cmd Command) string {
@@ -336,17 +436,19 @@ func (s *Server) safeExecute(cmd Command, tr *xtrace.Trace, w *bufio.Writer) (qu
 // closes. The log failure is sticky, so the server fails every later
 // batch the same way (fail-stop) rather than guess at durability.
 //
-// With Config.SyncReplicas set, a batch containing mutations (wrote)
-// additionally waits for that many replicas to acknowledge the
-// durable position before the replies go out — the semi-synchronous
-// half of the zero-acked-loss failover guarantee. Read-only batches
-// never wait.
+// With Config.SyncReplicas set, a batch containing mutations
+// (bw.wrote) additionally waits for that many replicas to acknowledge
+// the durable position before the replies go out — the semi-
+// synchronous half of the zero-acked-loss failover guarantee.
+// Read-only batches never wait.
 // trs holds the batch's sampled traces; each gets a fsync_wait span
 // around the group-commit sync (which amortises every command in the
 // batch) and, under semi-synchronous replication, a replack_wait span
 // around the replica-acknowledgement wait. Clock reads only happen
 // when at least one command in the batch was sampled.
-func (s *Server) commit(conn net.Conn, w *bufio.Writer, wrote bool, trs []*xtrace.Trace) error {
+func (s *Server) commit(conn net.Conn, w *bufio.Writer, bw *syncWriter, trs []*xtrace.Trace) error {
+	wrote := bw.wrote
+	bw.wrote = false
 	if s.wal != nil {
 		var syncStartNs int64
 		if len(trs) > 0 {
@@ -392,7 +494,7 @@ func (s *Server) commit(conn net.Conn, w *bufio.Writer, wrote bool, trs []*xtrac
 // waits on.
 func isMutation(name string) bool {
 	switch name {
-	case "SKETCH.CREATE", "SKETCH.DROP", "SKETCH.INSERT", "SKETCH.LOAD":
+	case "SKETCH.CREATE", "SKETCH.DROP", "SKETCH.INSERT", "MINSERT", "SKETCH.LOAD":
 		return true
 	}
 	return false
@@ -457,7 +559,7 @@ func (s *Server) execute(cmd Command, tr *xtrace.Trace, w *bufio.Writer) (quit b
 			err = s.mutateTraced(tr, func() error { return s.cmdDrop(cmd, tr, w) })
 			s.evalOverload()
 		}
-	case "SKETCH.INSERT":
+	case "SKETCH.INSERT", "MINSERT":
 		if err = s.writeGate(); err == nil {
 			if err = s.insertGate(); err == nil {
 				err = s.mutateTraced(tr, func() error { return s.cmdInsert(cmd, tr, w) })
@@ -546,6 +648,10 @@ func (s *Server) cmdDrop(cmd Command, tr *xtrace.Trace, w *bufio.Writer) error {
 	return nil
 }
 
+// cmdInsert serves both insert verbs — SKETCH.INSERT and its batch
+// alias MINSERT — on the slow path (sampled commands and anything the
+// fast path refused). The WAL record echoes the verb the client used,
+// so replay and follower apply exercise the same parser arm.
 func (s *Server) cmdInsert(cmd Command, tr *xtrace.Trace, w *bufio.Writer) error {
 	if err := wantArgs(cmd, 2, true, "name key [key ...]"); err != nil {
 		return err
@@ -561,7 +667,8 @@ func (s *Server) cmdInsert(cmd Command, tr *xtrace.Trace, w *bufio.Writer) error
 		// depending on how the original token hashed.
 		var sb strings.Builder
 		sb.Grow(16 + len(cmd.Args[0]) + 21*len(keys))
-		sb.WriteString("SKETCH.INSERT ")
+		sb.WriteString(cmd.Name)
+		sb.WriteByte(' ')
 		sb.WriteString(cmd.Args[0])
 		for _, tok := range keys {
 			k := ParseKey(tok)

@@ -54,6 +54,12 @@
 //	    one CREATE cannot allocate unbounded memory.
 //	SKETCH.INSERT <name> <key> [key ...]
 //	    Insert keys; replies :n with the number inserted.
+//	MINSERT <name> <key> [key ...]
+//	    Bulk insert: identical semantics to SKETCH.INSERT (up to 127
+//	    keys, one :n reply), spelled as its own verb so batch-oriented
+//	    clients and the WAL speak the insert path's native shape. Both
+//	    verbs ride the batch execution engine; see # Batched execution
+//	    below.
 //	SKETCH.QUERY <name> <key>
 //	    bloom: membership in the window, :1 or :0. cm: windowed
 //	    frequency estimate :n.
@@ -143,6 +149,32 @@
 // to its connection: the client gets -ERR internal error and a closed
 // socket, the daemon keeps serving (counter panics_recovered).
 //
+// # Batched execution
+//
+// Pipelined insert lines (SKETCH.INSERT and MINSERT) run on a batch
+// engine rather than one command at a time. Lines are tokenized
+// in place (no per-command allocation), their keys parsed and grouped
+// by target sketch, and the batch is applied at the next drain point:
+// the connection's input buffer running empty, a non-insert command
+// arriving, the per-connection cap of Config.BatchMaxKeys buffered
+// keys (default 16384; shed -batch-keys), or reply-buffer pressure.
+// One apply pays a single registry lookup and lock acquisition per
+// distinct sketch, a single WAL append for all of the batch's records
+// and a single admission-control slot.
+//
+// Commit semantics are per batch and unchanged in strength: replies
+// for the whole batch are buffered and flushed together, after one
+// WAL fsync covering every record and — under Config.SyncReplicas —
+// one replica acknowledgement barrier at the batch's final log
+// position. An acknowledgement therefore never reaches the client
+// before its record (and the records of every command before it on
+// that connection) is durable; a batch whose fsync fails withholds
+// every buffered reply, reports -ERR to the client and closes the
+// connection. Batch inserts are logged as MINSERT records (at most
+// 127 keys each) and stream to followers like any other record.
+// Batch depth is visible in the she_batch_applies_total,
+// she_batch_commands_total and she_batch_keys_total counters.
+//
 // # Overload protection
 //
 // Config.MaxMemory (shed -max-memory) arms a tracked memory budget
@@ -193,6 +225,9 @@
 //	she_wal_records/_bytes/_errors/
 //	_torn_bytes/_replayed_records/
 //	_replay_skipped/_segments_quarantined
+//	she_batch_applies_total,                 untyped  batch engine: group
+//	she_batch_commands_total,                         commits and the
+//	she_batch_keys_total                              commands/keys in them
 //	she_command_seconds{verb}                histogram  per-verb latency;
 //	                                                    every verb present
 //	                                                    from the first

@@ -102,7 +102,7 @@ func (s *Server) applyRecord(rec []byte) error {
 		// CREATE replaces any sketch already registered under the name.
 		s.reg.Put(cmd.Args[0], sk)
 		return nil
-	case "SKETCH.INSERT":
+	case "SKETCH.INSERT", "MINSERT":
 		if len(cmd.Args) < 2 {
 			return fmt.Errorf("short INSERT record %.60q", rec)
 		}

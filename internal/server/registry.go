@@ -357,6 +357,16 @@ func (r *Registry) Get(name string) (*Sketch, error) {
 	return sk, nil
 }
 
+// GetBytes is Get for a byte-slice name on the batch fast path: the
+// map index compiles to an allocation-free string conversion, and a
+// missing name returns nil rather than formatting an error.
+func (r *Registry) GetBytes(name []byte) *Sketch {
+	r.mu.RLock()
+	sk := r.sketches[string(name)]
+	r.mu.RUnlock()
+	return sk
+}
+
 // Put registers sk under name, replacing any existing sketch
 // (SKETCH.LOAD semantics). A loaded sketch starts with an empty audit
 // shadow: its window content predates the auditor, so error samples

@@ -80,6 +80,7 @@ func (s *Server) startReplication(addr string) error {
 	s.replMu.Lock()
 	old := s.follower
 	s.replPrimary = addr
+	s.isReplica.Store(true)
 	f := repl.NewFollower(repl.FollowerConfig{
 		PrimaryAddr:      addr,
 		ListenPort:       listenPort(s.ln),
@@ -109,6 +110,7 @@ func (s *Server) promote() {
 	wasReplica := s.replPrimary != ""
 	s.follower = nil
 	s.replPrimary = ""
+	s.isReplica.Store(false)
 	s.replMu.Unlock()
 	if old != nil {
 		old.Stop()

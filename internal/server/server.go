@@ -142,6 +142,12 @@ type Config struct {
 	// CommandTimeout bounds a command's wait for an admission slot.
 	// 0 = 1s. Meaningful only with MaxInflight.
 	CommandTimeout time.Duration
+	// BatchMaxKeys caps the keys a connection's insert batch may
+	// buffer before it is force-applied (sketch updates + one batched
+	// WAL append). Larger batches amortize locks and appends further
+	// at the cost of per-connection memory and reply latency under
+	// deep pipelining. 0 = 16384.
+	BatchMaxKeys int
 	// ReplicaMaxLagBytes disconnects an attached replica whose
 	// acknowledged position trails the stream by more than this many
 	// WAL bytes (Redis client-output-buffer-limit style): a stalled
@@ -229,6 +235,20 @@ type Server struct {
 	replMu      sync.Mutex
 	replPrimary string
 	follower    *repl.Follower
+	// isReplica mirrors replPrimary != "" for the batch fast path,
+	// which cannot afford the replMu acquisition per command.
+	isReplica atomic.Bool
+
+	// Cached counter pointers for the batch fast path:
+	// CounterSet.Counter takes a mutex, so per-batch sites must not
+	// call it.
+	cCommands      *metrics.Counter
+	cInserts       *metrics.Counter
+	cWALRecords    *metrics.Counter
+	cWALBytes      *metrics.Counter
+	cBatchApplies  *metrics.Counter
+	cBatchCommands *metrics.Counter
+	cBatchKeys     *metrics.Counter
 
 	// over is the overload-protection state; admit is the admission
 	// semaphore (nil without Config.MaxInflight).
@@ -253,9 +273,16 @@ var commandVerbs = []string{
 	"SKETCH.LIST", "SKETCH.CREATE", "SKETCH.DROP", "SKETCH.INSERT",
 	"SKETCH.QUERY", "SKETCH.CARD", "SKETCH.STATS", "SKETCH.AUDIT",
 	"SKETCH.SAVE", "SKETCH.LOAD",
-	"ROLE", "REPLICAOF", "REPLCONF", "PSYNC", "TRACE",
+	"ROLE", "REPLICAOF", "REPLCONF", "PSYNC", "TRACE", "MINSERT",
 	"OTHER",
 }
+
+// Verb indexes the batch fast path uses directly (it never goes
+// through verbIndex's string switch); TestVerbIndex pins them.
+const (
+	verbInsert  = 7
+	verbMinsert = 19
+)
 
 // verbIndex maps a command verb to its commandVerbs position, unknown
 // names to the trailing OTHER slot. A string switch compiles to a
@@ -301,8 +328,10 @@ func verbIndex(name string) int {
 		return 17
 	case "TRACE":
 		return 18
+	case "MINSERT":
+		return 19
 	default:
-		return 19 // OTHER
+		return 20 // OTHER
 	}
 }
 
@@ -341,6 +370,13 @@ func New(cfg Config) *Server {
 		slow:     obs.NewSlowLog(size),
 		logger:   logger.With("component", "server"),
 	}
+	s.cCommands = s.counters.Counter("commands_total")
+	s.cInserts = s.counters.Counter("inserts_total")
+	s.cWALRecords = s.counters.Counter("wal_records")
+	s.cWALBytes = s.counters.Counter("wal_bytes")
+	s.cBatchApplies = s.counters.Counter("batch_applies_total")
+	s.cBatchCommands = s.counters.Counter("batch_commands_total")
+	s.cBatchKeys = s.counters.Counter("batch_keys_total")
 	if cfg.MaxInflight > 0 {
 		s.admit = newAdmission(cfg.MaxInflight)
 	}

@@ -136,6 +136,12 @@ type Log struct {
 	segSizes map[uint64]int64
 	retain   uint64
 	notify   chan struct{}
+
+	// batchBuf is the reusable frame-encoding buffer for AppendBatch:
+	// the whole batch is framed into it and handed to the kernel in one
+	// Write per segment run, so a batch costs one lock acquisition and
+	// (usually) one write syscall instead of one of each per record.
+	batchBuf []byte
 }
 
 func segName(seq uint64) string     { return fmt.Sprintf("%s%016x%s", segPrefix, seq, segExt) }
@@ -386,6 +392,89 @@ func (l *Log) AppendPos(payload []byte) (Cursor, error) {
 		l.appLat.Observe(time.Since(start))
 	}
 	return Cursor{Gen: l.gen, Seg: l.active, Off: l.activeBytes}, nil
+}
+
+// AppendBatch appends every payload in order under a single lock
+// acquisition, framing the whole batch into a reused buffer and
+// writing it with one Write per segment run (rotation still happens
+// between records when a frame would overflow the active segment).
+// When ends is non-nil it must have len(payloads); ends[i] receives
+// the cursor just past record i — the same position AppendPos would
+// have returned — so batched appends stay traceable through the ship
+// table. Durability and failure semantics match Append: records are
+// durable only after a later Sync, and any write error turns the Log
+// sticky-failed.
+func (l *Log) AppendBatch(payloads [][]byte, ends []Cursor) error {
+	if len(payloads) == 0 {
+		return nil
+	}
+	if ends != nil && len(ends) != len(payloads) {
+		return fmt.Errorf("wal: AppendBatch ends has %d slots for %d payloads", len(ends), len(payloads))
+	}
+	for _, p := range payloads {
+		if len(p) == 0 || len(p) > MaxRecordBytes {
+			return fmt.Errorf("wal: record of %d bytes out of range", len(p))
+		}
+	}
+	var start time.Time
+	if l.appLat != nil {
+		start = time.Now()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed != nil {
+		return l.failed
+	}
+	if l.f == nil {
+		return ErrClosed
+	}
+	buf := l.batchBuf[:0]
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		if _, err := l.f.Write(buf); err != nil {
+			// As with Append: a partial run may be on disk, recovery
+			// truncates it as a torn tail, in-process durability is no
+			// longer provable.
+			l.failed = fmt.Errorf("wal: append: %w", err)
+			return l.failed
+		}
+		l.activeBytes += int64(len(buf))
+		l.since += int64(len(buf))
+		l.dirty = true
+		buf = buf[:0]
+		return nil
+	}
+	for i, p := range payloads {
+		pending := l.activeBytes + int64(len(buf))
+		if pending > 0 && pending+int64(recordHeaderLen+len(p)) > l.segBytes {
+			if err := flush(); err != nil {
+				l.batchBuf = buf[:0]
+				return err
+			}
+			if l.activeBytes > 0 {
+				if err := l.rotateLocked(); err != nil {
+					l.failed = err
+					l.batchBuf = buf[:0]
+					return err
+				}
+			}
+		}
+		buf = EncodeRecord(buf, p)
+		if ends != nil {
+			ends[i] = Cursor{Gen: l.gen, Seg: l.active, Off: l.activeBytes + int64(len(buf))}
+		}
+	}
+	err := flush()
+	l.batchBuf = buf[:0]
+	if err != nil {
+		return err
+	}
+	if l.appLat != nil {
+		l.appLat.Observe(time.Since(start))
+	}
+	return nil
 }
 
 // syncActiveLocked fsyncs the active segment, feeding the latency

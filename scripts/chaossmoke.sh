@@ -16,8 +16,10 @@
 #      answering PING/QUERY while refusing allocations — degraded, not
 #      dead.
 #
-# Writes a transcript to $CHAOS_LOG (default chaossmoke.log in the
-# repo root) for CI artifact upload.
+# Writes a transcript to $CHAOS_LOG — default
+# ${TMPDIR:-/tmp}/chaossmoke.log, never the repo working tree — for CI
+# artifact upload (ci.yml points CHAOS_LOG at the runner temp dir and
+# uploads from there).
 #
 # Usage: scripts/chaossmoke.sh
 #        CHAOS_FREEZE_SECS=10 CHAOS_LOG=/tmp/chaos.log scripts/chaossmoke.sh
@@ -25,7 +27,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 CHAOS_FREEZE_SECS="${CHAOS_FREEZE_SECS:-3}"
-CHAOS_LOG="${CHAOS_LOG:-chaossmoke.log}"
+CHAOS_LOG="${CHAOS_LOG:-${TMPDIR:-/tmp}/chaossmoke.log}"
 
 tmp=$(mktemp -d)
 primary_pid="" follower_pid="" degraded_pid=""
