@@ -77,6 +77,8 @@ func main() {
 	auditMaxKeys := flag.Int("audit-max-keys", 0, "cap on distinct shadowed keys per audited sketch (0 = default 65536)")
 	traceSample := flag.Int("trace-sample", 0, "request tracing: trace 1 in this many commands end to end (parse, mutate, WAL, fsync, replication, follower ack) and serve them via TRACE GET (0 = disabled; try 256. Adjustable at runtime with TRACE SAMPLE)")
 	traceRing := flag.Int("trace-ring", 0, "retained-trace ring capacity; slow and errored traces are evicted last (0 = default 256)")
+	trafficSample := flag.Int("traffic-sample", 0, "traffic self-telemetry: sample 1 in this many commands into per-sketch hot-key sketches and the MONITOR feed (0 = disabled; try 64)")
+	hotkeysK := flag.Int("hotkeys-k", 0, "hot keys tracked per sketch for HOTKEYS and she_hotkeys_* (0 = default 10)")
 	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof on the -debug listener")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	flag.Parse()
@@ -98,6 +100,10 @@ func main() {
 	}
 	if *traceSample < 0 || *traceRing < 0 {
 		fmt.Fprintln(os.Stderr, "shed: -trace-sample and -trace-ring must be non-negative")
+		os.Exit(2)
+	}
+	if *trafficSample < 0 || *hotkeysK < 0 {
+		fmt.Fprintln(os.Stderr, "shed: -traffic-sample and -hotkeys-k must be non-negative")
 		os.Exit(2)
 	}
 	if *walDir != "" && *autosave != "" {
@@ -151,6 +157,8 @@ func main() {
 		AuditMaxKeys:         *auditMaxKeys,
 		TraceSample:          *traceSample,
 		TraceRing:            *traceRing,
+		TrafficSample:        *trafficSample,
+		HotKeysK:             *hotkeysK,
 		EnablePprof:          *enablePprof,
 		Logger:               logger,
 	})
@@ -178,6 +186,9 @@ func main() {
 	}
 	if *auditSample > 0 {
 		logger.Info("accuracy auditing enabled", "sample", *auditSample, "max_keys", *auditMaxKeys)
+	}
+	if *trafficSample > 0 {
+		logger.Info("traffic self-telemetry enabled", "sample", *trafficSample, "hotkeys_k", *hotkeysK)
 	}
 	if maxMemoryBytes > 0 || *maxInflight > 0 {
 		logger.Info("overload protection enabled",

@@ -1,0 +1,288 @@
+package traffic
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSamplerDisabled pins the off-switch contract: a zero rate (and a
+// nil tracker) never samples and costs nothing beyond the atomic load.
+func TestSamplerDisabled(t *testing.T) {
+	tr := New(Config{})
+	for i := 0; i < 1000; i++ {
+		if tr.Sampled() {
+			t.Fatal("disabled tracker sampled a command")
+		}
+	}
+	if tr.SampledTotal() != 0 {
+		t.Fatalf("SampledTotal = %d, want 0", tr.SampledTotal())
+	}
+	var nilTr *Tracker
+	if nilTr.Sampled() || nilTr.Wants() {
+		t.Fatal("nil tracker must be inert")
+	}
+	if _, _, ok := nilTr.Hottest(); ok {
+		t.Fatal("nil tracker reported a hottest key")
+	}
+}
+
+// TestSamplerRate checks the 1-in-N discipline: over M ticks exactly
+// M/N are sampled (the counter is deterministic, not probabilistic).
+func TestSamplerRate(t *testing.T) {
+	tr := New(Config{SampleEvery: 8})
+	sampled := 0
+	for i := 0; i < 800; i++ {
+		if tr.Sampled() {
+			sampled++
+		}
+	}
+	if sampled != 100 {
+		t.Fatalf("sampled %d of 800 at 1-in-8, want exactly 100", sampled)
+	}
+	if got := tr.SampledTotal(); got != 100 {
+		t.Fatalf("SampledTotal = %d, want 100", got)
+	}
+}
+
+// TestSamplerEveryCommand pins SampleEvery=1: every command sampled.
+func TestSamplerEveryCommand(t *testing.T) {
+	tr := New(Config{SampleEvery: 1})
+	for i := 0; i < 10; i++ {
+		if !tr.Sampled() {
+			t.Fatalf("tick %d unsampled at rate 1", i)
+		}
+	}
+}
+
+// TestHotKeysScaling checks that HOTKEYS estimates scale the sampled
+// counts back up by the sampling rate and rank heaviest-first.
+func TestHotKeysScaling(t *testing.T) {
+	tr := New(Config{SampleEvery: 64, HotKeysK: 4})
+	name := []byte("fx")
+	for i := 0; i < 100; i++ {
+		tr.NoteKeys(name, []uint64{7})
+	}
+	for i := 0; i < 10; i++ {
+		tr.NoteKeys(name, []uint64{8})
+	}
+	entries, ok := tr.HotKeys("fx", 0)
+	if !ok || len(entries) < 2 {
+		t.Fatalf("HotKeys = %v, %v", entries, ok)
+	}
+	if entries[0].Key != 7 || entries[1].Key != 8 {
+		t.Fatalf("ranking = %v, want key 7 then 8", entries)
+	}
+	// SHE-CM never undercounts over the sampled stream, so the scaled
+	// estimate is at least sampled × rate.
+	if entries[0].Sampled < 100 || entries[0].Count < 100*64 {
+		t.Fatalf("key 7: sampled=%d count=%d, want ≥100 and ≥6400",
+			entries[0].Sampled, entries[0].Count)
+	}
+	if entries[0].Count != entries[0].Sampled*64 {
+		t.Fatalf("count %d != sampled %d × rate 64", entries[0].Count, entries[0].Sampled)
+	}
+
+	if _, ok := tr.HotKeys("nope", 0); ok {
+		t.Fatal("untracked sketch reported ok")
+	}
+	sk, hot, ok := tr.Hottest()
+	if !ok || sk != "fx" || hot.Key != 7 {
+		t.Fatalf("Hottest = %q %v %v, want fx key 7", sk, hot, ok)
+	}
+}
+
+// TestForget checks DROP cleanup: a forgotten sketch's track is gone.
+func TestForget(t *testing.T) {
+	tr := New(Config{SampleEvery: 1})
+	tr.NoteKeys([]byte("fx"), []uint64{1})
+	if _, ok := tr.HotKeys("fx", 0); !ok {
+		t.Fatal("tracked sketch missing")
+	}
+	tr.Forget("fx")
+	if _, ok := tr.HotKeys("fx", 0); ok {
+		t.Fatal("forgotten sketch still tracked")
+	}
+}
+
+// TestHotTrackCap checks the registry refuses to grow without bound:
+// past maxHotTracks sketches, new names are not tracked.
+func TestHotTrackCap(t *testing.T) {
+	tr := New(Config{SampleEvery: 1})
+	for i := 0; i < maxHotTracks+10; i++ {
+		tr.NoteKeys([]byte(fmt.Sprintf("s%d", i)), []uint64{1})
+	}
+	if n := len(tr.HotSketches()); n != maxHotTracks {
+		t.Fatalf("tracked %d sketches, want cap %d", n, maxHotTracks)
+	}
+}
+
+// TestMonitorHubDrops checks the bounded-feed contract: a subscriber
+// that never drains loses frames past its ring — counted, not blocked.
+func TestMonitorHubDrops(t *testing.T) {
+	tr := New(Config{SampleEvery: 1, MonitorRing: 4})
+	if tr.Wants() {
+		t.Fatal("Wants true with no subscribers")
+	}
+	sub := tr.Monitor().Subscribe()
+	defer tr.Monitor().Unsubscribe(sub)
+	if !tr.Wants() {
+		t.Fatal("Wants false with a subscriber")
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Publishes must complete promptly even though nobody reads.
+		for i := 0; i < 100; i++ {
+			tr.Publish("1.2.3.4:5", "PING", "PING")
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publish blocked on a lagging subscriber")
+	}
+	if got := sub.Dropped(); got != 96 {
+		t.Fatalf("sub dropped %d, want 96 (ring 4 of 100)", got)
+	}
+	if got := tr.Monitor().Dropped(); got != 96 {
+		t.Fatalf("hub dropped %d, want 96", got)
+	}
+	// The ring still holds the first 4 frames, in order.
+	for i := 0; i < 4; i++ {
+		e := <-sub.C
+		if e.Verb != "PING" || e.Addr != "1.2.3.4:5" {
+			t.Fatalf("frame %d = %+v", i, e)
+		}
+	}
+}
+
+// TestMonitorUnsubscribeCloses checks that Unsubscribe closes the
+// channel (the feed loop's exit signal) and publishes keep working.
+func TestMonitorUnsubscribeCloses(t *testing.T) {
+	tr := New(Config{SampleEvery: 1})
+	sub := tr.Monitor().Subscribe()
+	tr.Monitor().Unsubscribe(sub)
+	if _, ok := <-sub.C; ok {
+		t.Fatal("channel not closed after Unsubscribe")
+	}
+	tr.Publish("a", "PING", "PING") // must not panic
+	if tr.Wants() {
+		t.Fatal("Wants true after last unsubscribe")
+	}
+}
+
+// TestClientsRegistry covers Register/List/Find/Totals/Unregister and
+// the per-verb accounting.
+func TestClientsRegistry(t *testing.T) {
+	tr := New(Config{Verbs: []string{"PING", "SKETCH.INSERT", "OTHER"}})
+	reg := tr.Clients()
+	c1 := reg.Register("10.0.0.1:101", nil)
+	c2 := reg.Register("10.0.0.2:102", nil)
+	if reg.Count() != 2 {
+		t.Fatalf("Count = %d", reg.Count())
+	}
+	c1.Command(0) // PING
+	c1.Command(0)
+	c1.BatchSettle(3, 0, 42, 1, 2)
+	c1.SetName("ingest")
+	c2.SetReplica()
+
+	rows := reg.List()
+	if len(rows) != 2 || rows[0].ID >= rows[1].ID {
+		t.Fatalf("List = %+v", rows)
+	}
+	r1 := rows[0]
+	if r1.Addr != "10.0.0.1:101" || r1.Name != "ingest" {
+		t.Fatalf("row 1 = %+v", r1)
+	}
+	if r1.VerbCounts["PING"] != 2 || r1.VerbCounts["SKETCH.INSERT"] != 3 {
+		t.Fatalf("per-verb = %v", r1.VerbCounts)
+	}
+	if r1.Cmds != 5 || r1.Keys != 42 || r1.Batches != 1 {
+		t.Fatalf("totals = %+v", r1)
+	}
+	if !rows[1].Replica {
+		t.Fatal("replica flag lost")
+	}
+	if reg.Find("10.0.0.2:102") != c2 {
+		t.Fatal("Find missed")
+	}
+	if reg.Find("10.9.9.9:1") != nil {
+		t.Fatal("Find invented a client")
+	}
+	reg.Unregister(c1)
+	if reg.Count() != 1 {
+		t.Fatalf("Count after Unregister = %d", reg.Count())
+	}
+}
+
+// TestCountConn checks byte accounting through the net.Conn wrapper.
+func TestCountConn(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	tr := New(Config{})
+	c := tr.Clients().Register("pipe", a)
+	wrapped := CountConn(a, c)
+	go func() {
+		buf := make([]byte, 16)
+		b.Read(buf)
+		b.Write([]byte("pong!"))
+	}()
+	wrapped.Write([]byte("ping"))
+	buf := make([]byte, 16)
+	n, _ := wrapped.Read(buf)
+	rows := tr.Clients().List()
+	if len(rows) != 1 || rows[0].BytesOut != 4 || rows[0].BytesIn != int64(n) {
+		t.Fatalf("rows = %+v, want out=4 in=%d", rows, n)
+	}
+}
+
+// TestTrackerConcurrency hammers every tracker surface from many
+// goroutines at once; run under -race this is the wait-free claim's
+// regression test.
+func TestTrackerConcurrency(t *testing.T) {
+	tr := New(Config{SampleEvery: 2, HotKeysK: 4, Verbs: []string{"A", "B"}})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := []byte{byte('a' + g%2)}
+			c := tr.Clients().Register(fmt.Sprintf("c%d", g), nil)
+			defer tr.Clients().Unregister(c)
+			for i := 0; i < 2000; i++ {
+				if tr.Sampled() {
+					tr.NoteKeys(name, []uint64{uint64(i % 17)})
+					if tr.Wants() {
+						tr.Publish("x", "A", "A 1")
+					}
+				}
+				c.Command(i % 2)
+			}
+		}(g)
+	}
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sub := tr.Monitor().Subscribe()
+			tr.HotStats()
+			tr.Hottest()
+			tr.Clients().List()
+			tr.Monitor().Unsubscribe(sub)
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-churnDone
+}

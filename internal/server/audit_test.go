@@ -223,11 +223,12 @@ func family(name string, declared map[string]string) string {
 // TYPE twice.
 func TestMetricsStrictExposition(t *testing.T) {
 	s := startServer(t, server.Config{
-		DebugListen: "127.0.0.1:0",
-		WALDir:      t.TempDir(),
-		AuditSample: 1,
-		TraceSample: 1,
-		Logger:      quiet(),
+		DebugListen:   "127.0.0.1:0",
+		WALDir:        t.TempDir(),
+		AuditSample:   1,
+		TraceSample:   1,
+		TrafficSample: 1,
+		Logger:        quiet(),
 	})
 	c := dial(t, s.Addr().String())
 	c.cmd("SKETCH.CREATE fx cm counters=65536 window=4096 shards=4")
@@ -306,6 +307,18 @@ func TestMetricsStrictExposition(t *testing.T) {
 		"she_trace_sampled_total",
 		"she_trace_finished_total",
 		`she_trace_exemplar_seconds{verb="SKETCH.INSERT",trace_id="`,
+		"she_config_info{",
+		"she_traffic_sample_every 1",
+		"she_traffic_sampled_total",
+		"she_traffic_clients",
+		"she_traffic_monitor_dropped_total",
+		"she_hotkeys_tracked_sketches 3",
+		`she_hotkeys_sampled_keys_total{sketch="fx"}`,
+		`she_hotkeys_est_count{sketch="fx",key="`,
+		"she_go_gomaxprocs_threads",
+		"she_go_gc_pauses_seconds_count",
+		"she_go_sched_latency_seconds_bucket",
+		"she_go_heap_allocs_by_size_bytes_sum",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q", want)

@@ -5,6 +5,8 @@ import (
 	"bytes"
 	"net"
 	"strconv"
+
+	"she/internal/obs/traffic"
 )
 
 // defaultBatchMaxKeys bounds the keys a connection may buffer before
@@ -89,10 +91,13 @@ type insertGroup struct {
 // Everything here is owned by the connection goroutine.
 type connBatch struct {
 	s        *Server
+	tc       *traffic.Client // this connection's accounting record
+	addr     string          // rendered remote address, for MONITOR frames
 	groups   []insertGroup
 	ngroups  int
 	cmds     int // commands enqueued in the current batch
 	nkeys    int // keys across all groups
+	inserts  int // SKETCH.INSERT commands among cmds (rest are MINSERT)
 	admitted bool
 
 	toks    [][]byte // tokenizer backing array, reused per line
@@ -157,7 +162,21 @@ func (b *connBatch) tryFast(line []byte, w *bufio.Writer, bw *syncWriter) (handl
 	}
 	b.nkeys += len(keys)
 	b.cmds++
+	if vi == verbInsert {
+		b.inserts++
+	}
 	bw.wrote = true
+	// Self-telemetry: one atomic add per unsampled command (the
+	// xtrace discipline); a sampled command feeds its parsed keys —
+	// already sitting at the tail of the group's buffer — to the
+	// hot-key tracker, and becomes a MONITOR frame only if someone is
+	// actually watching (rendering the line costs).
+	if s.traffic.Sampled() {
+		s.traffic.NoteKeys(toks[1], g.keys[len(g.keys)-len(keys):])
+		if s.traffic.Wants() {
+			s.traffic.Publish(b.addr, commandVerbs[vi], renderLine(line))
+		}
+	}
 	// The reply is buffered before the batch is applied. If the buffer
 	// is nearly full, the write below could auto-flush — and the
 	// syncWriter barrier can only vouch for records that exist — so
@@ -217,6 +236,11 @@ func (b *connBatch) apply() error {
 	s.cBatchKeys.Add(int64(b.nkeys))
 	s.cCommands.Add(int64(b.cmds))
 	s.cInserts.Add(int64(b.nkeys))
+	// Per-connection accounting settles once per batch — a handful of
+	// atomic adds amortized over the whole pipeline, keeping CLIENT
+	// LIST accurate without per-command cost on the fast path.
+	b.tc.BatchSettle(uint64(b.inserts), uint64(b.cmds-b.inserts),
+		uint64(b.nkeys), verbInsert, verbMinsert)
 	var err error
 	if s.wal == nil {
 		for i := 0; i < b.ngroups; i++ {
@@ -291,6 +315,7 @@ func (b *connBatch) reset() {
 	b.ngroups = 0
 	b.cmds = 0
 	b.nkeys = 0
+	b.inserts = 0
 	if b.admitted {
 		b.s.admit.release()
 		b.admitted = false

@@ -115,6 +115,18 @@ func BenchmarkServerInsertOverload(b *testing.B) {
 	})
 }
 
+// BenchmarkServerInsertTraffic turns traffic self-telemetry on at the
+// production-recommended 1-in-256 sampling. The 255 unsampled
+// commands pay one atomic add at the sampling decision (the same
+// xtrace discipline tracing uses); the sampled one feeds its already-
+// parsed keys into the sketch's hot-key TopK. Per-connection byte and
+// verb accounting is always on and rides the batch settle.
+// scripts/benchsmoke.sh gates the delta against BenchmarkServerInsert
+// at < 5%.
+func BenchmarkServerInsertTraffic(b *testing.B) {
+	benchServerInsert(b, server.Config{TrafficSample: 256})
+}
+
 // benchSaturateConns is the connection count for the saturation
 // variants: enough concurrent pipelining clients to keep every batch
 // drain busy (group commit on the WAL variants), small enough not to

@@ -13,6 +13,7 @@ import (
 	"she/internal/audit"
 	"she/internal/obs"
 	obslog "she/internal/obs/log"
+	"she/internal/obs/traffic"
 	"she/internal/obs/xtrace"
 	"she/internal/wal"
 )
@@ -47,6 +48,17 @@ func (s *Server) handleConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
 	defer s.numConns.Add(-1)
+	// Rendered once: the slow-query log and client accounting
+	// attribute entries to this client, and RemoteAddr() allocates on
+	// every call.
+	remoteAddr := conn.RemoteAddr().String()
+	// Register for CLIENT LIST/KILL before wrapping: Kill closes the
+	// raw conn, and the counting wrapper accounts bytes per syscall so
+	// a pipelining client pays roughly one atomic add per batch, not
+	// per command.
+	tc := s.traffic.Clients().Register(remoteAddr, conn)
+	defer s.traffic.Clients().Unregister(tc)
+	conn = traffic.CountConn(conn, tc)
 	s.trackConn(conn, true)
 	defer s.trackConn(conn, false)
 	s.counters.Counter("connections_total").Inc()
@@ -60,10 +72,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	// buffer holds) cannot leak an acknowledgement ahead of its fsync.
 	bw := &syncWriter{s: s, conn: conn, armed: true}
 	w := bufio.NewWriterSize(bw, 32*1024)
-	batch := &connBatch{s: s}
-	// Rendered once: the slow-query log attributes entries to this
-	// client, and RemoteAddr() allocates on every call.
-	remoteAddr := conn.RemoteAddr().String()
+	batch := &connBatch{s: s, tc: tc, addr: remoteAddr}
 	timed := s.verbHist != nil || s.cfg.SlowThreshold > 0
 	// Per-connection latency accumulators: observations land in
 	// single-writer LocalHists and merge into the shared per-verb
@@ -229,6 +238,10 @@ func (s *Server) handleConn(conn net.Conn) {
 			// not block waiting for an acknowledgement from the very
 			// replica whose stream sits behind this writer.
 			bw.armed = false
+			// The link is a replication channel now: CLIENT KILL must
+			// refuse it (slow replicas are evicted via ReplicaMaxLagBytes,
+			// never by an operator racing the ack cursor).
+			tc.SetReplica()
 			s.servePSYNC(conn, r, w, cmd, replListenPort)
 			return
 		case err == nil && cmd.Name == "REPLCONF":
@@ -241,6 +254,24 @@ func (s *Server) handleConn(conn net.Conn) {
 				tr.Finish()
 			}
 			startNs = 0
+		case err == nil && cmd.Name == "MONITOR":
+			// The connection becomes a live feed of sampled commands:
+			// flush pending replies, then stream until the client hangs
+			// up. The feed never back-pressures the hot path — a lagging
+			// consumer loses frames, counted in monitor_dropped_total.
+			s.counters.Counter("commands_total").Inc()
+			tc.Command(verbIndex("MONITOR"))
+			if tr != nil {
+				tr.SetVerb("MONITOR")
+				tr.SetRemote(remoteAddr)
+				tr.Finish()
+			}
+			lats.flush(s)
+			if commit() != nil {
+				return
+			}
+			s.serveMonitor(conn, r, w, tc)
+			return
 		default:
 			// Clock reads are skipped entirely when nothing consumes
 			// them (histograms disabled and no slow threshold), and use
@@ -257,7 +288,24 @@ func (s *Server) handleConn(conn net.Conn) {
 				tr.SetVerb(cmd.Name)
 				tr.SetRemote(remoteAddr)
 			}
-			quit := s.admitExecute(cmd, tr, w)
+			vi := verbIndex(cmd.Name)
+			tc.Command(vi)
+			if (vi == verbInsert || vi == verbMinsert) && len(cmd.Args) > 1 {
+				tc.AddKeys(len(cmd.Args) - 1)
+			}
+			// The self-telemetry sampling decision: one atomic add for
+			// the unsampled majority. A sampled insert feeds the hot-key
+			// tracker; any sampled command becomes a MONITOR frame, but
+			// only when someone is subscribed (rendering costs).
+			if s.traffic.Sampled() {
+				if vi == verbInsert || vi == verbMinsert {
+					noteInsertKeys(s.traffic, cmd)
+				}
+				if s.traffic.Wants() {
+					s.traffic.Publish(remoteAddr, cmd.Name, renderCommand(cmd))
+				}
+			}
+			quit := s.admitExecute(cmd, tr, w, tc)
 			if isMutation(cmd.Name) {
 				bw.wrote = true
 			}
@@ -417,7 +465,7 @@ func renderCommand(cmd Command) string {
 // the client gets an -ERR and a closed connection, the daemon and its
 // other connections keep serving. Deferred unlocks in the command path
 // run during the unwind, so no lock is leaked.
-func (s *Server) safeExecute(cmd Command, tr *xtrace.Trace, w *bufio.Writer) (quit bool) {
+func (s *Server) safeExecute(cmd Command, tr *xtrace.Trace, w *bufio.Writer, tc *traffic.Client) (quit bool) {
 	defer func() {
 		if p := recover(); p != nil {
 			s.counters.Counter("panics_recovered").Inc()
@@ -425,7 +473,21 @@ func (s *Server) safeExecute(cmd Command, tr *xtrace.Trace, w *bufio.Writer) (qu
 			quit = true
 		}
 	}()
-	return s.execute(cmd, tr, w)
+	return s.execute(cmd, tr, w, tc)
+}
+
+// noteInsertKeys feeds a sampled insert command's parsed keys to the
+// hot-key tracker. Runs 1-in-TrafficSample, so the allocation is off
+// the common path.
+func noteInsertKeys(t *traffic.Tracker, cmd Command) {
+	if len(cmd.Args) < 2 {
+		return
+	}
+	keys := make([]uint64, 0, len(cmd.Args)-1)
+	for _, tok := range cmd.Args[1:] {
+		keys = append(keys, ParseKey(tok))
+	}
+	t.NoteKeys([]byte(cmd.Args[0]), keys)
 }
 
 // commit makes the batch durable, then releases its replies. With a
@@ -519,7 +581,7 @@ var testPanic func(Command)
 // the connection should close (QUIT). State-changing commands go
 // through mutate, which pairs their apply+log atomically against
 // checkpoints.
-func (s *Server) execute(cmd Command, tr *xtrace.Trace, w *bufio.Writer) (quit bool) {
+func (s *Server) execute(cmd Command, tr *xtrace.Trace, w *bufio.Writer, tc *traffic.Client) (quit bool) {
 	s.counters.Counter("commands_total").Inc()
 	if testPanic != nil {
 		testPanic(cmd)
@@ -541,6 +603,10 @@ func (s *Server) execute(cmd Command, tr *xtrace.Trace, w *bufio.Writer) (quit b
 		err = s.cmdSlowlog(cmd, w)
 	case "TRACE":
 		err = s.cmdTrace(cmd, w)
+	case "HOTKEYS":
+		err = s.cmdHotkeys(cmd, w)
+	case "CLIENT":
+		err = s.cmdClient(cmd, tc, w)
 	case "SKETCH.LIST":
 		s.writeList(w)
 	case "SKETCH.STATS":
@@ -641,6 +707,9 @@ func (s *Server) cmdDrop(cmd Command, tr *xtrace.Trace, w *bufio.Writer) error {
 	if err := s.reg.Drop(cmd.Args[0]); err != nil {
 		return err
 	}
+	// The hot-key tracker follows the registry: a dropped sketch's
+	// telemetry window must not linger (or leak map entries).
+	s.traffic.Forget(cmd.Args[0])
 	if err := s.walAppend("SKETCH.DROP "+cmd.Args[0], tr); err != nil {
 		return err
 	}
@@ -1013,6 +1082,17 @@ func (s *Server) writeInfo(w *bufio.Writer) {
 		fmt.Sprintf("sketches=%d", s.reg.Len()),
 		fmt.Sprintf("connected_replicas=%d", s.tracker.Count()),
 	}
+	// clients section: the per-connection accounting registry plus
+	// the self-telemetry sampler's health.
+	clBytesIn, clBytesOut, clMonitors := s.traffic.Clients().Totals()
+	lines = append(lines,
+		fmt.Sprintf("clients_connected=%d", s.traffic.Clients().Count()),
+		fmt.Sprintf("clients_monitor=%d", clMonitors),
+		fmt.Sprintf("clients_bytes_in=%d", clBytesIn),
+		fmt.Sprintf("clients_bytes_out=%d", clBytesOut),
+		fmt.Sprintf("traffic_sample=%d", s.traffic.SampleEvery()),
+		fmt.Sprintf("traffic_sampled_total=%d", s.traffic.SampledTotal()),
+		fmt.Sprintf("monitor_dropped_total=%d", s.traffic.Monitor().Dropped()))
 	if s.cfg.MaxMemory > 0 {
 		lines = append(lines,
 			"overload_level="+s.overloadLevel().String(),

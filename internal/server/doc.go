@@ -120,6 +120,29 @@
 //	    returns that trace or -ERR; GET SLOWEST n the n longest. SAMPLE
 //	    reads (:n) or sets (+OK) the sampling rate — trace 1 in n
 //	    commands, 0 disables. RESET clears the ring.
+//	HOTKEYS [<name> [k]]
+//	    Sliding-window heavy hitters over the sampled insert stream
+//	    (armed by Config.TrafficSample / shed -traffic-sample; see
+//	    # Traffic self-telemetry). Bare HOTKEYS summarizes every
+//	    tracked sketch, one "+name sampled_keys=N top=key:count,..."
+//	    line each; HOTKEYS <name> [k] lists that sketch's top keys,
+//	    one "+key=K est_count=E sampled=S" line each, where E is the
+//	    sampled estimate scaled back by the sampling rate.
+//	CLIENT LIST | KILL <addr> | GETNAME | SETNAME <name>
+//	    Per-connection accounting. LIST returns one +id=... addr=...
+//	    name=... age=... idle=... in=... out=... cmds=... keys=...
+//	    batches=... verb=... replica=... monitor=... per_verb=...
+//	    line per connection (bytes counted per syscall, per-verb
+//	    command counts settled per batch). KILL closes the connection
+//	    with that remote addr — but refuses replication links, whose
+//	    ack cursors must detach through the -repl-max-lag eviction
+//	    path. SETNAME labels this connection (sketch-name alphabet).
+//	MONITOR
+//	    Turn this connection into a live feed of sampled commands:
+//	    +OK, then one "+<epoch-seconds> [addr] <command>" frame per
+//	    sampled command until the client hangs up. The feed is
+//	    bounded: a consumer that cannot keep up loses frames (counted
+//	    in monitor_dropped_total), never the server.
 //
 // Example session (nc localhost 6380):
 //
@@ -308,9 +331,34 @@
 //	                                                  an exemplar linking
 //	                                                  she_command_seconds
 //	                                                  to a TRACE GET id
+//	she_traffic_sample_every,                gauge    traffic telemetry:
+//	she_traffic_clients,                              sampling config,
+//	she_traffic_client_bytes_in/_out,                 connection count and
+//	she_traffic_monitor_subscribers                   byte totals, MONITOR
+//	                                                  audience
+//	she_traffic_sampled_total,               counter  sampled commands and
+//	she_traffic_monitor_dropped_total                 dropped MONITOR
+//	                                                  frames
+//	she_hotkeys_tracked_sketches,            gauge    hot-key tracking:
+//	she_hotkeys_est_count{sketch,key}                 sketches tracked,
+//	                                                  top-k estimates
+//	                                                  scaled by the rate
+//	she_hotkeys_sampled_keys_total{sketch}   counter  keys fed per sketch
 //	she_build_info{version,go_version}       gauge    constant 1; build
 //	                                                  identification
-//	go_goroutines, go_memstats_*             gauge    Go runtime
+//	she_config_info{wal,audit_sample,        gauge    constant 1; the
+//	trace_sample,traffic_sample,                      node's configuration
+//	max_memory_bytes}                                 as labels
+//	she_go_gomaxprocs_threads,               gauge    runtime/metrics: the
+//	she_go_goroutines,                                scheduler and heap
+//	she_go_heap_objects_bytes,                        shape
+//	she_go_memory_total_bytes
+//	she_go_gc_pauses_seconds,                histogram  runtime/metrics
+//	she_go_sched_latency_seconds,                       distributions: GC
+//	she_go_heap_allocs_by_size_bytes                    pauses, scheduling
+//	                                                    latency, allocation
+//	                                                    size classes
+//	go_goroutines                            gauge    Go runtime
 //
 // Command timing is engineered to be effectively free: a TSC-based
 // monotonic clock (internal/obs), timestamps chained across pipelined
@@ -349,6 +397,43 @@
 // costs one atomic add per command, measured against the same < 5%
 // benchsmoke budget as the histograms (BenchmarkServerInsertTrace,
 // 1-in-256 sampling).
+//
+// # Traffic self-telemetry
+//
+// Config.TrafficSample > 0 (shed -traffic-sample) arms traffic
+// self-telemetry (internal/obs/traffic): 1 in every TrafficSample
+// commands is sampled — the same atomic-decision shape as tracing, so
+// the other TrafficSample-1 commands pay one atomic add each and a
+// disabled tracker costs one atomic load. A sampled insert feeds its
+// already-parsed keys into a per-sketch sliding-window she.TopK — shed
+// measuring its own traffic with its own sketch — served by HOTKEYS
+// and the she_hotkeys_* families; a sampled command of any verb
+// becomes a MONITOR frame when (and only when) a monitor is attached.
+// Per-connection accounting (CLIENT LIST) is always on and amortized:
+// bytes are counted once per syscall, per-verb command counts settle
+// once per pipelined batch.
+//
+// The error model for HOTKEYS estimates: over the sampled sub-stream
+// the SHE-CM estimate never undercounts (the paper's one-sided bound),
+// and scaling by the rate R turns a key's sampled count s into
+// est_count = s·R. Sampling adds binomial noise on top: a key with
+// true windowed count n is sampled s ~ Binomial(n, 1/R) times, so
+// est_count has mean n and standard deviation √(n·(R-1)) ≈ √(n·R) —
+// about ±6% relative at n=100k, R=64, growing as keys get rarer. Rank
+// order among genuinely hot keys is therefore stable (the integration
+// gate holds recall@10 ≥ 0.9 on a Zipf(1.1) stream at 1/64 sampling),
+// while tail keys churn; size R against the hottest traffic you need
+// to resolve, not the tail. Hot-key state is bounded: top-K per
+// sketch (Config.HotKeysK, default 10), a fixed CM behind it, at most
+// 1024 tracked sketches, and SKETCH.DROP forgets the track.
+//
+// The MONITOR feed is bounded the same way the rest of the hot path
+// is wait-free: each subscriber gets a fixed ring of frames, a
+// publisher that cannot buffer a frame drops it and increments
+// monitor_dropped_total, and with no subscribers the sampled path
+// skips rendering entirely. A lagging or dead monitor can therefore
+// never block an insert (BenchmarkServerInsertTraffic rides the same
+// < 5% benchsmoke budget, 1-in-256 sampling).
 //
 // # Accuracy auditing
 //

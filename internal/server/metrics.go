@@ -3,9 +3,11 @@ package server
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	rtmetrics "runtime/metrics"
 	"sync"
 	"time"
 
@@ -40,6 +42,15 @@ func (s *Server) metricsHandler(w http.ResponseWriter, _ *http.Request) {
 	version, goVersion := buildInfo()
 	p.Gauge("she_build_info", fmt.Sprintf("version=%q,go_version=%q",
 		obs.EscapeLabel(version), obs.EscapeLabel(goVersion)), 1)
+	// Constant-1 config gauge: a scrape alone identifies how the node
+	// is configured — durability, sampling rates, memory budget.
+	wal := "off"
+	if s.cfg.WALDir != "" {
+		wal = "on"
+	}
+	p.Gauge("she_config_info", fmt.Sprintf(
+		"wal=%q,audit_sample=\"%g\",trace_sample=\"%d\",traffic_sample=\"%d\",max_memory_bytes=\"%d\"",
+		wal, s.cfg.AuditSample, s.tracer.SampleEvery(), s.traffic.SampleEvery(), s.cfg.MaxMemory), 1)
 
 	// Operational counters, one family each. Untyped, not counter: a
 	// metrics.Counter doubles as a gauge (connections_active, wal_bytes
@@ -98,14 +109,106 @@ func (s *Server) metricsHandler(w http.ResponseWriter, _ *http.Request) {
 	s.writeReplMetrics(p)
 	s.writeOverloadMetrics(p)
 	s.writeTraceMetrics(p)
+	s.writeTrafficMetrics(p)
 
 	p.Gauge("go_goroutines", "", float64(runtime.NumGoroutine()))
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	p.Gauge("go_memstats_alloc_bytes", "", float64(ms.Alloc))
-	p.Gauge("go_memstats_sys_bytes", "", float64(ms.Sys))
+	writeGoMetrics(p)
 
 	w.Write(buf.Bytes())
+}
+
+// goMetricNames are the runtime/metrics samples the she_go_* families
+// are built from — the runtime's supported replacement for the old
+// hand-rolled ReadMemStats lines (which stop the world on some
+// collectors and expose only two numbers). Read in one batched
+// rtmetrics.Read call per scrape.
+var goMetricNames = []string{
+	"/sched/gomaxprocs:threads",
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/total:bytes",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+	"/gc/heap/allocs-by-size:bytes",
+}
+
+// writeGoMetrics renders the she_go_* families from runtime/metrics:
+// scheduler shape (GOMAXPROCS, goroutines), heap footprint, and three
+// distributions — GC pause times, scheduling latency, and the heap
+// allocation size classes — through PromWriter.HistogramEdges.
+// Unknown samples (an older or newer runtime dropping a name) render
+// nothing rather than a bogus zero.
+func writeGoMetrics(p *obs.PromWriter) {
+	samples := make([]rtmetrics.Sample, len(goMetricNames))
+	for i, name := range goMetricNames {
+		samples[i].Name = name
+	}
+	rtmetrics.Read(samples)
+	for _, sm := range samples {
+		switch sm.Name {
+		case "/sched/gomaxprocs:threads":
+			if sm.Value.Kind() == rtmetrics.KindUint64 {
+				p.Gauge("she_go_gomaxprocs_threads", "", float64(sm.Value.Uint64()))
+			}
+		case "/sched/goroutines:goroutines":
+			if sm.Value.Kind() == rtmetrics.KindUint64 {
+				p.Gauge("she_go_goroutines", "", float64(sm.Value.Uint64()))
+			}
+		case "/memory/classes/heap/objects:bytes":
+			if sm.Value.Kind() == rtmetrics.KindUint64 {
+				p.Gauge("she_go_heap_objects_bytes", "", float64(sm.Value.Uint64()))
+			}
+		case "/memory/classes/total:bytes":
+			if sm.Value.Kind() == rtmetrics.KindUint64 {
+				p.Gauge("she_go_memory_total_bytes", "", float64(sm.Value.Uint64()))
+			}
+		case "/gc/pauses:seconds":
+			writeGoHistogram(p, "she_go_gc_pauses_seconds", sm)
+		case "/sched/latencies:seconds":
+			writeGoHistogram(p, "she_go_sched_latency_seconds", sm)
+		case "/gc/heap/allocs-by-size:bytes":
+			writeGoHistogram(p, "she_go_heap_allocs_by_size_bytes", sm)
+		}
+	}
+}
+
+// writeGoHistogram converts one runtime/metrics Float64Histogram to
+// Prometheus buckets. The runtime's Counts[i] covers
+// [Buckets[i], Buckets[i+1]), with possibly infinite outermost
+// boundaries; HistogramEdges wants finite upper edges plus an
+// overflow bucket, so the finite interior boundaries become the
+// edges and a trailing +Inf boundary's count becomes the overflow.
+// The runtime keeps no sum, so _sum is approximated from bucket
+// midpoints (clamped at the infinite ends) — fine for dashboards,
+// and the buckets themselves are exact.
+func writeGoHistogram(p *obs.PromWriter, name string, sm rtmetrics.Sample) {
+	if sm.Value.Kind() != rtmetrics.KindFloat64Histogram {
+		return
+	}
+	h := sm.Value.Float64Histogram()
+	if h == nil || len(h.Counts) == 0 || len(h.Buckets) != len(h.Counts)+1 {
+		return
+	}
+	edges := make([]float64, 0, len(h.Counts))
+	counts := make([]uint64, 0, len(h.Counts)+1)
+	var sum float64
+	for i, n := range h.Counts {
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		if math.IsInf(hi, 1) {
+			// Overflow bucket: no finite edge; lands in +Inf.
+			counts = append(counts, n)
+			sum += float64(n) * lo
+			continue
+		}
+		edges = append(edges, hi)
+		counts = append(counts, n)
+		mid := hi
+		if !math.IsInf(lo, -1) && lo >= 0 {
+			mid = (lo + hi) / 2
+		}
+		sum += float64(n) * mid
+	}
+	p.HistogramEdges(name, "", edges, counts, sum)
 }
 
 // writeAuditMetrics renders the she_audit_* families: per-audited-

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"she/internal/audit"
+	"she/internal/obs/traffic"
 	"she/internal/obs/xtrace"
 )
 
@@ -208,9 +209,21 @@ func (s *Server) evalOverload() {
 		if next < old {
 			lvlLog = s.logger.Info
 		}
-		lvlLog("overload level change",
+		kv := []any{
 			"from", old.String(), "to", next.String(),
-			"used_bytes", cur, "limit_bytes", limit)
+			"used_bytes", cur, "limit_bytes", limit,
+		}
+		// Climbing the ladder names a suspect: with traffic sampling on,
+		// the heaviest sampled key across every sketch rides the warning,
+		// so the operator's first question — what is hitting us — is
+		// answered by the same log line that reports the degradation.
+		if next > old {
+			if sk, hot, ok := s.traffic.Hottest(); ok {
+				kv = append(kv, "hot_sketch", sk,
+					"hot_key", hot.Key, "hot_key_est_count", hot.Count)
+			}
+		}
+		lvlLog("overload level change", kv...)
 	}
 	// Shed on every tick at or above the rung, not just on the
 	// transition: sketches created while shed must shrink too.
@@ -333,10 +346,10 @@ func (ad *admission) await(timeout time.Duration, done <-chan struct{}) (ok, qui
 // across all connections; a command that cannot get a slot within the
 // command timeout is answered -ERR BUSY instead of queueing without
 // bound.
-func (s *Server) admitExecute(cmd Command, tr *xtrace.Trace, w *bufio.Writer) (quit bool) {
+func (s *Server) admitExecute(cmd Command, tr *xtrace.Trace, w *bufio.Writer, tc *traffic.Client) (quit bool) {
 	ad := s.admit
 	if ad == nil {
-		return s.safeExecute(cmd, tr, w)
+		return s.safeExecute(cmd, tr, w, tc)
 	}
 	if !ad.tryAcquire() {
 		ok, quit := ad.await(s.commandTimeout(), s.done)
@@ -350,5 +363,5 @@ func (s *Server) admitExecute(cmd Command, tr *xtrace.Trace, w *bufio.Writer) (q
 		}
 	}
 	defer ad.release()
-	return s.safeExecute(cmd, tr, w)
+	return s.safeExecute(cmd, tr, w, tc)
 }

@@ -19,6 +19,7 @@ import (
 	"she/internal/metrics"
 	"she/internal/obs"
 	obslog "she/internal/obs/log"
+	"she/internal/obs/traffic"
 	"she/internal/obs/xtrace"
 	"she/internal/repl"
 	"she/internal/wal"
@@ -110,6 +111,22 @@ type Config struct {
 	// traces are pinned preferentially when the ring evicts.
 	// 0 = 256 entries.
 	TraceRing int
+	// TrafficSample enables traffic self-telemetry sampling: one
+	// command in every TrafficSample feeds the per-sketch hot-key
+	// trackers (HOTKEYS, she_hotkeys_*) and the MONITOR broadcast.
+	// 0 disables sampling — the per-command cost is then one atomic
+	// load — while per-connection accounting (CLIENT LIST, the INFO
+	// clients section) stays on; its cost is amortized per syscall
+	// and per batch, not per command.
+	TrafficSample int
+	// HotKeysK is the hot keys reported per sketch by HOTKEYS and
+	// she_hotkeys_est_count; the tracker keeps 4·K candidates
+	// (she.TopK's bound). 0 = 10.
+	HotKeysK int
+	// HotKeysWindow overrides the hot-key sliding window in sampled
+	// inserts (0 = 65536) — a test knob; one raw-traffic window is
+	// TrafficSample times this.
+	HotKeysWindow uint64
 	// ReplicaOf starts the server as a replica of the given primary
 	// address ("host:port"): it full-syncs from the primary's latest
 	// checkpoint, tails its WAL, serves reads, and refuses client
@@ -213,6 +230,10 @@ type Server struct {
 	// she_trace_exemplar_seconds. Indexed like verbHist; nil when
 	// histograms are disabled.
 	exemplars []atomic.Pointer[traceExemplar]
+	// traffic owns self-telemetry: the 1-in-N command sampler feeding
+	// per-sketch hot-key trackers and the MONITOR hub, plus the
+	// always-on per-connection accounting registry. Always non-nil.
+	traffic *traffic.Tracker
 
 	ln        net.Listener
 	debugLn   net.Listener
@@ -274,6 +295,7 @@ var commandVerbs = []string{
 	"SKETCH.QUERY", "SKETCH.CARD", "SKETCH.STATS", "SKETCH.AUDIT",
 	"SKETCH.SAVE", "SKETCH.LOAD",
 	"ROLE", "REPLICAOF", "REPLCONF", "PSYNC", "TRACE", "MINSERT",
+	"HOTKEYS", "CLIENT", "MONITOR",
 	"OTHER",
 }
 
@@ -330,8 +352,14 @@ func verbIndex(name string) int {
 		return 18
 	case "MINSERT":
 		return 19
+	case "HOTKEYS":
+		return 20
+	case "CLIENT":
+		return 21
+	case "MONITOR":
+		return 22
 	default:
-		return 20 // OTHER
+		return 23 // OTHER
 	}
 }
 
@@ -397,6 +425,12 @@ func New(cfg Config) *Server {
 		RingSize:    cfg.TraceRing,
 		Seed:        uint64(time.Now().UnixNano()) ^ uint64(traceSeedSalt.Add(0x9e3779b97f4a7c15)),
 	})
+	s.traffic = traffic.New(traffic.Config{
+		SampleEvery: cfg.TrafficSample,
+		HotKeysK:    cfg.HotKeysK,
+		HotWindow:   cfg.HotKeysWindow,
+		Verbs:       commandVerbs,
+	})
 	return s
 }
 
@@ -412,6 +446,9 @@ func (s *Server) Counters() *metrics.CounterSet { return s.counters }
 
 // Tracer exposes the request tracer (tests, embedders).
 func (s *Server) Tracer() *xtrace.Tracer { return s.tracer }
+
+// Traffic exposes the self-telemetry tracker (tests, embedders).
+func (s *Server) Traffic() *traffic.Tracker { return s.traffic }
 
 // Start binds the listeners, restores autosaved sketches, and begins
 // serving in background goroutines. It returns once the addresses are

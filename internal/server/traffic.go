@@ -1,0 +1,246 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"time"
+
+	"she/internal/obs"
+	"she/internal/obs/traffic"
+)
+
+// Traffic self-telemetry verbs: HOTKEYS (per-sketch sliding-window
+// heavy hitters over the sampled insert stream), CLIENT (the
+// per-connection accounting registry) and MONITOR (a bounded live
+// feed of sampled commands). The sampling machinery lives in
+// internal/obs/traffic; this file is its wire surface.
+
+// cmdHotkeys serves HOTKEYS [name] [k]. Bare HOTKEYS summarizes every
+// tracked sketch; with a name it lists that sketch's top-k keys,
+// counts scaled back to estimated raw traffic (sampled estimate ×
+// sample rate). Tracking only exists while sampling is on.
+func (s *Server) cmdHotkeys(cmd Command, w *bufio.Writer) error {
+	if len(cmd.Args) > 2 {
+		return fmt.Errorf("%s: want [name] [k]", cmd.Name)
+	}
+	if s.traffic.SampleEvery() <= 0 {
+		return fmt.Errorf("%s: traffic sampling is disabled (start shed with -traffic-sample)", cmd.Name)
+	}
+	if len(cmd.Args) == 0 {
+		stats := s.traffic.HotStats()
+		lines := make([]string, 0, len(stats))
+		for _, st := range stats {
+			row := fmt.Sprintf("%s sampled_keys=%d", st.Sketch, st.SampledKeys)
+			if len(st.Entries) > 0 {
+				top := make([]string, 0, 3)
+				for i, e := range st.Entries {
+					if i == 3 {
+						break
+					}
+					top = append(top, fmt.Sprintf("%d:%d", e.Key, e.Count))
+				}
+				row += " top=" + strings.Join(top, ",")
+			}
+			lines = append(lines, row)
+		}
+		writeArray(w, lines)
+		return nil
+	}
+	k := 0
+	if len(cmd.Args) == 2 {
+		v, err := parseUint(cmd.Args[1])
+		if err != nil || v == 0 {
+			return fmt.Errorf("%s: bad k %q", cmd.Name, cmd.Args[1])
+		}
+		k = int(v)
+	}
+	entries, ok := s.traffic.HotKeys(cmd.Args[0], k)
+	if !ok {
+		// Distinguish "no sketch" from "no sampled traffic yet":
+		// an existing sketch just has nothing tracked.
+		if _, err := s.reg.Get(cmd.Args[0]); err != nil {
+			return err
+		}
+		writeArray(w, nil)
+		return nil
+	}
+	lines := make([]string, len(entries))
+	for i, e := range entries {
+		lines[i] = fmt.Sprintf("key=%d est_count=%d sampled=%d", e.Key, e.Count, e.Sampled)
+	}
+	writeArray(w, lines)
+	return nil
+}
+
+// cmdClient serves the per-connection accounting registry:
+//
+//	CLIENT LIST            one row per connection
+//	CLIENT KILL <addr>     close the connection with that remote addr
+//	CLIENT GETNAME         this connection's name
+//	CLIENT SETNAME <name>  name this connection (sketch-name alphabet)
+//
+// KILL refuses replication links: a replica that cannot keep up is
+// evicted by the ReplicaMaxLagBytes policy, which detaches its ack
+// cursor from the Tracker cleanly — an operator racing that state
+// with a raw close is exactly the corruption KILL must not offer.
+func (s *Server) cmdClient(cmd Command, tc *traffic.Client, w *bufio.Writer) error {
+	if len(cmd.Args) == 0 {
+		return fmt.Errorf("%s: want LIST, KILL addr, GETNAME or SETNAME name", cmd.Name)
+	}
+	sub := strings.ToUpper(cmd.Args[0])
+	switch sub {
+	case "LIST":
+		if len(cmd.Args) != 1 {
+			return fmt.Errorf("CLIENT LIST takes no arguments")
+		}
+		rows := s.traffic.Clients().List()
+		lines := make([]string, len(rows))
+		for i, c := range rows {
+			lines[i] = renderClient(c)
+		}
+		writeArray(w, lines)
+	case "KILL":
+		if len(cmd.Args) != 2 {
+			return fmt.Errorf("CLIENT KILL: want addr")
+		}
+		victim := s.traffic.Clients().Find(cmd.Args[1])
+		if victim == nil {
+			return fmt.Errorf("CLIENT KILL: no such client %q", cmd.Args[1])
+		}
+		if victim.IsReplica() {
+			return fmt.Errorf("CLIENT KILL: %s is a replication link; refusing (slow replicas are evicted via -repl-max-lag)", cmd.Args[1])
+		}
+		victim.Kill()
+		s.counters.Counter("clients_killed").Inc()
+		writeSimple(w, "OK")
+	case "GETNAME":
+		if len(cmd.Args) != 1 {
+			return fmt.Errorf("CLIENT GETNAME takes no arguments")
+		}
+		writeSimple(w, tc.Name())
+	case "SETNAME":
+		if len(cmd.Args) != 2 {
+			return fmt.Errorf("CLIENT SETNAME: want name")
+		}
+		if !ValidName(cmd.Args[1]) {
+			return fmt.Errorf("CLIENT SETNAME: invalid name %q (same alphabet as sketch names)", cmd.Args[1])
+		}
+		tc.SetName(cmd.Args[1])
+		writeSimple(w, "OK")
+	default:
+		return fmt.Errorf("%s: unknown subcommand %q (want LIST, KILL, GETNAME or SETNAME)", cmd.Name, cmd.Args[0])
+	}
+	return nil
+}
+
+// renderClient renders one CLIENT LIST row, Redis-style key=value
+// pairs. cmds breaks down per verb as verb:count, highest first is
+// not guaranteed — rows are diagnostic, not a stable API.
+func renderClient(c traffic.ClientInfo) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "id=%d addr=%s name=%s age=%d idle=%d in=%d out=%d cmds=%d keys=%d batches=%d verb=%s replica=%t monitor=%t",
+		c.ID, c.Addr, c.Name,
+		int64(c.Age/time.Second), int64(c.Idle/time.Second),
+		c.BytesIn, c.BytesOut, c.Cmds, c.Keys, c.Batches,
+		c.Verb, c.Replica, c.Monitor)
+	if len(c.VerbCounts) > 0 {
+		verbs := make([]string, 0, len(c.VerbCounts))
+		for v := range c.VerbCounts {
+			verbs = append(verbs, v)
+		}
+		// Stable order for tests and eyeballs.
+		sort.Strings(verbs)
+		parts := make([]string, len(verbs))
+		for i, v := range verbs {
+			parts[i] = fmt.Sprintf("%s:%d", v, c.VerbCounts[v])
+		}
+		b.WriteString(" per_verb=")
+		b.WriteString(strings.Join(parts, ","))
+	}
+	return b.String()
+}
+
+// serveMonitor turns the connection into a MONITOR feed: +OK, then
+// one +frame line per sampled command until the client hangs up or
+// the server drains. The publisher never blocks on this consumer —
+// frames it cannot buffer are dropped and counted — and the feed's
+// writes carry the configured write deadline, so a stuck socket
+// cannot park this goroutine forever either.
+func (s *Server) serveMonitor(conn net.Conn, r *bufio.Reader, w *bufio.Writer, tc *traffic.Client) {
+	writeSimple(w, "OK")
+	if s.flush(conn, w) != nil {
+		return
+	}
+	tc.SetMonitor()
+	sub := s.traffic.Monitor().Subscribe()
+	defer s.traffic.Monitor().Unsubscribe(sub)
+	// The read loop's only job now is hangup detection: the idle
+	// deadline comes off (a silent monitor is healthy), and any input
+	// or error ends the feed. Shutdown still unblocks the read via
+	// trackConn's deadline poke.
+	conn.SetReadDeadline(time.Time{})
+	hangup := make(chan struct{})
+	go func() {
+		defer close(hangup)
+		for {
+			if _, err := r.ReadByte(); err != nil {
+				return
+			}
+		}
+	}()
+	for {
+		select {
+		case e, ok := <-sub.C:
+			if !ok {
+				return
+			}
+			// Redis MONITOR shape: epoch-seconds, origin, command.
+			writeSimple(w, fmt.Sprintf("%.6f [%s] %s",
+				float64(e.Time.UnixMicro())/1e6, e.Addr, e.Line))
+			if s.flush(conn, w) != nil {
+				return
+			}
+		case <-hangup:
+			return
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// writeTrafficMetrics renders the she_traffic_* and she_hotkeys_*
+// families: sampler state, client accounting totals, MONITOR health,
+// and per-sketch hot keys (top-k only, so the label cardinality is
+// bounded by K·sketches). Families are emitted in their own loops so
+// every series of a family stays contiguous under its # TYPE line.
+func (s *Server) writeTrafficMetrics(p *obs.PromWriter) {
+	t := s.traffic
+	bytesIn, bytesOut, monitors := t.Clients().Totals()
+	p.Gauge("she_traffic_sample_every", "", float64(t.SampleEvery()))
+	p.Counter("she_traffic_sampled_total", "", float64(t.SampledTotal()))
+	p.Gauge("she_traffic_clients", "", float64(t.Clients().Count()))
+	p.Gauge("she_traffic_client_bytes_in", "", float64(bytesIn))
+	p.Gauge("she_traffic_client_bytes_out", "", float64(bytesOut))
+	p.Gauge("she_traffic_monitor_subscribers", "", float64(monitors))
+	p.Counter("she_traffic_monitor_dropped_total", "", float64(t.Monitor().Dropped()))
+
+	stats := t.HotStats()
+	if len(stats) == 0 {
+		return
+	}
+	p.Gauge("she_hotkeys_tracked_sketches", "", float64(len(stats)))
+	for _, st := range stats {
+		p.Counter("she_hotkeys_sampled_keys_total",
+			fmt.Sprintf("sketch=%q", obs.EscapeLabel(st.Sketch)), float64(st.SampledKeys))
+	}
+	for _, st := range stats {
+		for _, e := range st.Entries {
+			p.Gauge("she_hotkeys_est_count",
+				fmt.Sprintf("sketch=%q,key=\"%d\"", obs.EscapeLabel(st.Sketch), e.Key),
+				float64(e.Count))
+		}
+	}
+}

@@ -1,0 +1,402 @@
+package server_test
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"she/internal/server"
+)
+
+// TestHotkeysDisabled pins the off-by-default contract: without
+// -traffic-sample the verb refuses with a pointer at the flag.
+func TestHotkeysDisabled(t *testing.T) {
+	s := startServer(t, server.Config{Logger: quiet()})
+	c := dial(t, s.Addr().String())
+	got := c.cmd("HOTKEYS")
+	if !strings.HasPrefix(got, "-ERR") || !strings.Contains(got, "-traffic-sample") {
+		t.Fatalf("HOTKEYS while disabled = %q", got)
+	}
+}
+
+// TestHotkeysWire covers the HOTKEYS verb end to end at sample rate 1:
+// the bare summary, the per-sketch listing with scaled counts, and the
+// error/empty cases.
+func TestHotkeysWire(t *testing.T) {
+	s := startServer(t, server.Config{TrafficSample: 1, Logger: quiet()})
+	c := dial(t, s.Addr().String())
+	c.cmd("SKETCH.CREATE fx cm counters=65536 window=65536 shards=4")
+	c.cmd("SKETCH.CREATE empty bloom bits=65536 window=4096")
+	for i := 0; i < 30; i++ {
+		c.cmd("SKETCH.INSERT fx 7")
+	}
+	for i := 0; i < 5; i++ {
+		c.cmd("SKETCH.INSERT fx 8")
+	}
+
+	rows := c.array("HOTKEYS fx 2")
+	if len(rows) != 2 {
+		t.Fatalf("HOTKEYS fx 2 = %v", rows)
+	}
+	// At rate 1 the estimate equals the sampled count equals the true
+	// count (CM may overcount, never under).
+	if !strings.HasPrefix(rows[0], "key=7 ") || !strings.Contains(rows[0], "est_count=3") {
+		t.Fatalf("top row = %q, want key=7 est_count=3x", rows[0])
+	}
+	if !strings.HasPrefix(rows[1], "key=8 ") {
+		t.Fatalf("second row = %q, want key=8", rows[1])
+	}
+
+	summary := c.array("HOTKEYS")
+	joined := strings.Join(summary, "\n")
+	if len(summary) != 1 || !strings.Contains(joined, "fx sampled_keys=35") ||
+		!strings.Contains(joined, "top=7:30") {
+		t.Fatalf("HOTKEYS summary = %v", summary)
+	}
+
+	// An existing sketch with no sampled traffic lists as empty, a
+	// missing sketch errors, a bad k errors.
+	if rows := c.array("HOTKEYS empty"); len(rows) != 0 {
+		t.Fatalf("HOTKEYS empty = %v", rows)
+	}
+	if got := c.cmd("HOTKEYS nosuch"); !strings.HasPrefix(got, "-ERR") {
+		t.Fatalf("HOTKEYS nosuch = %q", got)
+	}
+	if got := c.cmd("HOTKEYS fx zero"); !strings.HasPrefix(got, "-ERR") {
+		t.Fatalf("HOTKEYS fx zero = %q", got)
+	}
+
+	// DROP forgets the track.
+	c.cmd("SKETCH.DROP fx")
+	if got := c.cmd("HOTKEYS fx"); !strings.HasPrefix(got, "-ERR") {
+		t.Fatalf("HOTKEYS after DROP = %q", got)
+	}
+}
+
+// TestHotkeysZipfRecall is the accuracy gate from the sampling error
+// model: a Zipf(1.1) stream sampled 1-in-64 must still surface ≥9 of
+// the true top-10 keys. The stream and the sampler are both
+// deterministic (seeded generator, counter-based 1-in-N), so this is a
+// regression test, not a flake.
+func TestHotkeysZipfRecall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const (
+		inserts = 200000
+		rate    = 64
+	)
+	s := startServer(t, server.Config{TrafficSample: rate, Logger: quiet()})
+	c := dial(t, s.Addr().String())
+	c.cmd("SKETCH.CREATE zx cm counters=262144 window=1048576 shards=4")
+
+	rng := rand.New(rand.NewSource(42))
+	zipf := rand.NewZipf(rng, 1.1, 1, 1<<20)
+	exact := make(map[uint64]int)
+	var payload strings.Builder
+	payload.Grow(inserts * 24)
+	for i := 0; i < inserts; i++ {
+		k := zipf.Uint64()
+		exact[k]++
+		fmt.Fprintf(&payload, "SKETCH.INSERT zx %d\n", k)
+	}
+	// One pipelined write, then drain the per-line replies.
+	if _, err := c.conn.Write([]byte(payload.String())); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < inserts; i++ {
+		if line := c.recv(); line != ":1" {
+			t.Fatalf("insert %d reply %q", i, line)
+		}
+	}
+
+	type kc struct {
+		key uint64
+		n   int
+	}
+	all := make([]kc, 0, len(exact))
+	for k, n := range exact {
+		all = append(all, kc{k, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].key < all[j].key
+	})
+	top := map[uint64]bool{}
+	for _, e := range all[:10] {
+		top[e.key] = true
+	}
+
+	rows := c.array("HOTKEYS zx 10")
+	hits := 0
+	for _, row := range rows {
+		var key, est, sampled uint64
+		if _, err := fmt.Sscanf(row, "key=%d est_count=%d sampled=%d", &key, &est, &sampled); err != nil {
+			t.Fatalf("row %q: %v", row, err)
+		}
+		if top[key] {
+			hits++
+		}
+		if est != sampled*rate {
+			t.Fatalf("row %q: est != sampled×%d", row, rate)
+		}
+	}
+	if hits < 9 {
+		t.Fatalf("recall@10 = %d/10 at 1/%d sampling, want ≥9 (exact top: %v, got: %v)",
+			hits, rate, all[:10], rows)
+	}
+}
+
+// TestClientCommands covers CLIENT LIST / SETNAME / GETNAME / KILL on
+// live connections.
+func TestClientCommands(t *testing.T) {
+	s := startServer(t, server.Config{Logger: quiet()})
+	c1 := dial(t, s.Addr().String())
+	c2 := dial(t, s.Addr().String())
+	c2.cmd("PING") // ensure c2 is registered and has a verb count
+
+	if got := c1.cmd("CLIENT SETNAME ingest-1"); got != "+OK" {
+		t.Fatalf("SETNAME = %q", got)
+	}
+	if got := c1.cmd("CLIENT GETNAME"); got != "+ingest-1" {
+		t.Fatalf("GETNAME = %q", got)
+	}
+	if got := c1.cmd("CLIENT SETNAME bad name!"); !strings.HasPrefix(got, "-ERR") {
+		t.Fatalf("SETNAME invalid = %q", got)
+	}
+
+	rows := c1.array("CLIENT LIST")
+	if len(rows) != 2 {
+		t.Fatalf("CLIENT LIST = %v", rows)
+	}
+	joined := strings.Join(rows, "\n")
+	c2addr := c2.conn.LocalAddr().String()
+	if !strings.Contains(joined, "name=ingest-1") || !strings.Contains(joined, "addr="+c2addr) {
+		t.Fatalf("CLIENT LIST rows = %v", rows)
+	}
+	if !strings.Contains(joined, "PING:") {
+		t.Fatalf("per-verb accounting missing from %v", rows)
+	}
+
+	// INFO carries the connection accounting.
+	info := strings.Join(c1.array("INFO"), "\n")
+	for _, want := range []string{"clients_connected=2", "clients_bytes_in=", "traffic_sample=0"} {
+		if !strings.Contains(info, want) {
+			t.Fatalf("INFO missing %q:\n%s", want, info)
+		}
+	}
+
+	if got := c1.cmd("CLIENT KILL 1.2.3.4:5"); !strings.HasPrefix(got, "-ERR") {
+		t.Fatalf("KILL unknown = %q", got)
+	}
+	if got := c1.cmd("CLIENT KILL %s", c2addr); got != "+OK" {
+		t.Fatalf("KILL = %q", got)
+	}
+	// The killed connection observes the close.
+	c2.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c2.r.ReadByte(); err == nil {
+		t.Fatal("killed connection still readable")
+	}
+	if got := c1.cmd("CLIENT BOGUS"); !strings.HasPrefix(got, "-ERR") {
+		t.Fatalf("CLIENT BOGUS = %q", got)
+	}
+}
+
+// TestClientKillReplicaRefused pins the replication-safety rule:
+// CLIENT KILL must not offer a raw close of a PSYNC link — the
+// Tracker's ack cursor detaches only through the replication layer's
+// own eviction. After the refusal the link keeps replicating.
+func TestClientKillReplicaRefused(t *testing.T) {
+	primary := startServer(t, server.Config{WALDir: t.TempDir(), Logger: quiet()})
+	pc := dial(t, primary.Addr().String())
+	pc.cmd("SKETCH.CREATE flows cm counters=65536 window=65536 shards=4")
+	pc.cmd("SKETCH.INSERT flows seed")
+
+	follower := startServer(t, server.Config{
+		WALDir:    t.TempDir(),
+		ReplicaOf: primary.Addr().String(),
+		Logger:    quiet(),
+	})
+	fc := dial(t, follower.Addr().String())
+	waitUntil(t, "full sync", func() bool {
+		return queryInt(fc, "SKETCH.QUERY flows seed") >= 1
+	})
+
+	var replAddr string
+	waitUntil(t, "replica row", func() bool {
+		for _, row := range pc.array("CLIENT LIST") {
+			if strings.Contains(row, "replica=true") {
+				for _, f := range strings.Fields(row) {
+					if strings.HasPrefix(f, "addr=") {
+						replAddr = strings.TrimPrefix(f, "addr=")
+						return true
+					}
+				}
+			}
+		}
+		return false
+	})
+
+	got := pc.cmd("CLIENT KILL %s", replAddr)
+	if !strings.HasPrefix(got, "-ERR") || !strings.Contains(got, "replication link") {
+		t.Fatalf("KILL replica = %q", got)
+	}
+
+	// The link survived the attempt: new writes still flow, and the
+	// tracker's ack cursor still advances (ROLE keeps one replica).
+	pc.cmd("SKETCH.INSERT flows after-kill")
+	waitUntil(t, "replication alive", func() bool {
+		return queryInt(fc, "SKETCH.QUERY flows after-kill") >= 1
+	})
+	role := pc.array("ROLE")
+	if len(role) == 0 || role[0] != "role=primary replicas=1" {
+		t.Fatalf("ROLE after refused kill = %v", role)
+	}
+}
+
+// TestMonitorFeed smoke-tests the MONITOR verb over the wire: +OK,
+// then frames for sampled commands from other connections, ending
+// cleanly when the monitor hangs up.
+func TestMonitorFeed(t *testing.T) {
+	s := startServer(t, server.Config{TrafficSample: 1, Logger: quiet()})
+	mon := dial(t, s.Addr().String())
+	if got := mon.cmd("MONITOR"); got != "+OK" {
+		t.Fatalf("MONITOR = %q", got)
+	}
+
+	c := dial(t, s.Addr().String())
+	c.cmd("SKETCH.CREATE fx cm counters=65536 window=65536 shards=4")
+	c.cmd("SKETCH.INSERT fx 42")
+	c.cmd("PING")
+
+	mon.conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	want := map[string]bool{"SKETCH.CREATE": false, "SKETCH.INSERT fx 42": false, "PING": false}
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		frame := mon.recv()
+		if !strings.HasPrefix(frame, "+") || !strings.Contains(frame, "["+c.conn.LocalAddr().String()+"]") {
+			t.Fatalf("frame = %q", frame)
+		}
+		for w := range want {
+			if strings.Contains(frame, w) {
+				want[w] = true
+			}
+		}
+		all := true
+		for _, seen := range want {
+			all = all && seen
+		}
+		if all {
+			return
+		}
+	}
+	t.Fatalf("missing frames: %v", want)
+}
+
+// TestMonitorLaggingDrops is the bounded-feed acceptance test: a
+// subscriber that never drains costs the hot path nothing — inserts
+// all succeed promptly, overflow frames are dropped and counted.
+func TestMonitorLaggingDrops(t *testing.T) {
+	s := startServer(t, server.Config{TrafficSample: 1, Logger: quiet()})
+	// Subscribe straight at the hub and never read: the worst consumer.
+	sub := s.Traffic().Monitor().Subscribe()
+	defer s.Traffic().Monitor().Unsubscribe(sub)
+
+	c := dial(t, s.Addr().String())
+	c.cmd("SKETCH.CREATE fx cm counters=65536 window=65536 shards=4")
+	const n = 3000
+	var payload strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&payload, "SKETCH.INSERT fx %d\n", i)
+	}
+	start := time.Now()
+	if _, err := c.conn.Write([]byte(payload.String())); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if line := c.recv(); line != ":1" {
+			t.Fatalf("insert %d reply %q", i, line)
+		}
+	}
+	if d := time.Since(start); d > 30*time.Second {
+		t.Fatalf("inserts took %v behind a dead monitor", d)
+	}
+	if dropped := s.Traffic().Monitor().Dropped(); dropped == 0 {
+		t.Fatal("no frames dropped despite a never-draining subscriber")
+	}
+	info := strings.Join(c.array("INFO"), "\n")
+	if !strings.Contains(info, "monitor_dropped_total=") {
+		t.Fatalf("INFO missing monitor_dropped_total:\n%s", info)
+	}
+}
+
+// TestTrafficChurnRace exercises CLIENT LIST/KILL and MONITOR
+// subscribe/unsubscribe concurrently with traffic; its value is under
+// -race.
+func TestTrafficChurnRace(t *testing.T) {
+	s := startServer(t, server.Config{TrafficSample: 2, Logger: quiet()})
+	admin := dial(t, s.Addr().String())
+	admin.cmd("SKETCH.CREATE fx cm counters=65536 window=65536 shards=4")
+
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			conn := dialRaw(t, s.Addr().String())
+			defer conn.conn.Close()
+			for i := 0; i < 300; i++ {
+				conn.send("SKETCH.INSERT fx %d", i)
+				conn.recv()
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn := dialRaw(t, s.Addr().String())
+		defer conn.conn.Close()
+		for i := 0; i < 100; i++ {
+			conn.send("CLIENT LIST")
+			head := conn.recv()
+			var n int
+			fmt.Sscanf(head, "*%d", &n)
+			for j := 0; j < n; j++ {
+				conn.recv()
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			mon := dialRaw(t, s.Addr().String())
+			mon.send("MONITOR")
+			mon.recv() // +OK
+			time.Sleep(time.Millisecond)
+			mon.conn.Close()
+		}
+	}()
+	wg.Wait()
+	if got := admin.cmd("PING"); got != "+PONG" {
+		t.Fatalf("server unhealthy after churn: %q", got)
+	}
+}
+
+// dialRaw is dial without the t.Cleanup-owned close (churn goroutines
+// manage their own connection lifetimes).
+func dialRaw(t *testing.T, addr string) *client {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Error(err)
+		return nil
+	}
+	return &client{t: t, conn: conn, r: bufio.NewReader(conn)}
+}

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # benchsmoke.sh — comparative overhead benchmarks for the insert path.
 #
-# Five comparisons, each run as back-to-back interleaved PAIRS so slow
+# Six comparisons, each run as back-to-back interleaved PAIRS so slow
 # machine drift (thermal, VM neighbors) hits both variants equally,
 # with the median and minimum per-pair overhead reported:
 #
@@ -30,6 +30,11 @@
 #          256 commands end to end) vs BenchmarkServerInsert — what
 #          tracing costs at the production-recommended rate; the 255
 #          unsampled commands pay one atomic add each (PR 8's budget).
+#   traffic: BenchmarkServerInsertTraffic (traffic self-telemetry
+#          sampling 1 in 256 commands into per-sketch hot-key TopK
+#          sketches) vs BenchmarkServerInsert — what HOTKEYS, CLIENT
+#          accounting and the MONITOR plumbing cost with nobody
+#          watching (PR 10's budget).
 #
 # Also records the multi-connection saturation figures — the MINSERT
 # batch-engine workload, no WAL and WAL — and gates them as absolute
@@ -37,7 +42,7 @@
 # is 3x the PR 3 single-connection no-WAL baseline (1,328,403
 # inserts/sec), the batch engine's headline claim.
 #
-# Writes $OUT (default BENCH_PR9.json) with the median figures. With a
+# Writes $OUT (default BENCH_PR10.json) with the median figures. With a
 # real BENCHTIME (e.g. 2s) it fails when any overhead exceeds its
 # budget; with BENCHTIME=1x (the CI smoke default) it runs one pair
 # only and just checks that the benchmarks run, since a single
@@ -60,7 +65,7 @@ MAX_OVERHEAD_PCT="${MAX_OVERHEAD_PCT:-5}"
 MAX_REPL_OVERHEAD_PCT="${MAX_REPL_OVERHEAD_PCT:-60}"
 MIN_SATURATE="${MIN_SATURATE:-3985209}"
 MIN_SATURATE_WAL="${MIN_SATURATE_WAL:-1000000}"
-OUT="${OUT:-BENCH_PR9.json}"
+OUT="${OUT:-BENCH_PR10.json}"
 PAIRS="${PAIRS:-5}"
 if [ "$BENCHTIME" = "1x" ]; then
   PAIRS=1
@@ -107,6 +112,7 @@ compare obs BenchmarkServerInsert BenchmarkServerInsertNoObs
 compare audit BenchmarkServerInsertAudit BenchmarkServerInsert
 compare over BenchmarkServerInsertOverload BenchmarkServerInsert
 compare trace BenchmarkServerInsertTrace BenchmarkServerInsert
+compare traffic BenchmarkServerInsertTraffic BenchmarkServerInsert
 compare repl BenchmarkServerInsertSaturateRepl BenchmarkServerInsertSaturateWAL
 
 saturate=$(run_bench BenchmarkServerInsertSaturate)
@@ -166,6 +172,15 @@ cat > "$OUT" <<EOF
     "overhead_pct": $trace_overhead_med,
     "overhead_pct_min": $trace_overhead_min
   },
+  "traffic": {
+    "benchmark": "BenchmarkServerInsertTraffic vs BenchmarkServerInsert",
+    "traffic_sample": 256,
+    "traffic_enabled_inserts_per_sec": $traffic_variant_med,
+    "traffic_disabled_inserts_per_sec": $traffic_base_med,
+    "overhead_pct_per_pair": [$traffic_overheads],
+    "overhead_pct": $traffic_overhead_med,
+    "overhead_pct_min": $traffic_overhead_min
+  },
   "repl": {
     "benchmark": "BenchmarkServerInsertSaturateRepl vs BenchmarkServerInsertSaturateWAL",
     "connections": 8,
@@ -178,7 +193,7 @@ cat > "$OUT" <<EOF
   }
 }
 EOF
-echo "benchsmoke: overheads median/min: obs=${obs_overhead_med}/${obs_overhead_min}% audit=${audit_overhead_med}/${audit_overhead_min}% over=${over_overhead_med}/${over_overhead_min}% trace=${trace_overhead_med}/${trace_overhead_min}% repl=${repl_overhead_med}/${repl_overhead_min}% (wrote $OUT)"
+echo "benchsmoke: overheads median/min: obs=${obs_overhead_med}/${obs_overhead_min}% audit=${audit_overhead_med}/${audit_overhead_min}% over=${over_overhead_med}/${over_overhead_min}% trace=${trace_overhead_med}/${trace_overhead_min}% traffic=${traffic_overhead_med}/${traffic_overhead_min}% repl=${repl_overhead_med}/${repl_overhead_min}% (wrote $OUT)"
 
 if [ "$BENCHTIME" = "1x" ]; then
   echo "benchsmoke: BENCHTIME=1x smoke run; skipping the overhead and saturation assertions"
@@ -186,7 +201,7 @@ if [ "$BENCHTIME" = "1x" ]; then
 fi
 # Gate on the min-of-pairs overhead (see header: the median is noise-
 # bound on a shared runner; the minimum is the cleanest pair).
-for label in obs audit over trace; do
+for label in obs audit over trace traffic; do
   min_var="${label}_overhead_min"
   awk -v o="${!min_var}" -v max="$MAX_OVERHEAD_PCT" 'BEGIN { exit !(o <= max) }' || {
     echo "benchsmoke: $label min-of-pairs overhead ${!min_var}% exceeds ${MAX_OVERHEAD_PCT}%" >&2

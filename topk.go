@@ -81,7 +81,20 @@ func (t *TopK) Insert(key uint64) {
 // Top returns up to k entries, heaviest first, with freshly
 // re-estimated window counts. Candidates whose windows have emptied are
 // dropped.
-func (t *TopK) Top() []TopEntry {
+func (t *TopK) Top() []TopEntry { return t.Snapshot(t.k) }
+
+// Snapshot returns up to k entries (any k, not just the tracker's
+// own), heaviest first, with freshly re-estimated window counts —
+// Top's read path with a caller-chosen width and no merging of
+// internal state. Like every TopK method it is not concurrency-safe;
+// it exists for wrappers that serialize access themselves (a sampler
+// holding its own mutex) and want one call that never grows the
+// candidate set, so the lock hold is bounded by the candidate
+// capacity (4·K). k <= 0 means the tracker's configured k.
+func (t *TopK) Snapshot(k int) []TopEntry {
+	if k <= 0 {
+		k = t.k
+	}
 	entries := make([]TopEntry, 0, len(t.cand))
 	for _, c := range t.cand {
 		est := t.cm.Frequency(c.key)
@@ -96,11 +109,14 @@ func (t *TopK) Top() []TopEntry {
 		}
 		return entries[i].Key < entries[j].Key
 	})
-	if len(entries) > t.k {
-		entries = entries[:t.k]
+	if len(entries) > k {
+		entries = entries[:k]
 	}
 	return entries
 }
+
+// K returns the configured report width.
+func (t *TopK) K() int { return t.k }
 
 // Frequency exposes the underlying estimator.
 func (t *TopK) Frequency(key uint64) uint64 { return t.cm.Frequency(key) }

@@ -138,3 +138,31 @@ func TestTopKHeapIndexConsistency(t *testing.T) {
 		}
 	}
 }
+
+func TestTopKSnapshotWiderAndNarrowerThanK(t *testing.T) {
+	tk, err := NewTopK(2, 1<<14, Options{Window: 1 << 12, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1<<12; i++ {
+		tk.Insert(5)
+		if i%2 == 0 {
+			tk.Insert(6)
+		}
+		if i%8 == 0 {
+			tk.Insert(7)
+		}
+	}
+	// Snapshot can read past k into the 4k candidate pool...
+	wide := tk.Snapshot(3)
+	if len(wide) != 3 || wide[0].Key != 5 || wide[1].Key != 6 || wide[2].Key != 7 {
+		t.Fatalf("Snapshot(3) = %+v", wide)
+	}
+	// ...or below it; 0 means the configured k.
+	if narrow := tk.Snapshot(1); len(narrow) != 1 || narrow[0].Key != 5 {
+		t.Fatalf("Snapshot(1) = %+v", narrow)
+	}
+	if def := tk.Snapshot(0); len(def) != tk.K() {
+		t.Fatalf("Snapshot(0) returned %d entries, want k=%d", len(def), tk.K())
+	}
+}
